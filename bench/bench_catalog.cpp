@@ -1,0 +1,80 @@
+// Dataset Catalog Service costs: browse and metadata-query throughput vs
+// catalog size (paper §2.1: the catalog must support browsing plus "search
+// based on a query pattern").
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.hpp"
+#include "common/strings.hpp"
+
+using namespace ipa;
+
+namespace {
+
+catalog::Catalog make_catalog(int datasets) {
+  catalog::Catalog cat;
+  for (int i = 0; i < datasets; ++i) {
+    const int year = 2000 + i % 7;
+    const int run = i;
+    (void)cat.add(strings::format("lc/%d/run%d", year, run), "ds-" + std::to_string(i),
+                  {{"experiment", i % 3 == 0 ? "LC" : "other"},
+                   {"size_mb", std::to_string((i * 37) % 1000)},
+                   {"detector", i % 2 ? "sid" : "ld"}});
+  }
+  return cat;
+}
+
+void BM_CatalogSearch(benchmark::State& state) {
+  const catalog::Catalog cat = make_catalog(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hits = cat.search("experiment == 'LC' && size_mb > 400");
+    if (!hits.is_ok()) {
+      state.SkipWithError("search failed");
+      break;
+    }
+    benchmark::DoNotOptimize(*hits);
+  }
+  state.counters["datasets"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CatalogSearch)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CatalogGlobSearch(benchmark::State& state) {
+  const catalog::Catalog cat = make_catalog(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hits = cat.search("name like 'run1*' || path like 'lc/2004/*'");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_CatalogGlobSearch)->Arg(1000)->Arg(10000);
+
+void BM_CatalogBrowse(benchmark::State& state) {
+  const catalog::Catalog cat = make_catalog(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto listing = cat.browse("lc/2003");
+    benchmark::DoNotOptimize(listing);
+  }
+}
+BENCHMARK(BM_CatalogBrowse)->Arg(1000)->Arg(10000);
+
+void BM_QueryCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query = catalog::Query::parse(
+        "experiment == 'LC' && (size_mb > 100 || name like 'higgs*') && !obsolete");
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_QueryCompile);
+
+void BM_CatalogXmlRoundTrip(benchmark::State& state) {
+  const catalog::Catalog cat = make_catalog(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const std::string text = cat.to_xml().to_string();
+    auto doc = xml::parse(text);
+    auto back = catalog::Catalog::from_xml(*doc);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_CatalogXmlRoundTrip)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Analysis-engine throughput and the snapshot-period sensitivity: how much
+// of the engine's record rate is spent serializing and pushing intermediate
+// results ("getting the intermediate results quickly ... is a very
+// important requirement", paper §2.5 — but snapshots are not free).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "engine/engine.hpp"
+#include "physics/event_gen.hpp"
+
+using namespace ipa;
+
+namespace {
+
+class EngineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!dataset_.empty()) return;
+    const auto dir = std::filesystem::temp_directory_path() / "ipa-bench-engine";
+    std::filesystem::create_directories(dir);
+    dataset_ = (dir / "events.ipd").string();
+    (void)physics::generate_dataset(dataset_, "bench", kEvents);
+    physics::register_higgs_plugin();
+  }
+
+  static constexpr std::uint64_t kEvents = 5000;
+  static std::string dataset_;
+};
+
+std::string EngineFixture::dataset_;
+
+BENCHMARK_DEFINE_F(EngineFixture, FullRun)(benchmark::State& state) {
+  const auto snapshot_every = static_cast<std::uint64_t>(state.range(0));
+  const bool script = state.range(1) != 0;
+  for (auto _ : state) {
+    engine::AnalysisEngine eng({.snapshot_every = snapshot_every, .interp = {}});
+    int snapshots = 0;
+    eng.set_snapshot_handler(
+        [&snapshots](const ser::Bytes& bytes, const engine::Progress&) {
+          benchmark::DoNotOptimize(bytes.size());
+          ++snapshots;
+        });
+    if (!eng.stage_dataset(dataset_).is_ok()) {
+      state.SkipWithError("stage failed");
+      break;
+    }
+    const engine::CodeBundle bundle =
+        script ? engine::CodeBundle{engine::CodeBundle::Kind::kScript, "s",
+                                    physics::higgs_script()}
+               : engine::CodeBundle{engine::CodeBundle::Kind::kPlugin, "p", "higgs-mass"};
+    if (!eng.stage_code(bundle).is_ok()) {
+      state.SkipWithError("code failed");
+      break;
+    }
+    (void)eng.run();
+    const auto done = eng.wait();
+    if (done.state != engine::EngineState::kFinished) {
+      state.SkipWithError("run failed");
+      break;
+    }
+    state.counters["snapshots"] = snapshots;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+  state.counters["snapshot_every"] = static_cast<double>(snapshot_every);
+  state.counters["script"] = script ? 1 : 0;
+}
+// {snapshot_every, use_script}
+BENCHMARK_REGISTER_F(EngineFixture, FullRun)
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({100000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

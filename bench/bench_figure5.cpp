@@ -1,0 +1,95 @@
+// Reproduces paper Figure 5: "Analysis times (gold = local analysis,
+// blue = Grid) as a function of dataset size and number of compute nodes"
+// — the two surfaces T_local(X) and T_grid(X, N) from the paper's fitted
+// equations, plus the crossover analysis behind the paper's two main
+// conclusions:
+//   1. for datasets larger than ~10 MB the WAN transfer dominates and the
+//      grid wins, and
+//   2. long analyses gain the 1/N engine speedup.
+#include <cstdio>
+
+#include "perf/paper_model.hpp"
+#include "perf/scenario.hpp"
+#include "viz/chart.hpp"
+#include "viz/render.hpp"
+
+using namespace ipa;
+
+int main() {
+  const int node_grid[] = {1, 2, 4, 8, 16, 32};
+  const double size_grid[] = {1, 2, 5, 10, 20, 50, 100, 200, 471, 1000};
+
+  std::printf("Figure 5 surfaces (paper equations): T_local(X) and T_grid(X, N) [s]\n\n");
+  std::printf("%8s | %9s |", "X [MB]", "local");
+  for (const int n : node_grid) std::printf(" grid N=%-4d|", n);
+  std::printf("\n---------+-----------+");
+  for (std::size_t i = 0; i < std::size(node_grid); ++i) std::printf("------------+");
+  std::printf("\n");
+  for (const double mb : size_grid) {
+    std::printf("%8g | %9.0f |", mb, perf::PaperModel::t_local(mb));
+    for (const int n : node_grid) {
+      std::printf(" %10.0f |", perf::PaperModel::t_grid(mb, n));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncrossover dataset size (grid becomes faster than local):\n");
+  for (const int n : node_grid) {
+    std::printf("  N=%-3d : X = %.1f MB\n", n, perf::PaperModel::crossover_mb(n));
+  }
+  std::printf("(paper: \"for large dataset (> ~10 MB) ... it is much better to use the"
+              " Grid\")\n");
+
+  // The same qualitative surface from the calibrated simulator: who wins.
+  std::printf("\nsimulator cross-check: winner by (X, N)  [G = grid, L = local]\n");
+  const perf::SiteCalibration cal;
+  std::printf("%8s |", "X [MB]");
+  for (const int n : node_grid) std::printf(" N=%-3d|", n);
+  std::printf("\n");
+  for (const double mb : size_grid) {
+    std::printf("%8g |", mb);
+    const double local = perf::simulate_local_run(cal, mb).total_s;
+    for (const int n : node_grid) {
+      const double grid = perf::simulate_grid_run(cal, mb, n).total_s;
+      std::printf("   %c  |", grid < local ? 'G' : 'L');
+    }
+    std::printf("\n");
+  }
+  std::printf("(site maximum is 16 nodes; N=32 is clamped, matching the paper's"
+              " Grid-VO policy cap)\n");
+
+  // Render the figure itself: time vs dataset size, one curve per N, plus
+  // the local curve — the 2-D projection of the paper's two surfaces.
+  {
+    std::vector<viz::Series> series;
+    viz::Series local{"local", {}, {}, "#c9a227"};  // the paper's gold
+    for (const double mb : size_grid) {
+      local.xs.push_back(mb);
+      local.ys.push_back(perf::PaperModel::t_local(mb));
+    }
+    series.push_back(std::move(local));
+    int shade = 0;
+    for (const int n : {1, 4, 16}) {
+      viz::Series grid;
+      grid.label = "grid N=" + std::to_string(n);
+      grid.color = shade == 0 ? "#9dc3e6" : (shade == 1 ? "#4472c4" : "#1f3864");
+      ++shade;
+      for (const double mb : size_grid) {
+        grid.xs.push_back(mb);
+        grid.ys.push_back(perf::PaperModel::t_grid(mb, n));
+      }
+      series.push_back(std::move(grid));
+    }
+    viz::ChartOptions options;
+    options.title = "Figure 5: analysis time vs dataset size (gold=local, blues=grid)";
+    options.x_label = "dataset size [MB]";
+    options.y_label = "total time [s]";
+    options.log_x = true;
+    options.log_y = true;
+    auto svg = viz::svg_line_chart(series, options);
+    if (svg.is_ok() && viz::write_file("figure5.svg", *svg).is_ok()) {
+      std::printf("\nwrote figure5.svg (log-log projection of the two surfaces)\n");
+    }
+  }
+  return 0;
+}

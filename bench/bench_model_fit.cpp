@@ -1,0 +1,78 @@
+// Re-derives the paper's fitted equations from simulated measurements —
+// the same procedure the authors applied to their testbed numbers
+// ("The following equations are fitted from the above measurements").
+//
+// We sweep the simulator over X and N, then least-squares fit each
+// pipeline stage's published functional form and print the recovered
+// coefficients next to the paper's.
+#include <cstdio>
+#include <vector>
+
+#include "perf/paper_model.hpp"
+#include "perf/scenario.hpp"
+
+using namespace ipa;
+
+int main() {
+  const perf::SiteCalibration cal;
+
+  // --- local: T = a·X --------------------------------------------------------
+  std::vector<double> xs, move_ys, analyze_ys, total_ys;
+  for (double mb = 20; mb <= 1000; mb += 70) {
+    const auto local = perf::simulate_local_run(cal, mb);
+    xs.push_back(mb);
+    move_ys.push_back(local.move_s);
+    analyze_ys.push_back(local.analysis_s);
+    total_ys.push_back(local.total_s);
+  }
+  const int n = static_cast<int>(xs.size());
+  std::printf("local workflow, fitted to T = a*X over X in [20, 1000] MB:\n");
+  std::printf("  %-24s sim a=%-8.3f paper a=%.2f  (s/MB)\n", "WAN move",
+              perf::fit_proportional(xs.data(), move_ys.data(), n), 6.2);
+  std::printf("  %-24s sim a=%-8.3f paper a=%.2f\n", "single-CPU analysis",
+              perf::fit_proportional(xs.data(), analyze_ys.data(), n), 5.3);
+  std::printf("  %-24s sim a=%-8.3f paper a=%.2f\n", "total",
+              perf::fit_proportional(xs.data(), total_ys.data(), n), 11.5);
+  std::printf("  (simulator is calibrated to Table 1's measured 32 min WAN / 13 min\n"
+              "   analysis, which disagree with the paper's own 6.2/5.3 coefficients;\n"
+              "   see EXPERIMENTS.md)\n\n");
+
+  // --- grid stages at X = 471, varying N ---------------------------------------
+  std::vector<double> inv_n, move_parts, analysis;
+  for (const int nodes : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    const auto grid = perf::simulate_grid_run(cal, 471.0, nodes);
+    inv_n.push_back(1.0 / nodes);
+    move_parts.push_back(grid.move_parts_s);
+    analysis.push_back(grid.analysis_s);
+  }
+  const int m = static_cast<int>(inv_n.size());
+  const perf::LinearFit parts_fit = perf::fit_linear(inv_n.data(), move_parts.data(), m);
+  const perf::LinearFit analysis_fit = perf::fit_linear(inv_n.data(), analysis.data(), m);
+
+  std::printf("grid stages at X = 471 MB, fitted to T = c + d/N:\n");
+  std::printf("  %-24s sim c=%-7.1f d=%-7.1f  paper c=46  d=62   (r2=%.4f)\n", "move parts",
+              parts_fit.intercept, parts_fit.slope, parts_fit.r2);
+  std::printf("  %-24s sim c=%-7.1f d=%-7.1f  paper equation: 5.3*471/N = 2497/N (!)\n",
+              "analysis", analysis_fit.intercept, analysis_fit.slope);
+  std::printf("  (the paper's own analysis fit contradicts its Table 2: 2497/N predicts\n"
+              "   156 s at N=16 where the paper measured 78 s. Our calibration targets\n"
+              "   the measured endpoints 330 s @ 1 node, 78 s @ 16 nodes instead.)\n\n");
+
+  // --- grid linear-in-X stages ---------------------------------------------------
+  std::vector<double> gx, move_whole, split;
+  for (double mb = 50; mb <= 1000; mb += 95) {
+    const auto grid = perf::simulate_grid_run(cal, mb, 8);
+    gx.push_back(mb);
+    move_whole.push_back(grid.move_whole_s);
+    split.push_back(grid.split_s);
+  }
+  const int g = static_cast<int>(gx.size());
+  const perf::LinearFit whole_fit = perf::fit_linear(gx.data(), move_whole.data(), g);
+  const perf::LinearFit split_fit = perf::fit_linear(gx.data(), split.data(), g);
+  std::printf("grid stages at N = 8, fitted to T = a*X + b:\n");
+  std::printf("  %-24s sim a=%-7.3f  paper a=0.13 (s/MB)   r2=%.4f\n", "move whole (LAN)",
+              whole_fit.slope, whole_fit.r2);
+  std::printf("  %-24s sim a=%-7.3f  paper a=0.25 (s/MB)   r2=%.4f\n", "split",
+              split_fit.slope, split_fit.r2);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Splitter throughput vs part count — the functional twin of Table 2's
+// "split" column ("the splitter must iterate through the entire dataset in
+// all cases and only has a very small input/output overhead for the number
+// of split files").
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "data/splitter.hpp"
+#include "physics/event_gen.hpp"
+
+using namespace ipa;
+
+namespace {
+
+class SplitFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!source_.empty()) return;
+    dir_ = std::filesystem::temp_directory_path() / "ipa-bench-split";
+    std::filesystem::create_directories(dir_);
+    source_ = (dir_ / "src.ipd").string();
+    (void)physics::generate_dataset(source_, "bench", 20000);
+    bytes_ = std::filesystem::file_size(source_);
+  }
+
+  static std::filesystem::path dir_;
+  static std::string source_;
+  static std::uintmax_t bytes_;
+};
+
+std::filesystem::path SplitFixture::dir_;
+std::string SplitFixture::source_;
+std::uintmax_t SplitFixture::bytes_ = 0;
+
+BENCHMARK_DEFINE_F(SplitFixture, Split)(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  int round = 0;
+  for (auto _ : state) {
+    const std::string prefix = (dir_ / ("out" + std::to_string(round++))).string();
+    auto split = data::split_dataset(source_, prefix, parts);
+    if (!split.is_ok()) {
+      state.SkipWithError("split failed");
+      break;
+    }
+    benchmark::DoNotOptimize(*split);
+    state.PauseTiming();
+    for (const auto& part : split->parts) std::filesystem::remove(part.path);
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes_));
+  state.counters["parts"] = parts;
+}
+BENCHMARK_REGISTER_F(SplitFixture, Split)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+// Sequential read throughput: the splitter's lower bound.
+BENCHMARK_DEFINE_F(SplitFixture, SequentialRead)(benchmark::State& state) {
+  for (auto _ : state) {
+    auto reader = data::DatasetReader::open(source_);
+    if (!reader.is_ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < reader->size(); ++i) {
+      auto record = reader->next();
+      total += record.is_ok() ? (*record).field_count() : 0;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes_));
+}
+BENCHMARK_REGISTER_F(SplitFixture, SequentialRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

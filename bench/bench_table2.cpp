@@ -1,0 +1,53 @@
+// Reproduces paper Table 2: "Comparison of time to stage and analyze a
+// dataset by varying the nodes available on the Grid" (471 MB dataset,
+// N = 1, 2, 4, 8, 16).
+//
+// Columns, as in the paper: move-whole (constant), split (near constant),
+// move-parts (decreasing with per-part overhead), analysis (sub-linear
+// speedup). Simulated values are printed next to the paper's measurements.
+#include <cstdio>
+
+#include "perf/scenario.hpp"
+
+using namespace ipa;
+
+int main() {
+  const double kDatasetMb = 471.0;
+  const perf::SiteCalibration cal;
+
+  struct PaperRow {
+    int nodes;
+    double move_whole, split, move_parts, analysis;
+  };
+  // The paper's measured values.
+  const PaperRow paper[] = {
+      {1, 63, 120, 105, 330}, {2, 63, 120, 77, 287},  {4, 63, 115, 70, 190},
+      {8, 63, 117, 65, 148},  {16, 63, 124, 50, 78},
+  };
+
+  std::printf("Table 2: stage + analysis time vs node count (471 MB dataset)\n");
+  std::printf("%-7s | %-19s | %-19s | %-19s | %-19s\n", "nodes", "move whole [s]",
+              "split [s]", "move parts [s]", "analysis [s]");
+  std::printf("%-7s | %-9s %-9s | %-9s %-9s | %-9s %-9s | %-9s %-9s\n", "", "sim", "paper",
+              "sim", "paper", "sim", "paper", "sim", "paper");
+  std::printf("--------+---------------------+---------------------+---------------------+"
+              "--------------------\n");
+  for (const PaperRow& row : paper) {
+    const perf::GridRunBreakdown run = perf::simulate_grid_run(cal, kDatasetMb, row.nodes);
+    std::printf("%-7d | %-9.0f %-9.0f | %-9.0f %-9.0f | %-9.0f %-9.0f | %-9.0f %-9.0f\n",
+                row.nodes, run.move_whole_s, row.move_whole, run.split_s, row.split,
+                run.move_parts_s, row.move_parts, run.analysis_s, row.analysis);
+  }
+
+  std::printf("\nshape checks (paper section 4):\n");
+  const auto t1 = perf::simulate_grid_run(cal, kDatasetMb, 1);
+  const auto t16 = perf::simulate_grid_run(cal, kDatasetMb, 16);
+  std::printf("  splitting varies little with N:       %.0f s -> %.0f s\n", t1.split_s,
+              t16.split_s);
+  std::printf("  move-parts slightly decreases with N: %.0f s -> %.0f s\n", t1.move_parts_s,
+              t16.move_parts_s);
+  std::printf("  analysis speedup at 16 nodes:         %.1fx (paper: %.1fx; not 16x — grid\n"
+              "  CPUs are 866 MHz vs the 1.7 GHz local machine, plus fixed overheads)\n",
+              t1.analysis_s / t16.analysis_s, 330.0 / 78.0);
+  return 0;
+}

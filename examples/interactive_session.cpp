@@ -1,0 +1,127 @@
+// The interactivity loop itself — the paper's defining capability:
+// "the user can change their analysis algorithms on the fly ... run, pause
+// or stop the analysis at any instant, as well as rewind ... the new
+// analysis code can be dynamically reloaded and used to reprocess the same
+// dataset" (§1, §3.6).
+//
+// This example runs the whole conversation over TCP loopback (a real
+// network hop between client and manager, like JAS -> Globus container)
+// and exercises: run N events -> inspect -> pause point -> edit the script
+// -> rewind -> re-run, all without re-staging the dataset.
+//
+//   ./interactive_session [events]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "client/grid_client.hpp"
+#include "common/log.hpp"
+#include "physics/event_gen.hpp"
+#include "services/manager.hpp"
+#include "viz/render.hpp"
+
+using namespace ipa;
+
+namespace {
+
+/// Poll until every engine reaches `state` (or timeout).
+bool wait_all(client::GridSession& session, engine::EngineState state, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto update = session.poll();
+    if (update.is_ok() && !update->engines.empty()) {
+      bool all = true;
+      for (const auto& report : update->engines) all = all && report.state == state;
+      if (all) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  log::set_global_level(log::Level::kWarn);
+  const std::uint64_t events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+
+  const auto work = std::filesystem::temp_directory_path() / "ipa-interactive";
+  std::filesystem::create_directories(work);
+  const std::string dataset_file = (work / "events.ipd").string();
+  (void)physics::generate_dataset(dataset_file, "lc-events", events);
+
+  // Manager with its RMI channel on TCP too, so every hop crosses a socket.
+  services::ManagerConfig config;
+  config.staging_dir = (work / "staging").string();
+  config.rpc_endpoint = Uri::parse("tcp://127.0.0.1:0").value();
+  config.engine_config.snapshot_every = 2500;
+  auto manager = services::ManagerNode::start(std::move(config));
+  if (!manager.is_ok()) {
+    std::fprintf(stderr, "%s\n", manager.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("manager: soap=%s rmi=%s\n", (*manager)->soap_endpoint().to_string().c_str(),
+              (*manager)->rpc_endpoint().to_string().c_str());
+  (void)(*manager)->publish_dataset("lc/2006/events", "ds-events", {}, dataset_file);
+
+  const std::string token = (*manager)->authority().issue("cn=analyst", {"analysis"}, 3600);
+  auto grid = client::GridClient::connect((*manager)->soap_endpoint(),
+                                          *client::make_proxy((*manager)->authority(), token));
+  auto session = grid->create_session(4);
+  (void)session->activate();
+  (void)session->select_dataset("ds-events");
+
+  // Version 1 of the analysis: too-wide binning, wrong variable — the kind
+  // of first attempt an analyst immediately wants to revise.
+  const char* kV1 = R"ipa(
+func begin(tree) { tree.book_h1("/m", 10, 0, 1000, "mass, v1 (too coarse)"); }
+func process(event, tree) {
+  let e = event.get("e");
+  if (len(e) >= 2) { tree.fill("/m", e[0] + e[1]); }  // energy sum, not mass!
+}
+)ipa";
+  (void)session->stage_script("analysis-v1", kV1);
+
+  std::printf("\n-- run the first 2000 events per engine with v1 --\n");
+  (void)session->run_records(2000);
+  wait_all(*session, engine::EngineState::kPaused, 60.0);
+  auto peek = session->poll();
+  if (peek.is_ok() && peek->changed) {
+    auto hist = peek->merged.histogram1d("/m");
+    if (hist.is_ok()) {
+      std::printf("%s\n", viz::ascii_histogram(**hist, {.width = 50, .max_rows = 10}).c_str());
+      std::printf("v1 looks wrong (energy sum, no peak structure). Editing the code ...\n");
+    }
+  }
+
+  // The analyst edits the script — proper invariant mass this time — and
+  // reprocesses the same staged dataset from the beginning.
+  std::printf("\n-- rewind, hot-reload v2, re-run everything --\n");
+  (void)session->rewind();
+  (void)session->stage_script("analysis-v2", physics::higgs_script());
+  auto tree = session->run_to_completion(600.0, [](const client::PollUpdate& update) {
+    std::printf("  %s\r",
+                viz::ascii_progress(update.total_processed(), update.total_records()).c_str());
+    std::fflush(stdout);
+  });
+  std::printf("\n");
+  if (!tree.is_ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().to_string().c_str());
+    return 1;
+  }
+
+  auto mass = tree->histogram1d("/higgs/mass");
+  std::printf("\n%s\n", viz::ascii_histogram(**mass).c_str());
+  std::printf("v2 finds the peak at %.1f GeV — same staged dataset, only ~%zu bytes of\n"
+              "script crossed the wire for the reload (paper: 'only a small amount of\n"
+              "code needs to be re-distributed').\n",
+              (*mass)->axis().bin_center((*mass)->max_bin()),
+              std::string(physics::higgs_script()).size());
+
+  (void)session->close();
+  (*manager)->stop();
+  std::filesystem::remove_all(work);
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "aida/cloud1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipa::aida {
+
+Cloud1D::Cloud1D(std::string title, std::size_t max_entries)
+    : title_(std::move(title)), max_entries_(max_entries ? max_entries : 1) {}
+
+void Cloud1D::fill(double x, double weight) {
+  if (converted_) {
+    converted_->fill(x, weight);
+    return;
+  }
+  xs_.push_back(x);
+  weights_.push_back(weight);
+  if (xs_.size() >= max_entries_) convert();
+}
+
+std::uint64_t Cloud1D::entries() const {
+  return converted_ ? converted_->entries() : xs_.size();
+}
+
+void Cloud1D::convert() {
+  if (converted_ || xs_.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(xs_.begin(), xs_.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  if (lo == hi) {  // degenerate range: widen symmetrically
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  // Pad the upper edge so the maximum lands in-range.
+  const double pad = (hi - lo) * 1e-9 + 1e-12;
+  auto hist = Histogram1D::create(title_, kConversionBins, lo, hi + pad);
+  if (!hist.is_ok()) return;  // unreachable given the guards above
+  converted_ = std::move(*hist);
+  for (std::size_t i = 0; i < xs_.size(); ++i) converted_->fill(xs_[i], weights_[i]);
+  xs_.clear();
+  weights_.clear();
+}
+
+Result<Histogram1D> Cloud1D::histogram() {
+  convert();
+  if (!converted_) return failed_precondition("cloud1d: empty cloud has no histogram");
+  return *converted_;
+}
+
+double Cloud1D::mean() const {
+  if (converted_) return converted_->mean();
+  double sumw = 0, sumwx = 0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    sumw += weights_[i];
+    sumwx += weights_[i] * xs_[i];
+  }
+  return sumw > 0 ? sumwx / sumw : 0.0;
+}
+
+double Cloud1D::rms() const {
+  if (converted_) return converted_->rms();
+  double sumw = 0, sumwx = 0, sumwx2 = 0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    sumw += weights_[i];
+    sumwx += weights_[i] * xs_[i];
+    sumwx2 += weights_[i] * xs_[i] * xs_[i];
+  }
+  if (sumw <= 0) return 0.0;
+  const double mean = sumwx / sumw;
+  const double var = sumwx2 / sumw - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Cloud1D::lower_edge() const {
+  if (converted_) return converted_->axis().lower();
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Cloud1D::upper_edge() const {
+  if (converted_) return converted_->axis().upper();
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+Status Cloud1D::merge(Cloud1D& other) {
+  if (!converted_ && !other.converted_) {
+    xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+    weights_.insert(weights_.end(), other.weights_.begin(), other.weights_.end());
+    if (xs_.size() >= max_entries_) convert();
+    return Status::ok();
+  }
+  // At least one side is binned: bin both and merge histograms.
+  convert();
+  other.convert();
+  if (!converted_ || !other.converted_) {
+    // One side was empty; nothing to add.
+    if (!converted_ && other.converted_) converted_ = other.converted_;
+    return Status::ok();
+  }
+  return converted_->merge(*other.converted_);
+}
+
+void Cloud1D::encode(ser::Writer& w) const {
+  w.string(title_);
+  w.varint(max_entries_);
+  w.string_map(annotation_);
+  w.boolean(converted_.has_value());
+  if (converted_) {
+    converted_->encode(w);
+  } else {
+    w.vector(xs_, [](ser::Writer& ww, double v) { ww.f64(v); });
+    w.vector(weights_, [](ser::Writer& ww, double v) { ww.f64(v); });
+  }
+}
+
+Result<Cloud1D> Cloud1D::decode(ser::Reader& r) {
+  Cloud1D cloud;
+  IPA_ASSIGN_OR_RETURN(cloud.title_, r.string());
+  IPA_ASSIGN_OR_RETURN(cloud.max_entries_, r.varint());
+  IPA_ASSIGN_OR_RETURN(cloud.annotation_, r.string_map());
+  IPA_ASSIGN_OR_RETURN(const bool converted, r.boolean());
+  if (converted) {
+    auto hist = Histogram1D::decode(r);
+    IPA_RETURN_IF_ERROR(hist.status());
+    cloud.converted_ = std::move(*hist);
+  } else {
+    auto xs = r.vector<double>([](ser::Reader& rr) { return rr.f64(); });
+    IPA_RETURN_IF_ERROR(xs.status());
+    auto ws = r.vector<double>([](ser::Reader& rr) { return rr.f64(); });
+    IPA_RETURN_IF_ERROR(ws.status());
+    if (xs->size() != ws->size()) return data_loss("cloud1d: xs/weights size mismatch");
+    cloud.xs_ = std::move(*xs);
+    cloud.weights_ = std::move(*ws);
+  }
+  return cloud;
+}
+
+}  // namespace ipa::aida

@@ -1,0 +1,67 @@
+// 1-D cloud (AIDA ICloud1D analogue): stores raw (x, w) points until a
+// cap is reached, then auto-converts to a binned histogram. Lets analysts
+// book plots without choosing a binning up front — the binning is derived
+// from the data actually seen.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aida/histogram1d.hpp"
+
+namespace ipa::aida {
+
+class Cloud1D {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 10000;
+  static constexpr int kConversionBins = 50;
+
+  Cloud1D() = default;
+  explicit Cloud1D(std::string title, std::size_t max_entries = kDefaultMaxEntries);
+
+  const std::string& title() const { return title_; }
+  std::map<std::string, std::string>& annotation() { return annotation_; }
+  const std::map<std::string, std::string>& annotation() const { return annotation_; }
+
+  void fill(double x, double weight = 1.0);
+
+  bool is_converted() const { return converted_.has_value(); }
+  std::uint64_t entries() const;
+
+  /// Force conversion now (no-op when already converted or empty).
+  void convert();
+
+  /// Unbinned points (valid only before conversion).
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Histogram view (converts on demand).
+  Result<Histogram1D> histogram();
+
+  /// Unbinned statistics while unconverted; histogram statistics after.
+  double mean() const;
+  double rms() const;
+  double lower_edge() const;
+  double upper_edge() const;
+
+  /// Merge: point lists concatenate; if either side is converted both are
+  /// converted (histogram merge requires matching auto-axes, so converted
+  /// merges only succeed between clouds converted with the same range —
+  /// engines coordinate by converting at the same threshold).
+  Status merge(Cloud1D& other);
+
+  void encode(ser::Writer& w) const;
+  static Result<Cloud1D> decode(ser::Reader& r);
+
+ private:
+  std::string title_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  std::map<std::string, std::string> annotation_;
+  std::vector<double> xs_;
+  std::vector<double> weights_;
+  std::optional<Histogram1D> converted_;
+};
+
+}  // namespace ipa::aida

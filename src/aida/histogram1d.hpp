@@ -1,0 +1,84 @@
+// 1-D weighted histogram, modeled on AIDA's IHistogram1D.
+//
+// The central mergeable object of IPA: every analysis engine fills local
+// histograms and the AIDA manager service merges them ("the analysis
+// results can be logically merged", paper §1). Merging is exact: per-bin
+// weight and weight² sums add, so the merged object equals the histogram a
+// single engine would have produced over the whole dataset.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aida/axis.hpp"
+
+namespace ipa::aida {
+
+class Histogram1D {
+ public:
+  Histogram1D() = default;
+  Histogram1D(std::string title, Axis axis);
+
+  static Result<Histogram1D> create(std::string title, int bins, double lower, double upper);
+
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+  const Axis& axis() const { return axis_; }
+
+  std::map<std::string, std::string>& annotation() { return annotation_; }
+  const std::map<std::string, std::string>& annotation() const { return annotation_; }
+
+  void fill(double x, double weight = 1.0);
+  void reset();
+
+  /// Fill count (unweighted), including out-of-range fills.
+  std::uint64_t entries() const { return entries_; }
+  /// Per-bin statistics; `i` in 0..bins-1 or kUnderflow/kOverflow.
+  double bin_height(int i) const { return sumw_[slot(i)]; }
+  double bin_error(int i) const;  // sqrt(sum of w^2)
+  double underflow() const { return sumw_.front(); }
+  double overflow() const { return sumw_.back(); }
+
+  /// Sum of in-range weights.
+  double sum_height() const;
+  /// All-bin weight sum including under/overflow.
+  double sum_all_height() const;
+
+  /// Weighted mean / rms of the filled coordinates (in-range fills only).
+  double mean() const;
+  double rms() const;
+
+  /// Index of the highest in-range bin (first on ties).
+  int max_bin() const;
+
+  void scale(double factor);
+
+  /// Exact merge; axes and titles must match (kFailedPrecondition otherwise).
+  Status merge(const Histogram1D& other);
+
+  void encode(ser::Writer& w) const;
+  static Result<Histogram1D> decode(ser::Reader& r);
+
+  friend bool operator==(const Histogram1D& a, const Histogram1D& b) = default;
+
+ private:
+  /// Map bin index (with pseudo-indices) onto storage slot 0..bins+1.
+  std::size_t slot(int i) const {
+    if (i == kUnderflow) return 0;
+    if (i == kOverflow) return sumw_.size() - 1;
+    return static_cast<std::size_t>(i + 1);
+  }
+
+  std::string title_;
+  Axis axis_;
+  std::map<std::string, std::string> annotation_;
+  std::vector<double> sumw_;    // [underflow, bins..., overflow]
+  std::vector<double> sumw2_;
+  std::uint64_t entries_ = 0;
+  double sumwx_ = 0;            // in-range moments for mean/rms
+  double sumwx2_ = 0;
+  double in_range_sumw_ = 0;
+};
+
+}  // namespace ipa::aida

@@ -1,0 +1,71 @@
+// 2-D weighted histogram (AIDA IHistogram2D analogue).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aida/axis.hpp"
+
+namespace ipa::aida {
+
+class Histogram2D {
+ public:
+  Histogram2D() = default;
+  Histogram2D(std::string title, Axis x_axis, Axis y_axis);
+
+  static Result<Histogram2D> create(std::string title, int x_bins, double x_lo, double x_hi,
+                                    int y_bins, double y_lo, double y_hi);
+
+  const std::string& title() const { return title_; }
+  const Axis& x_axis() const { return x_axis_; }
+  const Axis& y_axis() const { return y_axis_; }
+  std::map<std::string, std::string>& annotation() { return annotation_; }
+  const std::map<std::string, std::string>& annotation() const { return annotation_; }
+
+  void fill(double x, double y, double weight = 1.0);
+  void reset();
+
+  std::uint64_t entries() const { return entries_; }
+  /// ix/iy in 0..bins-1 or kUnderflow/kOverflow.
+  double bin_height(int ix, int iy) const { return sumw_[slot(ix, iy)]; }
+  double bin_error(int ix, int iy) const;
+  double sum_all_height() const;
+
+  double mean_x() const;
+  double mean_y() const;
+  double rms_x() const;
+  double rms_y() const;
+
+  void scale(double factor);
+  Status merge(const Histogram2D& other);
+
+  void encode(ser::Writer& w) const;
+  static Result<Histogram2D> decode(ser::Reader& r);
+
+  friend bool operator==(const Histogram2D& a, const Histogram2D& b) = default;
+
+ private:
+  std::size_t stride() const { return static_cast<std::size_t>(x_axis_.bins()) + 2; }
+  std::size_t slot1(const Axis& axis, int i) const {
+    if (i == kUnderflow) return 0;
+    if (i == kOverflow) return static_cast<std::size_t>(axis.bins()) + 1;
+    return static_cast<std::size_t>(i + 1);
+  }
+  std::size_t slot(int ix, int iy) const {
+    return slot1(y_axis_, iy) * stride() + slot1(x_axis_, ix);
+  }
+
+  std::string title_;
+  Axis x_axis_;
+  Axis y_axis_;
+  std::map<std::string, std::string> annotation_;
+  std::vector<double> sumw_;
+  std::vector<double> sumw2_;
+  std::uint64_t entries_ = 0;
+  double sumwx_ = 0, sumwx2_ = 0;
+  double sumwy_ = 0, sumwy2_ = 0;
+  double in_range_sumw_ = 0;
+};
+
+}  // namespace ipa::aida

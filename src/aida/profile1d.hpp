@@ -1,0 +1,62 @@
+// 1-D profile (AIDA IProfile1D analogue): per-x-bin mean and spread of a
+// second coordinate y — e.g. mean transverse momentum vs pseudorapidity.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aida/axis.hpp"
+
+namespace ipa::aida {
+
+class Profile1D {
+ public:
+  Profile1D() = default;
+  Profile1D(std::string title, Axis axis);
+
+  static Result<Profile1D> create(std::string title, int bins, double lower, double upper);
+
+  const std::string& title() const { return title_; }
+  const Axis& axis() const { return axis_; }
+  std::map<std::string, std::string>& annotation() { return annotation_; }
+  const std::map<std::string, std::string>& annotation() const { return annotation_; }
+
+  void fill(double x, double y, double weight = 1.0);
+  void reset();
+
+  std::uint64_t entries() const { return entries_; }
+  /// Per-bin weight sum.
+  double bin_weight(int i) const { return sumw_[slot(i)]; }
+  /// Mean of y in bin i (0 when empty).
+  double bin_mean(int i) const;
+  /// RMS spread of y in bin i.
+  double bin_rms(int i) const;
+  /// Standard error of the bin mean (rms / sqrt(effective entries)).
+  double bin_error(int i) const;
+
+  Status merge(const Profile1D& other);
+
+  void encode(ser::Writer& w) const;
+  static Result<Profile1D> decode(ser::Reader& r);
+
+  friend bool operator==(const Profile1D& a, const Profile1D& b) = default;
+
+ private:
+  std::size_t slot(int i) const {
+    if (i == kUnderflow) return 0;
+    if (i == kOverflow) return sumw_.size() - 1;
+    return static_cast<std::size_t>(i + 1);
+  }
+
+  std::string title_;
+  Axis axis_;
+  std::map<std::string, std::string> annotation_;
+  std::vector<double> sumw_;    // per-bin sum of weights
+  std::vector<double> sumw2_;   // per-bin sum of squared weights
+  std::vector<double> sumwy_;   // per-bin sum of w*y
+  std::vector<double> sumwy2_;  // per-bin sum of w*y^2
+  std::uint64_t entries_ = 0;
+};
+
+}  // namespace ipa::aida

@@ -1,0 +1,206 @@
+#include "catalog/catalog.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ipa::catalog {
+
+namespace detail {
+struct Folder {
+  std::map<std::string, std::unique_ptr<Folder>> folders;
+  std::map<std::string, DatasetEntry> datasets;
+};
+}  // namespace detail
+using detail::Folder;
+
+Catalog::Catalog() : root_(std::make_unique<Folder>()) {}
+Catalog::~Catalog() = default;
+Catalog::Catalog(Catalog&&) noexcept = default;
+Catalog& Catalog::operator=(Catalog&&) noexcept = default;
+
+namespace {
+
+Result<std::pair<std::vector<std::string>, std::string>> split_path(const std::string& path) {
+  auto parts = strings::split_trimmed(path, '/');
+  if (parts.empty()) return invalid_argument("catalog: empty path");
+  std::string leaf = parts.back();
+  parts.pop_back();
+  return std::make_pair(std::move(parts), std::move(leaf));
+}
+
+}  // namespace
+
+Status Catalog::add(const std::string& path, std::string id,
+                    std::map<std::string, std::string> metadata) {
+  IPA_ASSIGN_OR_RETURN(auto split, split_path(path));
+  const auto& [folders, leaf] = split;
+  if (id.empty()) return invalid_argument("catalog: empty dataset id");
+  if (id_to_path_.count(id) != 0) {
+    return already_exists("catalog: dataset id '" + id + "' already registered");
+  }
+
+  Folder* node = root_.get();
+  for (const std::string& name : folders) {
+    auto& child = node->folders[name];
+    if (!child) child = std::make_unique<Folder>();
+    node = child.get();
+  }
+  if (node->datasets.count(leaf) != 0 || node->folders.count(leaf) != 0) {
+    return already_exists("catalog: path '" + path + "' already exists");
+  }
+
+  DatasetEntry entry;
+  entry.id = std::move(id);
+  entry.path = strings::join(folders, "/");
+  if (!entry.path.empty()) entry.path += "/";
+  entry.path += leaf;
+  entry.metadata = std::move(metadata);
+  entry.metadata["name"] = leaf;
+  entry.metadata["path"] = entry.path;
+  id_to_path_[entry.id] = entry.path;
+  node->datasets.emplace(leaf, std::move(entry));
+  return Status::ok();
+}
+
+Status Catalog::remove(const std::string& path) {
+  IPA_ASSIGN_OR_RETURN(auto split, split_path(path));
+  const auto& [folders, leaf] = split;
+  Folder* node = root_.get();
+  for (const std::string& name : folders) {
+    const auto it = node->folders.find(name);
+    if (it == node->folders.end()) return not_found("catalog: no folder '" + name + "'");
+    node = it->second.get();
+  }
+  const auto it = node->datasets.find(leaf);
+  if (it == node->datasets.end()) return not_found("catalog: no dataset at '" + path + "'");
+  id_to_path_.erase(it->second.id);
+  node->datasets.erase(it);
+  return Status::ok();
+}
+
+Result<Listing> Catalog::browse(const std::string& path) const {
+  const Folder* node = root_.get();
+  for (const std::string& name : strings::split_trimmed(path, '/')) {
+    const auto it = node->folders.find(name);
+    if (it == node->folders.end()) {
+      return not_found("catalog: no folder '" + name + "' in '" + path + "'");
+    }
+    node = it->second.get();
+  }
+  Listing listing;
+  for (const auto& [name, _] : node->folders) listing.folders.push_back(name);
+  for (const auto& [_, entry] : node->datasets) listing.datasets.push_back(entry);
+  return listing;
+}
+
+Result<DatasetEntry> Catalog::find_by_path(const std::string& path) const {
+  IPA_ASSIGN_OR_RETURN(auto split, split_path(path));
+  const auto& [folders, leaf] = split;
+  const Folder* node = root_.get();
+  for (const std::string& name : folders) {
+    const auto it = node->folders.find(name);
+    if (it == node->folders.end()) return not_found("catalog: no dataset at '" + path + "'");
+    node = it->second.get();
+  }
+  const auto it = node->datasets.find(leaf);
+  if (it == node->datasets.end()) return not_found("catalog: no dataset at '" + path + "'");
+  return it->second;
+}
+
+Result<DatasetEntry> Catalog::find_by_id(const std::string& id) const {
+  const auto it = id_to_path_.find(id);
+  if (it == id_to_path_.end()) return not_found("catalog: no dataset with id '" + id + "'");
+  return find_by_path(it->second);
+}
+
+Result<std::vector<DatasetEntry>> Catalog::search(const std::string& query_text) const {
+  IPA_ASSIGN_OR_RETURN(const Query query, Query::parse(query_text));
+  std::vector<DatasetEntry> out;
+  // Iterative DFS over the tree.
+  std::vector<const Folder*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Folder* node = stack.back();
+    stack.pop_back();
+    for (const auto& [_, entry] : node->datasets) {
+      if (query.matches(entry.metadata)) out.push_back(entry);
+    }
+    for (const auto& [_, child] : node->folders) stack.push_back(child.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DatasetEntry& a, const DatasetEntry& b) { return a.path < b.path; });
+  return out;
+}
+
+std::size_t Catalog::dataset_count() const { return id_to_path_.size(); }
+
+namespace {
+
+/// Emit folders as <folder name=..> and datasets as <dataset id=..> with
+/// <meta key=.. value=..> children. Recursive so each subtree is complete
+/// before the next sibling is appended (appending can reallocate the
+/// parent's child vector, so no references into it may be retained).
+xml::Node folder_to_xml(std::string element_name, const std::string& folder_name,
+                        const Folder& folder) {
+  xml::Node element(std::move(element_name));
+  if (!folder_name.empty()) element.set_attribute("name", folder_name);
+  for (const auto& [name, entry] : folder.datasets) {
+    xml::Node ds("dataset");
+    ds.set_attribute("name", name);
+    ds.set_attribute("id", entry.id);
+    for (const auto& [key, value] : entry.metadata) {
+      if (key == "name" || key == "path") continue;  // re-derived on import
+      xml::Node meta("meta");
+      meta.set_attribute("key", key);
+      meta.set_attribute("value", value);
+      ds.add_child(std::move(meta));
+    }
+    element.add_child(std::move(ds));
+  }
+  for (const auto& [name, child] : folder.folders) {
+    element.add_child(folder_to_xml("folder", name, *child));
+  }
+  return element;
+}
+
+}  // namespace
+
+xml::Node Catalog::to_xml() const {
+  return folder_to_xml("catalog", "", *root_);
+}
+
+Result<Catalog> Catalog::from_xml(const xml::Node& root) {
+  if (root.name() != "catalog") return invalid_argument("catalog: expected <catalog> root");
+  Catalog catalog;
+  struct Frame {
+    const xml::Node* element;
+    std::string path;
+  };
+  std::vector<Frame> stack{{&root, ""}};
+  while (!stack.empty()) {
+    auto [element, path] = stack.back();
+    stack.pop_back();
+    for (const xml::Node& child : element->children()) {
+      if (child.name() == "folder") {
+        const std::string name = child.attribute("name");
+        if (name.empty()) return invalid_argument("catalog: folder without name");
+        stack.push_back({&child, path.empty() ? name : path + "/" + name});
+      } else if (child.name() == "dataset") {
+        const std::string name = child.attribute("name");
+        const std::string id = child.attribute("id");
+        if (name.empty() || id.empty()) {
+          return invalid_argument("catalog: dataset without name/id");
+        }
+        std::map<std::string, std::string> metadata;
+        for (const xml::Node& meta : child.children()) {
+          if (meta.name() == "meta") metadata[meta.attribute("key")] = meta.attribute("value");
+        }
+        IPA_RETURN_IF_ERROR(
+            catalog.add(path.empty() ? name : path + "/" + name, id, std::move(metadata)));
+      }
+    }
+  }
+  return catalog;
+}
+
+}  // namespace ipa::catalog

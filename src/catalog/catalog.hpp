@@ -1,0 +1,78 @@
+// The Dataset Catalog: a hierarchical tree of key-value metadata with
+// browse and query access (paper §2.1/§3.3).
+//
+// "The Catalog makes no assumptions about the type of metadata stored in
+// the catalog except that the metadata consists of key-value pairs stored
+// in a hierarchical tree." Leaves are dataset entries; inner nodes are
+// folders the user browses.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/query.hpp"
+#include "common/status.hpp"
+#include "xml/xml.hpp"
+
+namespace ipa::catalog {
+
+/// A dataset as seen by the catalog: an opaque identifier (resolved to a
+/// physical location by the Locator service, never by the catalog) plus
+/// metadata.
+struct DatasetEntry {
+  std::string id;     // catalog-unique dataset identifier
+  std::string path;   // tree path, e.g. "lc/2006/higgs/run7"
+  std::map<std::string, std::string> metadata;
+};
+
+/// Listing of one tree level.
+struct Listing {
+  std::vector<std::string> folders;   // child folder names
+  std::vector<DatasetEntry> datasets; // datasets at this level
+};
+
+namespace detail {
+struct Folder;
+}  // namespace detail
+
+class Catalog {
+ public:
+  Catalog();
+  ~Catalog();
+  Catalog(Catalog&&) noexcept;
+  Catalog& operator=(Catalog&&) noexcept;
+
+  /// Register a dataset at `path` (slash-separated folders + dataset name).
+  /// The entry's `name` metadata key is set to the leaf name automatically.
+  /// Fails with kAlreadyExists for duplicate paths or ids.
+  Status add(const std::string& path, std::string id,
+             std::map<std::string, std::string> metadata);
+
+  Status remove(const std::string& path);
+
+  /// Browse one level ("" = root).
+  Result<Listing> browse(const std::string& path) const;
+
+  /// Dataset by exact tree path.
+  Result<DatasetEntry> find_by_path(const std::string& path) const;
+  /// Dataset by identifier.
+  Result<DatasetEntry> find_by_id(const std::string& id) const;
+
+  /// All datasets whose metadata satisfies the query. The implicit keys
+  /// `name` and `path` participate.
+  Result<std::vector<DatasetEntry>> search(const std::string& query_text) const;
+
+  std::size_t dataset_count() const;
+
+  /// XML persistence (round-trips the full tree).
+  xml::Node to_xml() const;
+  static Result<Catalog> from_xml(const xml::Node& root);
+
+ private:
+  std::unique_ptr<detail::Folder> root_;
+  std::map<std::string, std::string> id_to_path_;
+};
+
+}  // namespace ipa::catalog

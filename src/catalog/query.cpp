@@ -1,0 +1,282 @@
+#include "catalog/query.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ipa::catalog {
+namespace {
+
+enum class TokKind { kKey, kValue, kOp, kAnd, kOr, kNot, kLParen, kRParen, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_ws();
+      const std::size_t start = pos_;
+      if (pos_ >= text_.size()) {
+        tokens.push_back({TokKind::kEnd, "", start});
+        return tokens;
+      }
+      const char c = text_[pos_];
+      if (c == '(') {
+        ++pos_;
+        tokens.push_back({TokKind::kLParen, "(", start});
+      } else if (c == ')') {
+        ++pos_;
+        tokens.push_back({TokKind::kRParen, ")", start});
+      } else if (c == '&') {
+        if (!consume("&&")) return error(start, "expected '&&'");
+        tokens.push_back({TokKind::kAnd, "&&", start});
+      } else if (c == '|') {
+        if (!consume("||")) return error(start, "expected '||'");
+        tokens.push_back({TokKind::kOr, "||", start});
+      } else if (c == '!') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          tokens.push_back({TokKind::kOp, "!=", start});
+        } else {
+          tokens.push_back({TokKind::kNot, "!", start});
+        }
+      } else if (c == '=') {
+        if (!consume("==")) return error(start, "expected '=='");
+        tokens.push_back({TokKind::kOp, "==", start});
+      } else if (c == '<' || c == '>') {
+        ++pos_;
+        std::string op(1, c);
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          op += '=';
+        }
+        tokens.push_back({TokKind::kOp, op, start});
+      } else if (c == '"' || c == '\'') {
+        ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != c) value.push_back(text_[pos_++]);
+        if (pos_ >= text_.size()) return error(start, "unterminated string");
+        ++pos_;
+        tokens.push_back({TokKind::kValue, std::move(value), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+        std::string value;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          value.push_back(text_[pos_++]);
+        }
+        tokens.push_back({TokKind::kValue, std::move(value), start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+                text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '*' ||
+                text_[pos_] == '?' || text_[pos_] == '/')) {
+          word.push_back(text_[pos_++]);
+        }
+        if (word == "like") {
+          tokens.push_back({TokKind::kOp, "like", start});
+        } else if (word == "and") {
+          tokens.push_back({TokKind::kAnd, "&&", start});
+        } else if (word == "or") {
+          tokens.push_back({TokKind::kOr, "||", start});
+        } else if (word == "not") {
+          tokens.push_back({TokKind::kNot, "!", start});
+        } else {
+          tokens.push_back({TokKind::kKey, std::move(word), start});
+        }
+      } else {
+        return error(start, std::string("unexpected character '") + c + "'");
+      }
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  bool consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) != s) return false;
+    pos_ += s.size();
+    return true;
+  }
+  Status error(std::size_t pos, std::string msg) const {
+    return invalid_argument("query: " + std::move(msg) + " at position " + std::to_string(pos));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+struct Query::Node {
+  enum class Kind { kAnd, kOr, kNot, kCmp, kExists } kind;
+  // kCmp / kExists:
+  std::string key;
+  std::string op;
+  std::string value;
+  // kAnd/kOr/kNot:
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+
+  bool eval(const std::map<std::string, std::string>& metadata) const {
+    switch (kind) {
+      case Kind::kAnd: return lhs->eval(metadata) && rhs->eval(metadata);
+      case Kind::kOr: return lhs->eval(metadata) || rhs->eval(metadata);
+      case Kind::kNot: return !lhs->eval(metadata);
+      case Kind::kExists: return metadata.count(key) > 0;
+      case Kind::kCmp: {
+        const auto it = metadata.find(key);
+        if (it == metadata.end()) return false;
+        return compare(it->second);
+      }
+    }
+    return false;
+  }
+
+  bool compare(const std::string& field) const {
+    if (op == "like") return strings::glob_match(value, field);
+    double lhs_num = 0, rhs_num = 0;
+    const bool numeric =
+        strings::parse_f64(field, lhs_num) && strings::parse_f64(value, rhs_num);
+    int cmp;
+    if (numeric) {
+      cmp = lhs_num < rhs_num ? -1 : (lhs_num > rhs_num ? 1 : 0);
+    } else {
+      cmp = field.compare(value);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    if (op == "==") return cmp == 0;
+    if (op == "!=") return cmp != 0;
+    if (op == "<") return cmp < 0;
+    if (op == "<=") return cmp <= 0;
+    if (op == ">") return cmp > 0;
+    if (op == ">=") return cmp >= 0;
+    return false;
+  }
+};
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  using NodePtr = std::unique_ptr<Query::Node>;
+
+  Result<NodePtr> parse() {
+    IPA_ASSIGN_OR_RETURN(NodePtr root, parse_or());
+    if (peek().kind != TokKind::kEnd) {
+      return error("trailing tokens");
+    }
+    return root;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+  Status error(std::string msg) const {
+    return invalid_argument("query: " + std::move(msg) + " at position " +
+                            std::to_string(peek().pos));
+  }
+
+  Result<NodePtr> parse_or() {
+    IPA_ASSIGN_OR_RETURN(NodePtr lhs, parse_and());
+    while (peek().kind == TokKind::kOr) {
+      take();
+      IPA_ASSIGN_OR_RETURN(NodePtr rhs, parse_and());
+      auto node = std::make_unique<Query::Node>();
+      node->kind = Query::Node::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_and() {
+    IPA_ASSIGN_OR_RETURN(NodePtr lhs, parse_not());
+    while (peek().kind == TokKind::kAnd) {
+      take();
+      IPA_ASSIGN_OR_RETURN(NodePtr rhs, parse_not());
+      auto node = std::make_unique<Query::Node>();
+      node->kind = Query::Node::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_not() {
+    if (peek().kind == TokKind::kNot) {
+      take();
+      IPA_ASSIGN_OR_RETURN(NodePtr operand, parse_not());
+      auto node = std::make_unique<Query::Node>();
+      node->kind = Query::Node::Kind::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (peek().kind == TokKind::kLParen) {
+      take();
+      IPA_ASSIGN_OR_RETURN(NodePtr inner, parse_or());
+      if (peek().kind != TokKind::kRParen) return error("expected ')'");
+      take();
+      return inner;
+    }
+    return parse_cmp();
+  }
+
+  Result<NodePtr> parse_cmp() {
+    if (peek().kind != TokKind::kKey) return error("expected a metadata key");
+    auto node = std::make_unique<Query::Node>();
+    node->key = take().text;
+    if (peek().kind == TokKind::kOp) {
+      node->kind = Query::Node::Kind::kCmp;
+      node->op = take().text;
+      if (peek().kind != TokKind::kValue && peek().kind != TokKind::kKey) {
+        return error("expected a comparison value");
+      }
+      node->value = take().text;
+    } else {
+      node->kind = Query::Node::Kind::kExists;
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Query::Query(std::string text, std::unique_ptr<Node> root)
+    : text_(std::move(text)), root_(std::move(root)) {}
+
+Query::Query(Query&&) noexcept = default;
+Query& Query::operator=(Query&&) noexcept = default;
+Query::~Query() = default;
+
+Result<Query> Query::parse(std::string_view text) {
+  IPA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).run());
+  IPA_ASSIGN_OR_RETURN(auto root, ParserImpl(std::move(tokens)).parse());
+  return Query(std::string(text), std::move(root));
+}
+
+bool Query::matches(const std::map<std::string, std::string>& metadata) const {
+  return root_->eval(metadata);
+}
+
+}  // namespace ipa::catalog

@@ -1,0 +1,55 @@
+// Metadata query language for the Dataset Catalog Service.
+//
+// The paper (§2.1, §3.3) requires that datasets be searchable "based on a
+// query pattern ... using a query language that operates on the metadata".
+// Grammar (precedence low→high):
+//
+//   expr  := or
+//   or    := and ( "||" and )*
+//   and   := not ( "&&" not )*
+//   not   := "!" not | "(" expr ")" | cmp
+//   cmp   := key ( "==" | "!=" | "<" | "<=" | ">" | ">=" | "like" ) value
+//          | key                      (bare key: "field exists")
+//   key   := ident ( "." ident )*
+//   value := number | 'single' | "double" quoted string | bareword
+//
+// Comparisons are numeric when both sides parse as numbers, otherwise
+// lexicographic; `like` is a glob match ('*', '?').
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ipa::catalog {
+
+class Query {
+ public:
+  /// Compile a query expression; errors carry the offending position.
+  static Result<Query> parse(std::string_view text);
+
+  Query(Query&&) noexcept;
+  Query& operator=(Query&&) noexcept;
+  ~Query();
+
+  /// Evaluate against a metadata map.
+  bool matches(const std::map<std::string, std::string>& metadata) const;
+
+  /// Original query text.
+  const std::string& text() const { return text_; }
+
+ public:
+  // Implementation detail, public only so the parser (an internal free
+  // function) can build the tree.
+  struct Node;
+
+ private:
+  Query(std::string text, std::unique_ptr<Node> root);
+
+  std::string text_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ipa::catalog

@@ -1,0 +1,311 @@
+#include "client/grid_client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace ipa::client {
+
+bool PollUpdate::all_engines_done(std::size_t expected) const {
+  if (engines.size() < expected || engines.empty()) return false;
+  for (const auto& report : engines) {
+    if (report.state != engine::EngineState::kFinished &&
+        report.state != engine::EngineState::kFailed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PollUpdate::any_engine_failed() const {
+  for (const auto& report : engines) {
+    if (report.state == engine::EngineState::kFailed) return true;
+  }
+  return false;
+}
+
+std::uint64_t PollUpdate::total_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& report : engines) total += report.processed;
+  return total;
+}
+
+std::uint64_t PollUpdate::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& report : engines) total += report.total;
+  return total;
+}
+
+Result<GridClient> GridClient::connect(const Uri& soap_endpoint, std::string proxy_token) {
+  auto soap = soap::SoapClient::connect(soap_endpoint);
+  IPA_RETURN_IF_ERROR(soap.status().with_prefix("client: manager connect"));
+  soap->set_token(proxy_token);
+  return GridClient(soap_endpoint, std::move(*soap), std::move(proxy_token));
+}
+
+Result<CatalogListing> GridClient::browse(const std::string& path) {
+  xml::Node args("ipa:browse");
+  args.add_child(services::text_element("path", path));
+  IPA_ASSIGN_OR_RETURN(const xml::Node reply,
+                       soap_.call(services::kCatalogService, "browse", std::move(args)));
+  CatalogListing listing;
+  for (const xml::Node& child : reply.children()) {
+    if (child.name() == "folder") {
+      listing.folders.push_back(child.text());
+    } else if (child.name() == "dataset") {
+      CatalogEntry entry;
+      entry.id = child.attribute("id");
+      entry.path = child.attribute("path");
+      for (const xml::Node& meta : child.children()) {
+        if (meta.name() == "meta") entry.metadata[meta.attribute("key")] = meta.attribute("value");
+      }
+      listing.datasets.push_back(std::move(entry));
+    }
+  }
+  return listing;
+}
+
+Result<std::vector<CatalogEntry>> GridClient::search(const std::string& query) {
+  xml::Node args("ipa:search");
+  args.add_child(services::text_element("query", query));
+  IPA_ASSIGN_OR_RETURN(const xml::Node reply,
+                       soap_.call(services::kCatalogService, "search", std::move(args)));
+  std::vector<CatalogEntry> out;
+  for (const xml::Node& child : reply.children()) {
+    if (child.name() != "dataset") continue;
+    CatalogEntry entry;
+    entry.id = child.attribute("id");
+    entry.path = child.attribute("path");
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<std::pair<std::string, std::string>> GridClient::locate(const std::string& dataset_id) {
+  xml::Node args("ipa:locate");
+  args.add_child(services::text_element("datasetId", dataset_id));
+  IPA_ASSIGN_OR_RETURN(const xml::Node reply,
+                       soap_.call(services::kLocatorService, "locate", std::move(args)));
+  return std::make_pair(reply.child_text("location"), reply.child_text("splitter"));
+}
+
+Result<GridSession> GridClient::create_session(int nodes) {
+  xml::Node args("ipa:createSession");
+  args.add_child(services::text_element("nodes", std::to_string(nodes)));
+  IPA_ASSIGN_OR_RETURN(const xml::Node reply,
+                       soap_.call(services::kControlService, "createSession", std::move(args)));
+
+  SessionInfo info;
+  info.session_id = reply.child_text("sessionId");
+  info.queue = reply.child_text("queue");
+  std::int64_t granted = 0;
+  if (!strings::parse_i64(reply.child_text("grantedNodes", "0"), granted) || granted <= 0) {
+    return internal_error("createSession: bad grantedNodes in reply");
+  }
+  info.granted_nodes = static_cast<int>(granted);
+  IPA_ASSIGN_OR_RETURN(info.rmi_endpoint, Uri::parse(reply.child_text("rmiEndpoint")));
+
+  // Dedicated channels for the session: its own SOAP connection and the
+  // RMI-style polling connection (the paper's separate Remote Data plug-in).
+  auto session_soap = soap::SoapClient::connect(endpoint_);
+  IPA_RETURN_IF_ERROR(session_soap.status());
+  session_soap->set_token(token_);
+  auto rmi = rpc::RpcClient::connect(info.rmi_endpoint);
+  IPA_RETURN_IF_ERROR(rmi.status().with_prefix("createSession: rmi connect"));
+
+  return GridSession(std::move(info), std::move(*session_soap), token_, std::move(*rmi));
+}
+
+GridSession::GridSession(SessionInfo info, soap::SoapClient soap, std::string token,
+                         rpc::RpcClient rmi)
+    : info_(std::move(info)),
+      soap_(std::move(soap)),
+      token_(std::move(token)),
+      rmi_(std::move(rmi)) {}
+
+GridSession::GridSession(GridSession&& other) noexcept
+    : info_(std::move(other.info_)),
+      soap_(std::move(other.soap_)),
+      token_(std::move(other.token_)),
+      rmi_(std::move(other.rmi_)),
+      last_version_(other.last_version_),
+      closed_(other.closed_) {
+  other.closed_ = true;
+}
+
+GridSession& GridSession::operator=(GridSession&& other) noexcept {
+  if (this != &other) {
+    if (!closed_ && soap_.has_value()) (void)close();
+    info_ = std::move(other.info_);
+    soap_ = std::move(other.soap_);
+    token_ = std::move(other.token_);
+    rmi_ = std::move(other.rmi_);
+    last_version_ = other.last_version_;
+    closed_ = other.closed_;
+    other.closed_ = true;
+  }
+  return *this;
+}
+
+GridSession::~GridSession() {
+  if (!closed_ && soap_.has_value()) {
+    (void)close();
+  }
+}
+
+Result<xml::Node> GridSession::call(const std::string& operation, xml::Node args) {
+  if (!soap_) return failed_precondition("session: moved-from");
+  if (closed_) return failed_precondition("session: closed");
+  return soap_->call(services::kSessionService, operation, std::move(args), info_.session_id);
+}
+
+Status GridSession::activate() {
+  return call("activate", xml::Node("ipa:activate")).status();
+}
+
+Result<StagedDataset> GridSession::select_dataset(const std::string& dataset_id) {
+  xml::Node args("ipa:selectDataset");
+  args.add_child(services::text_element("datasetId", dataset_id));
+  IPA_ASSIGN_OR_RETURN(const xml::Node reply, call("selectDataset", std::move(args)));
+  StagedDataset staged;
+  std::int64_t parts = 0;
+  std::uint64_t records = 0, bytes = 0;
+  (void)strings::parse_i64(reply.child_text("parts", "0"), parts);
+  (void)strings::parse_u64(reply.child_text("records", "0"), records);
+  (void)strings::parse_u64(reply.child_text("bytes", "0"), bytes);
+  staged.parts = static_cast<int>(parts);
+  staged.records = records;
+  staged.bytes = bytes;
+  return staged;
+}
+
+Status GridSession::stage_script(const std::string& name, const std::string& source) {
+  xml::Node args("ipa:stageCode");
+  args.add_child(services::text_element("kind", "script"));
+  args.add_child(services::text_element("name", name));
+  args.add_child(services::text_element("source", source));
+  return call("stageCode", std::move(args)).status();
+}
+
+Status GridSession::stage_plugin(const std::string& plugin_name) {
+  xml::Node args("ipa:stageCode");
+  args.add_child(services::text_element("kind", "plugin"));
+  args.add_child(services::text_element("name", plugin_name));
+  args.add_child(services::text_element("source", plugin_name));
+  return call("stageCode", std::move(args)).status();
+}
+
+namespace {
+
+Status control_status(Result<xml::Node> reply) { return reply.status(); }
+
+}  // namespace
+
+Status GridSession::run() {
+  xml::Node args("ipa:control");
+  args.add_child(services::text_element("verb", "run"));
+  return control_status(call("control", std::move(args)));
+}
+
+Status GridSession::pause() {
+  xml::Node args("ipa:control");
+  args.add_child(services::text_element("verb", "pause"));
+  return control_status(call("control", std::move(args)));
+}
+
+Status GridSession::stop() {
+  xml::Node args("ipa:control");
+  args.add_child(services::text_element("verb", "stop"));
+  return control_status(call("control", std::move(args)));
+}
+
+Status GridSession::rewind() {
+  xml::Node args("ipa:control");
+  args.add_child(services::text_element("verb", "rewind"));
+  const Status status = control_status(call("control", std::move(args)));
+  if (status.is_ok()) last_version_ = 0;
+  return status;
+}
+
+Status GridSession::run_records(std::uint64_t n) {
+  xml::Node args("ipa:control");
+  args.add_child(services::text_element("verb", "run_records"));
+  args.add_child(services::text_element("records", std::to_string(n)));
+  return control_status(call("control", std::move(args)));
+}
+
+Result<PollUpdate> GridSession::poll() {
+  if (!rmi_) return failed_precondition("session: moved-from");
+  IPA_ASSIGN_OR_RETURN(
+      const ser::Bytes reply,
+      rmi_->call(services::kAidaManagerService, "poll",
+                 services::encode_poll_request(info_.session_id, last_version_)));
+  IPA_ASSIGN_OR_RETURN(const services::PollResponse response,
+                       services::decode_poll_response(reply));
+  PollUpdate update;
+  update.version = response.version;
+  update.changed = response.changed;
+  update.engines = response.engines;
+  if (response.changed) {
+    auto tree = aida::Tree::deserialize(response.merged);
+    IPA_RETURN_IF_ERROR(tree.status().with_prefix("poll: merged tree"));
+    update.merged = std::move(*tree);
+    last_version_ = response.version;
+  }
+  return update;
+}
+
+Result<aida::Tree> GridSession::run_to_completion(
+    double timeout_s, const std::function<void(const PollUpdate&)>& on_update) {
+  IPA_RETURN_IF_ERROR(run());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  aida::Tree latest;
+  while (true) {
+    IPA_ASSIGN_OR_RETURN(PollUpdate update, poll());
+    if (update.changed) {
+      if (on_update) on_update(update);
+      latest = std::move(update.merged);
+    }
+    if (update.all_engines_done(static_cast<std::size_t>(info_.granted_nodes))) {
+      if (update.any_engine_failed()) {
+        std::string detail;
+        for (const auto& report : update.engines) {
+          if (report.state == engine::EngineState::kFailed) {
+            detail = report.engine_id + ": " + report.error;
+            break;
+          }
+        }
+        return aborted("analysis failed on " + detail);
+      }
+      // One final poll in case the last snapshot arrived after the reports.
+      IPA_ASSIGN_OR_RETURN(PollUpdate final_update, poll());
+      if (final_update.changed) {
+        if (on_update) on_update(final_update);
+        latest = std::move(final_update.merged);
+      }
+      return latest;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return deadline_exceeded("analysis did not finish within the timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+Status GridSession::close() {
+  if (closed_) return Status::ok();
+  const Status status = call("close", xml::Node("ipa:close")).status();
+  closed_ = true;
+  if (rmi_) rmi_->close();
+  return status;
+}
+
+Result<std::string> make_proxy(const security::CredentialAuthority& authority,
+                               const std::string& base_token, double lifetime_s) {
+  return authority.delegate(base_token, lifetime_s);
+}
+
+}  // namespace ipa::client

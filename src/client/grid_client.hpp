@@ -1,0 +1,167 @@
+// Client-side facade: what the paper's JAS plug-ins do, as a C++ API.
+//
+// The flow mirrors Figure 2 exactly:
+//   1. obtain a proxy credential            (security::CredentialAuthority)
+//   2. GridClient::connect + create_session (Control web service)
+//   3. session.activate()                   (engines start, signal ready)
+//   4. browse()/search(), select_dataset()  (catalog + locator + splitter)
+//   5. stage_script()/stage_plugin()        (code loader)
+//   6. run()/pause()/stop()/rewind()        (interactive controls)
+//   7. poll()                               (RMI-style merged-result polling)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aida/tree.hpp"
+#include "common/status.hpp"
+#include "common/uri.hpp"
+#include "rpc/rpc.hpp"
+#include "security/credentials.hpp"
+#include "services/protocol.hpp"
+#include "soap/soap.hpp"
+
+namespace ipa::client {
+
+/// Catalog entry as seen by the client.
+struct CatalogEntry {
+  std::string id;
+  std::string path;
+  std::map<std::string, std::string> metadata;
+};
+
+struct CatalogListing {
+  std::vector<std::string> folders;
+  std::vector<CatalogEntry> datasets;
+};
+
+/// Result of staging a dataset.
+struct StagedDataset {
+  int parts = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One poll() outcome.
+struct PollUpdate {
+  std::uint64_t version = 0;
+  bool changed = false;
+  aida::Tree merged;  // valid when changed
+  std::vector<services::EngineReport> engines;
+
+  /// True when `expected` engines have reported and all are finished or
+  /// failed. Engines only appear after their first snapshot push, so the
+  /// expected count guards against declaring victory early.
+  bool all_engines_done(std::size_t expected) const;
+  bool any_engine_failed() const;
+  std::uint64_t total_processed() const;
+  std::uint64_t total_records() const;
+};
+
+struct SessionInfo {
+  std::string session_id;
+  int granted_nodes = 0;
+  std::string queue;
+  Uri rmi_endpoint;
+};
+
+class GridSession;
+
+class GridClient {
+ public:
+  /// Mutually authenticate with the manager's web services using the proxy
+  /// token (the paper's "Grid proxy plug-in" step).
+  static Result<GridClient> connect(const Uri& soap_endpoint, std::string proxy_token);
+
+  GridClient(GridClient&&) = default;
+  GridClient& operator=(GridClient&&) = default;
+
+  /// Browse one catalog level ("" = root).
+  Result<CatalogListing> browse(const std::string& path);
+  /// Metadata query over the whole catalog.
+  Result<std::vector<CatalogEntry>> search(const std::string& query);
+  /// Resolve a dataset id (what the session service does internally; exposed
+  /// for inspection).
+  Result<std::pair<std::string, std::string>> locate(const std::string& dataset_id);
+
+  /// Create an analysis session with up to `nodes` engines (site policy may
+  /// grant fewer).
+  Result<GridSession> create_session(int nodes);
+
+  const Uri& soap_endpoint() const { return endpoint_; }
+
+ private:
+  GridClient(Uri endpoint, soap::SoapClient soap, std::string token)
+      : endpoint_(std::move(endpoint)), soap_(std::move(soap)), token_(std::move(token)) {}
+
+  Uri endpoint_;
+  soap::SoapClient soap_;
+  std::string token_;
+};
+
+class GridSession {
+ public:
+  // Moves mark the source closed (a moved-from optional stays engaged, so
+  // the defaulted move would let the source's destructor close the session).
+  GridSession(GridSession&& other) noexcept;
+  GridSession& operator=(GridSession&& other) noexcept;
+  ~GridSession();
+
+  const SessionInfo& info() const { return info_; }
+
+  /// Start the analysis engines on the grid; returns when all are ready.
+  Status activate();
+
+  /// Locate + split + distribute a catalog dataset to the engines.
+  Result<StagedDataset> select_dataset(const std::string& dataset_id);
+
+  /// Ship PawScript analysis code to every engine (compile errors surface
+  /// here).
+  Status stage_script(const std::string& name, const std::string& source);
+  /// Select a pre-installed native analyzer by name.
+  Status stage_plugin(const std::string& plugin_name);
+
+  // Interactive controls (paper §3.6).
+  Status run();
+  Status pause();
+  Status stop();
+  Status rewind();
+  Status run_records(std::uint64_t n);
+
+  /// Poll the AIDA manager for merged results newer than the last poll.
+  Result<PollUpdate> poll();
+
+  /// Convenience: run + poll until every engine finished (or failed /
+  /// deadline). Calls `on_update` for each change when provided.
+  Result<aida::Tree> run_to_completion(
+      double timeout_s = 60.0,
+      const std::function<void(const PollUpdate&)>& on_update = nullptr);
+
+  /// Release the engines and the session resource.
+  Status close();
+
+ private:
+  friend class GridClient;
+  GridSession(SessionInfo info, soap::SoapClient soap, std::string token,
+              rpc::RpcClient rmi);
+
+  Result<xml::Node> call(const std::string& operation, xml::Node args);
+
+  SessionInfo info_;
+  std::optional<soap::SoapClient> soap_;
+  std::string token_;
+  std::optional<rpc::RpcClient> rmi_;
+  std::uint64_t last_version_ = 0;
+  bool closed_ = false;
+};
+
+/// Build the client-side proxy credential the paper's proxy plug-in makes:
+/// a short-lived delegation of the user's base credential.
+Result<std::string> make_proxy(const security::CredentialAuthority& authority,
+                               const std::string& base_token, double lifetime_s = 3600);
+
+}  // namespace ipa::client

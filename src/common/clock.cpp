@@ -1,0 +1,10 @@
+#include "common/clock.hpp"
+
+namespace ipa {
+
+const WallClock& WallClock::instance() {
+  static const WallClock clock;
+  return clock;
+}
+
+}  // namespace ipa

@@ -1,0 +1,60 @@
+// Clock abstraction so the same service code runs against wall time
+// (functional mode) and simulated time (gridsim timing mode).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ipa {
+
+/// Monotonic time in seconds since an arbitrary epoch.
+using TimePoint = double;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Real monotonic clock.
+class WallClock final : public Clock {
+ public:
+  TimePoint now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+  }
+  /// Process-wide shared instance.
+  static const WallClock& instance();
+};
+
+/// Manually advanced clock for tests and discrete-event simulation.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0) : now_(start) {}
+  TimePoint now() const override { return now_.load(std::memory_order_relaxed); }
+  void advance(double seconds) {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + seconds, std::memory_order_relaxed)) {
+    }
+  }
+  void set(TimePoint t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TimePoint> now_;
+};
+
+/// Scoped elapsed-time measurement against a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock = WallClock::instance())
+      : clock_(&clock), start_(clock.now()) {}
+  double elapsed_s() const { return clock_->now() - start_; }
+  void reset() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  TimePoint start_;
+};
+
+}  // namespace ipa

@@ -1,0 +1,122 @@
+#include "common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ipa {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  int line_no = 0;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = strings::trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return invalid_argument(
+          strings::format("config line %d: expected 'key = value', got '%.*s'",
+                          line_no, static_cast<int>(line.size()), line.data()));
+    }
+    const std::string_view key = strings::trim(line.substr(0, eq));
+    const std::string_view value = strings::trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return invalid_argument(strings::format("config line %d: empty key", line_no));
+    }
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found("config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string Config::get_string(std::string_view key, std::string fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Config::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::int64_t v = 0;
+  return strings::parse_i64(it->second, v) ? v : fallback;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  double v = 0;
+  return strings::parse_f64(it->second, v) ? v : fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  bool v = false;
+  return strings::parse_bool(it->second, v) ? v : fallback;
+}
+
+Result<std::string> Config::require_string(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return not_found("config key: " + std::string(key));
+  return it->second;
+}
+
+Result<std::int64_t> Config::require_int(std::string_view key) const {
+  IPA_ASSIGN_OR_RETURN(const std::string text, require_string(key));
+  std::int64_t v = 0;
+  if (!strings::parse_i64(text, v)) {
+    return invalid_argument("config key " + std::string(key) + ": not an integer: " + text);
+  }
+  return v;
+}
+
+Result<double> Config::require_double(std::string_view key) const {
+  IPA_ASSIGN_OR_RETURN(const std::string text, require_string(key));
+  double v = 0;
+  if (!strings::parse_f64(text, v)) {
+    return invalid_argument("config key " + std::string(key) + ": not a number: " + text);
+  }
+  return v;
+}
+
+Config Config::section(std::string_view prefix) const {
+  Config out;
+  std::string full(prefix);
+  full += '.';
+  for (const auto& [key, value] : entries_) {
+    if (strings::starts_with(key, full)) {
+      out.set(key.substr(full.size()), value);
+    }
+  }
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ipa

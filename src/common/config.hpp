@@ -1,0 +1,52 @@
+// Key-value configuration with typed accessors.
+//
+// Grid-site policy files, service endpoints and simulator calibration are
+// all expressed as Config: `key = value` lines, '#' comments, sections via
+// dotted keys ("site.max_nodes = 16").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace ipa {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from `key = value` text. Later duplicates override earlier ones.
+  static Result<Config> parse(std::string_view text);
+  static Result<Config> load_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+  bool contains(std::string_view key) const;
+
+  /// Typed getters return `fallback` when the key is absent; malformed
+  /// values surface through the checked get_* overloads below.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  double get_double(std::string_view key, double fallback = 0.0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  /// Checked variants: error when missing or unparsable.
+  Result<std::string> require_string(std::string_view key) const;
+  Result<std::int64_t> require_int(std::string_view key) const;
+  Result<double> require_double(std::string_view key) const;
+
+  /// Sub-view of keys under `prefix.` with the prefix stripped.
+  Config section(std::string_view prefix) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const { return entries_; }
+
+  /// Serialize back to `key = value` lines (sorted by key).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace ipa

@@ -1,0 +1,38 @@
+#include "common/ids.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace ipa {
+namespace {
+
+std::atomic<std::uint64_t> g_sequence{0};
+
+std::uint64_t random_word() {
+  static std::mutex mutex;
+  static Rng rng(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  std::lock_guard lock(mutex);
+  return rng.next();
+}
+
+}  // namespace
+
+std::string make_id(std::string_view prefix) {
+  const std::uint64_t seq = next_sequence();
+  const std::uint64_t rnd = random_word() & 0xffffffULL;
+  return strings::format("%.*s-%06llx%04llx", static_cast<int>(prefix.size()), prefix.data(),
+                         static_cast<unsigned long long>(rnd),
+                         static_cast<unsigned long long>(seq & 0xffff));
+}
+
+std::uint64_t next_sequence() {
+  return g_sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace ipa

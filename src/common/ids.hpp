@@ -1,0 +1,16 @@
+// Opaque identifier generation for sessions, jobs, datasets and resources.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ipa {
+
+/// Unique id like "sess-1a2b3c4d5e6f". Thread-safe; mixes a process-wide
+/// counter with a random stream so ids are unique within and across runs.
+std::string make_id(std::string_view prefix);
+
+/// Monotonic process-wide counter (1, 2, 3, ...). Thread-safe.
+std::uint64_t next_sequence();
+
+}  // namespace ipa

@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ipa::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::atomic<SinkFn> g_sink{nullptr};
+std::mutex g_emit_mutex;
+
+}  // namespace
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level global_level() { return g_level.load(std::memory_order_relaxed); }
+void set_global_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+void set_sink(SinkFn sink) { g_sink.store(sink, std::memory_order_relaxed); }
+
+namespace detail {
+
+LineBuilder::LineBuilder(Level level, const char* file, int line) : level_(level) {
+  // Strip directories; keep the basename for compact prefixes.
+  std::string_view path(file);
+  if (auto pos = path.rfind('/'); pos != std::string_view::npos) path.remove_prefix(pos + 1);
+  stream_ << '[' << to_string(level) << ' ' << path << ':' << line << "] ";
+}
+
+LineBuilder::~LineBuilder() {
+  std::string line = stream_.str();
+  if (SinkFn sink = g_sink.load(std::memory_order_relaxed)) {
+    sink(level_, line);
+    return;
+  }
+  std::lock_guard lock(g_emit_mutex);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace ipa::log

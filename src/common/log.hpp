@@ -1,0 +1,62 @@
+// Minimal leveled, thread-safe logger for the IPA framework.
+//
+// Usage:
+//   IPA_LOG(info) << "session " << id << " created";
+//
+// The global level defaults to kWarn so tests and benches stay quiet;
+// examples raise it to kInfo to narrate the framework's steps.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ipa::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(Level level);
+
+/// Global threshold; messages below it are discarded at stream-build time.
+Level global_level();
+void set_global_level(Level level);
+
+/// Sink override for tests: when set, formatted lines go here instead of
+/// stderr. Pass nullptr to restore stderr. Not owned.
+using SinkFn = void (*)(Level, const std::string& line);
+void set_sink(SinkFn sink);
+
+namespace detail {
+
+/// One log statement: accumulates a line, emits on destruction.
+class LineBuilder {
+ public:
+  LineBuilder(Level level, const char* file, int line);
+  ~LineBuilder();
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ipa::log
+
+#define IPA_LOG_LEVEL_trace ::ipa::log::Level::kTrace
+#define IPA_LOG_LEVEL_debug ::ipa::log::Level::kDebug
+#define IPA_LOG_LEVEL_info ::ipa::log::Level::kInfo
+#define IPA_LOG_LEVEL_warn ::ipa::log::Level::kWarn
+#define IPA_LOG_LEVEL_error ::ipa::log::Level::kError
+
+#define IPA_LOG(level)                                              \
+  if (IPA_LOG_LEVEL_##level >= ::ipa::log::global_level())          \
+  ::ipa::log::detail::LineBuilder(IPA_LOG_LEVEL_##level, __FILE__, __LINE__)

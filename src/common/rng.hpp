@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation (xoshiro256** + splitmix64).
+//
+// All stochastic behaviour in IPA (event generation, simulated jitter,
+// synthetic workloads) flows through Rng so runs are reproducible from a
+// single seed, as required for regression-testing the experiments.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace ipa {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here; period 2^256-1, passes BigCrush.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr std::uint64_t kDefaultSeed = 0x49504132303036ULL;  // "IPA2006"
+
+  explicit Rng(std::uint64_t seed = kDefaultSeed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive (Lemire-style rejection-free
+  /// multiply-shift; tiny bias acceptable for simulation workloads).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full range
+    const unsigned __int128 wide = static_cast<unsigned __int128>(next()) * span;
+    return lo + static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state trivial).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Exponential with rate lambda (>0).
+  double exponential(double lambda) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Breit-Wigner (Cauchy) distribution: the natural line shape of a decaying
+  /// resonance, used by the physics event generator.
+  double breit_wigner(double mean, double gamma) {
+    return mean + 0.5 * gamma * std::tan(3.141592653589793 * (uniform() - 0.5));
+  }
+
+  /// true with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent stream (for per-worker generators).
+  Rng split() { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ipa

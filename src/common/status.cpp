@@ -1,0 +1,59 @@
+#include "common/status.hpp"
+
+namespace ipa {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(ipa::to_string(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::with_prefix(std::string_view prefix) const {
+  if (is_ok()) return *this;
+  std::string msg(prefix);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+Status invalid_argument(std::string msg) { return {StatusCode::kInvalidArgument, std::move(msg)}; }
+Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+Status already_exists(std::string msg) { return {StatusCode::kAlreadyExists, std::move(msg)}; }
+Status permission_denied(std::string msg) { return {StatusCode::kPermissionDenied, std::move(msg)}; }
+Status unauthenticated(std::string msg) { return {StatusCode::kUnauthenticated, std::move(msg)}; }
+Status failed_precondition(std::string msg) { return {StatusCode::kFailedPrecondition, std::move(msg)}; }
+Status out_of_range(std::string msg) { return {StatusCode::kOutOfRange, std::move(msg)}; }
+Status unavailable(std::string msg) { return {StatusCode::kUnavailable, std::move(msg)}; }
+Status deadline_exceeded(std::string msg) { return {StatusCode::kDeadlineExceeded, std::move(msg)}; }
+Status aborted(std::string msg) { return {StatusCode::kAborted, std::move(msg)}; }
+Status resource_exhausted(std::string msg) { return {StatusCode::kResourceExhausted, std::move(msg)}; }
+Status unimplemented(std::string msg) { return {StatusCode::kUnimplemented, std::move(msg)}; }
+Status internal_error(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+Status data_loss(std::string msg) { return {StatusCode::kDataLoss, std::move(msg)}; }
+Status cancelled(std::string msg) { return {StatusCode::kCancelled, std::move(msg)}; }
+
+}  // namespace ipa

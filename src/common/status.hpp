@@ -1,0 +1,147 @@
+// Status / Result error-handling vocabulary used across all IPA modules.
+//
+// No exceptions cross module boundaries; fallible operations return
+// ipa::Status or ipa::Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ipa {
+
+/// Canonical error categories, loosely modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kDeadlineExceeded,
+  kAborted,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+  kCancelled,
+};
+
+/// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+std::string_view to_string(StatusCode code);
+
+/// A success-or-error value: code plus a contextual message.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string to_string() const;
+
+  /// Returns a copy with `prefix: ` prepended to the message.
+  Status with_prefix(std::string_view prefix) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers mirroring the StatusCode enumerators.
+Status invalid_argument(std::string msg);
+Status not_found(std::string msg);
+Status already_exists(std::string msg);
+Status permission_denied(std::string msg);
+Status unauthenticated(std::string msg);
+Status failed_precondition(std::string msg);
+Status out_of_range(std::string msg);
+Status unavailable(std::string msg);
+Status deadline_exceeded(std::string msg);
+Status aborted(std::string msg);
+Status resource_exhausted(std::string msg);
+Status unimplemented(std::string msg);
+Status internal_error(std::string msg);
+Status data_loss(std::string msg);
+Status cancelled(std::string msg);
+
+/// A value-or-Status, analogous to absl::StatusOr / std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Status of the result; Status::ok() when a value is held.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace ipa
+
+/// Propagate a non-OK Status from an expression.
+#define IPA_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ipa::Status _ipa_st = (expr);                \
+    if (!_ipa_st.is_ok()) return _ipa_st;          \
+  } while (0)
+
+/// Evaluate a Result expression; bind its value to `lhs` or return the error.
+#define IPA_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto IPA_CONCAT_(_ipa_res_, __LINE__) = (expr);  \
+  if (!IPA_CONCAT_(_ipa_res_, __LINE__).is_ok())   \
+    return IPA_CONCAT_(_ipa_res_, __LINE__).status(); \
+  lhs = std::move(IPA_CONCAT_(_ipa_res_, __LINE__)).value()
+
+#define IPA_CONCAT_INNER_(a, b) a##b
+#define IPA_CONCAT_(a, b) IPA_CONCAT_INNER_(a, b)

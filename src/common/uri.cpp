@@ -1,0 +1,76 @@
+#include "common/uri.hpp"
+
+#include "common/strings.hpp"
+
+namespace ipa {
+
+Result<Uri> Uri::parse(std::string_view text) {
+  Uri uri;
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return invalid_argument("uri: missing scheme in '" + std::string(text) + "'");
+  }
+  uri.scheme = strings::to_lower(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+
+  // Split off query string first.
+  std::string_view query_part;
+  if (const std::size_t qpos = rest.find('?'); qpos != std::string_view::npos) {
+    query_part = rest.substr(qpos + 1);
+    rest = rest.substr(0, qpos);
+  }
+
+  // Authority ends at the first '/'.
+  const std::size_t slash = rest.find('/');
+  std::string_view authority = (slash == std::string_view::npos) ? rest : rest.substr(0, slash);
+  uri.path = (slash == std::string_view::npos) ? "" : std::string(rest.substr(slash));
+
+  if (const std::size_t colon = authority.rfind(':'); colon != std::string_view::npos) {
+    uri.host = std::string(authority.substr(0, colon));
+    std::uint64_t port = 0;
+    if (!strings::parse_u64(authority.substr(colon + 1), port) || port > 65535) {
+      return invalid_argument("uri: bad port in '" + std::string(text) + "'");
+    }
+    uri.port = static_cast<std::uint16_t>(port);
+  } else {
+    uri.host = std::string(authority);
+  }
+
+  for (const auto& pair : strings::split(query_part, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      uri.query[pair] = "";
+    } else {
+      uri.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  return uri;
+}
+
+std::string Uri::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += strings::format(":%u", static_cast<unsigned>(port));
+  out += path;
+  if (!query.empty()) {
+    out += '?';
+    bool first = true;
+    for (const auto& [key, value] : query) {
+      if (!first) out += '&';
+      first = false;
+      out += key;
+      if (!value.empty()) {
+        out += '=';
+        out += value;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Uri::query_or(std::string_view key, std::string fallback) const {
+  const auto it = query.find(std::string(key));
+  return it == query.end() ? std::move(fallback) : it->second;
+}
+
+}  // namespace ipa

@@ -1,0 +1,34 @@
+// URI parsing for IPA endpoint references and dataset locations:
+//   http://host:port/path, gftp://storage0:2811/datasets/lc/run7.ipd,
+//   inproc://service-name, file:///abs/path, db://host/table?lo=0&hi=999
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace ipa {
+
+struct Uri {
+  std::string scheme;   // "http", "gftp", "inproc", "file", "db"
+  std::string host;     // empty for file:/// and inproc://name (name in host)
+  std::uint16_t port = 0;  // 0 = unspecified
+  std::string path;     // always begins with '/' when non-empty
+  std::map<std::string, std::string> query;  // decoded key -> value
+
+  /// Parse a URI string; rejects missing scheme or malformed port.
+  static Result<Uri> parse(std::string_view text);
+
+  /// Reassemble into canonical text form.
+  std::string to_string() const;
+
+  /// Query parameter or fallback.
+  std::string query_or(std::string_view key, std::string fallback = "") const;
+
+  friend bool operator==(const Uri& a, const Uri& b) = default;
+};
+
+}  // namespace ipa

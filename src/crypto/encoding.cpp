@@ -1,0 +1,124 @@
+#include "crypto/encoding.hpp"
+
+#include <array>
+
+namespace ipa::crypto {
+namespace {
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_b64_inverse() {
+  std::array<std::int8_t, 256> inv{};
+  for (auto& v : inv) v = -1;
+  for (int i = 0; i < 64; ++i) inv[static_cast<unsigned char>(kB64Alphabet[i])] = static_cast<std::int8_t>(i);
+  return inv;
+}
+
+constexpr auto kB64Inverse = make_b64_inverse();
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t triple = (static_cast<std::uint8_t>(data[i]) << 16) |
+                                 (static_cast<std::uint8_t>(data[i + 1]) << 8) |
+                                 static_cast<std::uint8_t>(data[i + 2]);
+    out.push_back(kB64Alphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(triple >> 6) & 0x3f]);
+    out.push_back(kB64Alphabet[triple & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint8_t>(data[i]) << 16;
+    out.push_back(kB64Alphabet[(v >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint8_t>(data[i]) << 16) |
+                            (static_cast<std::uint8_t>(data[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(v >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  return base64_encode(
+      std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+}
+
+Result<std::string> base64_decode(std::string_view encoded) {
+  if (encoded.size() % 4 != 0) return invalid_argument("base64: length not a multiple of 4");
+  std::string out;
+  out.reserve(encoded.size() / 4 * 3);
+  for (std::size_t i = 0; i < encoded.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = encoded[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the final group.
+        if (i + 4 != encoded.size() || j < 2) return invalid_argument("base64: misplaced padding");
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return invalid_argument("base64: data after padding");
+        const std::int8_t v = kB64Inverse[static_cast<unsigned char>(c)];
+        if (v < 0) return invalid_argument("base64: invalid character");
+        vals[j] = v;
+      }
+    }
+    const std::uint32_t triple = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                                 (static_cast<std::uint32_t>(vals[1]) << 12) |
+                                 (static_cast<std::uint32_t>(vals[2]) << 6) |
+                                 static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<char>((triple >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<char>((triple >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<char>(triple & 0xff));
+  }
+  return out;
+}
+
+std::string hex_encode(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const char c : data) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> hex_decode(std::string_view encoded) {
+  if (encoded.size() % 2 != 0) return invalid_argument("hex: odd length");
+  std::string out;
+  out.reserve(encoded.size() / 2);
+  for (std::size_t i = 0; i < encoded.size(); i += 2) {
+    const int hi = hex_value(encoded[i]);
+    const int lo = hex_value(encoded[i + 1]);
+    if (hi < 0 || lo < 0) return invalid_argument("hex: invalid character");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace ipa::crypto

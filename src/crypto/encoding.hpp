@@ -1,0 +1,22 @@
+// Base64 and hex codecs (RFC 4648) for credential tokens and SOAP payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ipa::crypto {
+
+std::string base64_encode(std::string_view data);
+std::string base64_encode(const std::vector<std::uint8_t>& data);
+
+/// Strict decoder: rejects invalid characters and bad padding.
+Result<std::string> base64_decode(std::string_view encoded);
+
+std::string hex_encode(std::string_view data);
+Result<std::string> hex_decode(std::string_view encoded);
+
+}  // namespace ipa::crypto

@@ -1,0 +1,50 @@
+// From-scratch SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+//
+// Used by ipa::security to sign and verify proxy credentials; the Grid
+// deployment in the paper relies on GSI X.509 proxies, which we substitute
+// with HMAC-signed tokens sharing the same lifecycle (issue, delegate,
+// expire, verify).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ipa::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  Digest256 finish();
+
+  /// One-shot convenience.
+  static Digest256 hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t bit_count_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 one-shot.
+Digest256 hmac_sha256(std::string_view key, std::string_view message);
+
+/// Constant-time digest comparison (timing-safe verification).
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+std::string to_hex(const Digest256& digest);
+
+}  // namespace ipa::crypto

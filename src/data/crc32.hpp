@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for dataset file integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipa::data {
+
+/// Incremental CRC-32. Start with crc = 0; feed chunks through update().
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len);
+  std::uint32_t value() const { return ~state_; }
+  void reset() { state_ = 0xffffffffu; }
+
+  static std::uint32_t of(const void* data, std::size_t len) {
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace ipa::data

@@ -1,0 +1,375 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "data/crc32.hpp"
+
+namespace ipa::data {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'P', 'D', '1'};
+constexpr std::uint32_t kTrailerMagic = 0x46445049;  // "IPDF" little-endian
+
+/// RAII stdio FILE handle (stdio gives us portable 64-bit seeks + buffering).
+struct File {
+  std::FILE* fp = nullptr;
+  ~File() {
+    if (fp) std::fclose(fp);
+  }
+  void close() {
+    if (fp) {
+      std::fclose(fp);
+      fp = nullptr;
+    }
+  }
+};
+
+Status write_bytes(std::FILE* fp, const void* data, std::size_t len) {
+  if (len && std::fwrite(data, 1, len, fp) != len) {
+    return unavailable("dataset: write failed");
+  }
+  return Status::ok();
+}
+
+Status read_bytes(std::FILE* fp, void* data, std::size_t len) {
+  if (len && std::fread(data, 1, len, fp) != len) {
+    return data_loss("dataset: truncated file");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct DatasetWriter::State {
+  File file;
+  std::string path;
+  std::uint64_t index_stride = kDefaultIndexStride;
+  std::vector<std::uint64_t> index_offsets;
+  Crc32 crc;
+  bool finished = false;
+};
+
+Result<DatasetWriter> DatasetWriter::create(const std::string& path, const std::string& name,
+                                            std::map<std::string, std::string> metadata,
+                                            std::uint64_t index_stride) {
+  if (index_stride == 0) return invalid_argument("dataset: index stride must be > 0");
+  DatasetWriter writer;
+  writer.state_ = std::make_unique<State>();
+  writer.state_->path = path;
+  writer.state_->index_stride = index_stride;
+  writer.state_->file.fp = std::fopen(path.c_str(), "wb");
+  if (writer.state_->file.fp == nullptr) {
+    return unavailable("dataset: cannot create '" + path + "'");
+  }
+
+  ser::Writer header;
+  header.raw(kMagic, 4);
+  header.u32(kFormatVersion);
+  header.string(name);
+  header.string_map(metadata);
+  IPA_RETURN_IF_ERROR(
+      write_bytes(writer.state_->file.fp, header.data().data(), header.size()));
+  return writer;
+}
+
+DatasetWriter::DatasetWriter(DatasetWriter&&) noexcept = default;
+DatasetWriter& DatasetWriter::operator=(DatasetWriter&&) noexcept = default;
+
+DatasetWriter::~DatasetWriter() {
+  if (state_ && !state_->finished && state_->file.fp != nullptr) {
+    IPA_LOG(warn) << "DatasetWriter for " << state_->path
+                  << " destroyed without finish(); file left unreadable";
+  }
+}
+
+Status DatasetWriter::append(const Record& record) {
+  if (!state_ || state_->finished) return failed_precondition("dataset: writer finished");
+  if (count_ % state_->index_stride == 0) {
+    const long pos = std::ftell(state_->file.fp);
+    if (pos < 0) return unavailable("dataset: ftell failed");
+    state_->index_offsets.push_back(static_cast<std::uint64_t>(pos));
+  }
+  ser::Writer body;
+  record.encode(body);
+  ser::Writer framed;
+  framed.varint(body.size());
+  framed.raw(body.data().data(), body.size());
+  state_->crc.update(framed.data().data(), framed.size());
+  IPA_RETURN_IF_ERROR(write_bytes(state_->file.fp, framed.data().data(), framed.size()));
+  ++count_;
+  return Status::ok();
+}
+
+Status DatasetWriter::finish() {
+  if (!state_) return failed_precondition("dataset: writer moved-from");
+  if (state_->finished) return Status::ok();
+
+  const long footer_pos = std::ftell(state_->file.fp);
+  if (footer_pos < 0) return unavailable("dataset: ftell failed");
+
+  ser::Writer footer;
+  footer.varint(count_);
+  footer.varint(state_->index_stride);
+  footer.vector(state_->index_offsets, [](ser::Writer& w, std::uint64_t off) { w.u64(off); });
+  footer.u32(state_->crc.value());
+  IPA_RETURN_IF_ERROR(write_bytes(state_->file.fp, footer.data().data(), footer.size()));
+
+  ser::Writer trailer;
+  trailer.u64(static_cast<std::uint64_t>(footer_pos));
+  trailer.u32(kTrailerMagic);
+  IPA_RETURN_IF_ERROR(write_bytes(state_->file.fp, trailer.data().data(), trailer.size()));
+
+  state_->file.close();
+  state_->finished = true;
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct DatasetReader::State {
+  File file;
+  std::string path;
+  DatasetInfo info;
+  std::uint64_t index_stride = kDefaultIndexStride;
+  std::vector<std::uint64_t> index_offsets;
+  std::uint64_t data_begin = 0;   // offset of the first record frame
+  std::uint64_t footer_offset = 0;
+  std::uint32_t stored_crc = 0;
+  std::uint64_t position = 0;     // next record to be returned by next()
+};
+
+namespace {
+
+/// Read one length-framed record at the current file position.
+Result<Record> read_record_frame(std::FILE* fp) {
+  // Varint length: read byte by byte.
+  std::uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t byte = 0;
+    IPA_RETURN_IF_ERROR(read_bytes(fp, &byte, 1));
+    if (shift >= 64) return data_loss("dataset: corrupt record length");
+    len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  if (len > ser::Reader::kMaxFieldLen) return data_loss("dataset: oversized record");
+  ser::Bytes body(static_cast<std::size_t>(len));
+  IPA_RETURN_IF_ERROR(read_bytes(fp, body.data(), body.size()));
+  ser::Reader r(body);
+  auto record = Record::decode(r);
+  IPA_RETURN_IF_ERROR(record.status());
+  if (!r.at_end()) return data_loss("dataset: trailing bytes in record frame");
+  return record;
+}
+
+}  // namespace
+
+Result<DatasetReader> DatasetReader::open(const std::string& path) {
+  DatasetReader reader;
+  reader.state_ = std::make_unique<State>();
+  State& st = *reader.state_;
+  st.path = path;
+  st.file.fp = std::fopen(path.c_str(), "rb");
+  if (st.file.fp == nullptr) return not_found("dataset: cannot open '" + path + "'");
+
+  // Header.
+  char magic[4];
+  IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) return data_loss("dataset: bad magic in " + path);
+  {
+    std::uint8_t ver_bytes[4];
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, ver_bytes, 4));
+    ser::Reader vr(ver_bytes, 4);
+    IPA_ASSIGN_OR_RETURN(const std::uint32_t version, vr.u32());
+    if (version != kFormatVersion) {
+      return data_loss("dataset: unsupported version " + std::to_string(version));
+    }
+  }
+  // Name + metadata are varint-framed; read them byte-wise via a small pump.
+  // Simpler: slurp the rest of the header by reading a bounded chunk.
+  // Read name string (varint len + bytes) manually.
+  const auto read_varint = [&]() -> Result<std::uint64_t> {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      std::uint8_t byte = 0;
+      IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, &byte, 1));
+      if (shift >= 64) return data_loss("dataset: corrupt varint");
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+  const auto read_string = [&]() -> Result<std::string> {
+    IPA_ASSIGN_OR_RETURN(const std::uint64_t len, read_varint());
+    if (len > ser::Reader::kMaxFieldLen) return data_loss("dataset: oversized string");
+    std::string out(static_cast<std::size_t>(len), '\0');
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, out.data(), out.size()));
+    return out;
+  };
+
+  IPA_ASSIGN_OR_RETURN(st.info.name, read_string());
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t meta_count, read_varint());
+  if (meta_count > 100000) return data_loss("dataset: implausible metadata count");
+  for (std::uint64_t i = 0; i < meta_count; ++i) {
+    IPA_ASSIGN_OR_RETURN(std::string key, read_string());
+    IPA_ASSIGN_OR_RETURN(std::string value, read_string());
+    st.info.metadata.emplace(std::move(key), std::move(value));
+  }
+  {
+    const long pos = std::ftell(st.file.fp);
+    if (pos < 0) return unavailable("dataset: ftell failed");
+    st.data_begin = static_cast<std::uint64_t>(pos);
+  }
+
+  // Trailer.
+  if (std::fseek(st.file.fp, -12, SEEK_END) != 0) return data_loss("dataset: no trailer");
+  {
+    std::uint8_t trailer[12];
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, trailer, 12));
+    ser::Reader tr(trailer, 12);
+    IPA_ASSIGN_OR_RETURN(st.footer_offset, tr.u64());
+    IPA_ASSIGN_OR_RETURN(const std::uint32_t magic2, tr.u32());
+    if (magic2 != kTrailerMagic) return data_loss("dataset: bad trailer magic (unfinished file?)");
+  }
+  {
+    const long end = std::ftell(st.file.fp);
+    st.info.file_bytes = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+  }
+
+  // Footer.
+  if (std::fseek(st.file.fp, static_cast<long>(st.footer_offset), SEEK_SET) != 0) {
+    return data_loss("dataset: bad footer offset");
+  }
+  IPA_ASSIGN_OR_RETURN(st.info.record_count, read_varint());
+  IPA_ASSIGN_OR_RETURN(st.index_stride, read_varint());
+  if (st.index_stride == 0) return data_loss("dataset: zero index stride");
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t index_count, read_varint());
+  if (index_count > st.info.record_count + 1) return data_loss("dataset: implausible index");
+  st.index_offsets.reserve(static_cast<std::size_t>(index_count));
+  for (std::uint64_t i = 0; i < index_count; ++i) {
+    std::uint8_t off_bytes[8];
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, off_bytes, 8));
+    ser::Reader orr(off_bytes, 8);
+    IPA_ASSIGN_OR_RETURN(const std::uint64_t off, orr.u64());
+    st.index_offsets.push_back(off);
+  }
+  {
+    std::uint8_t crc_bytes[4];
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, crc_bytes, 4));
+    ser::Reader cr(crc_bytes, 4);
+    IPA_ASSIGN_OR_RETURN(st.stored_crc, cr.u32());
+  }
+
+  IPA_RETURN_IF_ERROR(reader.seek(0));
+  return reader;
+}
+
+DatasetReader::DatasetReader(DatasetReader&&) noexcept = default;
+DatasetReader& DatasetReader::operator=(DatasetReader&&) noexcept = default;
+DatasetReader::~DatasetReader() = default;
+
+const DatasetInfo& DatasetReader::info() const { return state_->info; }
+std::uint64_t DatasetReader::size() const { return state_->info.record_count; }
+std::uint64_t DatasetReader::position() const { return state_->position; }
+
+Status DatasetReader::seek(std::uint64_t record_index) {
+  State& st = *state_;
+  if (record_index > st.info.record_count) {
+    return out_of_range("dataset: seek past end");
+  }
+  if (record_index == st.info.record_count) {
+    st.position = record_index;  // at-end position; next() reports kOutOfRange
+    return Status::ok();
+  }
+  const std::uint64_t slot = record_index / st.index_stride;
+  std::uint64_t offset = st.data_begin;
+  std::uint64_t base = 0;
+  if (slot < st.index_offsets.size()) {
+    offset = st.index_offsets[slot];
+    base = slot * st.index_stride;
+  }
+  if (std::fseek(st.file.fp, static_cast<long>(offset), SEEK_SET) != 0) {
+    return data_loss("dataset: seek failed");
+  }
+  // Skip forward to the exact record.
+  for (std::uint64_t i = base; i < record_index; ++i) {
+    auto skipped = read_record_frame(st.file.fp);
+    IPA_RETURN_IF_ERROR(skipped.status());
+  }
+  st.position = record_index;
+  return Status::ok();
+}
+
+Result<Record> DatasetReader::next() {
+  State& st = *state_;
+  if (st.position >= st.info.record_count) {
+    return out_of_range("dataset: end of records");
+  }
+  auto record = read_record_frame(st.file.fp);
+  IPA_RETURN_IF_ERROR(record.status());
+  ++st.position;
+  return record;
+}
+
+Result<Record> DatasetReader::read(std::uint64_t i) {
+  IPA_RETURN_IF_ERROR(seek(i));
+  return next();
+}
+
+Status DatasetReader::verify_integrity() {
+  State& st = *state_;
+  const std::uint64_t saved = st.position;
+  if (std::fseek(st.file.fp, static_cast<long>(st.data_begin), SEEK_SET) != 0) {
+    return data_loss("dataset: seek failed");
+  }
+  Crc32 crc;
+  std::uint64_t remaining = st.footer_offset - st.data_begin;
+  std::uint8_t chunk[64 * 1024];
+  while (remaining > 0) {
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, sizeof chunk));
+    IPA_RETURN_IF_ERROR(read_bytes(st.file.fp, chunk, take));
+    crc.update(chunk, take);
+    remaining -= take;
+  }
+  IPA_RETURN_IF_ERROR(seek(saved));
+  if (crc.value() != st.stored_crc) {
+    return data_loss("dataset: CRC mismatch (file corrupted)");
+  }
+  return Status::ok();
+}
+
+Status write_dataset(const std::string& path, const std::string& name,
+                     const std::vector<Record>& records,
+                     std::map<std::string, std::string> metadata) {
+  auto writer = DatasetWriter::create(path, name, std::move(metadata));
+  IPA_RETURN_IF_ERROR(writer.status());
+  for (const Record& record : records) {
+    IPA_RETURN_IF_ERROR(writer->append(record));
+  }
+  return writer->finish();
+}
+
+Result<std::vector<Record>> read_all(const std::string& path) {
+  auto reader = DatasetReader::open(path);
+  IPA_RETURN_IF_ERROR(reader.status());
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(reader->size()));
+  for (std::uint64_t i = 0; i < reader->size(); ++i) {
+    auto record = reader->next();
+    IPA_RETURN_IF_ERROR(record.status());
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+}  // namespace ipa::data

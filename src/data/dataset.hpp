@@ -1,0 +1,104 @@
+// The .ipd dataset file format: a self-describing, seekable, record-based
+// container — IPA's stand-in for the LCIO-style files the paper stages with
+// GridFTP.
+//
+// Layout:
+//   header   magic "IPD1", u32 version, string name, string_map metadata
+//   records  repeated [varint length][Record bytes]
+//   footer   varint count, varint index stride,
+//            vector<u64> offsets (file offset of every stride-th record),
+//            u32 crc32 over all record bytes
+//   trailer  u64 footer offset, u32 magic "IPDF" (fixed 12 bytes)
+//
+// The sparse offset index makes record-range extraction (splitting) O(range)
+// instead of O(file).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/record.hpp"
+
+namespace ipa::data {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint64_t kDefaultIndexStride = 256;
+
+/// Dataset-level description (name + free-form metadata).
+struct DatasetInfo {
+  std::string name;
+  std::map<std::string, std::string> metadata;
+  std::uint64_t record_count = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// Streaming writer; records must be appended in order.
+class DatasetWriter {
+ public:
+  static Result<DatasetWriter> create(const std::string& path, const std::string& name,
+                                      std::map<std::string, std::string> metadata = {},
+                                      std::uint64_t index_stride = kDefaultIndexStride);
+
+  DatasetWriter(DatasetWriter&&) noexcept;
+  DatasetWriter& operator=(DatasetWriter&&) noexcept;
+  ~DatasetWriter();
+
+  Status append(const Record& record);
+
+  /// Write footer+trailer and close the file. Must be called; the
+  /// destructor closes without finalizing (leaving an unreadable file) and
+  /// logs a warning.
+  Status finish();
+
+  std::uint64_t records_written() const { return count_; }
+
+ private:
+  DatasetWriter() = default;
+
+  struct State;
+  std::unique_ptr<State> state_;
+  std::uint64_t count_ = 0;
+};
+
+/// Random-access reader.
+class DatasetReader {
+ public:
+  static Result<DatasetReader> open(const std::string& path);
+
+  DatasetReader(DatasetReader&&) noexcept;
+  DatasetReader& operator=(DatasetReader&&) noexcept;
+  ~DatasetReader();
+
+  const DatasetInfo& info() const;
+  std::uint64_t size() const;  // record count
+
+  /// Read record `i` (0-based). Seeks via the sparse index.
+  Result<Record> read(std::uint64_t i);
+
+  /// Sequential read of the next record from the current position;
+  /// kOutOfRange at end.
+  Result<Record> next();
+  std::uint64_t position() const;
+  Status seek(std::uint64_t record_index);
+
+  /// Verify the stored CRC against the record bytes.
+  Status verify_integrity();
+
+ private:
+  DatasetReader() = default;
+
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Convenience: write a whole vector of records as a dataset file.
+Status write_dataset(const std::string& path, const std::string& name,
+                     const std::vector<Record>& records,
+                     std::map<std::string, std::string> metadata = {});
+
+/// Convenience: read every record of a dataset file.
+Result<std::vector<Record>> read_all(const std::string& path);
+
+}  // namespace ipa::data

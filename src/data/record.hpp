@@ -1,0 +1,53 @@
+// A dataset record (the paper's "event"): an ordered bag of named values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/value.hpp"
+
+namespace ipa::data {
+
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::uint64_t index) : index_(index) {}
+
+  std::uint64_t index() const { return index_; }
+  void set_index(std::uint64_t index) { index_ = index; }
+
+  /// Set (or overwrite) a field.
+  void set(std::string name, Value value);
+
+  /// Field lookup; nullptr when absent.
+  const Value* find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Typed getters returning fallbacks for absent/mistyped fields.
+  double real_or(std::string_view name, double fallback = 0.0) const;
+  std::int64_t int_or(std::string_view name, std::int64_t fallback = 0) const;
+  std::string str_or(std::string_view name, std::string fallback = "") const;
+  const Value::RealVec* vec_or_null(std::string_view name) const;
+
+  const std::vector<std::pair<std::string, Value>>& fields() const { return fields_; }
+  std::size_t field_count() const { return fields_.size(); }
+
+  void encode(ser::Writer& w) const;
+  static Result<Record> decode(ser::Reader& r);
+
+  /// Approximate in-memory/on-disk size, used by byte-balanced splitting.
+  std::size_t encoded_size_hint() const;
+
+  friend bool operator==(const Record& a, const Record& b) = default;
+
+ private:
+  std::uint64_t index_ = 0;
+  // Ordered list keeps serialization deterministic; linear lookup is fine
+  // for the handful of fields a record carries.
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+}  // namespace ipa::data

@@ -1,0 +1,119 @@
+#include "data/splitter.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace ipa::data {
+
+Result<SplitResult> split_dataset(const std::string& source_path, const std::string& out_prefix,
+                                  int num_parts) {
+  if (num_parts <= 0) return invalid_argument("split: num_parts must be > 0");
+  IPA_ASSIGN_OR_RETURN(DatasetReader reader, DatasetReader::open(source_path));
+
+  SplitResult result;
+  result.total_records = reader.size();
+  result.total_bytes = reader.info().file_bytes;
+
+  // First pass over record sizes to pick byte-balanced boundaries: target
+  // cumulative size k * total/num_parts at the k-th boundary.
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(static_cast<std::size_t>(reader.size()));
+  std::uint64_t payload_total = 0;
+  for (std::uint64_t i = 0; i < reader.size(); ++i) {
+    IPA_ASSIGN_OR_RETURN(const Record record, reader.next());
+    const std::uint64_t sz = record.encoded_size_hint();
+    sizes.push_back(sz);
+    payload_total += sz;
+  }
+
+  // Boundary b[k] = first record index of part k.
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(num_parts) + 1, 0);
+  bounds[static_cast<std::size_t>(num_parts)] = reader.size();
+  {
+    std::uint64_t cumulative = 0;
+    int part = 1;
+    for (std::uint64_t i = 0; i < sizes.size() && part < num_parts; ++i) {
+      cumulative += sizes[i];
+      // Place boundaries when cumulative bytes cross the per-part target.
+      while (part < num_parts &&
+             cumulative >= payload_total * static_cast<std::uint64_t>(part) /
+                               static_cast<std::uint64_t>(num_parts)) {
+        bounds[static_cast<std::size_t>(part)] = i + 1;
+        ++part;
+      }
+    }
+    // Any unplaced boundaries collapse to the end (more parts than data).
+    for (; part < num_parts; ++part) {
+      bounds[static_cast<std::size_t>(part)] = reader.size();
+    }
+  }
+
+  IPA_RETURN_IF_ERROR(reader.seek(0));
+  for (int k = 0; k < num_parts; ++k) {
+    const std::uint64_t first = bounds[static_cast<std::size_t>(k)];
+    const std::uint64_t last = bounds[static_cast<std::size_t>(k) + 1];
+
+    auto metadata = reader.info().metadata;
+    metadata["part.index"] = std::to_string(k);
+    metadata["part.count"] = std::to_string(num_parts);
+    metadata["part.first"] = std::to_string(first);
+    metadata["part.parent"] = reader.info().name;
+
+    PartInfo part;
+    part.path = strings::format("%s.part%d.ipd", out_prefix.c_str(), k);
+    part.first_record = first;
+    part.record_count = last - first;
+
+    IPA_ASSIGN_OR_RETURN(
+        DatasetWriter writer,
+        DatasetWriter::create(part.path, reader.info().name + "/part" + std::to_string(k),
+                              std::move(metadata)));
+    for (std::uint64_t i = first; i < last; ++i) {
+      IPA_ASSIGN_OR_RETURN(const Record record, reader.next());
+      IPA_RETURN_IF_ERROR(writer.append(record));
+    }
+    IPA_RETURN_IF_ERROR(writer.finish());
+
+    // Record the finished part's size.
+    if (std::FILE* fp = std::fopen(part.path.c_str(), "rb")) {
+      std::fseek(fp, 0, SEEK_END);
+      const long size = std::ftell(fp);
+      part.bytes = size < 0 ? 0 : static_cast<std::uint64_t>(size);
+      std::fclose(fp);
+    }
+    result.parts.push_back(std::move(part));
+  }
+  return result;
+}
+
+Status verify_split(const std::string& source_path, const SplitResult& split) {
+  IPA_ASSIGN_OR_RETURN(DatasetReader source, DatasetReader::open(source_path));
+  std::uint64_t checked = 0;
+  for (const PartInfo& part : split.parts) {
+    IPA_ASSIGN_OR_RETURN(DatasetReader reader, DatasetReader::open(part.path));
+    if (reader.size() != part.record_count) {
+      return data_loss("split: part record count mismatch in " + part.path);
+    }
+    if (part.first_record != checked) {
+      return data_loss("split: parts are not contiguous at " + part.path);
+    }
+    for (std::uint64_t i = 0; i < reader.size(); ++i) {
+      IPA_ASSIGN_OR_RETURN(const Record from_part, reader.next());
+      IPA_ASSIGN_OR_RETURN(const Record from_source, source.next());
+      if (!(from_part == from_source)) {
+        return data_loss(strings::format("split: record %llu differs in %s",
+                                         static_cast<unsigned long long>(checked + i),
+                                         part.path.c_str()));
+      }
+    }
+    checked += reader.size();
+  }
+  if (checked != source.size()) {
+    return data_loss("split: parts cover " + std::to_string(checked) + " of " +
+                     std::to_string(source.size()) + " records");
+  }
+  return Status::ok();
+}
+
+}  // namespace ipa::data

@@ -1,0 +1,57 @@
+// Field values of dataset records.
+//
+// IPA is deliberately generic over record content (the paper's framework
+// "requires record-based data" but nothing else): a record is a bag of
+// named values. Four value kinds cover the paper's domains — integers,
+// reals, strings (DNA sequences, stock symbols) and real vectors (particle
+// four-vector components).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::data {
+
+class Value {
+ public:
+  using RealVec = std::vector<double>;
+
+  Value() : rep_(std::int64_t{0}) {}
+  Value(std::int64_t v) : rep_(v) {}        // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(std::int64_t{v}) {}   // NOLINT
+  Value(double v) : rep_(v) {}              // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+  Value(RealVec v) : rep_(std::move(v)) {}  // NOLINT
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_real() const { return std::holds_alternative<double>(rep_); }
+  bool is_str() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_vec() const { return std::holds_alternative<RealVec>(rep_); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  double as_real() const { return std::get<double>(rep_); }
+  const std::string& as_str() const { return std::get<std::string>(rep_); }
+  const RealVec& as_vec() const { return std::get<RealVec>(rep_); }
+
+  /// Numeric coercion: ints widen to double; other kinds fail.
+  Result<double> to_number() const;
+
+  /// Human-readable rendering ("3.14", "[1, 2]", "\"acgt\"").
+  std::string to_string() const;
+
+  void encode(ser::Writer& w) const;
+  static Result<Value> decode(ser::Reader& r);
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+ private:
+  std::variant<std::int64_t, double, std::string, RealVec> rep_;
+};
+
+}  // namespace ipa::data

@@ -1,0 +1,77 @@
+// Analyzer contract and registry.
+//
+// An Analyzer consumes dataset records and fills an AIDA tree. Two
+// implementations: registered C++ plugins (fast path, installed on workers
+// ahead of time) and ScriptAnalyzer (PawScript shipped per session — the
+// paper's interactive path).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aida/tree.hpp"
+#include "common/status.hpp"
+#include "data/record.hpp"
+#include "engine/code_bundle.hpp"
+#include "script/interp.hpp"
+
+namespace ipa::engine {
+
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+
+  /// Book objects; called once per (re)start of an analysis run.
+  virtual Status begin(aida::Tree& tree) = 0;
+  /// Called for every record.
+  virtual Status process(const data::Record& record, aida::Tree& tree) = 0;
+  /// Called when the dataset is exhausted (not on stop/pause).
+  virtual Status end(aida::Tree& tree) { (void)tree; return Status::ok(); }
+};
+
+using AnalyzerFactory = std::function<std::unique_ptr<Analyzer>()>;
+
+/// Process-wide registry of natively installed analyzers (the "data format
+/// readers / analysis classes" pre-installed on the paper's worker nodes).
+class AnalyzerRegistry {
+ public:
+  static AnalyzerRegistry& instance();
+
+  Status register_factory(const std::string& name, AnalyzerFactory factory);
+  Result<std::unique_ptr<Analyzer>> create(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, AnalyzerFactory> factories_;
+};
+
+/// PawScript-backed analyzer. The script must define
+/// process(event, tree); begin(tree) and end(tree) are optional.
+class ScriptAnalyzer final : public Analyzer {
+ public:
+  static Result<std::unique_ptr<ScriptAnalyzer>> compile(
+      const std::string& source, script::InterpOptions options = {});
+
+  Status begin(aida::Tree& tree) override;
+  Status process(const data::Record& record, aida::Tree& tree) override;
+  Status end(aida::Tree& tree) override;
+
+  /// print() output accumulated by the script.
+  std::vector<std::string>& script_output() { return interp_.output(); }
+
+ private:
+  explicit ScriptAnalyzer(script::Interp interp) : interp_(std::move(interp)) {}
+
+  script::Interp interp_;
+};
+
+/// Build an analyzer from a staged code bundle.
+Result<std::unique_ptr<Analyzer>> make_analyzer(const CodeBundle& bundle,
+                                                script::InterpOptions options = {});
+
+}  // namespace ipa::engine

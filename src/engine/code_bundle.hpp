@@ -1,0 +1,31 @@
+// The unit of analysis-code staging (paper §2.4/§3.5): what the client
+// ships to every analysis engine. Either PawScript source (the common,
+// interactive case — kilobytes of text, the paper's PNUTS path) or the name
+// of a natively compiled analyzer already installed on the workers (the
+// paper's Java-class path; C++ plugins here).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::engine {
+
+struct CodeBundle {
+  enum class Kind { kScript, kPlugin };
+
+  Kind kind = Kind::kScript;
+  std::string name;    // bundle name, e.g. "higgs-search-v3"
+  std::string source;  // PawScript source (kScript) or plugin id (kPlugin)
+
+  /// Wire size in bytes — what the code-staging step actually moves.
+  std::size_t byte_size() const { return name.size() + source.size() + 2; }
+
+  void encode(ser::Writer& w) const;
+  static Result<CodeBundle> decode(ser::Reader& r);
+
+  friend bool operator==(const CodeBundle& a, const CodeBundle& b) = default;
+};
+
+}  // namespace ipa::engine

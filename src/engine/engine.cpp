@@ -1,0 +1,336 @@
+#include "engine/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace ipa::engine {
+
+std::string_view to_string(EngineState state) {
+  switch (state) {
+    case EngineState::kIdle: return "idle";
+    case EngineState::kRunning: return "running";
+    case EngineState::kPaused: return "paused";
+    case EngineState::kStopped: return "stopped";
+    case EngineState::kFinished: return "finished";
+    case EngineState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+AnalysisEngine::AnalysisEngine(Config config) : config_(std::move(config)) {
+  if (config_.snapshot_every == 0) config_.snapshot_every = 1;
+  worker_ = std::jthread([this](std::stop_token stop) { worker_loop(stop); });
+}
+
+AnalysisEngine::~AnalysisEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ == EngineState::kRunning) state_ = EngineState::kStopped;
+  }
+  worker_.request_stop();
+  cv_.notify_all();
+}
+
+Status AnalysisEngine::stage_dataset(const std::string& path) {
+  std::unique_lock lock(mutex_);
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: cannot stage a dataset while running");
+  }
+  // The worker may still be finishing its current record after a pause or
+  // stop; the reader must not be replaced under it.
+  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: cannot stage a dataset while running");
+  }
+  auto reader = data::DatasetReader::open(path);
+  IPA_RETURN_IF_ERROR(reader.status());
+  reader_ = std::make_unique<data::DatasetReader>(std::move(*reader));
+  processed_.store(0);
+  total_.store(reader_->size());
+  begin_pending_ = true;
+  state_ = EngineState::kIdle;
+  error_.clear();
+  {
+    std::lock_guard tree_lock(tree_mutex_);
+    tree_.clear();
+  }
+  return Status::ok();
+}
+
+Status AnalysisEngine::stage_code(const CodeBundle& bundle) {
+  std::unique_lock lock(mutex_);
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: cannot reload code while running (pause first)");
+  }
+  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: cannot reload code while running (pause first)");
+  }
+  auto analyzer = make_analyzer(bundle, config_.interp);
+  IPA_RETURN_IF_ERROR(analyzer.status());
+  analyzer_ = std::move(*analyzer);
+  // New code means new booking on the next (re)start from the beginning;
+  // when resuming mid-dataset the existing tree keeps accumulating.
+  if (state_ == EngineState::kIdle) begin_pending_ = true;
+  if (state_ == EngineState::kFailed) {
+    state_ = reader_ ? EngineState::kIdle : EngineState::kFailed;
+    error_.clear();
+  }
+  return Status::ok();
+}
+
+void AnalysisEngine::set_snapshot_handler(SnapshotFn handler) {
+  std::lock_guard lock(mutex_);
+  snapshot_handler_ = std::move(handler);
+}
+
+Status AnalysisEngine::run() {
+  std::unique_lock lock(mutex_);
+  if (state_ == EngineState::kRunning) return Status::ok();
+  if (state_ == EngineState::kFinished) {
+    return failed_precondition("engine: dataset finished; rewind to re-run");
+  }
+  if (state_ == EngineState::kFailed) {
+    return failed_precondition("engine: failed (" + error_ + "); reload code or rewind");
+  }
+  if (!reader_) return failed_precondition("engine: no dataset staged");
+  if (!analyzer_) return failed_precondition("engine: no analysis code staged");
+  run_budget_ = 0;
+  state_ = EngineState::kRunning;
+  lock.unlock();
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status AnalysisEngine::run_records(std::uint64_t n) {
+  if (n == 0) return invalid_argument("engine: run_records needs n > 0");
+  std::unique_lock lock(mutex_);
+  if (state_ == EngineState::kRunning) return failed_precondition("engine: already running");
+  if (state_ == EngineState::kFinished || state_ == EngineState::kFailed) {
+    return failed_precondition("engine: not runnable in state " +
+                               std::string(to_string(state_)));
+  }
+  if (!reader_) return failed_precondition("engine: no dataset staged");
+  if (!analyzer_) return failed_precondition("engine: no analysis code staged");
+  run_budget_ = n;
+  state_ = EngineState::kRunning;
+  lock.unlock();
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status AnalysisEngine::pause() {
+  std::lock_guard lock(mutex_);
+  if (state_ != EngineState::kRunning) {
+    return failed_precondition("engine: not running");
+  }
+  state_ = EngineState::kPaused;
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status AnalysisEngine::stop() {
+  std::lock_guard lock(mutex_);
+  if (state_ != EngineState::kRunning && state_ != EngineState::kPaused) {
+    return failed_precondition("engine: not running or paused");
+  }
+  state_ = EngineState::kStopped;
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status AnalysisEngine::rewind() {
+  std::unique_lock lock(mutex_);
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: pause or stop before rewinding");
+  }
+  // Wait for the worker to park: it may still be completing the record it
+  // was on when the pause/stop landed, and seek() must not race next().
+  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  if (state_ == EngineState::kRunning) {
+    return failed_precondition("engine: pause or stop before rewinding");
+  }
+  if (!reader_) return failed_precondition("engine: no dataset staged");
+  IPA_RETURN_IF_ERROR(reader_->seek(0));
+  processed_.store(0);
+  {
+    std::lock_guard tree_lock(tree_mutex_);
+    tree_.clear();
+  }
+  begin_pending_ = true;
+  error_.clear();
+  state_ = EngineState::kIdle;
+  return Status::ok();
+}
+
+Progress AnalysisEngine::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return state_ != EngineState::kRunning; });
+  Progress progress;
+  progress.state = state_;
+  progress.processed = processed_.load();
+  progress.total = total_.load();
+  progress.error = error_;
+  return progress;
+}
+
+EngineState AnalysisEngine::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+Progress AnalysisEngine::progress() const {
+  std::lock_guard lock(mutex_);
+  Progress progress;
+  progress.state = state_;
+  progress.processed = processed_.load();
+  progress.total = total_.load();
+  progress.error = error_;
+  return progress;
+}
+
+aida::Tree AnalysisEngine::tree_copy() const {
+  std::lock_guard lock(tree_mutex_);
+  auto bytes = tree_.serialize();
+  auto copy = aida::Tree::deserialize(bytes);
+  return copy.is_ok() ? std::move(*copy) : aida::Tree();
+}
+
+ser::Bytes AnalysisEngine::snapshot() const {
+  std::lock_guard lock(tree_mutex_);
+  return tree_.serialize();
+}
+
+void AnalysisEngine::worker_loop(const std::stop_token& stop) {
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop.stop_requested() || state_ == EngineState::kRunning; });
+      if (stop.stop_requested()) return;
+      worker_in_loop_ = true;
+    }
+    process_loop();
+    {
+      std::lock_guard lock(mutex_);
+      worker_in_loop_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void AnalysisEngine::process_loop() {
+  // begin() on a fresh run.
+  {
+    std::unique_lock lock(mutex_);
+    if (state_ != EngineState::kRunning) return;
+    if (begin_pending_) {
+      Status status;
+      {
+        std::lock_guard tree_lock(tree_mutex_);
+        status = analyzer_->begin(tree_);
+      }
+      if (!status.is_ok()) {
+        state_ = EngineState::kFailed;
+        error_ = status.to_string();
+        lock.unlock();
+        cv_.notify_all();
+        return;
+      }
+      begin_pending_ = false;
+    }
+  }
+
+  std::uint64_t since_snapshot = 0;
+  while (true) {
+    // Check controls.
+    {
+      std::unique_lock lock(mutex_);
+      if (state_ != EngineState::kRunning) {
+        lock.unlock();
+        emit_snapshot_locked();  // results as of the pause/stop point
+        cv_.notify_all();
+        return;
+      }
+    }
+
+    auto record = reader_->next();
+    if (!record.is_ok()) {
+      if (record.status().code() == StatusCode::kOutOfRange) {
+        // Dataset exhausted: run end() and finish.
+        Status status;
+        {
+          std::lock_guard tree_lock(tree_mutex_);
+          status = analyzer_->end(tree_);
+        }
+        std::unique_lock lock(mutex_);
+        if (!status.is_ok()) {
+          state_ = EngineState::kFailed;
+          error_ = status.to_string();
+        } else {
+          state_ = EngineState::kFinished;
+        }
+        lock.unlock();
+        emit_snapshot_locked();
+        cv_.notify_all();
+        return;
+      }
+      fail("dataset read: " + record.status().to_string());
+      return;
+    }
+
+    Status status;
+    {
+      std::lock_guard tree_lock(tree_mutex_);
+      status = analyzer_->process(*record, tree_);
+    }
+    if (!status.is_ok()) {
+      fail(status.to_string());
+      return;
+    }
+    processed_.fetch_add(1, std::memory_order_relaxed);
+
+    if (++since_snapshot >= config_.snapshot_every) {
+      since_snapshot = 0;
+      emit_snapshot_locked();
+    }
+
+    // Bounded runs ("run N events").
+    {
+      std::unique_lock lock(mutex_);
+      if (run_budget_ > 0 && --run_budget_ == 0) {
+        state_ = EngineState::kPaused;
+        lock.unlock();
+        emit_snapshot_locked();
+        cv_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+void AnalysisEngine::fail(std::string message) {
+  {
+    std::lock_guard lock(mutex_);
+    state_ = EngineState::kFailed;
+    error_ = std::move(message);
+  }
+  IPA_LOG(warn) << "analysis engine failed: " << error_;
+  emit_snapshot_locked();
+  cv_.notify_all();
+}
+
+void AnalysisEngine::emit_snapshot_locked() {
+  SnapshotFn handler;
+  {
+    std::lock_guard lock(mutex_);
+    handler = snapshot_handler_;
+  }
+  if (!handler) return;
+  ser::Bytes bytes;
+  {
+    std::lock_guard tree_lock(tree_mutex_);
+    bytes = tree_.serialize();
+  }
+  handler(bytes, progress());
+}
+
+}  // namespace ipa::engine

@@ -1,0 +1,130 @@
+// The analysis engine: the process the paper starts on each worker node.
+//
+// Lifecycle (paper §2.3/§3.6): the engine is started for a session, signals
+// ready, receives a staged dataset part and the analysis code, and then
+// obeys interactive controls — run, pause, stop, rewind — while pushing
+// intermediate result snapshots to the AIDA manager. Code can be replaced
+// between runs without re-staging the data.
+//
+// Threading: one worker thread per engine owns the dataset reader, the
+// analyzer and the AIDA tree; control verbs and snapshot reads synchronize
+// through a small command mailbox, so no analysis state is ever touched by
+// two threads at once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "aida/tree.hpp"
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+#include "engine/analyzer.hpp"
+
+namespace ipa::engine {
+
+enum class EngineState {
+  kIdle,      // no dataset/code yet, or stopped before any processing
+  kRunning,
+  kPaused,
+  kStopped,   // explicitly stopped; position retained
+  kFinished,  // dataset exhausted; end() ran
+  kFailed,    // analyzer or I/O error; see Progress::error
+};
+
+std::string_view to_string(EngineState state);
+
+struct Progress {
+  EngineState state = EngineState::kIdle;
+  std::uint64_t processed = 0;  // records consumed since last rewind
+  std::uint64_t total = 0;      // records in the staged part
+  std::string error;            // set when state == kFailed
+};
+
+/// Engine tuning knobs.
+struct EngineConfig {
+  /// Emit a snapshot every N processed records (plus one at completion).
+  std::uint64_t snapshot_every = 2000;
+  script::InterpOptions interp;
+};
+
+class AnalysisEngine {
+ public:
+  using Config = EngineConfig;
+
+  /// Called from the worker thread with a serialized Tree and progress.
+  using SnapshotFn = std::function<void(const ser::Bytes& snapshot, const Progress& progress)>;
+
+  explicit AnalysisEngine(Config config = {});
+  ~AnalysisEngine();
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Stage the dataset part this engine will analyze. Allowed when not
+  /// running. Resets position to 0.
+  Status stage_dataset(const std::string& path);
+
+  /// Stage (or hot-replace) the analysis code. Allowed when not running.
+  /// Compilation errors are reported here, before any record is touched.
+  Status stage_code(const CodeBundle& bundle);
+
+  void set_snapshot_handler(SnapshotFn handler);
+
+  // --- interactive controls (paper §3.6) -----------------------------------
+  /// Start or resume processing. From kIdle/kStopped-at-0/kFinished-after-
+  /// rewind the analyzer's begin() runs first.
+  Status run();
+  Status pause();
+  Status stop();
+  /// Reset to record 0 and clear results; allowed when not running.
+  Status rewind();
+  /// Process at most `n` records then pause (the JAS "run N events" button).
+  Status run_records(std::uint64_t n);
+
+  /// Block until the engine leaves kRunning (finished, paused, stopped or
+  /// failed). Returns the final progress.
+  Progress wait();
+
+  EngineState state() const;
+  Progress progress() const;
+
+  /// Copy of the current results (thread-safe; engine may keep running).
+  aida::Tree tree_copy() const;
+  /// Serialized form of tree_copy().
+  ser::Bytes snapshot() const;
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+  void process_loop();  // runs records while state stays kRunning
+  void fail(std::string message);
+  void emit_snapshot_locked();  // requires tree_mutex_ NOT held by caller
+
+  Config config_;
+
+  mutable std::mutex mutex_;             // guards everything below
+  std::condition_variable cv_;
+  EngineState state_ = EngineState::kIdle;
+  bool worker_in_loop_ = false;          // worker is inside process_loop()
+  std::uint64_t run_budget_ = 0;         // 0 = unlimited
+  std::string error_;
+  bool begin_pending_ = true;
+
+  std::atomic<std::uint64_t> processed_{0};  // records since last rewind
+  std::atomic<std::uint64_t> total_{0};      // records in the staged part
+
+  std::unique_ptr<data::DatasetReader> reader_;
+  std::unique_ptr<Analyzer> analyzer_;
+  SnapshotFn snapshot_handler_;
+
+  mutable std::mutex tree_mutex_;        // guards tree_ for concurrent reads
+  aida::Tree tree_;
+
+  std::jthread worker_;
+};
+
+}  // namespace ipa::engine

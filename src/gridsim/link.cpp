@@ -1,0 +1,84 @@
+#include "gridsim/link.hpp"
+
+#include <algorithm>
+
+namespace ipa::gridsim {
+
+double SharedLink::fair_rate() const {
+  std::size_t active = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.active) ++active;
+  }
+  if (active == 0) return 0;
+  const double share = params_.capacity_mbps / static_cast<double>(active);
+  if (params_.per_flow_mbps > 0) return std::min(share, params_.per_flow_mbps);
+  return share;
+}
+
+std::uint64_t SharedLink::start_flow(double mb, std::function<void()> done) {
+  const std::uint64_t id = next_id_++;
+  Flow flow;
+  flow.remaining_mb = std::max(mb, 0.0);
+  flow.rate = 0;
+  flow.last_update = sim_->now();
+  flow.done = std::move(done);
+  carried_mb_ += flow.remaining_mb;
+
+  // Latency + setup are paid before the fluid phase begins.
+  const double preamble = params_.latency_s + params_.setup_s;
+  sim_->schedule(preamble, [this, id] {
+    // Flow enters the shared phase now.
+    const auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    it->second.active = true;
+    it->second.last_update = sim_->now();
+    rebalance();
+  });
+  flows_.emplace(id, std::move(flow));
+  return id;
+}
+
+void SharedLink::rebalance() {
+  // Progress every flow to now at its old rate, then assign new rates and
+  // reschedule completions.
+  const SimTime now = sim_->now();
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_mb -= flow.rate * (now - flow.last_update);
+    if (flow.remaining_mb < 0) flow.remaining_mb = 0;
+    flow.last_update = now;
+  }
+  const double rate = fair_rate();
+  for (auto& [id, flow] : flows_) {
+    flow.rate = flow.active ? rate : 0.0;
+    ++flow.epoch;
+    if (flow.active) schedule_completion(id);
+  }
+}
+
+void SharedLink::schedule_completion(std::uint64_t id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  const Flow& flow = it->second;
+  if (flow.rate <= 0) return;  // still in preamble
+  const double remaining_s = flow.remaining_mb / flow.rate;
+  const std::uint64_t epoch = flow.epoch;
+  sim_->schedule(remaining_s, [this, id, epoch] { complete(id, epoch); });
+}
+
+void SharedLink::complete(std::uint64_t id, std::uint64_t epoch) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.epoch != epoch) return;  // stale event
+  std::function<void()> done = std::move(it->second.done);
+  flows_.erase(it);
+  rebalance();
+  if (done) done();
+}
+
+void SerialStage::submit(double mb, std::function<void()> done) {
+  const SimTime start = std::max(busy_until_, sim_->now());
+  const double duration = rate_mbps_ > 0 ? mb / rate_mbps_ : 0.0;
+  busy_until_ = start + duration;
+  sim_->schedule_at(busy_until_, std::move(done));
+}
+
+}  // namespace ipa::gridsim

@@ -1,0 +1,128 @@
+#include "gridsim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ipa::gridsim {
+
+Status Scheduler::add_queue(QueueConfig config) {
+  if (config.nodes <= 0) return invalid_argument("scheduler: queue needs nodes > 0");
+  if (queues_.count(config.name) != 0) {
+    return already_exists("scheduler: queue '" + config.name + "' exists");
+  }
+  Queue queue;
+  for (int i = 0; i < config.nodes; ++i) queue.free_node_ids.push_back(next_node_id_++);
+  queue.config = std::move(config);
+  const std::string name = queue.config.name;
+  queues_.emplace(name, std::move(queue));
+  return Status::ok();
+}
+
+Result<std::uint64_t> Scheduler::submit(const std::string& queue_name, const std::string& user,
+                                        int nodes, GrantFn on_grant) {
+  const auto it = queues_.find(queue_name);
+  if (it == queues_.end()) return not_found("scheduler: no queue '" + queue_name + "'");
+  if (nodes <= 0) return invalid_argument("scheduler: job needs nodes > 0");
+  if (nodes > it->second.config.nodes) {
+    return resource_exhausted(
+        "scheduler: job wants " + std::to_string(nodes) + " nodes, queue '" + queue_name +
+        "' has " + std::to_string(it->second.config.nodes));
+  }
+  const std::uint64_t id = next_job_id_++;
+  it->second.waiting.push_back(Job{id, queue_name, user, nodes, std::move(on_grant), sim_->now()});
+  try_dispatch(queue_name);
+  return id;
+}
+
+Status Scheduler::release(std::uint64_t job_id) {
+  const auto it = running_.find(job_id);
+  if (it == running_.end()) return not_found("scheduler: job not running");
+  Running job = std::move(it->second);
+  running_.erase(it);
+  usage_[job.user] +=
+      static_cast<double>(job.node_ids.size()) * (sim_->now() - job.started_at);
+  auto& queue = queues_.at(job.queue);
+  queue.free_node_ids.insert(queue.free_node_ids.end(), job.node_ids.begin(),
+                             job.node_ids.end());
+  try_dispatch(job.queue);
+  return Status::ok();
+}
+
+Status Scheduler::cancel(std::uint64_t job_id) {
+  for (auto& [name, queue] : queues_) {
+    const auto it = std::find_if(queue.waiting.begin(), queue.waiting.end(),
+                                 [job_id](const Job& job) { return job.id == job_id; });
+    if (it != queue.waiting.end()) {
+      queue.waiting.erase(it);
+      return Status::ok();
+    }
+  }
+  return not_found("scheduler: job not waiting");
+}
+
+int Scheduler::free_nodes(const std::string& queue) const {
+  const auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : static_cast<int>(it->second.free_node_ids.size());
+}
+
+std::size_t Scheduler::waiting_jobs(const std::string& queue) const {
+  const auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.waiting.size();
+}
+
+double Scheduler::usage(const std::string& user) const {
+  // Charge running jobs up to now as well, so fair-share reacts promptly.
+  double total = 0;
+  const auto it = usage_.find(user);
+  if (it != usage_.end()) total = it->second;
+  for (const auto& [id, job] : running_) {
+    if (job.user == user) {
+      total += static_cast<double>(job.node_ids.size()) * (sim_->now() - job.started_at);
+    }
+  }
+  return total;
+}
+
+void Scheduler::try_dispatch(const std::string& queue_name) {
+  auto& queue = queues_.at(queue_name);
+  while (!queue.waiting.empty()) {
+    // Pick the next job per policy among those that fit.
+    std::deque<Job>::iterator pick = queue.waiting.end();
+    if (queue.config.policy == DispatchPolicy::kFifo) {
+      // Strict FIFO: the head blocks the queue if it does not fit.
+      if (static_cast<int>(queue.free_node_ids.size()) < queue.waiting.front().nodes) return;
+      pick = queue.waiting.begin();
+    } else {
+      // Fair-share: among fitting jobs, least-usage user first; FIFO ties.
+      double best_usage = 0;
+      for (auto it = queue.waiting.begin(); it != queue.waiting.end(); ++it) {
+        if (static_cast<int>(queue.free_node_ids.size()) < it->nodes) continue;
+        const double u = usage(it->user);
+        if (pick == queue.waiting.end() || u < best_usage) {
+          pick = it;
+          best_usage = u;
+        }
+      }
+      if (pick == queue.waiting.end()) return;
+    }
+
+    Job job = std::move(*pick);
+    queue.waiting.erase(pick);
+
+    Grant grant;
+    grant.job_id = job.id;
+    grant.node_speed_mhz = queue.config.node_speed_mhz;
+    grant.node_ids.assign(queue.free_node_ids.end() - job.nodes, queue.free_node_ids.end());
+    queue.free_node_ids.resize(queue.free_node_ids.size() - static_cast<std::size_t>(job.nodes));
+
+    running_.emplace(job.id, Running{job.queue, job.user, grant.node_ids, sim_->now()});
+
+    // The grant fires after the dispatch latency (GRAM round trip).
+    sim_->schedule(queue.config.dispatch_latency_s,
+                   [fn = std::move(job.on_grant), grant, this]() mutable {
+                     grant.granted_at = sim_->now();
+                     if (fn) fn(grant);
+                   });
+  }
+}
+
+}  // namespace ipa::gridsim

@@ -1,0 +1,39 @@
+#include "gridsim/sim.hpp"
+
+#include <utility>
+
+namespace ipa::gridsim {
+
+void Simulation::schedule(SimTime delay, EventFn fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void Simulation::schedule_at(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the function object after popping the metadata.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace ipa::gridsim

@@ -1,0 +1,385 @@
+#include "http/http.hpp"
+
+#include <sys/socket.h>
+
+#include <cctype>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "net/socket_io.hpp"
+
+namespace ipa::http {
+
+bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b) const {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    const int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string Request::header_or(const std::string& name, std::string fallback) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? std::move(fallback) : it->second;
+}
+
+std::string Response::header_or(const std::string& name, std::string fallback) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? std::move(fallback) : it->second;
+}
+
+namespace {
+
+void write_headers(std::string& out, const Headers& headers, std::size_t body_size) {
+  bool have_length = false;
+  for (const auto& [name, value] : headers) {
+    if (strings::iequals(name, "content-length")) have_length = true;
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!have_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  write_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  write_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+Response Response::make(int status, std::string body, std::string content_type) {
+  Response resp;
+  resp.status = status;
+  resp.reason = reason_phrase(status);
+  resp.headers["Content-Type"] = std::move(content_type);
+  resp.body = std::move(body);
+  return resp;
+}
+
+namespace {
+
+/// Parse the start line; specialization point between Request and Response.
+Status parse_start_line(std::string_view line, Request& out) {
+  const auto parts = strings::split(std::string(line), ' ');
+  if (parts.size() != 3) return data_loss("http: malformed request line");
+  if (!strings::starts_with(parts[2], "HTTP/1.")) {
+    return data_loss("http: unsupported protocol '" + parts[2] + "'");
+  }
+  out.method = parts[0];
+  out.target = parts[1];
+  return Status::ok();
+}
+
+Status parse_start_line(std::string_view line, Response& out) {
+  // "HTTP/1.1 200 OK" — reason phrase may contain spaces.
+  if (!strings::starts_with(line, "HTTP/1.")) return data_loss("http: malformed status line");
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return data_loss("http: malformed status line");
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code_text =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos : sp2 - sp1 - 1);
+  std::int64_t code = 0;
+  if (!strings::parse_i64(code_text, code) || code < 100 || code > 599) {
+    return data_loss("http: bad status code");
+  }
+  out.status = static_cast<int>(code);
+  out.reason = sp2 == std::string_view::npos ? "" : std::string(line.substr(sp2 + 1));
+  return Status::ok();
+}
+
+}  // namespace
+
+template <typename Message>
+Result<bool> Parser<Message>::next(Message& out) {
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) return data_loss("http: header block too large");
+    return false;
+  }
+
+  // Parse the header block (without consuming yet: the body may be partial).
+  const std::string_view head(buffer_.data(), header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view start_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  Message msg;
+  IPA_RETURN_IF_ERROR(parse_start_line(start_line, msg));
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return data_loss("http: malformed header line");
+    const std::string name(strings::trim(line.substr(0, colon)));
+    const std::string value(strings::trim(line.substr(colon + 1)));
+    if (name.empty()) return data_loss("http: empty header name");
+    msg.headers[name] = value;
+  }
+
+  if (strings::iequals(msg.header_or("Transfer-Encoding", ""), "chunked")) {
+    return data_loss("http: chunked transfer encoding not supported");
+  }
+
+  std::uint64_t content_length = 0;
+  const std::string length_text = msg.header_or("Content-Length", "0");
+  if (!strings::parse_u64(length_text, content_length)) {
+    return data_loss("http: bad Content-Length");
+  }
+  if (content_length > kMaxBodyBytes) return data_loss("http: body too large");
+
+  const std::size_t total = header_end + 4 + static_cast<std::size_t>(content_length);
+  if (buffer_.size() < total) return false;
+
+  msg.body = buffer_.substr(header_end + 4, static_cast<std::size_t>(content_length));
+  buffer_.erase(0, total);
+  out = std::move(msg);
+  return true;
+}
+
+template class Parser<Request>;
+template class Parser<Response>;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+
+Server::~Server() { stop(); }
+
+void Server::route(std::string pattern, Handler handler) {
+  std::lock_guard lock(mutex_);
+  routes_.emplace_back(std::move(pattern), std::move(handler));
+}
+
+Result<Uri> Server::start() {
+  std::uint16_t bound_port = 0;
+  auto fd = net::tcp_listen_fd(host_, port_, bound_port);
+  IPA_RETURN_IF_ERROR(fd.status());
+  listen_fd_ = fd->release();  // stop() owns closing it
+  bound_.scheme = "http";
+  bound_.host = host_.empty() ? "127.0.0.1" : host_;
+  bound_.port = bound_port;
+  threads_.emplace_back([this] { accept_loop(); });
+  IPA_LOG(debug) << "http server on " << bound_.to_string();
+  return bound_;
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  std::vector<std::jthread> to_join;
+  {
+    std::lock_guard lock(mutex_);
+    to_join.swap(threads_);
+  }
+  to_join.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Handler Server::find_handler(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  const std::pair<std::string, Handler>* best = nullptr;
+  for (const auto& route : routes_) {
+    const std::string& pattern = route.first;
+    bool match;
+    if (!pattern.empty() && pattern.back() == '*') {
+      match = strings::starts_with(path, pattern.substr(0, pattern.size() - 1));
+    } else {
+      match = (path == pattern);
+    }
+    if (match && (best == nullptr || pattern.size() > best->first.size())) {
+      best = &route;
+    }
+  }
+  return best ? best->second : Handler{};
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    std::string peer;
+    auto client = net::tcp_accept_fd(listen_fd_, 0.25, peer);
+    if (!client.is_ok()) {
+      if (client.status().code() == StatusCode::kDeadlineExceeded) continue;
+      break;
+    }
+    std::lock_guard lock(mutex_);
+    if (stopping_.load()) break;
+    // Transfer fd ownership into the handler thread (it closes the fd).
+    const int raw = client->release();
+    threads_.emplace_back([this, raw, peer] { serve_connection(raw, peer); });
+  }
+}
+
+void Server::serve_connection(int fd, std::string peer) {
+  (void)peer;  // kept for diagnostics hooks
+  RequestParser parser;
+  std::uint8_t chunk[16 * 1024];
+  bool keep_alive = true;
+  while (keep_alive && !stopping_.load()) {
+    Request request;
+    // Pump bytes until a full request is parsed.
+    while (true) {
+      auto got = parser.next(request);
+      if (!got.is_ok()) {
+        const Response bad = Response::make(400, got.status().message());
+        const std::string wire = bad.serialize();
+        (void)net::write_all(fd, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size());
+        ::close(fd);
+        return;
+      }
+      if (*got) break;
+      auto n = net::read_some(fd, chunk, sizeof chunk, 0.25);
+      if (!n.is_ok()) {
+        if (n.status().code() == StatusCode::kDeadlineExceeded) {
+          if (stopping_.load()) {
+            ::close(fd);
+            return;
+          }
+          continue;
+        }
+        ::close(fd);  // peer closed or broken
+        return;
+      }
+      parser.feed(std::string_view(reinterpret_cast<const char*>(chunk), *n));
+    }
+
+    keep_alive = !strings::iequals(request.header_or("Connection", "keep-alive"), "close");
+
+    Handler handler = find_handler(request.target);
+    Response response;
+    if (handler) {
+      response = handler(request);
+    } else {
+      response = Response::make(404, "no route for " + request.target);
+    }
+    if (response.reason.empty()) response.reason = reason_phrase(response.status);
+    response.headers["Connection"] = keep_alive ? "keep-alive" : "close";
+    const std::string wire = response.serialize();
+    ++served_;  // counted before the write so it is visible once the
+                // client has the response in hand
+    if (!net::write_all(fd, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size())
+             .is_ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+struct Client::State {
+  net::Fd fd;
+  std::string host_header;
+  ResponseParser parser;
+  std::mutex mutex;
+};
+
+Client::Client(int fd, std::string host_header) : state_(std::make_unique<State>()) {
+  state_->fd = net::Fd(fd);
+  state_->host_header = std::move(host_header);
+}
+
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port, double timeout_s) {
+  auto fd = net::tcp_connect_fd(host, port, timeout_s);
+  IPA_RETURN_IF_ERROR(fd.status());
+  return Client(fd->release(), host + ":" + std::to_string(port));
+}
+
+Result<Response> Client::send(Request request, double timeout_s) {
+  if (!state_) return unavailable("http client moved-from");
+  std::lock_guard lock(state_->mutex);
+  if (!state_->fd.valid()) return unavailable("http client closed");
+  if (request.headers.find("Host") == request.headers.end()) {
+    request.headers["Host"] = state_->host_header;
+  }
+  const std::string wire = request.serialize();
+  IPA_RETURN_IF_ERROR(net::write_all(state_->fd.get(),
+                                     reinterpret_cast<const std::uint8_t*>(wire.data()),
+                                     wire.size()));
+  std::uint8_t chunk[16 * 1024];
+  Response response;
+  while (true) {
+    auto got = state_->parser.next(response);
+    IPA_RETURN_IF_ERROR(got.status());
+    if (*got) return response;
+    IPA_ASSIGN_OR_RETURN(const std::size_t n,
+                         net::read_some(state_->fd.get(), chunk, sizeof chunk, timeout_s));
+    state_->parser.feed(std::string_view(reinterpret_cast<const char*>(chunk), n));
+  }
+}
+
+Result<Response> Client::get(const std::string& target, double timeout_s) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  return send(std::move(req), timeout_s);
+}
+
+Result<Response> Client::post(const std::string& target, std::string body,
+                              const std::string& content_type, double timeout_s) {
+  Request req;
+  req.method = "POST";
+  req.target = target;
+  req.headers["Content-Type"] = content_type;
+  req.body = std::move(body);
+  return send(std::move(req), timeout_s);
+}
+
+void Client::close() {
+  if (!state_) return;
+  std::lock_guard lock(state_->mutex);
+  state_->fd.reset();
+}
+
+}  // namespace ipa::http

@@ -1,0 +1,166 @@
+// In-process transport: endpoints are names in a process-global registry;
+// connections are paired bounded queues.
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "common/ids.hpp"
+#include "common/mpmc_queue.hpp"
+#include "net/transport.hpp"
+
+namespace ipa::net {
+namespace {
+
+/// Shared duplex state: two directed queues plus close flags.
+struct Pipe {
+  explicit Pipe(std::string label) : label_(std::move(label)) {}
+
+  MpmcQueue<ser::Bytes> a_to_b{256};
+  MpmcQueue<ser::Bytes> b_to_a{256};
+  std::string label_;
+};
+
+class InProcConnection final : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<Pipe> pipe, bool is_a)
+      : pipe_(std::move(pipe)), is_a_(is_a) {}
+
+  ~InProcConnection() override { close(); }
+
+  Status send(const ser::Bytes& frame) override {
+    if (frame.size() > kMaxFrameBytes) return invalid_argument("inproc: frame too large");
+    auto& queue = is_a_ ? pipe_->a_to_b : pipe_->b_to_a;
+    if (!queue.push(frame)) return unavailable("inproc: connection closed");
+    return Status::ok();
+  }
+
+  Result<ser::Bytes> receive(double timeout_s) override {
+    auto& queue = is_a_ ? pipe_->b_to_a : pipe_->a_to_b;
+    if (timeout_s < 0) {
+      if (auto frame = queue.pop()) return std::move(*frame);
+      return unavailable("inproc: connection closed");
+    }
+    const auto deadline = std::chrono::duration<double>(timeout_s);
+    if (auto frame = queue.pop_for(deadline)) return std::move(*frame);
+    if (queue.closed()) return unavailable("inproc: connection closed");
+    return deadline_exceeded("inproc: receive timeout");
+  }
+
+  void close() override {
+    pipe_->a_to_b.close();
+    pipe_->b_to_a.close();
+  }
+
+  std::string peer() const override { return "inproc:" + pipe_->label_; }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  bool is_a_;
+};
+
+class InProcListener;
+
+/// name -> live listener. Guarded by g_registry_mutex.
+std::mutex g_registry_mutex;
+std::map<std::string, InProcListener*>& registry() {
+  static std::map<std::string, InProcListener*> reg;
+  return reg;
+}
+
+class InProcListener final : public Listener {
+ public:
+  explicit InProcListener(std::string name) : name_(std::move(name)), pending_(64) {}
+
+  ~InProcListener() override { close(); }
+
+  Result<ConnectionPtr> accept(double timeout_s) override {
+    std::optional<std::shared_ptr<Pipe>> pipe;
+    if (timeout_s < 0) {
+      pipe = pending_.pop();
+    } else {
+      pipe = pending_.pop_for(std::chrono::duration<double>(timeout_s));
+    }
+    if (!pipe) {
+      if (pending_.closed()) return cancelled("inproc: listener closed");
+      return deadline_exceeded("inproc: accept timeout");
+    }
+    return ConnectionPtr(new InProcConnection(std::move(*pipe), /*is_a=*/false));
+  }
+
+  void close() override {
+    {
+      std::lock_guard lock(g_registry_mutex);
+      auto& reg = registry();
+      const auto it = reg.find(name_);
+      if (it != reg.end() && it->second == this) reg.erase(it);
+    }
+    pending_.close();
+  }
+
+  Uri endpoint() const override {
+    Uri uri;
+    uri.scheme = "inproc";
+    uri.host = name_;
+    return uri;
+  }
+
+  /// Called by connect(); hands the server side of a fresh pipe to accept().
+  bool offer(std::shared_ptr<Pipe> pipe) { return pending_.push(std::move(pipe)); }
+
+ private:
+  std::string name_;
+  MpmcQueue<std::shared_ptr<Pipe>> pending_;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  Result<ListenerPtr> listen(const Uri& endpoint) override {
+    if (endpoint.host.empty()) return invalid_argument("inproc: empty endpoint name");
+    std::lock_guard lock(g_registry_mutex);
+    auto& reg = registry();
+    if (reg.count(endpoint.host) != 0) {
+      return already_exists("inproc: endpoint '" + endpoint.host + "' in use");
+    }
+    auto listener = std::make_unique<InProcListener>(endpoint.host);
+    reg[endpoint.host] = listener.get();
+    return ListenerPtr(std::move(listener));
+  }
+
+  Result<ConnectionPtr> connect(const Uri& endpoint, double /*timeout_s*/) override {
+    std::shared_ptr<Pipe> pipe;
+    {
+      std::lock_guard lock(g_registry_mutex);
+      auto& reg = registry();
+      const auto it = reg.find(endpoint.host);
+      if (it == reg.end()) {
+        return unavailable("inproc: no listener at '" + endpoint.host + "'");
+      }
+      pipe = std::make_shared<Pipe>(endpoint.host + "#" + std::to_string(next_sequence()));
+      if (!it->second->offer(pipe)) {
+        return unavailable("inproc: listener at '" + endpoint.host + "' is closing");
+      }
+    }
+    return ConnectionPtr(new InProcConnection(std::move(pipe), /*is_a=*/true));
+  }
+};
+
+}  // namespace
+
+Transport& inproc_transport() {
+  static InProcTransport transport;
+  return transport;
+}
+
+Result<ListenerPtr> listen(const Uri& endpoint) {
+  if (endpoint.scheme == "inproc") return inproc_transport().listen(endpoint);
+  if (endpoint.scheme == "tcp") return tcp_transport().listen(endpoint);
+  return invalid_argument("listen: unsupported scheme '" + endpoint.scheme + "'");
+}
+
+Result<ConnectionPtr> connect(const Uri& endpoint, double timeout_s) {
+  if (endpoint.scheme == "inproc") return inproc_transport().connect(endpoint, timeout_s);
+  if (endpoint.scheme == "tcp") return tcp_transport().connect(endpoint, timeout_s);
+  return invalid_argument("connect: unsupported scheme '" + endpoint.scheme + "'");
+}
+
+}  // namespace ipa::net

@@ -1,0 +1,64 @@
+// Low-level POSIX socket helpers shared by the framed TCP transport and the
+// byte-stream HTTP layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ipa::net {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+  /// Relinquish ownership; the caller must close the returned descriptor.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+Status errno_status(const char* what);
+
+/// Block until the fd is ready for `events` (POLLIN/POLLOUT) or timeout.
+/// timeout_s < 0 waits forever.
+Status wait_ready(int fd, short events, double timeout_s);
+
+/// Read up to `len` bytes; returns the count (0 never returned — peer close
+/// is kUnavailable). Waits up to timeout_s for readability.
+Result<std::size_t> read_some(int fd, std::uint8_t* buf, std::size_t len, double timeout_s);
+
+/// Read exactly `len` bytes or fail.
+Status read_exact(int fd, std::uint8_t* buf, std::size_t len, double timeout_s);
+
+/// Write all bytes (handles partial writes and EAGAIN).
+Status write_all(int fd, const std::uint8_t* buf, std::size_t len);
+
+/// Connect to host:port with timeout; returns a blocking socket.
+Result<Fd> tcp_connect_fd(const std::string& host, std::uint16_t port, double timeout_s);
+
+/// Listen on host:port (port 0 = ephemeral); returns the socket and fills
+/// `bound_port` with the actual port.
+Result<Fd> tcp_listen_fd(const std::string& host, std::uint16_t port, std::uint16_t& bound_port);
+
+/// Accept with timeout; fills `peer_desc` like "tcp:127.0.0.1:38412".
+Result<Fd> tcp_accept_fd(int listen_fd, double timeout_s, std::string& peer_desc);
+
+}  // namespace ipa::net

@@ -1,0 +1,104 @@
+// TCP transport: length-framed messages over IPv4 sockets.
+//
+// Wire format per frame: u32 little-endian payload length, then payload.
+#include <sys/socket.h>
+
+#include <mutex>
+
+#include "common/strings.hpp"
+#include "net/socket_io.hpp"
+#include "net/transport.hpp"
+
+namespace ipa::net {
+namespace {
+
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(Fd fd, std::string peer) : fd_(std::move(fd)), peer_(std::move(peer)) {}
+
+  Status send(const ser::Bytes& frame) override {
+    if (frame.size() > kMaxFrameBytes) return invalid_argument("tcp: frame too large");
+    std::lock_guard lock(send_mutex_);
+    if (!fd_.valid()) return unavailable("tcp: connection closed");
+    std::uint8_t header[4];
+    const auto len = static_cast<std::uint32_t>(frame.size());
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    IPA_RETURN_IF_ERROR(write_all(fd_.get(), header, 4));
+    if (!frame.empty()) IPA_RETURN_IF_ERROR(write_all(fd_.get(), frame.data(), frame.size()));
+    return Status::ok();
+  }
+
+  Result<ser::Bytes> receive(double timeout_s) override {
+    if (!fd_.valid()) return unavailable("tcp: connection closed");
+    std::uint8_t header[4];
+    IPA_RETURN_IF_ERROR(read_exact(fd_.get(), header, 4, timeout_s));
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    if (len > kMaxFrameBytes) return data_loss("tcp: oversized frame announced");
+    ser::Bytes frame(len);
+    if (len > 0) IPA_RETURN_IF_ERROR(read_exact(fd_.get(), frame.data(), len, timeout_s));
+    return frame;
+  }
+
+  void close() override {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+
+  std::string peer() const override { return peer_; }
+
+ private:
+  Fd fd_;
+  std::mutex send_mutex_;
+  std::string peer_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(Fd fd, Uri endpoint) : fd_(std::move(fd)), endpoint_(std::move(endpoint)) {}
+
+  Result<ConnectionPtr> accept(double timeout_s) override {
+    if (!fd_.valid()) return cancelled("tcp: listener closed");
+    std::string peer;
+    auto client = tcp_accept_fd(fd_.get(), timeout_s, peer);
+    IPA_RETURN_IF_ERROR(client.status());
+    return ConnectionPtr(new TcpConnection(std::move(*client), std::move(peer)));
+  }
+
+  void close() override {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+
+  Uri endpoint() const override { return endpoint_; }
+
+ private:
+  Fd fd_;
+  Uri endpoint_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  Result<ListenerPtr> listen(const Uri& endpoint) override {
+    std::uint16_t bound_port = 0;
+    IPA_ASSIGN_OR_RETURN(Fd fd, tcp_listen_fd(endpoint.host, endpoint.port, bound_port));
+    Uri actual = endpoint;
+    actual.port = bound_port;
+    if (actual.host.empty()) actual.host = "127.0.0.1";
+    return ListenerPtr(new TcpListener(std::move(fd), std::move(actual)));
+  }
+
+  Result<ConnectionPtr> connect(const Uri& endpoint, double timeout_s) override {
+    IPA_ASSIGN_OR_RETURN(Fd fd, tcp_connect_fd(endpoint.host, endpoint.port, timeout_s));
+    return ConnectionPtr(new TcpConnection(
+        std::move(fd),
+        strings::format("tcp:%s:%u", endpoint.host.c_str(), static_cast<unsigned>(endpoint.port))));
+  }
+};
+
+}  // namespace
+
+Transport& tcp_transport() {
+  static TcpTransport transport;
+  return transport;
+}
+
+}  // namespace ipa::net

@@ -1,0 +1,86 @@
+// Message-oriented transport abstraction.
+//
+// Every client↔service hop in IPA (SOAP calls, binary RPC, the result
+// polling path) moves length-framed byte messages over a Connection. Two
+// interchangeable implementations:
+//
+//   inproc://name      - loopback queues inside one process (tests, the
+//                        functional grid built by examples)
+//   tcp://host:port    - real POSIX sockets; gives the examples an actual
+//                        network hop like the paper's JAS client → Globus
+//                        container path
+//
+// Frames are limited to kMaxFrameBytes; a misbehaving peer cannot force an
+// unbounded allocation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/uri.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::net {
+
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// A bidirectional, message-framed, thread-compatible duplex channel.
+/// One thread may send while another receives; concurrent senders must
+/// synchronize externally.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Send one frame. Fails with kUnavailable once the peer closed.
+  virtual Status send(const ser::Bytes& frame) = 0;
+
+  /// Receive one frame; blocks up to `timeout_s` (<0 = wait forever).
+  /// kDeadlineExceeded on timeout, kUnavailable when the peer closed.
+  virtual Result<ser::Bytes> receive(double timeout_s) = 0;
+
+  /// Half-close: wakes any blocked receive on both sides.
+  virtual void close() = 0;
+
+  /// Peer description for diagnostics ("tcp:127.0.0.1:38412").
+  virtual std::string peer() const = 0;
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept the next connection; kDeadlineExceeded on timeout (<0 = forever),
+  /// kCancelled once close()d.
+  virtual Result<ConnectionPtr> accept(double timeout_s) = 0;
+
+  virtual void close() = 0;
+
+  /// The bound endpoint; for tcp://host:0 the actual ephemeral port.
+  virtual Uri endpoint() const = 0;
+};
+
+using ListenerPtr = std::unique_ptr<Listener>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<ListenerPtr> listen(const Uri& endpoint) = 0;
+  virtual Result<ConnectionPtr> connect(const Uri& endpoint, double timeout_s) = 0;
+};
+
+/// Process-global in-process transport; inproc://name endpoints share one
+/// namespace per process.
+Transport& inproc_transport();
+
+/// TCP transport over POSIX sockets (IPv4).
+Transport& tcp_transport();
+
+/// Scheme-dispatching helpers: "inproc" and "tcp" are routed to the
+/// matching transport.
+Result<ListenerPtr> listen(const Uri& endpoint);
+Result<ConnectionPtr> connect(const Uri& endpoint, double timeout_s = 5.0);
+
+}  // namespace ipa::net

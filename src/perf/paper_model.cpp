@@ -1,0 +1,39 @@
+#include "perf/paper_model.hpp"
+
+namespace ipa::perf {
+
+LinearFit fit_linear(const double* xs, const double* ys, int n) {
+  LinearFit fit;
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (int i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (int i = 0; i < n; ++i) {
+    const double resid = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += resid * resid;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double fit_proportional(const double* xs, const double* ys, int n) {
+  double sxy = 0, sxx = 0;
+  for (int i = 0; i < n; ++i) {
+    sxy += xs[i] * ys[i];
+    sxx += xs[i] * xs[i];
+  }
+  return sxx > 0 ? sxy / sxx : 0.0;
+}
+
+}  // namespace ipa::perf

@@ -1,0 +1,74 @@
+// The paper's §4 performance model, exactly as published.
+//
+// Fitted equations (T in seconds, X = dataset size in MB, N = nodes;
+// "we have used 5.3 seconds as a standard time to run our sample Higgs
+// Boson calculation on a 1 MB dataset"):
+//
+//   T_local(X)   = T_move + T_analyze = 6.2·X + 5.3·X = 11.5·X
+//   T_grid(X,N)  = T_move-whole + T_split + T_move-parts + T_stage-code
+//                + T_analyze
+//                = 0.13·X + 0.25·X + (46 + 62/N) + 7 + 5.3·X/N
+//                = 0.38·X + 53 + (62 + 5.3·X)/N
+//
+// These are what Figure 5's two surfaces plot. Note the paper's published
+// constants are internally inconsistent with its own Table 1/2 measurements
+// (e.g. 5.3·471 ≈ 2497 s vs the measured 780 s local analysis); see
+// EXPERIMENTS.md. The simulator in scenario.hpp is calibrated to the
+// *measured* tables instead; this header is the *published-equation* model.
+#pragma once
+
+namespace ipa::perf {
+
+struct PaperModel {
+  // Published coefficients.
+  static constexpr double kWanSecPerMb = 6.2;
+  static constexpr double kAnalyzeSecPerMb = 5.3;
+  static constexpr double kLanMoveSecPerMb = 0.13;
+  static constexpr double kSplitSecPerMb = 0.25;
+  static constexpr double kMovePartsConst = 46.0;
+  static constexpr double kMovePartsPerNode = 62.0;
+  static constexpr double kStageCodeSec = 7.0;
+
+  static double t_local_move(double mb) { return kWanSecPerMb * mb; }
+  static double t_local_analyze(double mb) { return kAnalyzeSecPerMb * mb; }
+  static double t_local(double mb) { return t_local_move(mb) + t_local_analyze(mb); }
+
+  static double t_move_whole(double mb) { return kLanMoveSecPerMb * mb; }
+  static double t_split(double mb) { return kSplitSecPerMb * mb; }
+  static double t_move_parts(int nodes) {
+    return kMovePartsConst + kMovePartsPerNode / nodes;
+  }
+  static double t_stage_code() { return kStageCodeSec; }
+  static double t_analyze_grid(double mb, int nodes) { return kAnalyzeSecPerMb * mb / nodes; }
+
+  static double t_grid(double mb, int nodes) {
+    return t_move_whole(mb) + t_split(mb) + t_move_parts(nodes) + t_stage_code() +
+           t_analyze_grid(mb, nodes);
+  }
+
+  /// Dataset size where the grid run becomes faster than local, for a given
+  /// node count (the paper: "for large dataset (> ~10 MB) ... it is much
+  /// better to use the Grid").
+  static double crossover_mb(int nodes) {
+    // Solve 11.5·X = 0.38·X + 53 + (62 + 5.3·X)/N for X.
+    const double n = nodes;
+    const double lhs_coeff = 11.5 - 0.38 - kAnalyzeSecPerMb / n;
+    const double rhs_const = 53.0 + kMovePartsPerNode / n;
+    return lhs_coeff > 0 ? rhs_const / lhs_coeff : -1.0;
+  }
+};
+
+/// Simple least-squares helpers used by bench_model_fit to re-derive the
+/// coefficients from simulated measurements.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;
+};
+
+/// Fit y = slope*x + intercept.
+LinearFit fit_linear(const double* xs, const double* ys, int n);
+/// Fit y = slope*x (through the origin).
+double fit_proportional(const double* xs, const double* ys, int n);
+
+}  // namespace ipa::perf

@@ -1,0 +1,62 @@
+// Synthetic Linear Collider event generation.
+//
+// The paper's workload is "a Java algorithm that looks for Higgs Bosons in
+// simulated Linear Collider data" over a 471 MB event file. We have no LC
+// simulation data, so this generator produces record-based events with the
+// same analysis-relevant structure: a list of reconstructed particle
+// candidates per event, where a configurable fraction of events hides a
+// two-body resonance (Breit-Wigner line shape, boosted) inside combinatoric
+// background. The sample Higgs analysis reconstructs the candidate-pair
+// invariant-mass spectrum and finds the peak — exercising exactly the
+// record → analysis → mergeable-histogram path the framework exists for.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+#include "physics/four_vector.hpp"
+
+namespace ipa::physics {
+
+struct GeneratorConfig {
+  double signal_fraction = 0.25;   // events containing the resonance
+  double resonance_mass = 125.0;   // GeV ("Higgs-like")
+  double resonance_width = 4.0;    // GeV
+  double resonance_pt_mean = 30.0; // exponential pT of the produced boson
+  int background_particles_mean = 12;  // soft combinatoric candidates
+  double background_pt_scale = 8.0;    // exponential pT of background
+  double beam_energy_spread = 20.0;    // z-boost scale
+};
+
+/// One event as a dataset record. Fields:
+///   "sig"  (int)   1 when the resonance was generated
+///   "ntrk" (int)   candidate count
+///   "px","py","pz","e" (real vectors, one slot per candidate)
+data::Record generate_event(Rng& rng, const GeneratorConfig& config, std::uint64_t index);
+
+/// Write a whole dataset of `events` events; returns the file's info.
+Result<data::DatasetInfo> generate_dataset(const std::string& path, const std::string& name,
+                                           std::uint64_t events,
+                                           const GeneratorConfig& config = {},
+                                           std::uint64_t seed = Rng::kDefaultSeed);
+
+/// Extract the candidate four-vectors from an event record.
+Result<std::vector<FourVector>> candidates(const data::Record& record);
+
+/// The reference reconstruction used by both the native plugin and tests:
+/// invariant mass of the two highest-pT candidates (0 when fewer than 2).
+double leading_pair_mass(const data::Record& record);
+
+/// Register the "higgs-mass" native analyzer plugin (idempotent): books
+/// /higgs/mass and /higgs/ntrk, fills the leading-pair spectrum. This is
+/// the compiled-code twin of the PawScript analysis for the script-overhead
+/// ablation.
+void register_higgs_plugin();
+
+/// PawScript source of the same analysis — the paper's "custom analysis
+/// code" the client stages onto engines.
+const char* higgs_script();
+
+}  // namespace ipa::physics

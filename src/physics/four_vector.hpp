@@ -1,0 +1,55 @@
+// Relativistic four-vector kinematics for the LC event generator and the
+// sample Higgs-search analyses.
+#pragma once
+
+#include <cmath>
+
+namespace ipa::physics {
+
+struct FourVector {
+  double px = 0, py = 0, pz = 0, e = 0;
+
+  static FourVector from_polar(double p, double theta, double phi, double mass = 0.0) {
+    FourVector v;
+    v.px = p * std::sin(theta) * std::cos(phi);
+    v.py = p * std::sin(theta) * std::sin(phi);
+    v.pz = p * std::cos(theta);
+    v.e = std::sqrt(p * p + mass * mass);
+    return v;
+  }
+
+  double p2() const { return px * px + py * py + pz * pz; }
+  double p() const { return std::sqrt(p2()); }
+  double pt() const { return std::sqrt(px * px + py * py); }
+  /// Invariant mass (0 for spacelike rounding noise).
+  double mass() const {
+    const double m2 = e * e - p2();
+    return m2 > 0 ? std::sqrt(m2) : 0.0;
+  }
+  /// Pseudorapidity; large |eta| capped for numerical safety.
+  double eta() const {
+    const double pmag = p();
+    if (pmag <= std::abs(pz)) return pz >= 0 ? 10.0 : -10.0;
+    return 0.5 * std::log((pmag + pz) / (pmag - pz));
+  }
+  double phi() const { return std::atan2(py, px); }
+
+  FourVector operator+(const FourVector& other) const {
+    return {px + other.px, py + other.py, pz + other.pz, e + other.e};
+  }
+
+  /// Lorentz boost by velocity beta = (bx, by, bz), |beta| < 1.
+  FourVector boosted(double bx, double by, double bz) const {
+    const double b2 = bx * bx + by * by + bz * bz;
+    if (b2 <= 0) return *this;
+    const double gamma = 1.0 / std::sqrt(1.0 - b2);
+    const double bp = bx * px + by * py + bz * pz;
+    const double k = (gamma - 1.0) * bp / b2 + gamma * e;
+    return {px + k * bx, py + k * by, pz + k * bz, gamma * (e + bp)};
+  }
+};
+
+/// Invariant mass of a pair.
+inline double pair_mass(const FourVector& a, const FourVector& b) { return (a + b).mass(); }
+
+}  // namespace ipa::physics

@@ -1,0 +1,211 @@
+#include "rpc/rpc.hpp"
+
+#include "common/log.hpp"
+
+namespace ipa::rpc {
+namespace {
+
+constexpr std::uint8_t kRequest = 0;
+constexpr std::uint8_t kResponse = 1;
+
+ser::Bytes encode_error_response(std::uint64_t call_id, const Status& status) {
+  ser::Writer w;
+  w.u8(kResponse);
+  w.varint(call_id);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(status.code()));
+  w.string(status.message());
+  return std::move(w).take();
+}
+
+ser::Bytes encode_ok_response(std::uint64_t call_id, const ser::Bytes& payload) {
+  ser::Writer w;
+  w.u8(kResponse);
+  w.varint(call_id);
+  w.u8(1);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void Service::register_method(std::string method, Method fn) {
+  methods_.emplace(std::move(method), std::move(fn));
+}
+
+Result<ser::Bytes> Service::dispatch(const CallContext& ctx, const ser::Bytes& payload) const {
+  const auto it = methods_.find(ctx.method);
+  if (it == methods_.end()) {
+    return unimplemented("service '" + name_ + "' has no method '" + ctx.method + "'");
+  }
+  return it->second(ctx, payload);
+}
+
+RpcServer::RpcServer(Uri endpoint) : requested_(std::move(endpoint)) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::add_service(std::shared_ptr<Service> service) {
+  std::lock_guard lock(mutex_);
+  services_[service->name()] = std::move(service);
+}
+
+Result<Uri> RpcServer::start() {
+  IPA_ASSIGN_OR_RETURN(listener_, net::listen(requested_));
+  bound_ = listener_->endpoint();
+  threads_.emplace_back([this] { accept_loop(); });
+  IPA_LOG(debug) << "rpc server listening on " << bound_.to_string();
+  return bound_;
+}
+
+void RpcServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_) listener_->close();
+  std::vector<std::jthread> to_join;
+  {
+    std::lock_guard lock(mutex_);
+    to_join.swap(threads_);
+  }
+  to_join.clear();  // joins accept loop and all connection handlers
+  listener_.reset();
+}
+
+std::size_t RpcServer::active_connections() const { return active_.load(); }
+
+void RpcServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_->accept(0.25);
+    if (!conn.is_ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+      break;  // listener closed
+    }
+    std::lock_guard lock(mutex_);
+    if (stopping_.load()) break;
+    threads_.emplace_back([this, raw = std::move(conn).value().release()] {
+      serve_connection(net::ConnectionPtr(raw));
+    });
+  }
+}
+
+void RpcServer::serve_connection(net::ConnectionPtr conn) {
+  if (!conn) return;
+  ++active_;
+  while (!stopping_.load()) {
+    auto frame = conn->receive(0.25);
+    if (!frame.is_ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
+      break;  // closed or broken
+    }
+    const ser::Bytes reply = handle_frame(*frame, conn->peer());
+    if (!conn->send(reply).is_ok()) break;
+  }
+  conn->close();
+  --active_;
+}
+
+ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& peer) {
+  ser::Reader r(frame);
+  std::uint64_t call_id = 0;
+
+  const auto type = r.u8();
+  if (!type.is_ok() || *type != kRequest) {
+    return encode_error_response(0, data_loss("rpc: expected request frame"));
+  }
+  const auto id = r.varint();
+  if (!id.is_ok()) return encode_error_response(0, data_loss("rpc: bad call id"));
+  call_id = *id;
+
+  CallContext ctx;
+  ctx.peer = peer;
+  auto service_name = r.string();
+  auto method = r.string();
+  auto resource = r.string();
+  auto auth = r.string();
+  auto payload = r.bytes();
+  if (!service_name.is_ok() || !method.is_ok() || !resource.is_ok() || !auth.is_ok() ||
+      !payload.is_ok()) {
+    return encode_error_response(call_id, data_loss("rpc: malformed request"));
+  }
+  ctx.service = std::move(*service_name);
+  ctx.method = std::move(*method);
+  ctx.resource = std::move(*resource);
+  ctx.auth_token = std::move(*auth);
+
+  std::shared_ptr<Service> service;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = services_.find(ctx.service);
+    if (it != services_.end()) service = it->second;
+  }
+  if (!service) {
+    return encode_error_response(call_id, not_found("rpc: no service '" + ctx.service + "'"));
+  }
+
+  if (service->require_auth()) {
+    if (!auth_) {
+      return encode_error_response(call_id,
+                                   unauthenticated("rpc: service requires auth but none set"));
+    }
+    auto principal = auth_(ctx.auth_token);
+    if (!principal.is_ok()) {
+      return encode_error_response(call_id, principal.status());
+    }
+    ctx.principal = std::move(*principal);
+  }
+
+  auto result = service->dispatch(ctx, *payload);
+  if (!result.is_ok()) return encode_error_response(call_id, result.status());
+  return encode_ok_response(call_id, *result);
+}
+
+Result<RpcClient> RpcClient::connect(const Uri& endpoint, double timeout_s) {
+  IPA_ASSIGN_OR_RETURN(net::ConnectionPtr conn, net::connect(endpoint, timeout_s));
+  return RpcClient(std::move(conn));
+}
+
+Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view method,
+                                   const ser::Bytes& payload, std::string_view resource,
+                                   double timeout_s) {
+  std::lock_guard lock(*call_mutex_);
+  if (!conn_) return unavailable("rpc client closed");
+  const std::uint64_t call_id = next_call_id_++;
+
+  ser::Writer w;
+  w.u8(0 /* kRequest */);
+  w.varint(call_id);
+  w.string(service);
+  w.string(method);
+  w.string(resource);
+  w.string(auth_token_);
+  w.bytes(payload);
+  IPA_RETURN_IF_ERROR(conn_->send(w.data()));
+
+  IPA_ASSIGN_OR_RETURN(const ser::Bytes frame, conn_->receive(timeout_s));
+  ser::Reader r(frame);
+  IPA_ASSIGN_OR_RETURN(const std::uint8_t type, r.u8());
+  if (type != 1 /* kResponse */) return data_loss("rpc: expected response frame");
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t reply_id, r.varint());
+  if (reply_id != call_id) return data_loss("rpc: response id mismatch");
+  IPA_ASSIGN_OR_RETURN(const std::uint8_t ok, r.u8());
+  if (ok == 1) {
+    IPA_ASSIGN_OR_RETURN(ser::Bytes body, r.bytes());
+    return body;
+  }
+  IPA_ASSIGN_OR_RETURN(const std::uint8_t code, r.u8());
+  IPA_ASSIGN_OR_RETURN(const std::string message, r.string());
+  if (code == 0 || code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
+    return internal_error("rpc: remote error with invalid code: " + message);
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+void RpcClient::close() {
+  if (conn_) {
+    conn_->close();
+    conn_.reset();
+  }
+}
+
+}  // namespace ipa::rpc

@@ -1,0 +1,189 @@
+// Binary RPC: the framework's method-call plumbing.
+//
+// The paper's manager node speaks two protocols: SOAP web-service calls
+// (session control) and Java RMI (high-frequency histogram polling). Both
+// map onto this layer — the SOAP module renders the same calls as XML
+// envelopes, while "RMI" uses the compact binary form below.
+//
+// Request frame:  u8(kRequest)  varint(call_id) string(service)
+//                 string(method) string(resource) string(auth) bytes(payload)
+// Response frame: u8(kResponse) varint(call_id) u8(ok)
+//                 ok: bytes(payload)    err: u8(code) string(message)
+//
+// Services are objects registered by name on an RpcServer; each carries a
+// method table. A WSRF-style ResourceSet gives services addressable,
+// stateful instances (the paper's "Web Service resources").
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::rpc {
+
+/// Per-call server-side context.
+struct CallContext {
+  std::string service;
+  std::string method;
+  std::string resource;   // WSRF resource id; empty = the service singleton
+  std::string auth_token; // opaque credential, verified by the auth hook
+  std::string peer;       // transport-level peer description
+  std::string principal;  // filled in by the auth hook on success
+};
+
+/// A method: consumes the request payload, produces the response payload.
+using Method =
+    std::function<Result<ser::Bytes>(const CallContext&, const ser::Bytes&)>;
+
+/// A named service: a method table with optional per-service auth.
+class Service {
+ public:
+  explicit Service(std::string name, bool require_auth = false)
+      : name_(std::move(name)), require_auth_(require_auth) {}
+  virtual ~Service() = default;
+
+  const std::string& name() const { return name_; }
+  bool require_auth() const { return require_auth_; }
+
+  void register_method(std::string method, Method fn);
+  Result<ser::Bytes> dispatch(const CallContext& ctx, const ser::Bytes& payload) const;
+
+ private:
+  std::string name_;
+  bool require_auth_;
+  std::map<std::string, Method, std::less<>> methods_;
+};
+
+/// Authentication hook: given the opaque token, returns the principal name
+/// or an error. Installed once per server.
+using AuthFn = std::function<Result<std::string>(const std::string& token)>;
+
+/// Multi-threaded RPC server: an accept loop plus one handler thread per
+/// connection (the container model of GT4: one worker per client channel).
+class RpcServer {
+ public:
+  explicit RpcServer(Uri endpoint);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void add_service(std::shared_ptr<Service> service);
+  void set_auth(AuthFn auth) { auth_ = std::move(auth); }
+
+  /// Bind and start serving. Returns the actual endpoint (ephemeral ports
+  /// resolved).
+  Result<Uri> start();
+  void stop();
+
+  Uri endpoint() const { return bound_; }
+  std::size_t active_connections() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(net::ConnectionPtr conn);
+  ser::Bytes handle_frame(const ser::Bytes& frame, const std::string& peer);
+
+  Uri requested_;
+  Uri bound_;
+  net::ListenerPtr listener_;
+  AuthFn auth_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Service>, std::less<>> services_;
+  std::vector<std::jthread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> active_{0};
+};
+
+/// Synchronous RPC client. Thread-safe: calls are serialized on the single
+/// underlying connection.
+class RpcClient {
+ public:
+  static Result<RpcClient> connect(const Uri& endpoint, double timeout_s = 5.0);
+
+  RpcClient(RpcClient&&) = default;
+  RpcClient& operator=(RpcClient&&) = default;
+
+  /// Invoke service.method; the error Status of a remote failure carries the
+  /// remote code and message.
+  Result<ser::Bytes> call(std::string_view service, std::string_view method,
+                          const ser::Bytes& payload, std::string_view resource = "",
+                          double timeout_s = 30.0);
+
+  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
+  const std::string& auth_token() const { return auth_token_; }
+
+  void close();
+
+ private:
+  explicit RpcClient(net::ConnectionPtr conn) : conn_(std::move(conn)) {}
+
+  net::ConnectionPtr conn_;
+  std::unique_ptr<std::mutex> call_mutex_ = std::make_unique<std::mutex>();
+  std::string auth_token_;
+  std::uint64_t next_call_id_ = 1;
+};
+
+/// WSRF-style resource set: stateful instances of a web service, addressed
+/// by opaque ids ("creating an instance of a Web Service means creation of
+/// Web Service resources" — paper §3.2).
+template <typename T>
+class ResourceSet {
+ public:
+  /// Store a resource; returns its new id.
+  std::string create(std::shared_ptr<T> resource, std::string_view prefix = "res") {
+    std::lock_guard lock(mutex_);
+    std::string id = make_id(prefix);
+    items_.emplace(id, std::move(resource));
+    return id;
+  }
+
+  /// Store a resource under a caller-chosen id.
+  Status insert(std::string id, std::shared_ptr<T> resource) {
+    std::lock_guard lock(mutex_);
+    if (items_.count(id) != 0) return already_exists("resource '" + id + "' exists");
+    items_.emplace(std::move(id), std::move(resource));
+    return Status::ok();
+  }
+
+  Result<std::shared_ptr<T>> find(const std::string& id) const {
+    std::lock_guard lock(mutex_);
+    const auto it = items_.find(id);
+    if (it == items_.end()) return not_found("resource '" + id + "'");
+    return it->second;
+  }
+
+  bool destroy(const std::string& id) {
+    std::lock_guard lock(mutex_);
+    return items_.erase(id) > 0;
+  }
+
+  std::vector<std::string> ids() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(items_.size());
+    for (const auto& [id, _] : items_) out.push_back(id);
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<T>> items_;
+};
+
+}  // namespace ipa::rpc

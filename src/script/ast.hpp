@@ -1,0 +1,86 @@
+// PawScript abstract syntax tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipa::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,    // number
+    kString,    // text
+    kBool,      // flag
+    kNil,
+    kVar,       // name
+    kList,      // args = elements
+    kUnary,     // op ∈ {'-', '!'}; lhs
+    kBinary,    // op; lhs, rhs
+    kLogical,   // op ∈ {"&&","||"}; lhs, rhs (short-circuit)
+    kCall,      // lhs = callee expression; args
+    kMethod,    // lhs = receiver; name = method; args
+    kIndex,     // lhs = container; rhs = index
+  };
+
+  Kind kind;
+  int line = 1;
+
+  double number = 0;
+  bool flag = false;
+  std::string text;   // string literal / variable / method name
+  std::string op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,      // expr
+    kLet,       // name, expr
+    kAssign,    // target (kVar or kIndex), op ∈ {"=","+=","-="}, expr
+    kIf,        // cond, then_block, else_block
+    kWhile,     // cond, body
+    kFor,       // init, cond, step, body
+    kReturn,    // expr (may be null)
+    kBreak,
+    kContinue,
+    kBlock,     // body
+  };
+
+  Kind kind;
+  int line = 1;
+
+  std::string name;
+  std::string op;
+  ExprPtr expr;
+  ExprPtr cond;
+  ExprPtr target;
+  StmtPtr init;
+  StmtPtr step;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+};
+
+/// A user-defined function.
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 1;
+};
+
+/// A parsed script: top-level functions plus top-level statements (run in
+/// order when the script is loaded).
+struct Program {
+  std::vector<FunctionDecl> functions;
+  std::vector<StmtPtr> top_level;
+};
+
+}  // namespace ipa::script

@@ -1,0 +1,40 @@
+// Host bindings: expose dataset records and the AIDA tree to PawScript.
+//
+// This is the contract analysis scripts are written against (mirrors the
+// paper's Java AIDA API used from PNUTS):
+//
+//   func begin(tree)          - book objects, once per (re)start
+//   func process(event, tree) - called for every record
+//   func end(tree)            - optional final hook
+//
+//   event.get("field")  -> number | string | list   (kNotFound if absent)
+//   event.num("field", fallback) / event.str("field", fallback)
+//   event.has("field") -> bool
+//   event.index() -> number (record index in the parent dataset)
+//
+//   tree.book_h1(path, bins, lo, hi [, title])
+//   tree.book_h2(path, xbins, xlo, xhi, ybins, ylo, yhi [, title])
+//   tree.book_prof(path, bins, lo, hi [, title])
+//   tree.book_cloud(path [, title])
+//   tree.book_tuple(path, [columns...])
+//   tree.fill(path, x [, weight])       - Histogram1D or Cloud1D
+//   tree.fill2(path, x, y [, weight])   - Histogram2D or Profile1D
+//   tree.fill_row(path, [values...])    - Tuple
+#pragma once
+
+#include <memory>
+
+#include "aida/tree.hpp"
+#include "data/record.hpp"
+#include "script/value.hpp"
+
+namespace ipa::script {
+
+/// Wrap a record for script access. The record must outlive the value
+/// (engines hold the record for the duration of the process() call).
+std::shared_ptr<NativeObject> make_event_object(const data::Record* record);
+
+/// Wrap a tree for script access; same lifetime contract.
+std::shared_ptr<NativeObject> make_tree_object(aida::Tree* tree);
+
+}  // namespace ipa::script

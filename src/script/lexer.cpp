@@ -1,0 +1,204 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+
+namespace ipa::script {
+
+std::string_view token_name(Tok kind) {
+  switch (kind) {
+    case Tok::kNumber: return "number";
+    case Tok::kString: return "string";
+    case Tok::kIdent: return "identifier";
+    case Tok::kFunc: return "'func'";
+    case Tok::kLet: return "'let'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kNil: return "'nil'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kDot: return "'.'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAnd: return "'&&'";
+    case Tok::kOr: return "'||'";
+    case Tok::kNot: return "'!'";
+    case Tok::kEnd: return "end of script";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"func", Tok::kFunc},     {"let", Tok::kLet},           {"if", Tok::kIf},
+      {"else", Tok::kElse},     {"while", Tok::kWhile},       {"for", Tok::kFor},
+      {"return", Tok::kReturn}, {"break", Tok::kBreak},       {"continue", Tok::kContinue},
+      {"true", Tok::kTrue},     {"false", Tok::kFalse},       {"nil", Tok::kNil},
+  };
+  return kw;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  int line = 1;
+
+  const auto error = [&](const std::string& msg) {
+    return invalid_argument("script: " + msg + " (line " + std::to_string(line) + ")");
+  };
+  const auto push = [&](Tok kind, std::string text = "") {
+    tokens.push_back({kind, std::move(text), 0, line});
+  };
+  const auto match = [&](char c) {
+    if (pos < source.size() && source[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '#' || (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/')) {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[pos + 1])))) {
+      const std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[pos])) || source[pos] == '.' ||
+              source[pos] == 'e' || source[pos] == 'E' ||
+              ((source[pos] == '+' || source[pos] == '-') && pos > start &&
+               (source[pos - 1] == 'e' || source[pos - 1] == 'E')))) {
+        ++pos;
+      }
+      double value = 0;
+      const auto text = source.substr(start, pos - start);
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return error("malformed number '" + std::string(text) + "'");
+      }
+      Token token{Tok::kNumber, std::string(text), value, line};
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) || source[pos] == '_')) {
+        ++pos;
+      }
+      const std::string word(source.substr(start, pos - start));
+      const auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second);
+      } else {
+        push(Tok::kIdent, word);
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos;
+      std::string value;
+      while (pos < source.size() && source[pos] != quote) {
+        char ch = source[pos];
+        if (ch == '\n') return error("unterminated string");
+        if (ch == '\\' && pos + 1 < source.size()) {
+          ++pos;
+          switch (source[pos]) {
+            case 'n': ch = '\n'; break;
+            case 't': ch = '\t'; break;
+            case '\\': ch = '\\'; break;
+            case '"': ch = '"'; break;
+            case '\'': ch = '\''; break;
+            default: return error("unknown escape sequence");
+          }
+        }
+        value.push_back(ch);
+        ++pos;
+      }
+      if (pos >= source.size()) return error("unterminated string");
+      ++pos;
+      push(Tok::kString, std::move(value));
+      continue;
+    }
+
+    ++pos;
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ',': push(Tok::kComma); break;
+      case ';': push(Tok::kSemicolon); break;
+      case '.': push(Tok::kDot); break;
+      case '+': push(match('=') ? Tok::kPlusAssign : Tok::kPlus); break;
+      case '-': push(match('=') ? Tok::kMinusAssign : Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '=': push(match('=') ? Tok::kEq : Tok::kAssign); break;
+      case '!': push(match('=') ? Tok::kNe : Tok::kNot); break;
+      case '<': push(match('=') ? Tok::kLe : Tok::kLt); break;
+      case '>': push(match('=') ? Tok::kGe : Tok::kGt); break;
+      case '&':
+        if (!match('&')) return error("expected '&&'");
+        push(Tok::kAnd);
+        break;
+      case '|':
+        if (!match('|')) return error("expected '||'");
+        push(Tok::kOr);
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(Tok::kEnd);
+  return tokens;
+}
+
+}  // namespace ipa::script

@@ -1,0 +1,52 @@
+// PawScript lexer.
+//
+// PawScript is IPA's analysis-scripting language — the stand-in for the
+// PNUTS scripts the paper ships to its Java analysis engines (§3.5). It is
+// a small, dynamically-typed, C-syntax language:
+//
+//   func process(event, tree) {
+//     let px = event.get("px");
+//     if (len(px) >= 2) { tree.fill("/mass", inv_mass(event)); }
+//   }
+//
+// Scripts travel as source text and are compiled on the engine at load
+// time, which is what makes the paper's "change the analysis code on the
+// fly and reprocess" loop cheap: only kilobytes of source move.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ipa::script {
+
+enum class Tok {
+  // literals / names
+  kNumber, kString, kIdent,
+  // keywords
+  kFunc, kLet, kIf, kElse, kWhile, kFor, kReturn, kBreak, kContinue,
+  kTrue, kFalse, kNil,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAssign, kPlusAssign, kMinusAssign,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   // identifier name / string contents
+  double number = 0;  // kNumber value
+  int line = 1;
+};
+
+std::string_view token_name(Tok kind);
+
+/// Tokenize a full script. '//' and '#' start line comments.
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace ipa::script

@@ -1,0 +1,30 @@
+// PawScript recursive-descent parser.
+//
+// Grammar (precedence low → high):
+//   program    := (funcdecl | statement)*
+//   funcdecl   := "func" IDENT "(" params? ")" block
+//   statement  := let | ifstmt | while | for | return | break | continue
+//               | block | exprstmt/assignment
+//   expr       := or
+//   or         := and ("||" and)*
+//   and        := equality ("&&" equality)*
+//   equality   := comparison (("=="|"!=") comparison)*
+//   comparison := term (("<"|"<="|">"|">=") term)*
+//   term       := factor (("+"|"-") factor)*
+//   factor     := unary (("*"|"/"|"%") unary)*
+//   unary      := ("-"|"!") unary | postfix
+//   postfix    := primary ( "(" args ")" | "." IDENT "(" args ")"
+//               | "[" expr "]" )*
+//   primary    := NUMBER | STRING | IDENT | "true" | "false" | "nil"
+//               | "(" expr ")" | "[" args "]"
+#pragma once
+
+#include "common/status.hpp"
+#include "script/ast.hpp"
+
+namespace ipa::script {
+
+/// Parse a full script into a Program. Errors carry line numbers.
+Result<Program> parse(std::string_view source);
+
+}  // namespace ipa::script

@@ -1,0 +1,110 @@
+#include "script/value.hpp"
+
+#include "common/strings.hpp"
+
+namespace ipa::script {
+
+bool Value::truthy() const {
+  if (is_nil()) return false;
+  if (is_bool()) return boolean();
+  if (is_number()) return number() != 0.0;
+  if (is_string()) return !string().empty();
+  return true;
+}
+
+std::string_view Value::type_name() const {
+  switch (rep.index()) {
+    case 0: return "nil";
+    case 1: return "number";
+    case 2: return "bool";
+    case 3: return "string";
+    case 4: return "list";
+    case 5: return "function";
+    case 6: return "function";
+    case 7: return std::get<std::shared_ptr<NativeObject>>(rep)->type_name();
+  }
+  return "?";
+}
+
+std::string Value::to_display() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return boolean() ? "true" : "false";
+  if (is_number()) {
+    const double v = number();
+    if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    return strings::format("%g", v);
+  }
+  if (is_string()) return string();
+  if (is_list()) {
+    std::string out = "[";
+    const List& items = *list_ptr();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) out += ", ";
+      if (items[i].is_string()) {
+        out += "\"" + items[i].string() + "\"";
+      } else {
+        out += items[i].to_display();
+      }
+    }
+    return out + "]";
+  }
+  return "<" + std::string(type_name()) + ">";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.rep.index() != b.rep.index()) return false;
+  if (a.is_nil()) return true;
+  if (a.is_number()) return a.number() == b.number();
+  if (a.is_bool()) return a.boolean() == b.boolean();
+  if (a.is_string()) return a.string() == b.string();
+  if (a.is_list()) {
+    const List& la = *a.list_ptr();
+    const List& lb = *b.list_ptr();
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!(la[i] == lb[i])) return false;
+    }
+    return true;
+  }
+  // Functions / objects: identity.
+  return a.rep == b.rep;
+}
+
+Status check_arity(const std::vector<Value>& args, std::size_t min_args, std::size_t max_args,
+                   const char* what) {
+  if (args.size() < min_args || args.size() > max_args) {
+    if (min_args == max_args) {
+      return invalid_argument(strings::format("%s: expected %zu argument(s), got %zu", what,
+                                              min_args, args.size()));
+    }
+    return invalid_argument(strings::format("%s: expected %zu..%zu arguments, got %zu", what,
+                                            min_args, max_args, args.size()));
+  }
+  return Status::ok();
+}
+
+Result<double> arg_number(const std::vector<Value>& args, std::size_t i, const char* what) {
+  if (i >= args.size() || !args[i].is_number()) {
+    return invalid_argument(strings::format("%s: argument %zu must be a number", what, i + 1));
+  }
+  return args[i].number();
+}
+
+Result<std::string> arg_string(const std::vector<Value>& args, std::size_t i, const char* what) {
+  if (i >= args.size() || !args[i].is_string()) {
+    return invalid_argument(strings::format("%s: argument %zu must be a string", what, i + 1));
+  }
+  return args[i].string();
+}
+
+Result<std::shared_ptr<List>> arg_list(const std::vector<Value>& args, std::size_t i,
+                                       const char* what) {
+  if (i >= args.size() || !args[i].is_list()) {
+    return invalid_argument(strings::format("%s: argument %zu must be a list", what, i + 1));
+  }
+  return args[i].list_ptr();
+}
+
+}  // namespace ipa::script

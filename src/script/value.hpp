@@ -1,0 +1,99 @@
+// PawScript runtime values.
+//
+// Dynamically typed: nil, number (double), bool, string, list (shared,
+// reference semantics like Python), native function, user function, and
+// native object (host-provided receiver with methods — how the engine
+// exposes the current event and the AIDA tree to scripts).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "script/ast.hpp"
+
+namespace ipa::script {
+
+struct Value;
+using List = std::vector<Value>;
+
+/// Host object exposed to scripts (event, tree, ...). Methods are invoked
+/// as `obj.method(args)`.
+class NativeObject {
+ public:
+  virtual ~NativeObject() = default;
+  virtual std::string_view type_name() const = 0;
+  virtual Result<Value> call_method(std::string_view method, std::vector<Value>& args) = 0;
+};
+
+using NativeFn = std::function<Result<Value>(std::vector<Value>&)>;
+
+struct Value {
+  using Rep = std::variant<std::monostate,                  // nil
+                           double,                          // number
+                           bool,                            // bool
+                           std::string,                     // string
+                           std::shared_ptr<List>,           // list
+                           std::shared_ptr<NativeFn>,       // native function
+                           const FunctionDecl*,             // user function
+                           std::shared_ptr<NativeObject>>;  // host object
+
+  Rep rep;
+
+  Value() = default;
+  Value(double v) : rep(v) {}                     // NOLINT(google-explicit-constructor)
+  Value(bool v) : rep(v) {}                       // NOLINT
+  Value(std::string v) : rep(std::move(v)) {}     // NOLINT
+  Value(const char* v) : rep(std::string(v)) {}   // NOLINT
+  Value(std::shared_ptr<List> v) : rep(std::move(v)) {}          // NOLINT
+  Value(std::shared_ptr<NativeFn> v) : rep(std::move(v)) {}      // NOLINT
+  Value(const FunctionDecl* v) : rep(v) {}                       // NOLINT
+  Value(std::shared_ptr<NativeObject> v) : rep(std::move(v)) {}  // NOLINT
+
+  static Value nil() { return Value(); }
+  static Value list(List items) { return Value(std::make_shared<List>(std::move(items))); }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(rep); }
+  bool is_number() const { return std::holds_alternative<double>(rep); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep); }
+  bool is_list() const { return std::holds_alternative<std::shared_ptr<List>>(rep); }
+  bool is_callable() const {
+    return std::holds_alternative<std::shared_ptr<NativeFn>>(rep) ||
+           std::holds_alternative<const FunctionDecl*>(rep);
+  }
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<NativeObject>>(rep); }
+
+  double number() const { return std::get<double>(rep); }
+  bool boolean() const { return std::get<bool>(rep); }
+  const std::string& string() const { return std::get<std::string>(rep); }
+  const std::shared_ptr<List>& list_ptr() const { return std::get<std::shared_ptr<List>>(rep); }
+  const std::shared_ptr<NativeObject>& object() const {
+    return std::get<std::shared_ptr<NativeObject>>(rep);
+  }
+
+  /// nil/false → false; 0 and "" → false; everything else → true.
+  bool truthy() const;
+
+  /// "number", "string", "list", ...
+  std::string_view type_name() const;
+
+  /// Display form ("3.5", "\"x\"" inside lists, "[1, 2]", "<tree>").
+  std::string to_display() const;
+
+  /// Structural equality (lists compare element-wise; objects by identity).
+  friend bool operator==(const Value& a, const Value& b);
+};
+
+/// Argument helpers for native functions and methods.
+Result<double> arg_number(const std::vector<Value>& args, std::size_t i, const char* what);
+Result<std::string> arg_string(const std::vector<Value>& args, std::size_t i, const char* what);
+Result<std::shared_ptr<List>> arg_list(const std::vector<Value>& args, std::size_t i,
+                                       const char* what);
+Status check_arity(const std::vector<Value>& args, std::size_t min_args, std::size_t max_args,
+                   const char* what);
+
+}  // namespace ipa::script

@@ -1,0 +1,155 @@
+#include "security/credentials.hpp"
+
+#include <algorithm>
+
+#include "crypto/encoding.hpp"
+#include "crypto/sha256.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::security {
+
+bool Identity::has_role(std::string_view role) const {
+  return std::find(roles.begin(), roles.end(), role) != roles.end();
+}
+
+std::string CredentialAuthority::sign(const std::string& payload) const {
+  return crypto::to_hex(crypto::hmac_sha256(secret_, payload));
+}
+
+std::string CredentialAuthority::encode(const Identity& identity) const {
+  ser::Writer w;
+  w.string(identity.subject);
+  w.string(identity.vo);
+  w.vector(identity.roles, [](ser::Writer& ww, const std::string& r) { ww.string(r); });
+  w.f64(identity.issued_at);
+  w.f64(identity.expires_at);
+  w.svarint(identity.delegation_depth);
+  const auto& bytes = w.data();
+  const std::string payload = crypto::base64_encode(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  return payload + "." + sign(payload);
+}
+
+std::string CredentialAuthority::issue(const std::string& subject,
+                                       const std::vector<std::string>& roles,
+                                       double lifetime_s) const {
+  Identity identity;
+  identity.subject = subject;
+  identity.vo = vo_;
+  identity.roles = roles;
+  identity.issued_at = clock_->now();
+  identity.expires_at = identity.issued_at + lifetime_s;
+  identity.delegation_depth = 0;
+  return encode(identity);
+}
+
+Result<std::string> CredentialAuthority::delegate(const std::string& parent_token,
+                                                  double lifetime_s) const {
+  IPA_ASSIGN_OR_RETURN(Identity parent, verify(parent_token));
+  if (parent.delegation_depth >= kMaxDelegationDepth) {
+    return permission_denied("credential: delegation depth limit reached");
+  }
+  Identity proxy = parent;
+  proxy.issued_at = clock_->now();
+  proxy.expires_at = std::min(parent.expires_at, proxy.issued_at + lifetime_s);
+  proxy.delegation_depth = parent.delegation_depth + 1;
+  return encode(proxy);
+}
+
+Result<Identity> CredentialAuthority::verify(const std::string& token) const {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string::npos) return unauthenticated("credential: malformed token");
+  const std::string payload = token.substr(0, dot);
+  const std::string signature = token.substr(dot + 1);
+
+  // Constant-time signature check.
+  const std::string expected = sign(payload);
+  if (expected.size() != signature.size()) {
+    return unauthenticated("credential: bad signature");
+  }
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff = static_cast<unsigned char>(diff | (expected[i] ^ signature[i]));
+  }
+  if (diff != 0) return unauthenticated("credential: bad signature");
+
+  IPA_ASSIGN_OR_RETURN(const std::string raw, crypto::base64_decode(payload));
+  ser::Reader r(reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+  Identity identity;
+  IPA_ASSIGN_OR_RETURN(identity.subject, r.string());
+  IPA_ASSIGN_OR_RETURN(identity.vo, r.string());
+  {
+    auto roles = r.vector<std::string>([](ser::Reader& rr) { return rr.string(); });
+    IPA_RETURN_IF_ERROR(roles.status());
+    identity.roles = std::move(*roles);
+  }
+  IPA_ASSIGN_OR_RETURN(identity.issued_at, r.f64());
+  IPA_ASSIGN_OR_RETURN(identity.expires_at, r.f64());
+  {
+    IPA_ASSIGN_OR_RETURN(const std::int64_t depth, r.svarint());
+    identity.delegation_depth = static_cast<int>(depth);
+  }
+
+  if (identity.vo != vo_) {
+    return unauthenticated("credential: wrong VO '" + identity.vo + "'");
+  }
+  if (identity.delegation_depth < 0 || identity.delegation_depth > kMaxDelegationDepth) {
+    return unauthenticated("credential: invalid delegation depth");
+  }
+  if (clock_->now() >= identity.expires_at) {
+    return unauthenticated("credential: expired");
+  }
+  return identity;
+}
+
+Result<VoPolicy> VoPolicy::from_config(const Config& config) {
+  VoPolicy policy;
+  IPA_ASSIGN_OR_RETURN(policy.vo_, config.require_string("vo.name"));
+
+  // Collect role names from "role.<name>.max_nodes" keys.
+  const Config roles = config.section("role");
+  for (const auto& [key, _] : roles.entries()) {
+    const std::size_t dot = key.find('.');
+    if (dot == std::string::npos || key.substr(dot + 1) != "max_nodes") continue;
+    RolePolicy role;
+    role.name = key.substr(0, dot);
+    IPA_ASSIGN_OR_RETURN(const std::int64_t cap, roles.require_int(key));
+    if (cap <= 0) return invalid_argument("policy: role '" + role.name + "' max_nodes must be > 0");
+    role.max_nodes = static_cast<int>(cap);
+    role.queue = roles.get_string(role.name + ".queue", "batch");
+    policy.roles_.push_back(std::move(role));
+  }
+  if (policy.roles_.empty()) return invalid_argument("policy: no roles configured");
+  return policy;
+}
+
+const VoPolicy::RolePolicy* VoPolicy::best_role(const Identity& identity) const {
+  const RolePolicy* best = nullptr;
+  for (const RolePolicy& role : roles_) {
+    if (!identity.has_role(role.name)) continue;
+    if (best == nullptr || role.max_nodes > best->max_nodes) best = &role;
+  }
+  return best;
+}
+
+Result<int> VoPolicy::authorize_nodes(const Identity& identity, int requested_nodes) const {
+  if (identity.vo != vo_) {
+    return permission_denied("policy: identity belongs to VO '" + identity.vo +
+                             "', site serves '" + vo_ + "'");
+  }
+  const RolePolicy* role = best_role(identity);
+  if (role == nullptr) {
+    return permission_denied("policy: subject '" + identity.subject + "' has no authorized role");
+  }
+  if (requested_nodes <= 0) return invalid_argument("policy: requested nodes must be > 0");
+  return std::min(requested_nodes, role->max_nodes);
+}
+
+Result<std::string> VoPolicy::queue_for(const Identity& identity) const {
+  if (identity.vo != vo_) return permission_denied("policy: wrong VO");
+  const RolePolicy* role = best_role(identity);
+  if (role == nullptr) return permission_denied("policy: no authorized role");
+  return role->queue;
+}
+
+}  // namespace ipa::security

@@ -1,0 +1,106 @@
+// Grid security: proxy credentials and VO policy.
+//
+// The paper authenticates the JAS client to the manager services with a GSI
+// proxy certificate created from the user's grid credential; the site then
+// authorizes the user against Virtual Organization policy (max engines,
+// queue access). X.509/GSI is substituted with HMAC-SHA256-signed tokens
+// that keep the same lifecycle:
+//
+//   issue     - the VO authority signs {subject, vo, roles, expiry, depth=0}
+//   delegate  - a holder derives a shorter-lived depth+1 proxy (the "proxy
+//               certificate" the client actually presents)
+//   verify    - any service holding the VO secret validates signature,
+//               expiry and delegation depth
+//
+// Token wire form: base64(payload) "." hex(hmac(payload)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/status.hpp"
+
+namespace ipa::security {
+
+/// Decoded identity of a verified credential.
+struct Identity {
+  std::string subject;              // "cn=alice"
+  std::string vo;                   // "lc-vo"
+  std::vector<std::string> roles;   // {"analysis", "admin"}
+  double issued_at = 0;
+  double expires_at = 0;
+  int delegation_depth = 0;
+
+  bool has_role(std::string_view role) const;
+};
+
+inline constexpr int kMaxDelegationDepth = 8;
+
+/// Issues and verifies proxy credentials for one VO.
+class CredentialAuthority {
+ public:
+  CredentialAuthority(std::string vo, std::string secret,
+                      const Clock& clock = WallClock::instance())
+      : vo_(std::move(vo)), secret_(std::move(secret)), clock_(&clock) {}
+
+  /// Sign a fresh depth-0 credential.
+  std::string issue(const std::string& subject, const std::vector<std::string>& roles,
+                    double lifetime_s) const;
+
+  /// Derive a proxy from an existing valid token: depth+1, lifetime clamped
+  /// to both `lifetime_s` and the parent's remaining lifetime.
+  Result<std::string> delegate(const std::string& parent_token, double lifetime_s) const;
+
+  /// Validate signature, expiry and depth; returns the identity.
+  Result<Identity> verify(const std::string& token) const;
+
+  const std::string& vo() const { return vo_; }
+
+ private:
+  std::string sign(const std::string& payload) const;
+  std::string encode(const Identity& identity) const;
+
+  std::string vo_;
+  std::string secret_;
+  const Clock* clock_;
+};
+
+/// Per-VO site policy: which roles may run, how many analysis engines each
+/// may start, which scheduler queue they use. Loaded from Config entries:
+///
+///   vo.name = lc-vo
+///   role.analysis.max_nodes = 16
+///   role.analysis.queue = interactive
+///   role.student.max_nodes = 2
+///   role.student.queue = batch
+class VoPolicy {
+ public:
+  static Result<VoPolicy> from_config(const Config& config);
+
+  /// Grant for an identity asking for `requested_nodes` engines: the number
+  /// actually allowed (min over requested and the best role cap), or an
+  /// error when the identity has no authorized role or wrong VO.
+  Result<int> authorize_nodes(const Identity& identity, int requested_nodes) const;
+
+  /// Scheduler queue for the identity's best (highest-cap) role.
+  Result<std::string> queue_for(const Identity& identity) const;
+
+  const std::string& vo() const { return vo_; }
+
+ private:
+  struct RolePolicy {
+    std::string name;
+    int max_nodes = 0;
+    std::string queue;
+  };
+
+  const RolePolicy* best_role(const Identity& identity) const;
+
+  std::string vo_;
+  std::vector<RolePolicy> roles_;
+};
+
+}  // namespace ipa::security

@@ -1,0 +1,117 @@
+#include "services/aida_manager.hpp"
+
+namespace ipa::services {
+
+Status AidaManager::open_session(const std::string& session_id) {
+  std::lock_guard lock(mutex_);
+  if (sessions_.count(session_id) != 0) {
+    return already_exists("aida manager: session '" + session_id + "' already open");
+  }
+  sessions_.emplace(session_id, SessionMerge{});
+  return Status::ok();
+}
+
+Status AidaManager::close_session(const std::string& session_id) {
+  std::lock_guard lock(mutex_);
+  if (sessions_.erase(session_id) == 0) {
+    return not_found("aida manager: no session '" + session_id + "'");
+  }
+  return Status::ok();
+}
+
+Status AidaManager::push(const PushRequest& request) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(request.session_id);
+  if (it == sessions_.end()) {
+    return not_found("aida manager: no session '" + request.session_id + "'");
+  }
+  // Validate the snapshot before accepting it.
+  auto tree = aida::Tree::deserialize(request.snapshot);
+  IPA_RETURN_IF_ERROR(tree.status().with_prefix("aida manager: bad snapshot"));
+  it->second.engine_snapshots[request.report.engine_id] = request.snapshot;
+  it->second.reports[request.report.engine_id] = request.report;
+  ++it->second.version;
+  return Status::ok();
+}
+
+Result<ser::Bytes> AidaManager::merge_session(const SessionMerge& session) const {
+  // Deserialize every engine's latest snapshot and merge.
+  std::vector<aida::Tree> trees;
+  trees.reserve(session.engine_snapshots.size());
+  for (const auto& [engine_id, bytes] : session.engine_snapshots) {
+    auto tree = aida::Tree::deserialize(bytes);
+    IPA_RETURN_IF_ERROR(tree.status().with_prefix("merge: engine " + engine_id));
+    trees.push_back(std::move(*tree));
+  }
+  if (trees.empty()) return aida::Tree().serialize();
+
+  const auto merge_range = [this](std::vector<aida::Tree>& group) -> Result<aida::Tree> {
+    aida::Tree merged;
+    for (aida::Tree& tree : group) {
+      IPA_RETURN_IF_ERROR(merged.merge(tree));
+      ++merges_;
+    }
+    return merged;
+  };
+
+  if (merge_fan_in_ == 0 || trees.size() <= merge_fan_in_) {
+    IPA_ASSIGN_OR_RETURN(aida::Tree merged, merge_range(trees));
+    return merged.serialize();
+  }
+
+  // Two-level hierarchy: sub-mergers of bounded fan-in, then the top level.
+  std::vector<aida::Tree> sub_results;
+  for (std::size_t begin = 0; begin < trees.size(); begin += merge_fan_in_) {
+    const std::size_t end = std::min(begin + merge_fan_in_, trees.size());
+    std::vector<aida::Tree> group(std::make_move_iterator(trees.begin() + static_cast<long>(begin)),
+                                  std::make_move_iterator(trees.begin() + static_cast<long>(end)));
+    IPA_ASSIGN_OR_RETURN(aida::Tree sub, merge_range(group));
+    sub_results.push_back(std::move(sub));
+  }
+  IPA_ASSIGN_OR_RETURN(aida::Tree merged, merge_range(sub_results));
+  return merged.serialize();
+}
+
+Result<PollResponse> AidaManager::poll(const std::string& session_id,
+                                       std::uint64_t since_version) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return not_found("aida manager: no session '" + session_id + "'");
+  }
+  const SessionMerge& session = it->second;
+
+  PollResponse response;
+  response.version = session.version;
+  for (const auto& [engine_id, report] : session.reports) response.engines.push_back(report);
+  if (session.version <= since_version) {
+    response.changed = false;
+    return response;
+  }
+  if (session.merged_cache_version != session.version) {
+    IPA_ASSIGN_OR_RETURN(session.merged_cache, merge_session(session));
+    session.merged_cache_version = session.version;
+  }
+  response.changed = true;
+  response.merged = session.merged_cache;
+  return response;
+}
+
+Status AidaManager::reset_session(const std::string& session_id) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return not_found("aida manager: no session '" + session_id + "'");
+  }
+  it->second.engine_snapshots.clear();
+  it->second.reports.clear();
+  ++it->second.version;
+  return Status::ok();
+}
+
+std::size_t AidaManager::session_count() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace ipa::services

@@ -1,0 +1,68 @@
+// The AIDA manager: merges intermediate results from all analysis engines
+// of a session and serves them to the polling client (paper §3.7).
+//
+// Engines push serialized tree snapshots; each push replaces that engine's
+// contribution and bumps the session's merge version. The client polls with
+// its last-seen version and receives the merged tree only when something
+// changed — the paper's JAS plug-in "constantly polls the AIDA manager with
+// RMI calls to check for any updated histograms".
+//
+// Scaling (paper §2.5): with many engines the single merger becomes a
+// bottleneck, so the merge can be arranged as a two-level tree: engines are
+// assigned to sub-mergers of bounded fan-in whose outputs merge at the top.
+// merge_fan_in == 0 disables the hierarchy (single-level merge).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aida/tree.hpp"
+#include "services/protocol.hpp"
+
+namespace ipa::services {
+
+class AidaManager {
+ public:
+  explicit AidaManager(std::size_t merge_fan_in = 0) : merge_fan_in_(merge_fan_in) {}
+
+  /// Create merge state for a session.
+  Status open_session(const std::string& session_id);
+  Status close_session(const std::string& session_id);
+
+  /// Engine snapshot arrival (idempotent per engine: latest wins).
+  Status push(const PushRequest& request);
+
+  /// Client poll: merged tree if version > since_version.
+  Result<PollResponse> poll(const std::string& session_id, std::uint64_t since_version) const;
+
+  /// Drop all engine contributions for a session (rewind support).
+  Status reset_session(const std::string& session_id);
+
+  std::size_t session_count() const;
+
+  /// Number of pairwise tree merges performed since construction — the
+  /// cost metric for the bench_merge ablation.
+  std::uint64_t merges_performed() const { return merges_; }
+
+ private:
+  struct SessionMerge {
+    std::map<std::string, ser::Bytes> engine_snapshots;  // engine id -> latest
+    std::map<std::string, EngineReport> reports;
+    std::uint64_t version = 0;
+    // Cached merged tree, rebuilt lazily on poll after a push.
+    mutable ser::Bytes merged_cache;
+    mutable std::uint64_t merged_cache_version = 0;
+  };
+
+  Result<ser::Bytes> merge_session(const SessionMerge& session) const;
+
+  std::size_t merge_fan_in_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SessionMerge> sessions_;
+  mutable std::uint64_t merges_ = 0;
+};
+
+}  // namespace ipa::services

@@ -1,0 +1,37 @@
+#include "services/locator.hpp"
+
+namespace ipa::services {
+
+Status Locator::register_dataset(const std::string& dataset_id, DatasetLocation location) {
+  if (dataset_id.empty()) return invalid_argument("locator: empty dataset id");
+  std::lock_guard lock(mutex_);
+  if (locations_.count(dataset_id) != 0) {
+    return already_exists("locator: dataset '" + dataset_id + "' already registered");
+  }
+  locations_.emplace(dataset_id, std::move(location));
+  return Status::ok();
+}
+
+Status Locator::unregister_dataset(const std::string& dataset_id) {
+  std::lock_guard lock(mutex_);
+  if (locations_.erase(dataset_id) == 0) {
+    return not_found("locator: no dataset '" + dataset_id + "'");
+  }
+  return Status::ok();
+}
+
+Result<DatasetLocation> Locator::locate(const std::string& dataset_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = locations_.find(dataset_id);
+  if (it == locations_.end()) {
+    return not_found("locator: no location for dataset '" + dataset_id + "'");
+  }
+  return it->second;
+}
+
+std::size_t Locator::size() const {
+  std::lock_guard lock(mutex_);
+  return locations_.size();
+}
+
+}  // namespace ipa::services

@@ -1,0 +1,33 @@
+// Locator service: resolves a catalog dataset identifier to the dataset's
+// physical location and the splitter responsible for it (paper §3.4: "the
+// locator service returns the location of the dataset [and] the location
+// of the splitter service").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/uri.hpp"
+
+namespace ipa::services {
+
+struct DatasetLocation {
+  Uri location;          // e.g. file:///data/lc/run7.ipd or gftp://se0/...
+  std::string splitter;  // splitter service id responsible for this storage
+};
+
+class Locator {
+ public:
+  Status register_dataset(const std::string& dataset_id, DatasetLocation location);
+  Status unregister_dataset(const std::string& dataset_id);
+  Result<DatasetLocation> locate(const std::string& dataset_id) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, DatasetLocation> locations_;
+};
+
+}  // namespace ipa::services

@@ -1,0 +1,380 @@
+#include "services/manager.hpp"
+
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace ipa::services {
+
+Result<std::vector<std::unique_ptr<EngineHandle>>> LocalComputeElement::start_engines(
+    const std::string& session_id, int count, const Uri& manager_rpc_endpoint) {
+  std::vector<std::unique_ptr<EngineHandle>> engines;
+  engines.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string engine_id = session_id + "-eng" + std::to_string(i);
+    auto host = WorkerHost::start(session_id, engine_id, manager_rpc_endpoint, config_);
+    IPA_RETURN_IF_ERROR(host.status());
+    engines.push_back(std::move(*host));
+  }
+  return engines;
+}
+
+namespace {
+
+constexpr const char* kDefaultPolicy = R"(
+vo.name = ipa-vo
+role.analysis.max_nodes = 16
+role.analysis.queue = interactive
+role.student.max_nodes = 2
+role.student.queue = batch
+)";
+
+}  // namespace
+
+ManagerNode::ManagerNode(ManagerConfig config)
+    : config_(std::move(config)),
+      authority_("ipa-vo", config_.vo_secret),
+      splitter_(config_.staging_dir),
+      aida_(config_.merge_fan_in),
+      compute_(std::make_unique<LocalComputeElement>(config_.engine_config)) {}
+
+ManagerNode::~ManagerNode() { stop(); }
+
+Result<std::unique_ptr<ManagerNode>> ManagerNode::start(ManagerConfig config) {
+  std::unique_ptr<ManagerNode> node(new ManagerNode(std::move(config)));
+  IPA_RETURN_IF_ERROR(node->initialize());
+  return node;
+}
+
+Status ManagerNode::initialize() {
+  // VO policy.
+  const std::string policy_text =
+      config_.policy_text.empty() ? kDefaultPolicy : config_.policy_text;
+  IPA_ASSIGN_OR_RETURN(const Config policy_config, Config::parse(policy_text));
+  auto policy = security::VoPolicy::from_config(policy_config);
+  IPA_RETURN_IF_ERROR(policy.status());
+  policy_ = std::make_unique<security::VoPolicy>(std::move(*policy));
+
+  // RPC server ("RMI" side): AidaManager + WorkerRegistry.
+  Uri rpc_endpoint = config_.rpc_endpoint;
+  if (rpc_endpoint.scheme.empty()) {
+    rpc_endpoint.scheme = "inproc";
+    rpc_endpoint.host = make_id("ipa-mgr-rpc");
+  }
+  rpc_ = std::make_unique<rpc::RpcServer>(rpc_endpoint);
+  register_rpc_services();
+  IPA_ASSIGN_OR_RETURN(rpc_bound_, rpc_->start());
+
+  // SOAP server ("web service" side).
+  soap_ = std::make_unique<soap::SoapServer>(config_.soap_host, config_.soap_port);
+  soap_->set_auth([this](const std::string& token) -> Result<std::string> {
+    auto identity = authority_.verify(token);
+    IPA_RETURN_IF_ERROR(identity.status());
+    return identity->subject;
+  });
+  register_soap_operations();
+  IPA_RETURN_IF_ERROR(soap_->start().status());
+  IPA_LOG(info) << "IPA manager up: soap=" << soap_->endpoint().to_string()
+                << " rpc=" << rpc_bound_.to_string();
+  return Status::ok();
+}
+
+void ManagerNode::stop() {
+  // Close all sessions first so worker hosts disconnect before servers die.
+  for (const std::string& id : sessions_.ids()) {
+    if (auto session = sessions_.find(id); session.is_ok()) {
+      (void)(*session)->close();
+      (void)aida_.close_session(id);
+      (void)splitter_.cleanup(id);
+    }
+    sessions_.destroy(id);
+  }
+  if (soap_) soap_->stop();
+  if (rpc_) rpc_->stop();
+}
+
+Status ManagerNode::publish_dataset(const std::string& catalog_path,
+                                    const std::string& dataset_id,
+                                    std::map<std::string, std::string> metadata,
+                                    const std::string& file_path) {
+  // Enrich metadata from the file itself.
+  auto reader = data::DatasetReader::open(file_path);
+  IPA_RETURN_IF_ERROR(reader.status().with_prefix("publish"));
+  metadata["records"] = std::to_string(reader->size());
+  metadata["size_mb"] =
+      strings::format("%.1f", static_cast<double>(reader->info().file_bytes) / 1e6);
+  IPA_RETURN_IF_ERROR(catalog_.add(catalog_path, dataset_id, std::move(metadata)));
+  DatasetLocation location;
+  location.location.scheme = "file";
+  location.location.path = file_path;
+  location.splitter = "splitter-0";
+  return locator_.register_dataset(dataset_id, std::move(location));
+}
+
+void ManagerNode::set_compute_element(std::unique_ptr<ComputeElement> element) {
+  std::lock_guard lock(mutex_);
+  compute_ = std::move(element);
+}
+
+std::size_t ManagerNode::active_sessions() const { return sessions_.size(); }
+
+// ---------------------------------------------------------------------------
+// RPC services (the "RMI" side)
+// ---------------------------------------------------------------------------
+
+void ManagerNode::register_rpc_services() {
+  auto registry = std::make_shared<rpc::Service>(kWorkerRegistryService);
+  registry->register_method(
+      "ready", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+        IPA_ASSIGN_OR_RETURN(const auto ready, decode_ready(payload));
+        auto session = sessions_.find(ready.first);
+        IPA_RETURN_IF_ERROR(session.status());
+        (*session)->mark_ready(ready.second);
+        return ser::Bytes{};
+      });
+  rpc_->add_service(std::move(registry));
+
+  auto aida = std::make_shared<rpc::Service>(kAidaManagerService);
+  aida->register_method(
+      "push", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+        IPA_ASSIGN_OR_RETURN(const PushRequest request, decode_push(payload));
+        IPA_RETURN_IF_ERROR(aida_.push(request));
+        return ser::Bytes{};
+      });
+  aida->register_method(
+      "poll", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+        IPA_ASSIGN_OR_RETURN(const auto request, decode_poll_request(payload));
+        IPA_ASSIGN_OR_RETURN(const PollResponse response,
+                             aida_.poll(request.first, request.second));
+        return encode_poll_response(response);
+      });
+  rpc_->add_service(std::move(aida));
+}
+
+// ---------------------------------------------------------------------------
+// SOAP operations (the web-service side)
+// ---------------------------------------------------------------------------
+
+void ManagerNode::register_soap_operations() {
+  const auto bind = [this](const char* service, const char* op,
+                           Result<xml::Node> (ManagerNode::*fn)(const soap::SoapContext&,
+                                                                const xml::Node&)) {
+    soap_->register_operation(
+        service, op,
+        [this, fn](const soap::SoapContext& ctx, const xml::Node& args) {
+          return (this->*fn)(ctx, args);
+        },
+        /*require_auth=*/true);
+  };
+
+  bind(kControlService, "createSession", &ManagerNode::op_create_session);
+  bind(kSessionService, "activate", &ManagerNode::op_activate);
+  bind(kSessionService, "selectDataset", &ManagerNode::op_select_dataset);
+  bind(kSessionService, "stageCode", &ManagerNode::op_stage_code);
+  bind(kSessionService, "control", &ManagerNode::op_control);
+  bind(kSessionService, "status", &ManagerNode::op_status);
+  bind(kSessionService, "close", &ManagerNode::op_close);
+  bind(kCatalogService, "browse", &ManagerNode::op_browse);
+  bind(kCatalogService, "search", &ManagerNode::op_search);
+  bind(kLocatorService, "locate", &ManagerNode::op_locate);
+}
+
+Result<std::shared_ptr<Session>> ManagerNode::session_for(const soap::SoapContext& ctx) {
+  if (ctx.resource.empty()) {
+    return invalid_argument("session call without a Resource header");
+  }
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, sessions_.find(ctx.resource));
+  if (session->owner() != ctx.principal) {
+    return permission_denied("session '" + ctx.resource + "' belongs to " + session->owner());
+  }
+  return session;
+}
+
+Result<xml::Node> ManagerNode::op_create_session(const soap::SoapContext& ctx,
+                                                 const xml::Node& args) {
+  // Authorize node count against VO policy and site limit.
+  IPA_ASSIGN_OR_RETURN(const security::Identity identity, authority_.verify(ctx.token));
+  std::int64_t requested = config_.site_max_nodes;
+  if (const xml::Node* nodes = args.find("nodes")) {
+    if (!strings::parse_i64(nodes->text(), requested)) {
+      return invalid_argument("createSession: bad <nodes> value");
+    }
+  }
+  IPA_ASSIGN_OR_RETURN(int granted,
+                       policy_->authorize_nodes(identity, static_cast<int>(requested)));
+  granted = std::min(granted, config_.site_max_nodes);
+  IPA_ASSIGN_OR_RETURN(const std::string queue, policy_->queue_for(identity));
+
+  const std::string id = make_id("sess");
+  auto session = std::make_shared<Session>(id, ctx.principal, granted, queue);
+  IPA_RETURN_IF_ERROR(sessions_.insert(id, session));
+  IPA_RETURN_IF_ERROR(aida_.open_session(id).with_prefix("createSession"));
+
+  xml::Node reply("ipa:createSessionResponse");
+  reply.add_child(text_element("sessionId", id));
+  reply.add_child(text_element("grantedNodes", std::to_string(granted)));
+  reply.add_child(text_element("queue", queue));
+  reply.add_child(text_element("rmiEndpoint", rpc_bound_.to_string()));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_activate(const soap::SoapContext& ctx, const xml::Node&) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  if (session->state() != SessionState::kCreated) {
+    return failed_precondition("activate: session already active");
+  }
+  ComputeElement* compute;
+  {
+    std::lock_guard lock(mutex_);
+    compute = compute_.get();
+  }
+  auto engines = compute->start_engines(session->id(), session->granted_nodes(), rpc_bound_);
+  IPA_RETURN_IF_ERROR(engines.status().with_prefix("activate"));
+  if (!session->all_ready()) {
+    return unavailable("activate: not all engines signalled ready");
+  }
+  IPA_RETURN_IF_ERROR(session->attach_engines(std::move(*engines)));
+
+  xml::Node reply("ipa:activateResponse");
+  reply.add_child(text_element("engines", std::to_string(session->granted_nodes())));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_select_dataset(const soap::SoapContext& ctx,
+                                                 const xml::Node& args) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  const std::string dataset_id = args.child_text("datasetId");
+  if (dataset_id.empty()) return invalid_argument("selectDataset: missing <datasetId>");
+
+  IPA_ASSIGN_OR_RETURN(const DatasetLocation location, locator_.locate(dataset_id));
+  IPA_ASSIGN_OR_RETURN(
+      const data::SplitResult split,
+      splitter_.stage(session->id(), location.location, session->granted_nodes()));
+  IPA_RETURN_IF_ERROR(session->distribute_parts(split));
+  session->set_dataset_id(dataset_id);
+
+  xml::Node reply("ipa:selectDatasetResponse");
+  reply.add_child(text_element("parts", std::to_string(split.parts.size())));
+  reply.add_child(text_element("records", std::to_string(split.total_records)));
+  reply.add_child(text_element("bytes", std::to_string(split.total_bytes)));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_stage_code(const soap::SoapContext& ctx,
+                                             const xml::Node& args) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  engine::CodeBundle bundle;
+  const std::string kind = args.child_text("kind", "script");
+  if (kind == "script") {
+    bundle.kind = engine::CodeBundle::Kind::kScript;
+  } else if (kind == "plugin") {
+    bundle.kind = engine::CodeBundle::Kind::kPlugin;
+  } else {
+    return invalid_argument("stageCode: unknown kind '" + kind + "'");
+  }
+  bundle.name = args.child_text("name", "anonymous");
+  bundle.source = args.child_text("source");
+  if (bundle.source.empty()) return invalid_argument("stageCode: missing <source>");
+  IPA_RETURN_IF_ERROR(session->stage_code(bundle));
+
+  xml::Node reply("ipa:stageCodeResponse");
+  reply.add_child(text_element("bytes", std::to_string(bundle.byte_size())));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_control(const soap::SoapContext& ctx, const xml::Node& args) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  IPA_ASSIGN_OR_RETURN(const ControlVerb verb, parse_verb(args.child_text("verb")));
+  std::uint64_t records = 0;
+  if (verb == ControlVerb::kRunRecords) {
+    if (!strings::parse_u64(args.child_text("records", "0"), records) || records == 0) {
+      return invalid_argument("control: run_records needs <records>");
+    }
+  }
+  IPA_RETURN_IF_ERROR(session->control(verb, records));
+  // A rewind also clears the manager-side merge state so stale engine
+  // contributions do not linger.
+  if (verb == ControlVerb::kRewind) {
+    IPA_RETURN_IF_ERROR(aida_.reset_session(session->id()));
+  }
+  xml::Node reply("ipa:controlResponse");
+  reply.add_child(text_element("applied", std::string(to_string(verb))));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_status(const soap::SoapContext& ctx, const xml::Node&) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  xml::Node reply("ipa:statusResponse");
+  reply.add_child(text_element("state", std::string(to_string(session->state()))));
+  reply.add_child(text_element("dataset", session->dataset_id()));
+  xml::Node engines("engines");
+  for (const EngineReport& report : session->reports()) {
+    xml::Node engine("engine");
+    engine.set_attribute("id", report.engine_id);
+    engine.set_attribute("state", engine_state_name(report.state));
+    engine.set_attribute("processed", std::to_string(report.processed));
+    engine.set_attribute("total", std::to_string(report.total));
+    if (!report.error.empty()) engine.set_attribute("error", report.error);
+    engines.add_child(std::move(engine));
+  }
+  reply.add_child(std::move(engines));
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_close(const soap::SoapContext& ctx, const xml::Node&) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, session_for(ctx));
+  IPA_RETURN_IF_ERROR(session->close());
+  (void)aida_.close_session(session->id());
+  (void)splitter_.cleanup(session->id());
+  sessions_.destroy(session->id());
+  xml::Node reply("ipa:closeResponse");
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_browse(const soap::SoapContext&, const xml::Node& args) {
+  const std::string path = args.child_text("path");
+  IPA_ASSIGN_OR_RETURN(const catalog::Listing listing, catalog_.browse(path));
+  xml::Node reply("ipa:browseResponse");
+  for (const std::string& folder : listing.folders) {
+    reply.add_child(text_element("folder", folder));
+  }
+  for (const catalog::DatasetEntry& entry : listing.datasets) {
+    xml::Node ds("dataset");
+    ds.set_attribute("id", entry.id);
+    ds.set_attribute("path", entry.path);
+    for (const auto& [key, value] : entry.metadata) {
+      xml::Node meta("meta");
+      meta.set_attribute("key", key);
+      meta.set_attribute("value", value);
+      ds.add_child(std::move(meta));
+    }
+    reply.add_child(std::move(ds));
+  }
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_search(const soap::SoapContext&, const xml::Node& args) {
+  const std::string query = args.child_text("query");
+  if (query.empty()) return invalid_argument("search: missing <query>");
+  IPA_ASSIGN_OR_RETURN(const auto matches, catalog_.search(query));
+  xml::Node reply("ipa:searchResponse");
+  for (const catalog::DatasetEntry& entry : matches) {
+    xml::Node ds("dataset");
+    ds.set_attribute("id", entry.id);
+    ds.set_attribute("path", entry.path);
+    reply.add_child(std::move(ds));
+  }
+  return reply;
+}
+
+Result<xml::Node> ManagerNode::op_locate(const soap::SoapContext&, const xml::Node& args) {
+  const std::string dataset_id = args.child_text("datasetId");
+  if (dataset_id.empty()) return invalid_argument("locate: missing <datasetId>");
+  IPA_ASSIGN_OR_RETURN(const DatasetLocation location, locator_.locate(dataset_id));
+  xml::Node reply("ipa:locateResponse");
+  reply.add_child(text_element("location", location.location.to_string()));
+  reply.add_child(text_element("splitter", location.splitter));
+  return reply;
+}
+
+}  // namespace ipa::services

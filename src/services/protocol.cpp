@@ -1,0 +1,142 @@
+#include "services/protocol.hpp"
+
+namespace ipa::services {
+
+void encode_report(ser::Writer& w, const EngineReport& report) {
+  w.string(report.engine_id);
+  w.u8(static_cast<std::uint8_t>(report.state));
+  w.varint(report.processed);
+  w.varint(report.total);
+  w.string(report.error);
+}
+
+Result<EngineReport> decode_report(ser::Reader& r) {
+  EngineReport report;
+  IPA_ASSIGN_OR_RETURN(report.engine_id, r.string());
+  IPA_ASSIGN_OR_RETURN(const std::uint8_t state, r.u8());
+  if (state > static_cast<std::uint8_t>(engine::EngineState::kFailed)) {
+    return data_loss("report: bad engine state byte");
+  }
+  report.state = static_cast<engine::EngineState>(state);
+  IPA_ASSIGN_OR_RETURN(report.processed, r.varint());
+  IPA_ASSIGN_OR_RETURN(report.total, r.varint());
+  IPA_ASSIGN_OR_RETURN(report.error, r.string());
+  return report;
+}
+
+ser::Bytes encode_push(const PushRequest& request) {
+  ser::Writer w;
+  w.string(request.session_id);
+  encode_report(w, request.report);
+  w.bytes(request.snapshot);
+  return std::move(w).take();
+}
+
+Result<PushRequest> decode_push(const ser::Bytes& payload) {
+  ser::Reader r(payload);
+  PushRequest request;
+  IPA_ASSIGN_OR_RETURN(request.session_id, r.string());
+  {
+    auto report = decode_report(r);
+    IPA_RETURN_IF_ERROR(report.status());
+    request.report = std::move(*report);
+  }
+  IPA_ASSIGN_OR_RETURN(request.snapshot, r.bytes());
+  return request;
+}
+
+ser::Bytes encode_poll_request(const std::string& session_id, std::uint64_t since_version) {
+  ser::Writer w;
+  w.string(session_id);
+  w.varint(since_version);
+  return std::move(w).take();
+}
+
+Result<std::pair<std::string, std::uint64_t>> decode_poll_request(const ser::Bytes& payload) {
+  ser::Reader r(payload);
+  IPA_ASSIGN_OR_RETURN(std::string session_id, r.string());
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t since, r.varint());
+  return std::make_pair(std::move(session_id), since);
+}
+
+ser::Bytes encode_poll_response(const PollResponse& response) {
+  ser::Writer w;
+  w.varint(response.version);
+  w.boolean(response.changed);
+  if (response.changed) w.bytes(response.merged);
+  w.vector(response.engines,
+           [](ser::Writer& ww, const EngineReport& report) { encode_report(ww, report); });
+  return std::move(w).take();
+}
+
+Result<PollResponse> decode_poll_response(const ser::Bytes& payload) {
+  ser::Reader r(payload);
+  PollResponse response;
+  IPA_ASSIGN_OR_RETURN(response.version, r.varint());
+  IPA_ASSIGN_OR_RETURN(response.changed, r.boolean());
+  if (response.changed) {
+    IPA_ASSIGN_OR_RETURN(response.merged, r.bytes());
+  }
+  {
+    auto engines = r.vector<EngineReport>([](ser::Reader& rr) { return decode_report(rr); });
+    IPA_RETURN_IF_ERROR(engines.status());
+    response.engines = std::move(*engines);
+  }
+  return response;
+}
+
+ser::Bytes encode_ready(const std::string& session_id, const std::string& engine_id) {
+  ser::Writer w;
+  w.string(session_id);
+  w.string(engine_id);
+  return std::move(w).take();
+}
+
+Result<std::pair<std::string, std::string>> decode_ready(const ser::Bytes& payload) {
+  ser::Reader r(payload);
+  IPA_ASSIGN_OR_RETURN(std::string session_id, r.string());
+  IPA_ASSIGN_OR_RETURN(std::string engine_id, r.string());
+  return std::make_pair(std::move(session_id), std::move(engine_id));
+}
+
+Result<ControlVerb> parse_verb(std::string_view text) {
+  if (text == "run") return ControlVerb::kRun;
+  if (text == "pause") return ControlVerb::kPause;
+  if (text == "stop") return ControlVerb::kStop;
+  if (text == "rewind") return ControlVerb::kRewind;
+  if (text == "run_records") return ControlVerb::kRunRecords;
+  return invalid_argument("unknown control verb '" + std::string(text) + "'");
+}
+
+std::string_view to_string(ControlVerb verb) {
+  switch (verb) {
+    case ControlVerb::kRun: return "run";
+    case ControlVerb::kPause: return "pause";
+    case ControlVerb::kStop: return "stop";
+    case ControlVerb::kRewind: return "rewind";
+    case ControlVerb::kRunRecords: return "run_records";
+  }
+  return "?";
+}
+
+xml::Node text_element(const std::string& name, const std::string& text) {
+  xml::Node node(name);
+  node.set_text(text);
+  return node;
+}
+
+std::string engine_state_name(engine::EngineState state) {
+  return std::string(engine::to_string(state));
+}
+
+Result<engine::EngineState> parse_engine_state(std::string_view name) {
+  using engine::EngineState;
+  for (const EngineState state :
+       {EngineState::kIdle, EngineState::kRunning, EngineState::kPaused, EngineState::kStopped,
+        EngineState::kFinished, EngineState::kFailed}) {
+    if (engine::to_string(state) == name) return state;
+  }
+  return invalid_argument("unknown engine state '" + std::string(name) + "'");
+}
+
+}  // namespace ipa::services

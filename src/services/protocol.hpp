@@ -1,0 +1,82 @@
+// Wire protocol shared by the IPA services and the client.
+//
+// Mirrors the paper's two channels (Figure 2):
+//   - SOAP web services ("grid calls"): Control, Session, DatasetCatalog,
+//     Locator — session control and staging. Service/operation names and
+//     XML element shapes live here so client and server cannot drift.
+//   - binary RPC ("RMI calls"): AidaManager (snapshot push + merged-result
+//     polling) and WorkerRegistry (engine ready signals) — the
+//     high-frequency data path.
+#pragma once
+
+#include <string>
+
+#include "aida/tree.hpp"
+#include "common/status.hpp"
+#include "engine/engine.hpp"
+#include "serialize/serialize.hpp"
+#include "xml/xml.hpp"
+
+namespace ipa::services {
+
+// SOAP service names.
+inline constexpr const char* kControlService = "Control";
+inline constexpr const char* kSessionService = "Session";
+inline constexpr const char* kCatalogService = "DatasetCatalog";
+inline constexpr const char* kLocatorService = "Locator";
+
+// Binary RPC service names.
+inline constexpr const char* kAidaManagerService = "AidaManager";
+inline constexpr const char* kWorkerRegistryService = "WorkerRegistry";
+
+/// Engine-side view of its own progress, as reported to the manager.
+struct EngineReport {
+  std::string engine_id;
+  engine::EngineState state = engine::EngineState::kIdle;
+  std::uint64_t processed = 0;
+  std::uint64_t total = 0;
+  std::string error;
+};
+
+void encode_report(ser::Writer& w, const EngineReport& report);
+Result<EngineReport> decode_report(ser::Reader& r);
+
+/// AidaManager.push request payload.
+struct PushRequest {
+  std::string session_id;
+  EngineReport report;
+  ser::Bytes snapshot;  // serialized aida::Tree
+};
+
+ser::Bytes encode_push(const PushRequest& request);
+Result<PushRequest> decode_push(const ser::Bytes& payload);
+
+/// AidaManager.poll: request {session, since_version}; response below.
+struct PollResponse {
+  std::uint64_t version = 0;     // monotonically increasing merge version
+  bool changed = false;          // false => snapshot omitted
+  ser::Bytes merged;             // serialized merged aida::Tree
+  std::vector<EngineReport> engines;
+};
+
+ser::Bytes encode_poll_request(const std::string& session_id, std::uint64_t since_version);
+Result<std::pair<std::string, std::uint64_t>> decode_poll_request(const ser::Bytes& payload);
+ser::Bytes encode_poll_response(const PollResponse& response);
+Result<PollResponse> decode_poll_response(const ser::Bytes& payload);
+
+/// WorkerRegistry.ready payload.
+ser::Bytes encode_ready(const std::string& session_id, const std::string& engine_id);
+Result<std::pair<std::string, std::string>> decode_ready(const ser::Bytes& payload);
+
+/// Engine control verbs carried by Session.control.
+enum class ControlVerb { kRun, kPause, kStop, kRewind, kRunRecords };
+
+Result<ControlVerb> parse_verb(std::string_view text);
+std::string_view to_string(ControlVerb verb);
+
+/// XML helpers shared by SOAP operations.
+xml::Node text_element(const std::string& name, const std::string& text);
+std::string engine_state_name(engine::EngineState state);
+Result<engine::EngineState> parse_engine_state(std::string_view name);
+
+}  // namespace ipa::services

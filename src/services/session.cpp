@@ -1,0 +1,117 @@
+#include "services/session.hpp"
+
+#include "common/log.hpp"
+
+namespace ipa::services {
+
+std::string_view to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kCreated: return "created";
+    case SessionState::kEnginesReady: return "engines-ready";
+    case SessionState::kDatasetStaged: return "dataset-staged";
+    case SessionState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+Session::Session(std::string id, std::string owner, int granted_nodes, std::string queue)
+    : id_(std::move(id)),
+      owner_(std::move(owner)),
+      granted_nodes_(granted_nodes),
+      queue_(std::move(queue)) {}
+
+SessionState Session::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+Status Session::attach_engines(std::vector<std::unique_ptr<EngineHandle>> engines) {
+  std::lock_guard lock(mutex_);
+  if (state_ != SessionState::kCreated) {
+    return failed_precondition("session: engines already attached");
+  }
+  if (static_cast<int>(engines.size()) != granted_nodes_) {
+    return internal_error("session: engine count != granted nodes");
+  }
+  for (const auto& engine : engines) {
+    if (ready_engines_.count(engine->engine_id()) == 0) {
+      return failed_precondition("session: engine '" + engine->engine_id() +
+                                 "' never signalled ready");
+    }
+  }
+  engines_ = std::move(engines);
+  state_ = SessionState::kEnginesReady;
+  return Status::ok();
+}
+
+void Session::mark_ready(const std::string& engine_id) {
+  std::lock_guard lock(mutex_);
+  ready_engines_.insert(engine_id);
+}
+
+bool Session::all_ready() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(ready_engines_.size()) >= granted_nodes_;
+}
+
+Status Session::distribute_parts(const data::SplitResult& split) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kCreated) {
+    return failed_precondition("session: engines not started yet");
+  }
+  if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
+  if (split.parts.size() != engines_.size()) {
+    return internal_error("session: part count != engine count");
+  }
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    IPA_RETURN_IF_ERROR(engines_[i]
+                            ->stage_dataset(split.parts[i].path)
+                            .with_prefix("engine " + engines_[i]->engine_id()));
+  }
+  state_ = SessionState::kDatasetStaged;
+  return Status::ok();
+}
+
+Status Session::stage_code(const engine::CodeBundle& bundle) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kCreated) {
+    return failed_precondition("session: engines not started yet");
+  }
+  if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
+  for (const auto& engine : engines_) {
+    IPA_RETURN_IF_ERROR(
+        engine->stage_code(bundle).with_prefix("engine " + engine->engine_id()));
+  }
+  return Status::ok();
+}
+
+Status Session::control(ControlVerb verb, std::uint64_t records) {
+  std::lock_guard lock(mutex_);
+  if (state_ != SessionState::kDatasetStaged) {
+    return failed_precondition("session: dataset not staged");
+  }
+  for (const auto& engine : engines_) {
+    IPA_RETURN_IF_ERROR(
+        engine->control(verb, records).with_prefix("engine " + engine->engine_id()));
+  }
+  return Status::ok();
+}
+
+std::vector<EngineReport> Session::reports() const {
+  std::lock_guard lock(mutex_);
+  std::vector<EngineReport> out;
+  out.reserve(engines_.size());
+  for (const auto& engine : engines_) out.push_back(engine->report());
+  return out;
+}
+
+Status Session::close() {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kClosed) return Status::ok();
+  engines_.clear();  // destroys worker hosts, shutting engines down
+  state_ = SessionState::kClosed;
+  IPA_LOG(debug) << "session " << id_ << " closed";
+  return Status::ok();
+}
+
+}  // namespace ipa::services

@@ -1,0 +1,82 @@
+// Session service resources (paper §3.2): "the session service creates a
+// session for each dataset analysis; a dataset can only be analyzed in the
+// context of this session".
+//
+// A Session is the WSRF resource behind the Session web service: it owns
+// the analysis engines granted to one user, tracks staging state and fans
+// client control verbs out to every engine.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "data/splitter.hpp"
+#include "services/worker_host.hpp"
+
+namespace ipa::services {
+
+enum class SessionState {
+  kCreated,        // resource exists, engines not started
+  kEnginesReady,   // engines started and all signalled ready
+  kDatasetStaged,  // parts distributed to engines
+  kClosed,
+};
+
+std::string_view to_string(SessionState state);
+
+class Session {
+ public:
+  Session(std::string id, std::string owner, int granted_nodes, std::string queue);
+
+  const std::string& id() const { return id_; }
+  const std::string& owner() const { return owner_; }
+  int granted_nodes() const { return granted_nodes_; }
+  const std::string& queue() const { return queue_; }
+  SessionState state() const;
+
+  /// Install the engines once the compute element started them (all must
+  /// have signalled ready).
+  Status attach_engines(std::vector<std::unique_ptr<EngineHandle>> engines);
+
+  /// Record a ready signal from the worker registry.
+  void mark_ready(const std::string& engine_id);
+  bool all_ready() const;
+
+  /// Distribute staged dataset parts to the engines (one part each; part
+  /// count must equal the engine count).
+  Status distribute_parts(const data::SplitResult& split);
+
+  /// Ship analysis code to every engine.
+  Status stage_code(const engine::CodeBundle& bundle);
+
+  /// Fan a control verb out to every engine. Fails fast on the first
+  /// engine error but reports which engine failed.
+  Status control(ControlVerb verb, std::uint64_t records = 0);
+
+  std::vector<EngineReport> reports() const;
+
+  /// The staged dataset id ("" when none).
+  const std::string& dataset_id() const { return dataset_id_; }
+  void set_dataset_id(std::string id) { dataset_id_ = std::move(id); }
+
+  Status close();
+
+ private:
+  std::string id_;
+  std::string owner_;
+  int granted_nodes_;
+  std::string queue_;
+
+  mutable std::mutex mutex_;
+  SessionState state_ = SessionState::kCreated;
+  std::vector<std::unique_ptr<EngineHandle>> engines_;
+  std::set<std::string> ready_engines_;
+  std::string dataset_id_;
+};
+
+}  // namespace ipa::services

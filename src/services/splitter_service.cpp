@@ -1,0 +1,47 @@
+#include "services/splitter_service.hpp"
+
+#include <filesystem>
+
+#include "common/log.hpp"
+
+namespace ipa::services {
+
+SplitterService::SplitterService(std::string staging_dir)
+    : staging_dir_(std::move(staging_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(staging_dir_, ec);
+}
+
+Result<data::SplitResult> SplitterService::stage(const std::string& session_id,
+                                                 const Uri& location, int num_parts) {
+  if (location.scheme != "file") {
+    return unimplemented("splitter: only file:// locations are staged functionally (got " +
+                         location.scheme + "://)");
+  }
+  const std::string source = location.path;
+  std::error_code ec;
+  if (!std::filesystem::exists(source, ec)) {
+    return not_found("splitter: dataset file '" + source + "' does not exist");
+  }
+
+  const std::filesystem::path session_dir =
+      std::filesystem::path(staging_dir_) / session_id;
+  std::filesystem::create_directories(session_dir, ec);
+  if (ec) return unavailable("splitter: cannot create staging dir: " + ec.message());
+
+  const std::string prefix = (session_dir / "dataset").string();
+  auto split = data::split_dataset(source, prefix, num_parts);
+  IPA_RETURN_IF_ERROR(split.status());
+  IPA_LOG(debug) << "splitter: staged " << split->total_records << " records into "
+                 << split->parts.size() << " parts under " << session_dir.string();
+  return split;
+}
+
+Status SplitterService::cleanup(const std::string& session_id) {
+  std::error_code ec;
+  std::filesystem::remove_all(std::filesystem::path(staging_dir_) / session_id, ec);
+  if (ec) return unavailable("splitter: cleanup failed: " + ec.message());
+  return Status::ok();
+}
+
+}  // namespace ipa::services

@@ -1,0 +1,36 @@
+// Splitter service: imports a located dataset into the site staging area
+// and splits it into per-engine parts (paper §3.4). Functional twin of the
+// gridsim transfer model — this one moves real bytes on the local
+// filesystem so engines can actually analyze them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/uri.hpp"
+#include "data/splitter.hpp"
+
+namespace ipa::services {
+
+class SplitterService {
+ public:
+  /// `staging_dir` is the shared disk space engines read parts from.
+  explicit SplitterService(std::string staging_dir);
+
+  /// Locate → import → split. Only file:// locations are supported by this
+  /// functional implementation (gftp:// locations are simulated by gridsim
+  /// in the timing benches). Returns the part files, one per engine.
+  Result<data::SplitResult> stage(const std::string& session_id, const Uri& location,
+                                  int num_parts);
+
+  /// Remove a session's staged parts.
+  Status cleanup(const std::string& session_id);
+
+  const std::string& staging_dir() const { return staging_dir_; }
+
+ private:
+  std::string staging_dir_;
+};
+
+}  // namespace ipa::services

@@ -1,0 +1,183 @@
+#include "soap/soap.hpp"
+
+#include "common/strings.hpp"
+
+namespace ipa::soap {
+namespace {
+
+/// Status code <-> faultcode text. Client-side categories map onto
+/// "soap:Client", server-side onto "soap:Server", with the precise code in
+/// an <ipa:StatusCode> detail element.
+bool is_client_fault(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kPermissionDenied:
+    case StatusCode::kUnauthenticated:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+xml::Node make_envelope(xml::Node body_content, const std::string& resource,
+                        const std::string& token) {
+  xml::Node envelope("soap:Envelope");
+  envelope.set_attribute("xmlns:soap", kEnvelopeNs);
+  envelope.set_attribute("xmlns:ipa", kIpaNs);
+  if (!resource.empty() || !token.empty()) {
+    xml::Node& header = envelope.add_child("soap:Header");
+    if (!token.empty()) {
+      header.add_child("ipa:Security").set_attribute("token", token);
+    }
+    if (!resource.empty()) {
+      header.add_child("ipa:Resource").set_attribute("id", resource);
+    }
+  }
+  envelope.add_child("soap:Body").add_child(std::move(body_content));
+  return envelope;
+}
+
+Result<xml::Node> unwrap_envelope(const xml::Node& envelope) {
+  if (!xml::name_matches(envelope.name(), "Envelope")) {
+    return data_loss("soap: root element is not an Envelope");
+  }
+  const xml::Node* body = envelope.find("Body");
+  if (body == nullptr) return data_loss("soap: missing Body");
+  if (body->children().empty()) return data_loss("soap: empty Body");
+  const xml::Node& first = body->children().front();
+  if (xml::name_matches(first.name(), "Fault")) {
+    return fault_to_status(first);
+  }
+  return first;
+}
+
+void read_headers(const xml::Node& envelope, std::string& resource, std::string& token) {
+  resource.clear();
+  token.clear();
+  const xml::Node* header = envelope.find("Header");
+  if (header == nullptr) return;
+  if (const xml::Node* sec = header->find("Security")) token = sec->attribute("token");
+  if (const xml::Node* res = header->find("Resource")) resource = res->attribute("id");
+}
+
+xml::Node status_to_fault(const Status& status) {
+  xml::Node fault("soap:Fault");
+  fault.add_child("faultcode")
+      .set_text(is_client_fault(status.code()) ? "soap:Client" : "soap:Server");
+  fault.add_child("faultstring").set_text(status.message());
+  xml::Node& detail = fault.add_child("detail");
+  detail.add_child("ipa:StatusCode").set_text(std::string(to_string(status.code())));
+  return fault;
+}
+
+Status fault_to_status(const xml::Node& fault) {
+  const std::string message = fault.child_text("faultstring", "remote fault");
+  StatusCode code = StatusCode::kInternal;
+  if (const xml::Node* detail = fault.find("detail")) {
+    const std::string name = detail->child_text("StatusCode");
+    for (int c = 1; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+      if (to_string(static_cast<StatusCode>(c)) == name) {
+        code = static_cast<StatusCode>(c);
+        break;
+      }
+    }
+  }
+  return Status(code, message);
+}
+
+SoapServer::SoapServer(std::string host, std::uint16_t port, std::string path)
+    : http_(std::move(host), port), path_(std::move(path)) {}
+
+void SoapServer::register_operation(const std::string& service, const std::string& operation,
+                                    Operation fn, bool require_auth) {
+  operations_[service + "#" + operation] = Op{std::move(fn), require_auth};
+}
+
+Result<Uri> SoapServer::start() {
+  http_.route(path_, [this](const http::Request& req) { return handle(req); });
+  return http_.start();
+}
+
+void SoapServer::stop() { http_.stop(); }
+
+http::Response SoapServer::handle(const http::Request& request) {
+  const auto respond = [](int http_status, const xml::Node& body_element) {
+    const xml::Node envelope = make_envelope(body_element);
+    return http::Response::make(http_status,
+                                "<?xml version=\"1.0\"?>\n" + envelope.to_string(),
+                                "text/xml; charset=utf-8");
+  };
+  const auto respond_fault = [&](const Status& status) {
+    const int http_status = is_client_fault(status.code()) ? 400 : 500;
+    return respond(http_status, status_to_fault(status));
+  };
+
+  if (request.method != "POST") {
+    return respond_fault(invalid_argument("soap: expected POST"));
+  }
+
+  // SOAPAction: "Service#operation" (optionally quoted).
+  std::string action = request.header_or("SOAPAction");
+  if (action.size() >= 2 && action.front() == '"' && action.back() == '"') {
+    action = action.substr(1, action.size() - 2);
+  }
+  if (action.empty()) return respond_fault(invalid_argument("soap: missing SOAPAction"));
+
+  const auto it = operations_.find(action);
+  if (it == operations_.end()) {
+    return respond_fault(unimplemented("soap: no operation '" + action + "'"));
+  }
+
+  auto doc = xml::parse(request.body);
+  if (!doc.is_ok()) return respond_fault(doc.status());
+  auto body = unwrap_envelope(*doc);
+  if (!body.is_ok()) return respond_fault(body.status());
+
+  SoapContext ctx;
+  const std::size_t hash = action.find('#');
+  ctx.service = action.substr(0, hash);
+  ctx.operation = action.substr(hash + 1);
+  read_headers(*doc, ctx.resource, ctx.token);
+
+  if (it->second.require_auth) {
+    if (!auth_) return respond_fault(unauthenticated("soap: no authenticator installed"));
+    auto principal = auth_(ctx.token);
+    if (!principal.is_ok()) return respond_fault(principal.status());
+    ctx.principal = std::move(*principal);
+  }
+
+  auto result = it->second.fn(ctx, *body);
+  if (!result.is_ok()) return respond_fault(result.status());
+  return respond(200, *result);
+}
+
+Result<SoapClient> SoapClient::connect(const Uri& endpoint, std::string path, double timeout_s) {
+  auto http = http::Client::connect(endpoint.host, endpoint.port, timeout_s);
+  IPA_RETURN_IF_ERROR(http.status());
+  return SoapClient(std::move(*http), std::move(path));
+}
+
+Result<xml::Node> SoapClient::call(const std::string& service, const std::string& operation,
+                                   xml::Node args, const std::string& resource,
+                                   double timeout_s) {
+  const xml::Node envelope = make_envelope(std::move(args), resource, token_);
+
+  http::Request req;
+  req.method = "POST";
+  req.target = path_;
+  req.headers["Content-Type"] = "text/xml; charset=utf-8";
+  req.headers["SOAPAction"] = "\"" + service + "#" + operation + "\"";
+  req.body = "<?xml version=\"1.0\"?>\n" + envelope.to_string();
+
+  IPA_ASSIGN_OR_RETURN(const http::Response response, http_.send(std::move(req), timeout_s));
+  IPA_ASSIGN_OR_RETURN(const xml::Node doc, xml::parse(response.body));
+  return unwrap_envelope(doc);
+}
+
+}  // namespace ipa::soap

@@ -1,0 +1,117 @@
+// SOAP 1.1-style envelopes over HTTP: the "web service" face of the IPA
+// manager node.
+//
+// Calls are routed by the SOAPAction header ("Service#operation"). State
+// addressing follows WSRF: an <ipa:Resource id="..."/> header selects the
+// service resource the call operates on, and an <ipa:Security token=".."/>
+// header carries the proxy credential (the paper's mutual-auth context).
+//
+// Faults map bidirectionally onto ipa::Status so service code written once
+// behaves identically over binary RPC and SOAP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/uri.hpp"
+#include "http/http.hpp"
+#include "xml/xml.hpp"
+
+namespace ipa::soap {
+
+inline constexpr const char* kEnvelopeNs = "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr const char* kIpaNs = "http://ipa.example.org/2006/services";
+
+/// Per-call context visible to operations.
+struct SoapContext {
+  std::string service;
+  std::string operation;
+  std::string resource;   // WSRF resource id from the header, may be empty
+  std::string token;      // security token from the header, may be empty
+  std::string principal;  // set by the auth hook
+};
+
+/// Wrap a body payload into a full envelope. `resource`/`token` become
+/// header entries when non-empty.
+xml::Node make_envelope(xml::Node body_content, const std::string& resource = "",
+                        const std::string& token = "");
+
+/// Extract the first body child from an envelope document. If that child is
+/// a Fault, the mapped Status is returned instead.
+Result<xml::Node> unwrap_envelope(const xml::Node& envelope);
+
+/// Read Security/Resource headers from an envelope.
+void read_headers(const xml::Node& envelope, std::string& resource, std::string& token);
+
+/// soap:Fault <-> Status mapping. Status codes ride in the faultcode detail
+/// so remote errors keep their category.
+xml::Node status_to_fault(const Status& status);
+Status fault_to_status(const xml::Node& fault);
+
+/// A SOAP operation: request body element in, response body element out.
+using Operation = std::function<Result<xml::Node>(const SoapContext&, const xml::Node&)>;
+
+/// Token -> principal verification hook (same contract as rpc::AuthFn).
+using AuthFn = std::function<Result<std::string>(const std::string& token)>;
+
+/// SOAP endpoint bound to one HTTP path on an embedded HTTP server.
+class SoapServer {
+ public:
+  SoapServer(std::string host, std::uint16_t port, std::string path = "/ipa/services");
+
+  /// Operations registered as "Service", "operation". Services marked
+  /// authenticated reject calls whose token fails the auth hook.
+  void register_operation(const std::string& service, const std::string& operation, Operation fn,
+                          bool require_auth = false);
+  void set_auth(AuthFn auth) { auth_ = std::move(auth); }
+
+  Result<Uri> start();
+  void stop();
+  Uri endpoint() const { return http_.endpoint(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  http::Response handle(const http::Request& request);
+
+  struct Op {
+    Operation fn;
+    bool require_auth;
+  };
+
+  http::Server http_;
+  std::string path_;
+  AuthFn auth_;
+  std::map<std::string, Op> operations_;  // "Service#operation" -> Op
+};
+
+/// Client for one SOAP endpoint.
+class SoapClient {
+ public:
+  static Result<SoapClient> connect(const Uri& endpoint, std::string path = "/ipa/services",
+                                    double timeout_s = 5.0);
+
+  SoapClient(SoapClient&&) = default;
+  SoapClient& operator=(SoapClient&&) = default;
+
+  /// Invoke Service#operation with `args` as the request body element.
+  /// Returns the response body element; remote faults surface as Status.
+  Result<xml::Node> call(const std::string& service, const std::string& operation,
+                         xml::Node args, const std::string& resource = "",
+                         double timeout_s = 30.0);
+
+  void set_token(std::string token) { token_ = std::move(token); }
+  const std::string& token() const { return token_; }
+
+ private:
+  SoapClient(http::Client http, std::string path)
+      : http_(std::move(http)), path_(std::move(path)) {}
+
+  http::Client http_;
+  std::string path_;
+  std::string token_;
+};
+
+}  // namespace ipa::soap

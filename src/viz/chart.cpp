@@ -1,0 +1,166 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace ipa::viz {
+namespace {
+
+constexpr const char* kPalette[] = {"#4472c4", "#ed7d31", "#70ad47", "#ffc000",
+                                    "#5b9bd5", "#a5a5a5", "#c00000", "#7030a0"};
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 140;  // room for the legend
+constexpr int kMarginTop = 44;
+constexpr int kMarginBottom = 56;
+
+double transform(double v, bool log_scale) { return log_scale ? std::log10(v) : v; }
+
+/// "Nice" tick values across [lo, hi] in transformed space.
+std::vector<double> ticks(double lo, double hi, bool log_scale) {
+  std::vector<double> out;
+  if (log_scale) {
+    for (int e = static_cast<int>(std::floor(lo)); e <= static_cast<int>(std::ceil(hi)); ++e) {
+      out.push_back(std::pow(10.0, e));
+    }
+    return out;
+  }
+  const double span = hi - lo;
+  if (span <= 0) return {lo};
+  const double raw_step = span / 5.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (const double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * mult >= raw_step) {
+      step = magnitude * mult;
+      break;
+    }
+  }
+  for (double v = std::ceil(lo / step) * step; v <= hi + step * 1e-9; v += step) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> svg_line_chart(const std::vector<Series>& series,
+                                   const ChartOptions& options) {
+  if (series.empty()) return invalid_argument("chart: no series");
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  for (const Series& s : series) {
+    if (s.xs.size() != s.ys.size()) {
+      return invalid_argument("chart: series '" + s.label + "' xs/ys length mismatch");
+    }
+    if (s.xs.empty()) return invalid_argument("chart: series '" + s.label + "' is empty");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if ((options.log_x && s.xs[i] <= 0) || (options.log_y && s.ys[i] <= 0)) {
+        return invalid_argument("chart: non-positive value on a log axis in '" + s.label + "'");
+      }
+      x_lo = std::min(x_lo, transform(s.xs[i], options.log_x));
+      x_hi = std::max(x_hi, transform(s.xs[i], options.log_x));
+      y_lo = std::min(y_lo, transform(s.ys[i], options.log_y));
+      y_hi = std::max(y_hi, transform(s.ys[i], options.log_y));
+    }
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1;
+  if (y_hi <= y_lo) y_hi = y_lo + 1;
+  if (!options.log_y && y_lo > 0) y_lo = 0;  // anchor linear y at zero
+
+  const double plot_w = options.width - kMarginLeft - kMarginRight;
+  const double plot_h = options.height - kMarginTop - kMarginBottom;
+  const auto px = [&](double x) {
+    return kMarginLeft + (transform(x, options.log_x) - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  const auto py = [&](double y) {
+    return kMarginTop + plot_h -
+           (transform(y, options.log_y) - y_lo) / (y_hi - y_lo) * plot_h;
+  };
+
+  std::string out;
+  out += strings::format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+      options.width, options.height, options.width, options.height, options.width,
+      options.height);
+  out += strings::format(
+      "<text x=\"%d\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\" "
+      "text-anchor=\"middle\">%s</text>\n",
+      options.width / 2, xml::escape(options.title).c_str());
+
+  // Axes.
+  out += strings::format(
+      "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n", kMarginLeft,
+      kMarginTop + plot_h, kMarginLeft + plot_w, kMarginTop + plot_h);
+  out += strings::format(
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%.1f\" stroke=\"black\"/>\n", kMarginLeft,
+      kMarginTop, kMarginLeft, kMarginTop + plot_h);
+
+  // Ticks + grid.
+  for (const double t : ticks(x_lo, x_hi, options.log_x)) {
+    const double x = px(t);
+    if (x < kMarginLeft - 1 || x > kMarginLeft + plot_w + 1) continue;
+    out += strings::format(
+        "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#e0e0e0\"/>\n", x,
+        kMarginTop, x, kMarginTop + plot_h);
+    out += strings::format(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" "
+        "text-anchor=\"middle\">%g</text>\n",
+        x, kMarginTop + plot_h + 16, t);
+  }
+  for (const double t : ticks(y_lo, y_hi, options.log_y)) {
+    const double y = py(t);
+    if (y < kMarginTop - 1 || y > kMarginTop + plot_h + 1) continue;
+    out += strings::format(
+        "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#e0e0e0\"/>\n",
+        kMarginLeft, y, kMarginLeft + plot_w, y);
+    out += strings::format(
+        "<text x=\"%d\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" "
+        "text-anchor=\"end\">%g</text>\n",
+        kMarginLeft - 6, y + 4, t);
+  }
+
+  // Axis labels.
+  if (!options.x_label.empty()) {
+    out += strings::format(
+        "<text x=\"%.1f\" y=\"%d\" font-family=\"sans-serif\" font-size=\"13\" "
+        "text-anchor=\"middle\">%s</text>\n",
+        kMarginLeft + plot_w / 2, options.height - 14, xml::escape(options.x_label).c_str());
+  }
+  if (!options.y_label.empty()) {
+    out += strings::format(
+        "<text x=\"18\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"13\" "
+        "text-anchor=\"middle\" transform=\"rotate(-90 18 %.1f)\">%s</text>\n",
+        kMarginTop + plot_h / 2, kMarginTop + plot_h / 2,
+        xml::escape(options.y_label).c_str());
+  }
+
+  // Series polylines + legend.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const std::string color = series[s].color.empty()
+                                  ? kPalette[s % std::size(kPalette)]
+                                  : series[s].color;
+    std::string points;
+    for (std::size_t i = 0; i < series[s].xs.size(); ++i) {
+      points += strings::format("%.1f,%.1f ", px(series[s].xs[i]), py(series[s].ys[i]));
+    }
+    out += strings::format(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n",
+        points.c_str(), color.c_str());
+    const double ly = kMarginTop + 10 + 18.0 * static_cast<double>(s);
+    out += strings::format(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" "
+        "stroke-width=\"3\"/>\n",
+        kMarginLeft + plot_w + 12, ly, kMarginLeft + plot_w + 34, ly, color.c_str());
+    out += strings::format(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"12\">%s</text>\n",
+        kMarginLeft + plot_w + 40, ly + 4, xml::escape(series[s].label).c_str());
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace ipa::viz

@@ -1,0 +1,36 @@
+// Multi-series line charts (SVG): used by bench_figure5 to draw the
+// paper's Figure 5 as 2-D projections (time vs dataset size, one curve per
+// node count), and generally useful for plotting sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ipa::viz {
+
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;   // same length as xs
+  std::string color;        // empty = auto from palette
+};
+
+struct ChartOptions {
+  int width = 720;
+  int height = 460;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+};
+
+/// Render an SVG line chart with axes, ticks and a legend. Series with
+/// mismatched xs/ys lengths or non-positive values on log axes are
+/// rejected.
+Result<std::string> svg_line_chart(const std::vector<Series>& series,
+                                   const ChartOptions& options);
+
+}  // namespace ipa::viz

@@ -1,0 +1,275 @@
+#include "viz/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace ipa::viz {
+namespace {
+
+/// Rebin a histogram's in-range contents down to at most `max_rows` rows.
+struct Row {
+  double lo, hi, height, error;
+};
+
+std::vector<Row> rebin(const aida::Histogram1D& hist, int max_rows) {
+  const int bins = hist.axis().bins();
+  const int group = std::max(1, (bins + max_rows - 1) / max_rows);
+  std::vector<Row> rows;
+  for (int start = 0; start < bins; start += group) {
+    Row row{hist.axis().bin_lower(start), 0, 0, 0};
+    double err2 = 0;
+    int i = start;
+    for (; i < std::min(start + group, bins); ++i) {
+      row.height += hist.bin_height(i);
+      err2 += hist.bin_error(i) * hist.bin_error(i);
+    }
+    row.hi = hist.axis().bin_upper(i - 1);
+    row.error = std::sqrt(err2);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string ascii_histogram(const aida::Histogram1D& hist, const AsciiOptions& options) {
+  std::string out;
+  out += hist.title() + "\n";
+  const auto rows = rebin(hist, options.max_rows);
+  double peak = 1e-300;
+  for (const Row& row : rows) peak = std::max(peak, row.height);
+
+  for (const Row& row : rows) {
+    const int bar = peak > 0 ? static_cast<int>(std::lround(row.height / peak * options.width))
+                             : 0;
+    out += strings::format("%10.3g |%-*s| %.6g\n", row.lo, options.width,
+                           std::string(static_cast<std::size_t>(bar), '#').c_str(), row.height);
+  }
+  if (options.show_stats) {
+    out += strings::format("  entries=%llu  mean=%.4g  rms=%.4g  under=%.4g  over=%.4g\n",
+                           static_cast<unsigned long long>(hist.entries()), hist.mean(),
+                           hist.rms(), hist.underflow(), hist.overflow());
+  }
+  return out;
+}
+
+std::string ascii_heatmap(const aida::Histogram2D& hist, int max_cols, int max_rows) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const int nx = hist.x_axis().bins();
+  const int ny = hist.y_axis().bins();
+  const int gx = std::max(1, (nx + max_cols - 1) / max_cols);
+  const int gy = std::max(1, (ny + max_rows - 1) / max_rows);
+
+  // Aggregate cells.
+  std::vector<std::vector<double>> cells;
+  double peak = 1e-300;
+  for (int y0 = 0; y0 < ny; y0 += gy) {
+    std::vector<double> row;
+    for (int x0 = 0; x0 < nx; x0 += gx) {
+      double sum = 0;
+      for (int y = y0; y < std::min(y0 + gy, ny); ++y) {
+        for (int x = x0; x < std::min(x0 + gx, nx); ++x) {
+          sum += hist.bin_height(x, y);
+        }
+      }
+      row.push_back(sum);
+      peak = std::max(peak, sum);
+    }
+    cells.push_back(std::move(row));
+  }
+
+  std::string out = hist.title() + "\n";
+  // Top row = highest y (natural plot orientation).
+  for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+    out += "  |";
+    for (const double v : *it) {
+      const int shade =
+          static_cast<int>(v / peak * (sizeof(kShades) - 2));
+      out += kShades[std::clamp(shade, 0, static_cast<int>(sizeof(kShades) - 2))];
+    }
+    out += "|\n";
+  }
+  out += strings::format("  x: [%g, %g]  y: [%g, %g]  entries=%llu\n", hist.x_axis().lower(),
+                         hist.x_axis().upper(), hist.y_axis().lower(), hist.y_axis().upper(),
+                         static_cast<unsigned long long>(hist.entries()));
+  return out;
+}
+
+std::string ascii_progress(std::uint64_t done, std::uint64_t total, int width) {
+  const double fraction =
+      total == 0 ? 0.0 : std::min(1.0, static_cast<double>(done) / static_cast<double>(total));
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string bar(static_cast<std::size_t>(filled), '#');
+  bar += std::string(static_cast<std::size_t>(width - filled), '.');
+  return strings::format("[%s] %5.1f%% %llu/%llu", bar.c_str(), fraction * 100.0,
+                         static_cast<unsigned long long>(done),
+                         static_cast<unsigned long long>(total));
+}
+
+namespace {
+
+constexpr int kMarginLeft = 60;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 50;
+
+struct Frame {
+  double x0, y0, plot_w, plot_h;
+  double x_lo, x_hi, y_max;
+
+  double px(double x) const { return x0 + (x - x_lo) / (x_hi - x_lo) * plot_w; }
+  double py(double y) const { return y0 + plot_h - (y / y_max) * plot_h; }
+};
+
+void svg_header(std::string& out, int width, int height, const std::string& title) {
+  out += strings::format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n",
+      width, height, width, height);
+  out += strings::format(
+      "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+      "<text x=\"%d\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\" "
+      "text-anchor=\"middle\">%s</text>\n",
+      width, height, width / 2, xml::escape(title).c_str());
+}
+
+void svg_axes(std::string& out, const Frame& frame) {
+  out += strings::format(
+      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n",
+      frame.x0, frame.y0 + frame.plot_h, frame.x0 + frame.plot_w, frame.y0 + frame.plot_h);
+  out += strings::format(
+      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n", frame.x0,
+      frame.y0, frame.x0, frame.y0 + frame.plot_h);
+  // Tick labels: 5 on each axis.
+  for (int t = 0; t <= 4; ++t) {
+    const double x = frame.x_lo + (frame.x_hi - frame.x_lo) * t / 4.0;
+    out += strings::format(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" "
+        "text-anchor=\"middle\">%g</text>\n",
+        frame.px(x), frame.y0 + frame.plot_h + 16, x);
+    const double y = frame.y_max * t / 4.0;
+    out += strings::format(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" "
+        "text-anchor=\"end\">%g</text>\n",
+        frame.x0 - 6, frame.py(y) + 4, y);
+  }
+}
+
+}  // namespace
+
+std::string svg_histogram(const aida::Histogram1D& hist, const SvgOptions& options) {
+  std::string out;
+  svg_header(out, options.width, options.height, hist.title());
+
+  Frame frame;
+  frame.x0 = kMarginLeft;
+  frame.y0 = kMarginTop;
+  frame.plot_w = options.width - kMarginLeft - kMarginRight;
+  frame.plot_h = options.height - kMarginTop - kMarginBottom;
+  frame.x_lo = hist.axis().lower();
+  frame.x_hi = hist.axis().upper();
+  frame.y_max = 1e-300;
+  for (int i = 0; i < hist.axis().bins(); ++i) {
+    frame.y_max = std::max(frame.y_max, hist.bin_height(i) + hist.bin_error(i));
+  }
+  frame.y_max *= 1.05;
+
+  svg_axes(out, frame);
+
+  for (int i = 0; i < hist.axis().bins(); ++i) {
+    const double h = hist.bin_height(i);
+    if (h <= 0) continue;
+    const double x = frame.px(hist.axis().bin_lower(i));
+    const double w = frame.px(hist.axis().bin_upper(i)) - x;
+    const double y = frame.py(h);
+    out += strings::format(
+        "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" "
+        "stroke=\"%s\" stroke-width=\"0.5\"/>\n",
+        x, y, w, frame.y0 + frame.plot_h - y, options.fill.c_str(), options.stroke.c_str());
+    if (options.error_bars && hist.bin_error(i) > 0) {
+      const double cx = x + w / 2;
+      out += strings::format(
+          "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"black\" "
+          "stroke-width=\"1\"/>\n",
+          cx, frame.py(h + hist.bin_error(i)), cx,
+          frame.py(std::max(0.0, h - hist.bin_error(i))));
+    }
+  }
+
+  // Statistics box.
+  out += strings::format(
+      "<text x=\"%.1f\" y=\"%.1f\" font-family=\"monospace\" font-size=\"11\">"
+      "entries=%llu mean=%.4g rms=%.4g</text>\n",
+      frame.x0 + 8.0, frame.y0 + 14.0, static_cast<unsigned long long>(hist.entries()),
+      hist.mean(), hist.rms());
+  out += "</svg>\n";
+  return out;
+}
+
+std::string svg_profile(const aida::Profile1D& profile, const SvgOptions& options) {
+  std::string out;
+  svg_header(out, options.width, options.height, profile.title());
+
+  Frame frame;
+  frame.x0 = kMarginLeft;
+  frame.y0 = kMarginTop;
+  frame.plot_w = options.width - kMarginLeft - kMarginRight;
+  frame.plot_h = options.height - kMarginTop - kMarginBottom;
+  frame.x_lo = profile.axis().lower();
+  frame.x_hi = profile.axis().upper();
+  frame.y_max = 1e-300;
+  for (int i = 0; i < profile.axis().bins(); ++i) {
+    frame.y_max = std::max(frame.y_max, profile.bin_mean(i) + profile.bin_error(i));
+  }
+  frame.y_max *= 1.05;
+
+  svg_axes(out, frame);
+
+  for (int i = 0; i < profile.axis().bins(); ++i) {
+    if (profile.bin_weight(i) <= 0) continue;
+    const double cx = frame.px(profile.axis().bin_center(i));
+    const double mean = profile.bin_mean(i);
+    const double err = profile.bin_error(i);
+    out += strings::format("<circle cx=\"%.2f\" cy=\"%.2f\" r=\"3\" fill=\"%s\"/>\n", cx,
+                           frame.py(mean), options.fill.c_str());
+    out += strings::format(
+        "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\"/>\n", cx,
+        frame.py(mean + err), cx, frame.py(std::max(0.0, mean - err)),
+        options.stroke.c_str());
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+Status write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return unavailable("viz: cannot write '" + path + "'");
+  out << content;
+  return out.good() ? Status::ok() : unavailable("viz: short write to '" + path + "'");
+}
+
+Result<int> export_tree_svg(const aida::Tree& tree, const std::string& dir,
+                            const SvgOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  int written = 0;
+  for (const std::string& path : tree.paths()) {
+    auto object = tree.find(path);
+    if (!object.is_ok()) continue;
+    const auto* hist = std::get_if<aida::Histogram1D>(*object);
+    if (hist == nullptr) continue;
+    std::string file_name = path;
+    std::replace(file_name.begin(), file_name.end(), '/', '_');
+    const std::string file = dir + "/" + file_name.substr(1) + ".svg";
+    IPA_RETURN_IF_ERROR(write_file(file, svg_histogram(*hist, options)));
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace ipa::viz

@@ -1,0 +1,54 @@
+// Result visualization: ASCII plots for terminals (the examples' live
+// display) and SVG files standing in for the JAS plot window ("construct
+// professional-quality visualizations of the results", paper abstract).
+#pragma once
+
+#include <string>
+
+#include "aida/histogram1d.hpp"
+#include "aida/histogram2d.hpp"
+#include "aida/profile1d.hpp"
+#include "aida/tree.hpp"
+#include "common/status.hpp"
+
+namespace ipa::viz {
+
+struct AsciiOptions {
+  int width = 60;    // bar area width in characters
+  int max_rows = 25; // bins are rebinned down to at most this many rows
+  bool show_stats = true;
+};
+
+/// Horizontal-bar rendering of a 1-D histogram.
+std::string ascii_histogram(const aida::Histogram1D& hist, const AsciiOptions& options = {});
+
+/// Character-density heat map of a 2-D histogram.
+std::string ascii_heatmap(const aida::Histogram2D& hist, int max_cols = 40, int max_rows = 20);
+
+/// One-line progress bar ("[#####.....] 50.0% 1500/3000").
+std::string ascii_progress(std::uint64_t done, std::uint64_t total, int width = 30);
+
+struct SvgOptions {
+  int width = 640;
+  int height = 400;
+  bool error_bars = true;
+  std::string fill = "#4472c4";
+  std::string stroke = "#2f528f";
+};
+
+/// SVG document of a 1-D histogram (bars + optional error bars + axis
+/// labels + statistics box).
+std::string svg_histogram(const aida::Histogram1D& hist, const SvgOptions& options = {});
+
+/// SVG of a profile: points with error bars.
+std::string svg_profile(const aida::Profile1D& profile, const SvgOptions& options = {});
+
+/// Write any string document to a file.
+Status write_file(const std::string& path, const std::string& content);
+
+/// Dump every 1-D histogram in a tree as "<dir>/<mangled-path>.svg".
+/// Returns the number of files written.
+Result<int> export_tree_svg(const aida::Tree& tree, const std::string& dir,
+                            const SvgOptions& options = {});
+
+}  // namespace ipa::viz

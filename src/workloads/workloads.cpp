@@ -1,0 +1,162 @@
+#include "workloads/workloads.hpp"
+
+#include <cmath>
+
+namespace ipa::workloads {
+
+data::Record generate_read(Rng& rng, const DnaConfig& config, std::uint64_t index) {
+  std::string seq;
+  seq.reserve(static_cast<std::size_t>(config.read_length));
+  for (int i = 0; i < config.read_length; ++i) {
+    if (rng.bernoulli(config.gc_content)) {
+      seq.push_back(rng.bernoulli(0.5) ? 'G' : 'C');
+    } else {
+      seq.push_back(rng.bernoulli(0.5) ? 'A' : 'T');
+    }
+  }
+  if (rng.bernoulli(config.motif_rate) &&
+      config.read_length > static_cast<int>(config.motif.size())) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_u64(
+        0, static_cast<std::uint64_t>(config.read_length) - config.motif.size()));
+    seq.replace(pos, config.motif.size(), config.motif);
+  }
+
+  data::Record record(index);
+  record.set("seq", std::move(seq));
+  record.set("quality", rng.normal(34.0, 3.0));
+  record.set("lane", static_cast<std::int64_t>(rng.uniform_u64(1, 8)));
+  return record;
+}
+
+Result<data::DatasetInfo> generate_dna_dataset(const std::string& path, const std::string& name,
+                                               std::uint64_t reads, const DnaConfig& config,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  auto writer = data::DatasetWriter::create(
+      path, name,
+      {{"experiment", "genome"},
+       {"read_length", std::to_string(config.read_length)},
+       {"motif", config.motif}});
+  IPA_RETURN_IF_ERROR(writer.status());
+  for (std::uint64_t i = 0; i < reads; ++i) {
+    IPA_RETURN_IF_ERROR(writer->append(generate_read(rng, config, i)));
+  }
+  IPA_RETURN_IF_ERROR(writer->finish());
+  auto reader = data::DatasetReader::open(path);
+  IPA_RETURN_IF_ERROR(reader.status());
+  return reader->info();
+}
+
+double gc_fraction(const std::string& sequence) {
+  if (sequence.empty()) return 0.0;
+  std::size_t gc = 0;
+  for (const char base : sequence) {
+    if (base == 'G' || base == 'C') ++gc;
+  }
+  return static_cast<double>(gc) / static_cast<double>(sequence.size());
+}
+
+int count_motif(const std::string& sequence, const std::string& motif) {
+  if (motif.empty()) return 0;
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = sequence.find(motif, pos)) != std::string::npos) {
+    ++count;
+    pos += motif.size();
+  }
+  return count;
+}
+
+const char* dna_script() {
+  return R"(
+// DNA read quality control: GC content and motif frequency.
+func begin(tree) {
+  tree.book_h1("/dna/gc", 50, 0, 1, "GC fraction per read");
+  tree.book_h1("/dna/quality", 40, 20, 50, "mean base quality");
+  tree.book_h1("/dna/motif_hits", 5, 0, 5, "GATTACA occurrences per read");
+}
+
+func process(event, tree) {
+  let seq = event.str("seq");
+  let n = len(seq);
+  if (n == 0) { return 0; }
+  let gc = 0;
+  let hits = 0;
+  let i = 0;
+  while (i < n) {
+    let c = seq[i];
+    if (c == "G" || c == "C") { gc += 1; }
+    // Motif scan (GATTACA, length 7).
+    if (i + 7 <= n && substr(seq, i, 7) == "GATTACA") { hits += 1; i += 7; }
+    else { i += 1; }
+  }
+  tree.fill("/dna/gc", gc / n);
+  tree.fill("/dna/quality", event.num("quality"));
+  tree.fill("/dna/motif_hits", hits);
+  return 0;
+}
+)";
+}
+
+StockTickGenerator::StockTickGenerator(StockConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  prices_.assign(config_.symbols.size(), config_.initial_price);
+  for (double& price : prices_) price *= rng_.uniform(0.5, 2.0);
+}
+
+data::Record StockTickGenerator::next() {
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_u64(0, config_.symbols.size() - 1));
+  // Geometric random walk step.
+  prices_[idx] *= std::exp(rng_.normal(0.0, config_.volatility));
+  data::Record record(tick_);
+  record.set("symbol", config_.symbols[idx]);
+  record.set("price", prices_[idx]);
+  record.set("volume",
+             static_cast<std::int64_t>(1 + rng_.exponential(1.0 / config_.mean_volume)));
+  record.set("ts", static_cast<std::int64_t>(tick_));
+  ++tick_;
+  return record;
+}
+
+Result<data::DatasetInfo> generate_stock_dataset(const std::string& path,
+                                                 const std::string& name, std::uint64_t ticks,
+                                                 const StockConfig& config,
+                                                 std::uint64_t seed) {
+  StockTickGenerator generator(config, seed);
+  auto writer = data::DatasetWriter::create(
+      path, name, {{"domain", "finance"}, {"symbols", std::to_string(config.symbols.size())}});
+  IPA_RETURN_IF_ERROR(writer.status());
+  for (std::uint64_t i = 0; i < ticks; ++i) {
+    IPA_RETURN_IF_ERROR(writer->append(generator.next()));
+  }
+  IPA_RETURN_IF_ERROR(writer->finish());
+  auto reader = data::DatasetReader::open(path);
+  IPA_RETURN_IF_ERROR(reader.status());
+  return reader->info();
+}
+
+const char* stock_script() {
+  return R"(
+// Stock trading records: price distribution, volume profile and
+// per-symbol VWAP accumulators kept in a tuple.
+func begin(tree) {
+  tree.book_h1("/stocks/price", 60, 0, 400, "tick price");
+  tree.book_h1("/stocks/volume", 50, 0, 5000, "tick volume");
+  tree.book_prof("/stocks/vol_vs_time", 40, 0, 200000, "volume vs time");
+  tree.book_tuple("/stocks/vwap", ["price_x_volume", "volume"]);
+}
+
+func process(event, tree) {
+  let price = event.num("price");
+  let volume = event.num("volume");
+  tree.fill("/stocks/price", price);
+  tree.fill("/stocks/volume", volume);
+  tree.fill2("/stocks/vol_vs_time", event.num("ts"), volume);
+  tree.fill_row("/stocks/vwap", [price * volume, volume]);
+  return 0;
+}
+)";
+}
+
+}  // namespace ipa::workloads

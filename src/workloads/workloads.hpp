@@ -1,0 +1,76 @@
+// Synthetic record-based workloads for the paper's other motivating
+// domains (§1): DNA sequencing in cellular biology and stock trading
+// records in business. Both produce .ipd datasets any IPA session can
+// analyze — demonstrating that the framework "is not specific to any
+// particular science application, although it does require record-based
+// data" (paper §6).
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "data/dataset.hpp"
+
+namespace ipa::workloads {
+
+// --- DNA sequencing ---------------------------------------------------------
+
+struct DnaConfig {
+  int read_length = 150;          // bases per read
+  double gc_content = 0.42;       // probability of G or C per base
+  std::string motif = "GATTACA";  // planted motif
+  double motif_rate = 0.08;       // fraction of reads carrying the motif
+};
+
+/// Record fields: "seq" (string), "quality" (real: mean base quality),
+/// "lane" (int).
+data::Record generate_read(Rng& rng, const DnaConfig& config, std::uint64_t index);
+
+Result<data::DatasetInfo> generate_dna_dataset(const std::string& path, const std::string& name,
+                                               std::uint64_t reads,
+                                               const DnaConfig& config = {},
+                                               std::uint64_t seed = Rng::kDefaultSeed);
+
+/// Fraction of G/C bases in a sequence.
+double gc_fraction(const std::string& sequence);
+
+/// Count non-overlapping occurrences of `motif`.
+int count_motif(const std::string& sequence, const std::string& motif);
+
+/// PawScript analysis: GC-content histogram + motif counting.
+const char* dna_script();
+
+// --- stock trading ------------------------------------------------------------
+
+struct StockConfig {
+  std::vector<std::string> symbols = {"SLAC", "TECX", "GRID", "AIDA", "PNUT"};
+  double initial_price = 100.0;
+  double volatility = 0.015;      // per-tick log-return sigma
+  double mean_volume = 800;       // exponential tick volume
+};
+
+/// Tick records: "symbol" (string), "price" (real), "volume" (int),
+/// "ts" (int: tick sequence time).
+/// Per-symbol prices follow independent geometric random walks.
+class StockTickGenerator {
+ public:
+  StockTickGenerator(StockConfig config, std::uint64_t seed);
+  data::Record next();
+
+ private:
+  StockConfig config_;
+  Rng rng_;
+  std::vector<double> prices_;
+  std::uint64_t tick_ = 0;
+};
+
+Result<data::DatasetInfo> generate_stock_dataset(const std::string& path,
+                                                 const std::string& name, std::uint64_t ticks,
+                                                 const StockConfig& config = {},
+                                                 std::uint64_t seed = Rng::kDefaultSeed);
+
+/// PawScript analysis: per-tick return histogram and volume profile.
+const char* stock_script();
+
+}  // namespace ipa::workloads

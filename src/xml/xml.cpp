@@ -1,0 +1,329 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ipa::xml {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool name_matches(std::string_view element_name, std::string_view query) {
+  if (element_name == query) return true;
+  if (query.find(':') != std::string_view::npos) return false;
+  const std::size_t colon = element_name.find(':');
+  return colon != std::string_view::npos && element_name.substr(colon + 1) == query;
+}
+
+std::string Node::attribute(std::string_view key) const {
+  const auto it = attrs_.find(std::string(key));
+  return it == attrs_.end() ? std::string() : it->second;
+}
+
+bool Node::has_attribute(std::string_view key) const {
+  return attrs_.find(std::string(key)) != attrs_.end();
+}
+
+Node& Node::add_child(std::string name) {
+  children_.emplace_back(std::move(name));
+  return children_.back();
+}
+
+Node& Node::add_child(Node node) {
+  children_.push_back(std::move(node));
+  return children_.back();
+}
+
+const Node* Node::find(std::string_view name) const {
+  for (const Node& child : children_) {
+    if (name_matches(child.name_, name)) return &child;
+  }
+  return nullptr;
+}
+
+const Node* Node::find_path(std::string_view path) const {
+  const Node* node = this;
+  for (const auto& step : strings::split(path, '/')) {
+    if (step.empty()) continue;
+    node = node->find(step);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+std::vector<const Node*> Node::find_all(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const Node& child : children_) {
+    if (name_matches(child.name_, name)) out.push_back(&child);
+  }
+  return out;
+}
+
+std::string Node::child_text(std::string_view name, std::string fallback) const {
+  const Node* child = find(name);
+  return child ? child->text() : std::move(fallback);
+}
+
+void Node::write(std::string& out, int depth, bool pretty) const {
+  const std::string indent = pretty ? std::string(2 * static_cast<std::size_t>(depth), ' ') : "";
+  out += indent;
+  out += '<';
+  out += name_;
+  for (const auto& [key, value] : attrs_) {
+    out += ' ';
+    out += key;
+    out += "=\"";
+    out += escape(value);
+    out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    if (pretty) out += '\n';
+    return;
+  }
+  out += '>';
+  out += escape(text_);
+  if (!children_.empty()) {
+    if (pretty) out += '\n';
+    for (const Node& child : children_) child.write(out, depth + 1, pretty);
+    out += indent;
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+  if (pretty) out += '\n';
+}
+
+std::string Node::to_string(bool pretty) const {
+  std::string out;
+  write(out, 0, pretty);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Node> parse_document() {
+    skip_prolog();
+    IPA_ASSIGN_OR_RETURN(Node root, parse_element());
+    skip_misc();
+    if (pos_ != text_.size()) return error("trailing content after root element");
+    return root;
+  }
+
+ private:
+  Status error(std::string msg) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return invalid_argument("xml: " + std::move(msg) + " (line " + std::to_string(line) + ")");
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) != s) return false;
+    pos_ += s.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  Status skip_comment() {
+    // pos_ is just past "<!--".
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) return error("unterminated comment");
+    pos_ = end + 3;
+    return Status::ok();
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        if (!skip_comment().is_ok()) return;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' || c == '_' || c == '-' ||
+           c == '.';
+  }
+
+  Result<std::string> parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) return error("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return error("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "amp") out.push_back('&');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else if (!entity.empty() && entity[0] == '#') {
+        std::uint64_t code = 0;
+        const std::string_view digits = entity.substr(entity.size() > 1 && entity[1] == 'x' ? 2 : 1);
+        const int base = (entity.size() > 1 && entity[1] == 'x') ? 16 : 10;
+        for (const char d : digits) {
+          int v;
+          if (d >= '0' && d <= '9') v = d - '0';
+          else if (base == 16 && d >= 'a' && d <= 'f') v = d - 'a' + 10;
+          else if (base == 16 && d >= 'A' && d <= 'F') v = d - 'A' + 10;
+          else return error("bad character reference");
+          code = code * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(v);
+        }
+        if (code > 0x10ffff) return error("character reference out of range");
+        // UTF-8 encode.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+      } else {
+        return error("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<Node> parse_element() {
+    if (!consume('<')) return error("expected '<'");
+    IPA_ASSIGN_OR_RETURN(std::string name, parse_name());
+    Node node(std::move(name));
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return error("unterminated start tag");
+      if (consume("/>")) return node;
+      if (consume('>')) break;
+      IPA_ASSIGN_OR_RETURN(std::string attr, parse_name());
+      skip_ws();
+      if (!consume('=')) return error("expected '=' after attribute name");
+      skip_ws();
+      const char quote = eof() ? '\0' : peek();
+      if (quote != '"' && quote != '\'') return error("expected quoted attribute value");
+      ++pos_;
+      const std::size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) return error("unterminated attribute value");
+      IPA_ASSIGN_OR_RETURN(std::string value, decode_entities(text_.substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+      node.set_attribute(std::move(attr), std::move(value));
+    }
+
+    // Content: text, children, comments, CDATA until matching end tag.
+    while (true) {
+      if (eof()) return error("unterminated element <" + node.name() + ">");
+      if (consume("<!--")) {
+        IPA_RETURN_IF_ERROR(skip_comment());
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        const std::size_t end = text_.find("]]>", pos_);
+        if (end == std::string_view::npos) return error("unterminated CDATA");
+        node.append_text(text_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (consume("</")) {
+        IPA_ASSIGN_OR_RETURN(const std::string closing, parse_name());
+        if (closing != node.name()) {
+          return error("mismatched end tag </" + closing + "> for <" + node.name() + ">");
+        }
+        skip_ws();
+        if (!consume('>')) return error("malformed end tag");
+        // Trim pure-whitespace text that only separated child elements.
+        if (!node.children().empty() &&
+            strings::trim(node.text()).empty()) {
+          node.set_text("");
+        }
+        return node;
+      }
+      if (peek() == '<') {
+        IPA_ASSIGN_OR_RETURN(Node child, parse_element());
+        node.add_child(std::move(child));
+        continue;
+      }
+      // Character data up to the next markup.
+      const std::size_t start = pos_;
+      while (!eof() && peek() != '<') ++pos_;
+      IPA_ASSIGN_OR_RETURN(std::string decoded, decode_entities(text_.substr(start, pos_ - start)));
+      node.append_text(decoded);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Node> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ipa::xml

@@ -1,0 +1,82 @@
+// Minimal XML document model, writer and parser.
+//
+// This is the substrate for the SOAP envelope layer (the paper's services
+// are Globus WSRF web services speaking SOAP/XML) and for catalog
+// import/export. Supported subset: elements, attributes, character data,
+// comments, XML declarations, CDATA sections and the five predefined
+// entities. Namespaces are kept as literal prefixes ("soap:Envelope").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ipa::xml {
+
+/// Escape `&<>"'` for use in text/attribute content.
+std::string escape(std::string_view text);
+
+/// An element tree. Mixed content is simplified: an element owns one text
+/// blob (concatenated character data) plus any number of child elements —
+/// sufficient for SOAP and metadata documents.
+class Node {
+ public:
+  Node() = default;
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view more) { text_.append(more); }
+
+  const std::map<std::string, std::string>& attributes() const { return attrs_; }
+  void set_attribute(std::string key, std::string value) { attrs_[std::move(key)] = std::move(value); }
+  /// Attribute value or empty string.
+  std::string attribute(std::string_view key) const;
+  bool has_attribute(std::string_view key) const;
+
+  const std::vector<Node>& children() const { return children_; }
+  std::vector<Node>& children() { return children_; }
+
+  /// Append a child and return a reference to it (builder style).
+  Node& add_child(std::string name);
+  Node& add_child(Node node);
+
+  /// First child with the given name (namespace prefix ignored when the
+  /// query has none: "Body" matches "soap:Body"), or nullptr.
+  const Node* find(std::string_view name) const;
+  /// Descend through a '/'-separated path ("Envelope/Body/response").
+  const Node* find_path(std::string_view path) const;
+  /// All children with the given name.
+  std::vector<const Node*> find_all(std::string_view name) const;
+
+  /// Text of the named child, or fallback.
+  std::string child_text(std::string_view name, std::string fallback = "") const;
+
+  /// Serialize. `pretty` adds two-space indentation.
+  std::string to_string(bool pretty = false) const;
+
+ private:
+  void write(std::string& out, int depth, bool pretty) const;
+
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attrs_;
+  std::vector<Node> children_;
+};
+
+/// Parse a document; returns the root element. Leading XML declaration,
+/// comments and whitespace are skipped. Errors carry line information.
+Result<Node> parse(std::string_view text);
+
+/// True when local names match, comparing only the part after ':' when the
+/// pattern itself is unqualified.
+bool name_matches(std::string_view element_name, std::string_view query);
+
+}  // namespace ipa::xml

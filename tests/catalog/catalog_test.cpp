@@ -1,0 +1,215 @@
+#include "catalog/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa::catalog {
+namespace {
+
+Catalog make_sample() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .add("lc/2006/higgs-run7", "ds-001",
+                       {{"experiment", "LC"}, {"size_mb", "471"}, {"format", "ipd"}})
+                  .is_ok());
+  EXPECT_TRUE(catalog
+                  .add("lc/2006/higgs-run8", "ds-002",
+                       {{"experiment", "LC"}, {"size_mb", "512"}, {"format", "ipd"}})
+                  .is_ok());
+  EXPECT_TRUE(catalog
+                  .add("lc/2005/zpole-scan", "ds-003",
+                       {{"experiment", "LC"}, {"size_mb", "88"}})
+                  .is_ok());
+  EXPECT_TRUE(catalog
+                  .add("bio/dna/ecoli-k12", "ds-004",
+                       {{"experiment", "genome"}, {"size_mb", "12"}})
+                  .is_ok());
+  EXPECT_TRUE(catalog.add("finance/nyse-2006-q1", "ds-005", {{"size_mb", "210"}}).is_ok());
+  return catalog;
+}
+
+TEST(Catalog, AddAndFind) {
+  const Catalog catalog = make_sample();
+  EXPECT_EQ(catalog.dataset_count(), 5u);
+
+  auto by_path = catalog.find_by_path("lc/2006/higgs-run7");
+  ASSERT_TRUE(by_path.is_ok());
+  EXPECT_EQ(by_path->id, "ds-001");
+  EXPECT_EQ(by_path->metadata.at("size_mb"), "471");
+  EXPECT_EQ(by_path->metadata.at("name"), "higgs-run7");
+
+  auto by_id = catalog.find_by_id("ds-003");
+  ASSERT_TRUE(by_id.is_ok());
+  EXPECT_EQ(by_id->path, "lc/2005/zpole-scan");
+}
+
+TEST(Catalog, MissingLookupsFail) {
+  const Catalog catalog = make_sample();
+  EXPECT_EQ(catalog.find_by_path("lc/2006/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.find_by_path("zz/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.find_by_id("ds-999").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, DuplicatesRejected) {
+  Catalog catalog = make_sample();
+  EXPECT_EQ(catalog.add("lc/2006/higgs-run7", "ds-x", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.add("other/place", "ds-001", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.add("", "ds-y", {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.add("a/b", "", {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Catalog, BrowseHierarchy) {
+  const Catalog catalog = make_sample();
+
+  auto root = catalog.browse("");
+  ASSERT_TRUE(root.is_ok());
+  EXPECT_EQ(root->folders, (std::vector<std::string>{"bio", "finance", "lc"}));
+  ASSERT_EQ(root->datasets.size(), 0u);
+
+  auto lc = catalog.browse("lc");
+  ASSERT_TRUE(lc.is_ok());
+  EXPECT_EQ(lc->folders, (std::vector<std::string>{"2005", "2006"}));
+
+  auto y2006 = catalog.browse("lc/2006");
+  ASSERT_TRUE(y2006.is_ok());
+  EXPECT_TRUE(y2006->folders.empty());
+  ASSERT_EQ(y2006->datasets.size(), 2u);
+  EXPECT_EQ(y2006->datasets[0].id, "ds-001");
+
+  EXPECT_EQ(catalog.browse("lc/1999").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, Remove) {
+  Catalog catalog = make_sample();
+  ASSERT_TRUE(catalog.remove("bio/dna/ecoli-k12").is_ok());
+  EXPECT_EQ(catalog.dataset_count(), 4u);
+  EXPECT_FALSE(catalog.find_by_id("ds-004").is_ok());
+  EXPECT_EQ(catalog.remove("bio/dna/ecoli-k12").code(), StatusCode::kNotFound);
+  // The id is free for reuse after removal.
+  EXPECT_TRUE(catalog.add("bio/dna/ecoli-k12b", "ds-004", {}).is_ok());
+}
+
+TEST(Catalog, SearchByMetadata) {
+  const Catalog catalog = make_sample();
+
+  auto big = catalog.search("size_mb > 200");
+  ASSERT_TRUE(big.is_ok());
+  ASSERT_EQ(big->size(), 3u);  // 471, 512, 210
+
+  auto lc_big = catalog.search("experiment == \"LC\" && size_mb > 100");
+  ASSERT_TRUE(lc_big.is_ok());
+  ASSERT_EQ(lc_big->size(), 2u);
+  EXPECT_EQ((*lc_big)[0].id, "ds-001");
+  EXPECT_EQ((*lc_big)[1].id, "ds-002");
+
+  auto glob = catalog.search("name like \"higgs*\"");
+  ASSERT_TRUE(glob.is_ok());
+  EXPECT_EQ(glob->size(), 2u);
+
+  auto path_query = catalog.search("path like \"lc/*\"");
+  ASSERT_TRUE(path_query.is_ok());
+  EXPECT_EQ(path_query->size(), 3u);
+
+  auto none = catalog.search("size_mb > 10000");
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(Catalog, SearchWithExistsAndNot) {
+  const Catalog catalog = make_sample();
+  auto has_format = catalog.search("format");
+  ASSERT_TRUE(has_format.is_ok());
+  EXPECT_EQ(has_format->size(), 2u);
+
+  auto no_experiment = catalog.search("!experiment");
+  ASSERT_TRUE(no_experiment.is_ok());
+  ASSERT_EQ(no_experiment->size(), 1u);
+  EXPECT_EQ((*no_experiment)[0].id, "ds-005");
+}
+
+TEST(Catalog, SearchBadQueryReportsError) {
+  const Catalog catalog = make_sample();
+  EXPECT_FALSE(catalog.search("size_mb >").is_ok());
+  EXPECT_FALSE(catalog.search("&& broken").is_ok());
+}
+
+TEST(Catalog, XmlRoundTrip) {
+  const Catalog original = make_sample();
+  const xml::Node doc = original.to_xml();
+  // Through text to prove the serialization is parseable XML.
+  const auto reparsed_doc = xml::parse(doc.to_string(true));
+  ASSERT_TRUE(reparsed_doc.is_ok());
+  auto restored = Catalog::from_xml(*reparsed_doc);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->dataset_count(), original.dataset_count());
+
+  auto entry = restored->find_by_id("ds-001");
+  ASSERT_TRUE(entry.is_ok());
+  EXPECT_EQ(entry->path, "lc/2006/higgs-run7");
+  EXPECT_EQ(entry->metadata.at("size_mb"), "471");
+
+  auto search = restored->search("experiment == \"LC\"");
+  ASSERT_TRUE(search.is_ok());
+  EXPECT_EQ(search->size(), 3u);
+}
+
+TEST(Catalog, FromXmlRejectsBadDocuments) {
+  auto not_catalog = xml::parse("<other/>");
+  ASSERT_TRUE(not_catalog.is_ok());
+  EXPECT_FALSE(Catalog::from_xml(*not_catalog).is_ok());
+
+  auto nameless = xml::parse("<catalog><dataset id=\"x\"/></catalog>");
+  ASSERT_TRUE(nameless.is_ok());
+  EXPECT_FALSE(Catalog::from_xml(*nameless).is_ok());
+}
+
+// --- query language unit coverage -------------------------------------------
+
+using MetaMap = std::map<std::string, std::string>;
+
+TEST(Query, NumericVsLexicographic) {
+  const MetaMap meta = {{"size", "90"}, {"version", "v10"}};
+  EXPECT_TRUE(Query::parse("size < 100").value().matches(meta));   // numeric: 90 < 100
+  EXPECT_FALSE(Query::parse("size < 100").value().matches({{"size", "abc"}}));
+  EXPECT_TRUE(Query::parse("version > v0").value().matches(meta)); // lexicographic
+}
+
+TEST(Query, OperatorsAndPrecedence) {
+  const MetaMap meta = {{"a", "1"}, {"b", "2"}};
+  EXPECT_TRUE(Query::parse("a == 1 && b == 2").value().matches(meta));
+  EXPECT_TRUE(Query::parse("a == 9 || b == 2").value().matches(meta));
+  // && binds tighter than ||: true || (false && false) = true.
+  EXPECT_TRUE(Query::parse("a == 1 || a == 9 && b == 9").value().matches(meta));
+  // Parentheses override: (true || false) && false = false.
+  EXPECT_FALSE(Query::parse("(a == 1 || a == 9) && b == 9").value().matches(meta));
+  EXPECT_TRUE(Query::parse("!(a == 9)").value().matches(meta));
+  EXPECT_TRUE(Query::parse("a != 9").value().matches(meta));
+  EXPECT_TRUE(Query::parse("a >= 1 && a <= 1").value().matches(meta));
+}
+
+TEST(Query, WordOperatorsAndQuotes) {
+  const MetaMap meta = {{"name", "higgs-run7"}};
+  EXPECT_TRUE(Query::parse("name like 'higgs*'").value().matches(meta));
+  EXPECT_TRUE(Query::parse("name == 'higgs-run7' and name like '*run?'").value().matches(meta));
+  EXPECT_TRUE(Query::parse("not name == 'x'").value().matches(meta));
+  EXPECT_TRUE(Query::parse("name == 'x' or name like 'h*'").value().matches(meta));
+}
+
+TEST(Query, MissingKeyComparisonsAreFalse) {
+  const MetaMap meta = {{"a", "1"}};
+  EXPECT_FALSE(Query::parse("zz == 1").value().matches(meta));
+  EXPECT_FALSE(Query::parse("zz != 1").value().matches(meta));  // absent: no match at all
+  EXPECT_TRUE(Query::parse("!(zz == 1)").value().matches(meta));
+}
+
+TEST(Query, ParseErrors) {
+  EXPECT_FALSE(Query::parse("").is_ok());
+  EXPECT_FALSE(Query::parse("a ==").is_ok());
+  EXPECT_FALSE(Query::parse("(a == 1").is_ok());
+  EXPECT_FALSE(Query::parse("a == 1 extra == 2").is_ok());
+  EXPECT_FALSE(Query::parse("a & b").is_ok());
+  EXPECT_FALSE(Query::parse("'unterminated").is_ok());
+  EXPECT_FALSE(Query::parse("a == 1 @").is_ok());
+}
+
+}  // namespace
+}  // namespace ipa::catalog

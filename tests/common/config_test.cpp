@@ -1,0 +1,89 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa {
+namespace {
+
+TEST(Config, ParseBasic) {
+  const auto cfg = Config::parse(R"(
+# grid site policy
+site.name = slac-osg
+site.max_nodes = 16
+site.lan_mbps = 7.48
+interactive = true
+)");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->get_string("site.name"), "slac-osg");
+  EXPECT_EQ(cfg->get_int("site.max_nodes"), 16);
+  EXPECT_DOUBLE_EQ(cfg->get_double("site.lan_mbps"), 7.48);
+  EXPECT_TRUE(cfg->get_bool("interactive"));
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const auto cfg = Config::parse("# only comments\n\n; alt comment\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_TRUE(cfg->entries().empty());
+}
+
+TEST(Config, MalformedLineRejected) {
+  const auto cfg = Config::parse("key_without_value\n");
+  EXPECT_FALSE(cfg.is_ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Config, EmptyKeyRejected) {
+  EXPECT_FALSE(Config::parse("= value\n").is_ok());
+}
+
+TEST(Config, LaterDuplicateWins) {
+  const auto cfg = Config::parse("n = 1\nn = 2\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->get_int("n"), 1 + 1);
+}
+
+TEST(Config, FallbacksWhenMissingOrMalformed) {
+  const auto cfg = Config::parse("bad_int = xyz\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->get_int("absent", 7), 7);
+  EXPECT_EQ(cfg->get_int("bad_int", 9), 9);
+  EXPECT_EQ(cfg->get_string("absent", "dflt"), "dflt");
+  EXPECT_FALSE(cfg->get_bool("absent", false));
+}
+
+TEST(Config, RequireVariants) {
+  const auto cfg = Config::parse("x = 12\ny = oops\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->require_int("x").value(), 12);
+  EXPECT_EQ(cfg->require_int("y").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cfg->require_int("z").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cfg->require_string("y").value(), "oops");
+  EXPECT_EQ(cfg->require_double("x").value(), 12.0);
+}
+
+TEST(Config, SectionStripsPrefix) {
+  const auto cfg = Config::parse("wan.mbps = 0.25\nlan.mbps = 7.5\nlan.rtt_ms = 1\n");
+  ASSERT_TRUE(cfg.is_ok());
+  const Config lan = cfg->section("lan");
+  EXPECT_DOUBLE_EQ(lan.get_double("mbps"), 7.5);
+  EXPECT_EQ(lan.get_int("rtt_ms"), 1);
+  EXPECT_FALSE(lan.contains("mbps.extra"));
+  EXPECT_EQ(lan.entries().size(), 2u);
+}
+
+TEST(Config, RoundTripThroughToString) {
+  Config cfg;
+  cfg.set("b", "2");
+  cfg.set("a", "1");
+  const auto reparsed = Config::parse(cfg.to_string());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed->get_int("a"), 1);
+  EXPECT_EQ(reparsed->get_int("b"), 2);
+}
+
+TEST(Config, LoadFileMissing) {
+  EXPECT_EQ(Config::load_file("/nonexistent/ipa.conf").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ipa

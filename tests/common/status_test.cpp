@@ -1,0 +1,112 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("dataset lc-run7");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "dataset lc-run7");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: dataset lc-run7");
+}
+
+TEST(Status, WithPrefixPrepends) {
+  Status s = invalid_argument("bad port").with_prefix("uri");
+  EXPECT_EQ(s.message(), "uri: bad port");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Status, WithPrefixOnOkIsNoop) {
+  Status s = Status::ok().with_prefix("ctx");
+  EXPECT_TRUE(s.is_ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(not_found("x"), not_found("x"));
+  EXPECT_FALSE(not_found("x") == not_found("y"));
+  EXPECT_FALSE(not_found("x") == aborted("x"));
+}
+
+TEST(Status, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(invalid_argument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(already_exists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(permission_denied("m").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(unauthenticated("m").code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(failed_precondition("m").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(out_of_range("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(unavailable("m").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(deadline_exceeded("m").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(aborted("m").code(), StatusCode::kAborted);
+  EXPECT_EQ(resource_exhausted("m").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(internal_error("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(data_loss("m").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(cancelled("m").code(), StatusCode::kCancelled);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = unavailable("worker down");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("histogram");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "histogram");
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return invalid_argument("not positive");
+  return x;
+}
+
+Status use_assign_or_return(int x, int& out) {
+  IPA_ASSIGN_OR_RETURN(const int v, parse_positive(x));
+  out = v * 2;
+  return Status::ok();
+}
+
+TEST(Result, AssignOrReturnMacroPropagates) {
+  int out = 0;
+  EXPECT_TRUE(use_assign_or_return(21, out).is_ok());
+  EXPECT_EQ(out, 42);
+  const Status err = use_assign_or_return(-1, out);
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+}
+
+Status use_return_if_error(bool fail) {
+  IPA_RETURN_IF_ERROR(fail ? aborted("stop") : Status::ok());
+  return Status::ok();
+}
+
+TEST(Result, ReturnIfErrorMacro) {
+  EXPECT_TRUE(use_return_if_error(false).is_ok());
+  EXPECT_EQ(use_return_if_error(true).code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace ipa

@@ -1,0 +1,137 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa::strings {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitTrimmedDropsEmptiesAndTrims) {
+  const auto parts = split_trimmed("  a , , b  ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, "/"), "only");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("gftp://host", "gftp://"));
+  EXPECT_FALSE(starts_with("gf", "gftp://"));
+  EXPECT_TRUE(ends_with("run7.ipd", ".ipd"));
+  EXPECT_FALSE(ends_with("ipd", ".ipd"));
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("Content-TYPE"), "content-type");
+  EXPECT_EQ(to_upper("soap"), "SOAP");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("Content-Length", "content-lengt"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a&b&c", "&", "&amp;"), "a&amp;b&amp;c");
+  EXPECT_EQ(replace_all("xxx", "x", "xx"), "xxxxxx");
+  EXPECT_EQ(replace_all("none", "zz", "y"), "none");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d nodes, %.1f MB", 16, 471.0), "16 nodes, 471.0 MB");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(15 * 1024), "15.0 KB");
+  EXPECT_EQ(human_bytes(471ull * 1024 * 1024), "471.0 MB");
+}
+
+TEST(Strings, HumanDurationMatchesPaperStyle) {
+  EXPECT_EQ(human_duration_s(78), "78 s");
+  EXPECT_EQ(human_duration_s(259), "4 min 19 s");
+  EXPECT_EQ(human_duration_s(45 * 60), "45 min");
+  EXPECT_EQ(human_duration_s(3900), "1 h 05 min");
+}
+
+TEST(Strings, ParseI64) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(parse_i64("  17 ", v));
+  EXPECT_EQ(v, 17);
+  EXPECT_FALSE(parse_i64("12x", v));
+  EXPECT_FALSE(parse_i64("", v));
+}
+
+TEST(Strings, ParseF64) {
+  double v = 0;
+  EXPECT_TRUE(parse_f64("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_f64("-1e3", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_f64("abc", v));
+}
+
+TEST(Strings, ParseBool) {
+  bool v = false;
+  EXPECT_TRUE(parse_bool("TRUE", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(parse_bool("off", v));
+  EXPECT_FALSE(v);
+  EXPECT_FALSE(parse_bool("maybe", v));
+}
+
+TEST(Strings, GlobMatchBasics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("run?.ipd", "run7.ipd"));
+  EXPECT_FALSE(glob_match("run?.ipd", "run77.ipd"));
+  EXPECT_TRUE(glob_match("lc/*/higgs*", "lc/2006/higgs-search"));
+  EXPECT_FALSE(glob_match("lc/*", "ilc/2006"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("**", "x"));
+}
+
+TEST(Strings, GlobMatchBacktracking) {
+  EXPECT_TRUE(glob_match("*abc", "xxabcabc"));
+  EXPECT_TRUE(glob_match("a*b*c", "a123b456c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a123c456b"));
+}
+
+}  // namespace
+}  // namespace ipa::strings

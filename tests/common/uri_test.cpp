@@ -1,0 +1,78 @@
+#include "common/uri.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa {
+namespace {
+
+TEST(Uri, ParseHttpFull) {
+  const auto uri = Uri::parse("http://manager.slac.edu:8443/ipa/session");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->scheme, "http");
+  EXPECT_EQ(uri->host, "manager.slac.edu");
+  EXPECT_EQ(uri->port, 8443);
+  EXPECT_EQ(uri->path, "/ipa/session");
+}
+
+TEST(Uri, ParseNoPortNoPath) {
+  const auto uri = Uri::parse("inproc://catalog");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->scheme, "inproc");
+  EXPECT_EQ(uri->host, "catalog");
+  EXPECT_EQ(uri->port, 0);
+  EXPECT_EQ(uri->path, "");
+}
+
+TEST(Uri, ParseFileScheme) {
+  const auto uri = Uri::parse("file:///data/lc/run7.ipd");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->scheme, "file");
+  EXPECT_EQ(uri->host, "");
+  EXPECT_EQ(uri->path, "/data/lc/run7.ipd");
+}
+
+TEST(Uri, ParseQuery) {
+  const auto uri = Uri::parse("db://dbhost/events?lo=0&hi=999&flag");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->query_or("lo"), "0");
+  EXPECT_EQ(uri->query_or("hi"), "999");
+  EXPECT_EQ(uri->query_or("flag"), "");
+  EXPECT_EQ(uri->query_or("absent", "dflt"), "dflt");
+}
+
+TEST(Uri, SchemeIsLowercased) {
+  const auto uri = Uri::parse("GFTP://Storage0:2811/d");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->scheme, "gftp");
+  EXPECT_EQ(uri->host, "Storage0");
+}
+
+TEST(Uri, RejectsMissingScheme) {
+  EXPECT_FALSE(Uri::parse("no-scheme-here").is_ok());
+  EXPECT_FALSE(Uri::parse("://host").is_ok());
+}
+
+TEST(Uri, RejectsBadPort) {
+  EXPECT_FALSE(Uri::parse("http://h:99999/x").is_ok());
+  EXPECT_FALSE(Uri::parse("http://h:abc/x").is_ok());
+}
+
+TEST(Uri, RoundTrip) {
+  const char* kCases[] = {
+      "http://manager:8443/ipa/session",
+      "gftp://storage0:2811/datasets/lc/run7.ipd",
+      "inproc://locator",
+      "db://dbhost/events?hi=999&lo=0",
+  };
+  for (const char* text : kCases) {
+    const auto uri = Uri::parse(text);
+    ASSERT_TRUE(uri.is_ok()) << text;
+    EXPECT_EQ(uri->to_string(), text);
+    const auto again = Uri::parse(uri->to_string());
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(*again, *uri);
+  }
+}
+
+}  // namespace
+}  // namespace ipa

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/encoding.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ipa::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (const char c : msg) h.update(&c, 1);
+  EXPECT_EQ(to_hex(h.finish()), to_hex(Sha256::hash(msg)));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const std::string msg55(55, 'x');  // padding fits in one block
+  const std::string msg56(56, 'x');  // padding forces a second block
+  const std::string msg64(64, 'x');  // exactly one block of data
+  EXPECT_NE(to_hex(Sha256::hash(msg55)), to_hex(Sha256::hash(msg56)));
+  EXPECT_EQ(to_hex(Sha256::hash(msg64)).size(), 64u);
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("first");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  EXPECT_NE(to_hex(hmac_sha256("key1", "msg")), to_hex(hmac_sha256("key2", "msg")));
+}
+
+TEST(Hmac, DigestEqualConstantTimeSemantics) {
+  const Digest256 a = Sha256::hash("a");
+  const Digest256 b = Sha256::hash("b");
+  EXPECT_TRUE(digest_equal(a, a));
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeRoundTrip) {
+  for (const std::string& msg : {std::string(""), std::string("x"), std::string("higgs"),
+                                 std::string("\x00\xff\x7f\x80", 4)}) {
+    const auto decoded = base64_decode(base64_encode(msg));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(Base64, RejectsBadInput) {
+  EXPECT_FALSE(base64_decode("abc").is_ok());       // not multiple of 4
+  EXPECT_FALSE(base64_decode("ab!@").is_ok());      // invalid chars
+  EXPECT_FALSE(base64_decode("=abc").is_ok());      // misplaced padding
+  EXPECT_FALSE(base64_decode("ab=c").is_ok());      // data after padding
+  EXPECT_FALSE(base64_decode("a===").is_ok());      // too much padding
+}
+
+TEST(Base64, BinaryVectorOverload) {
+  const std::vector<std::uint8_t> data = {0, 1, 2, 253, 254, 255};
+  const auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded->size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>((*decoded)[i]), data[i]);
+  }
+}
+
+TEST(Hex, RoundTrip) {
+  const std::string msg{"\x00\x7f\x80\xff", 4};
+  EXPECT_EQ(hex_encode(msg), "007f80ff");
+  const auto back = hex_decode("007f80ff");
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  EXPECT_EQ(hex_decode("DEADBEEF").value(), hex_decode("deadbeef").value());
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").is_ok());   // odd length
+  EXPECT_FALSE(hex_decode("zz").is_ok());    // invalid chars
+}
+
+}  // namespace
+}  // namespace ipa::crypto

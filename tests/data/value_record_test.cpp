@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "data/crc32.hpp"
+#include "data/record.hpp"
+#include "data/value.hpp"
+
+namespace ipa::data {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value(std::int64_t{42}).is_int());
+  EXPECT_TRUE(Value(3.5).is_real());
+  EXPECT_TRUE(Value("acgt").is_str());
+  EXPECT_TRUE(Value(Value::RealVec{1, 2}).is_vec());
+  EXPECT_EQ(Value(std::int64_t{42}).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).as_real(), 3.5);
+  EXPECT_EQ(Value("acgt").as_str(), "acgt");
+  EXPECT_EQ(Value(Value::RealVec{1, 2}).as_vec().size(), 2u);
+}
+
+TEST(Value, ToNumberCoercion) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{7}).to_number().value(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).to_number().value(), 2.5);
+  EXPECT_FALSE(Value("not-a-number").to_number().is_ok());
+  EXPECT_FALSE(Value(Value::RealVec{1}).to_number().is_ok());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(std::int64_t{-3}).to_string(), "-3");
+  EXPECT_EQ(Value("x").to_string(), "\"x\"");
+  EXPECT_EQ(Value(Value::RealVec{1, 2.5}).to_string(), "[1, 2.5]");
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  const Value cases[] = {Value(std::int64_t{0}), Value(std::int64_t{-1234567}),
+                         Value(3.14159), Value(""), Value("higgs boson"),
+                         Value(Value::RealVec{}), Value(Value::RealVec{1.5, -2.5, 1e300})};
+  for (const Value& v : cases) {
+    ser::Writer w;
+    v.encode(w);
+    ser::Reader r(w.data());
+    auto back = Value::decode(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Value, DecodeRejectsBadTag) {
+  ser::Bytes bad = {9};
+  ser::Reader r(bad);
+  EXPECT_FALSE(Value::decode(r).is_ok());
+}
+
+TEST(Record, SetGetOverwrite) {
+  Record record(7);
+  record.set("e", 91.2);
+  record.set("n", std::int64_t{3});
+  record.set("tag", "signal");
+  record.set("px", Value::RealVec{1, 2, 3});
+  EXPECT_EQ(record.index(), 7u);
+  EXPECT_EQ(record.field_count(), 4u);
+  EXPECT_DOUBLE_EQ(record.real_or("e"), 91.2);
+  EXPECT_EQ(record.int_or("n"), 3);
+  EXPECT_EQ(record.str_or("tag"), "signal");
+  ASSERT_NE(record.vec_or_null("px"), nullptr);
+  EXPECT_EQ(record.vec_or_null("px")->size(), 3u);
+
+  record.set("e", 125.0);  // overwrite keeps field count
+  EXPECT_EQ(record.field_count(), 4u);
+  EXPECT_DOUBLE_EQ(record.real_or("e"), 125.0);
+}
+
+TEST(Record, FallbacksForMissingOrMistyped) {
+  Record record;
+  record.set("s", "text");
+  EXPECT_DOUBLE_EQ(record.real_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(record.real_or("s", -1.0), -1.0);
+  EXPECT_EQ(record.int_or("s", 9), 9);
+  EXPECT_EQ(record.str_or("absent", "d"), "d");
+  EXPECT_EQ(record.vec_or_null("s"), nullptr);
+  EXPECT_FALSE(record.has("absent"));
+  EXPECT_TRUE(record.has("s"));
+}
+
+TEST(Record, IntCoercesToRealGetter) {
+  Record record;
+  record.set("n", std::int64_t{5});
+  EXPECT_DOUBLE_EQ(record.real_or("n"), 5.0);
+}
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  Record record(123456);
+  record.set("mass", 125.3);
+  record.set("count", std::int64_t{-9});
+  record.set("seq", "acgtacgt");
+  record.set("p4", Value::RealVec{1.1, 2.2, 3.3, 4.4});
+
+  ser::Writer w;
+  record.encode(w);
+  ser::Reader r(w.data());
+  auto back = Record::decode(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, record);
+}
+
+TEST(Record, DecodeRejectsImplausibleFieldCount) {
+  ser::Writer w;
+  w.varint(1);     // index
+  w.varint(99999); // field count
+  ser::Reader r(w.data());
+  EXPECT_FALSE(Record::decode(r).is_ok());
+}
+
+TEST(Record, SizeHintTracksContent) {
+  Record small(1);
+  small.set("x", 1.0);
+  Record large(1);
+  large.set("seq", std::string(1000, 'a'));
+  EXPECT_GT(large.encoded_size_hint(), small.encoded_size_hint() + 900);
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard check value).
+  EXPECT_EQ(Crc32::of("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32::of("", 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "interactive parallel analysis";
+  Crc32 crc;
+  crc.update(data.data(), 10);
+  crc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc.value(), Crc32::of(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsCorruption) {
+  std::string data = "payload";
+  const std::uint32_t clean = Crc32::of(data.data(), data.size());
+  data[3] ^= 1;
+  EXPECT_NE(clean, Crc32::of(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace ipa::data

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gridsim/link.hpp"
+#include "gridsim/scheduler.hpp"
+#include "gridsim/sim.hpp"
+
+namespace ipa::gridsim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimesAreStable) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule(1.0, [&] {
+    sim.schedule(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsQueued) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation sim;
+  double at = -1;
+  sim.schedule(1.0, [&] {
+    sim.schedule(-5.0, [&] { at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 1.0);
+}
+
+TEST(SharedLink, SingleFlowTimeIsSizeOverRate) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 10.0, .per_flow_mbps = 0, .latency_s = 0, .setup_s = 0});
+  double done_at = -1;
+  link.start_flow(100.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+TEST(SharedLink, LatencyAndSetupAdd) {
+  Simulation sim;
+  SharedLink link(sim, "wan", {.capacity_mbps = 10.0, .per_flow_mbps = 0, .latency_s = 1.5, .setup_s = 0.5});
+  double done_at = -1;
+  link.start_flow(100.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 12.0, 1e-9);
+}
+
+TEST(SharedLink, TwoFlowsShareCapacity) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 10.0});
+  std::vector<double> done;
+  link.start_flow(50.0, [&] { done.push_back(sim.now()); });
+  link.start_flow(50.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Each gets 5 MB/s: both finish at t = 10.
+  EXPECT_NEAR(done[0], 10.0, 1e-9);
+  EXPECT_NEAR(done[1], 10.0, 1e-9);
+}
+
+TEST(SharedLink, LateJoinerSlowsExistingFlow) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 10.0});
+  double first_done = -1, second_done = -1;
+  link.start_flow(100.0, [&] { first_done = sim.now(); });
+  sim.schedule(5.0, [&] {
+    link.start_flow(25.0, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  // First flow: 50 MB in 5 s alone, then shares 5 MB/s. Second: 25 MB at 5 MB/s = 5 s.
+  EXPECT_NEAR(second_done, 10.0, 1e-9);
+  // First has 50 MB left at t=5; shares until t=10 (25 MB moved), then full
+  // rate for the last 25 MB: t = 10 + 2.5.
+  EXPECT_NEAR(first_done, 12.5, 1e-9);
+}
+
+TEST(SharedLink, PerFlowCapLimitsSingleStream) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 100.0, .per_flow_mbps = 10.0});
+  double done_at = -1;
+  link.start_flow(100.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);  // capped at 10, not 100
+}
+
+TEST(SharedLink, ManyCappedFlowsUseAggregate) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 100.0, .per_flow_mbps = 10.0});
+  int completed = 0;
+  double last = 0;
+  for (int i = 0; i < 20; ++i) {
+    link.start_flow(10.0, [&] {
+      ++completed;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 20);
+  // 20 flows x 10 MB = 200 MB; aggregate 100 MB/s but per-flow cap 10 means
+  // each flow runs at min(100/20, 10) = 5 MB/s: 10 MB takes 2 s.
+  EXPECT_NEAR(last, 2.0, 1e-9);
+}
+
+TEST(SharedLink, ZeroByteFlowCompletesAfterPreamble) {
+  Simulation sim;
+  SharedLink link(sim, "lan", {.capacity_mbps = 10.0, .per_flow_mbps = 0, .latency_s = 0.25, .setup_s = 0.75});
+  double done_at = -1;
+  link.start_flow(0.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(SerialStage, FifoAtFixedRate) {
+  Simulation sim;
+  SerialStage disk(sim, "disk", 10.0);
+  std::vector<double> done;
+  disk.submit(50.0, [&] { done.push_back(sim.now()); });
+  disk.submit(30.0, [&] { done.push_back(sim.now()); });
+  disk.submit(20.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 5.0, 1e-9);
+  EXPECT_NEAR(done[1], 8.0, 1e-9);
+  EXPECT_NEAR(done[2], 10.0, 1e-9);
+}
+
+TEST(SerialStage, IdleGapThenNewWork) {
+  Simulation sim;
+  SerialStage disk(sim, "disk", 10.0);
+  double done_at = -1;
+  disk.submit(10.0, [&] {});
+  sim.schedule(100.0, [&] {
+    disk.submit(10.0, [&] { done_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(done_at, 101.0, 1e-9);  // starts fresh at t=100
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(scheduler_
+                    .add_queue({.name = "interactive",
+                                .nodes = 16,
+                                .node_speed_mhz = 866,
+                                .dispatch_latency_s = 2.0,
+                                .policy = DispatchPolicy::kFifo})
+                    .is_ok());
+  }
+  Simulation sim_;
+  Scheduler scheduler_{sim_};
+};
+
+TEST_F(SchedulerTest, GrantAfterDispatchLatency) {
+  Scheduler::Grant got;
+  auto job = scheduler_.submit("interactive", "alice", 4, [&](const Scheduler::Grant& grant) {
+    got = grant;
+  });
+  ASSERT_TRUE(job.is_ok());
+  sim_.run();
+  EXPECT_EQ(got.node_ids.size(), 4u);
+  EXPECT_DOUBLE_EQ(got.node_speed_mhz, 866);
+  EXPECT_DOUBLE_EQ(got.granted_at, 2.0);
+  EXPECT_EQ(scheduler_.free_nodes("interactive"), 12);
+}
+
+TEST_F(SchedulerTest, QueueBlocksUntilRelease) {
+  std::uint64_t first_id = 0;
+  double second_granted_at = -1;
+  auto first = scheduler_.submit("interactive", "alice", 16, [&](const Scheduler::Grant& g) {
+    first_id = g.job_id;
+    // Hold the whole queue for 100 s.
+    sim_.schedule(100.0, [&, id = g.job_id] { ASSERT_TRUE(scheduler_.release(id).is_ok()); });
+  });
+  ASSERT_TRUE(first.is_ok());
+  auto second = scheduler_.submit("interactive", "bob", 8, [&](const Scheduler::Grant& g) {
+    second_granted_at = g.granted_at;
+  });
+  ASSERT_TRUE(second.is_ok());
+  // The 16-node job dispatched immediately; only the 8-node job waits.
+  EXPECT_EQ(scheduler_.waiting_jobs("interactive"), 1u);
+  sim_.run();
+  // First grant at t=2, release at t=102, second grant at t=104.
+  EXPECT_NEAR(second_granted_at, 104.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, RejectsOversizeAndUnknownQueue) {
+  EXPECT_EQ(scheduler_.submit("interactive", "alice", 17, nullptr).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler_.submit("nope", "alice", 1, nullptr).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler_.submit("interactive", "alice", 0, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, CancelWaitingJob) {
+  // Fill the queue so the next job waits.
+  ASSERT_TRUE(scheduler_.submit("interactive", "a", 16, nullptr).is_ok());
+  auto waiting = scheduler_.submit("interactive", "b", 1, [](const Scheduler::Grant&) {
+    FAIL() << "cancelled job must not be granted";
+  });
+  ASSERT_TRUE(waiting.is_ok());
+  sim_.run_until(1.0);
+  ASSERT_TRUE(scheduler_.cancel(*waiting).is_ok());
+  EXPECT_EQ(scheduler_.cancel(*waiting).code(), StatusCode::kNotFound);
+  sim_.run();
+}
+
+TEST_F(SchedulerTest, ReleaseAccountsUsage) {
+  std::uint64_t id = 0;
+  ASSERT_TRUE(scheduler_.submit("interactive", "alice", 4, [&](const Scheduler::Grant& g) {
+    id = g.job_id;
+  }).is_ok());
+  sim_.run();
+  sim_.schedule(10.0, [&] { ASSERT_TRUE(scheduler_.release(id).is_ok()); });
+  sim_.run();
+  EXPECT_NEAR(scheduler_.usage("alice"), 4 * 12.0, 1e-9);  // held from t=0 to t=12
+  EXPECT_DOUBLE_EQ(scheduler_.usage("nobody"), 0.0);
+}
+
+TEST(SchedulerFairShare, HeavyUserYieldsToLightUser) {
+  Simulation sim;
+  Scheduler scheduler(sim);
+  ASSERT_TRUE(scheduler
+                  .add_queue({.name = "q",
+                              .nodes = 2,
+                              .node_speed_mhz = 866,
+                              .dispatch_latency_s = 0.0,
+                              .policy = DispatchPolicy::kFairShare})
+                  .is_ok());
+
+  // Heavy user consumes both nodes for 100 s.
+  std::uint64_t heavy_job = 0;
+  ASSERT_TRUE(scheduler.submit("q", "heavy", 2, [&](const Scheduler::Grant& g) {
+    heavy_job = g.job_id;
+    sim.schedule(100.0, [&, id = g.job_id] { ASSERT_TRUE(scheduler.release(id).is_ok()); });
+  }).is_ok());
+
+  // While that runs, heavy submits again first, then light submits.
+  std::vector<std::string> grant_order;
+  sim.schedule(1.0, [&] {
+    ASSERT_TRUE(scheduler.submit("q", "heavy", 2, [&](const Scheduler::Grant& g) {
+      grant_order.push_back("heavy");
+      ASSERT_TRUE(scheduler.release(g.job_id).is_ok());
+    }).is_ok());
+    ASSERT_TRUE(scheduler.submit("q", "light", 2, [&](const Scheduler::Grant& g) {
+      grant_order.push_back("light");
+      ASSERT_TRUE(scheduler.release(g.job_id).is_ok());
+    }).is_ok());
+  });
+  sim.run();
+  // Fair-share grants light first despite heavy's earlier arrival.
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], "light");
+  EXPECT_EQ(grant_order[1], "heavy");
+}
+
+TEST(SchedulerFairShare, FifoWouldGrantHeavyFirst) {
+  Simulation sim;
+  Scheduler scheduler(sim);
+  ASSERT_TRUE(scheduler
+                  .add_queue({.name = "q",
+                              .nodes = 2,
+                              .node_speed_mhz = 866,
+                              .dispatch_latency_s = 0.0,
+                              .policy = DispatchPolicy::kFifo})
+                  .is_ok());
+  ASSERT_TRUE(scheduler.submit("q", "heavy", 2, [&](const Scheduler::Grant& g) {
+    sim.schedule(100.0, [&, id = g.job_id] { ASSERT_TRUE(scheduler.release(id).is_ok()); });
+  }).is_ok());
+  std::vector<std::string> grant_order;
+  sim.schedule(1.0, [&] {
+    ASSERT_TRUE(scheduler.submit("q", "heavy", 2, [&](const Scheduler::Grant& g) {
+      grant_order.push_back("heavy");
+      ASSERT_TRUE(scheduler.release(g.job_id).is_ok());
+    }).is_ok());
+    ASSERT_TRUE(scheduler.submit("q", "light", 2, [&](const Scheduler::Grant& g) {
+      grant_order.push_back("light");
+      ASSERT_TRUE(scheduler.release(g.job_id).is_ok());
+    }).is_ok());
+  });
+  sim.run();
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], "heavy");
+}
+
+TEST(SchedulerQueues, DuplicateQueueRejected) {
+  Simulation sim;
+  Scheduler scheduler(sim);
+  ASSERT_TRUE(scheduler.add_queue({.name = "q", .nodes = 1}).is_ok());
+  EXPECT_EQ(scheduler.add_queue({.name = "q", .nodes = 2}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(scheduler.add_queue({.name = "r", .nodes = 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ipa::gridsim

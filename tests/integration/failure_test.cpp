@@ -1,0 +1,225 @@
+// Failure injection and concurrency: what happens when the grid machinery
+// breaks under a session, and whether independent sessions stay isolated
+// while running simultaneously.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "client/grid_client.hpp"
+#include "common/rng.hpp"
+#include "services/manager.hpp"
+
+namespace ipa {
+namespace {
+
+const char* kCountScript = R"(
+func begin(tree) { tree.book_h1("/n", 1, 0, 1); }
+func process(event, tree) { tree.fill("/n", 0.5); }
+)";
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipa-fail-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+    Rng rng(1);
+    std::vector<data::Record> records;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      data::Record record(i);
+      record.set("x", rng.uniform());
+      records.push_back(std::move(record));
+    }
+    dataset_ = (dir_ / "d.ipd").string();
+    ASSERT_TRUE(data::write_dataset(dataset_, "d", records).is_ok());
+
+    services::ManagerConfig config;
+    config.staging_dir = (dir_ / "staging").string();
+    config.engine_config.snapshot_every = 200;
+    auto manager = services::ManagerNode::start(std::move(config));
+    ASSERT_TRUE(manager.is_ok());
+    manager_ = std::move(*manager);
+    ASSERT_TRUE(manager_->publish_dataset("d/d1", "ds-1", {}, dataset_).is_ok());
+    token_ = manager_->authority().issue("cn=user", {"analysis"}, 3600);
+  }
+
+  void TearDown() override {
+    manager_->stop();
+    manager_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::string dataset_;
+  std::unique_ptr<services::ManagerNode> manager_;
+  std::string token_;
+};
+
+/// A compute element that refuses to start engines (queue down / GRAM
+/// failure).
+class BrokenComputeElement final : public services::ComputeElement {
+ public:
+  Result<std::vector<std::unique_ptr<services::EngineHandle>>> start_engines(
+      const std::string&, int, const Uri&) override {
+    return unavailable("GRAM: job manager contact failed");
+  }
+};
+
+/// Starts fewer engines than requested (partial node failure).
+class PartialComputeElement final : public services::ComputeElement {
+ public:
+  Result<std::vector<std::unique_ptr<services::EngineHandle>>> start_engines(
+      const std::string& session_id, int count, const Uri& endpoint) override {
+    services::LocalComputeElement inner;
+    return inner.start_engines(session_id, count > 1 ? count - 1 : count, endpoint);
+  }
+};
+
+TEST_F(FailureTest, ActivateSurfacesComputeElementFailure) {
+  manager_->set_compute_element(std::make_unique<BrokenComputeElement>());
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  const Status failed = session->activate();
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_NE(failed.message().find("GRAM"), std::string::npos);
+  // The session resource still exists and can be closed cleanly.
+  EXPECT_TRUE(session->close().is_ok());
+}
+
+TEST_F(FailureTest, PartialEngineStartupIsRejected) {
+  manager_->set_compute_element(std::make_unique<PartialComputeElement>());
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(4);
+  ASSERT_TRUE(session.is_ok());
+  const Status failed = session->activate();
+  // 3 of 4 engines came up: the session must refuse to run degraded
+  // rather than silently analyze 3/4 of the data.
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_TRUE(session->close().is_ok());
+}
+
+TEST_F(FailureTest, EngineFailureMidRunReachesClient) {
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-1").is_ok());
+  // Script that dies on a record index it will hit in every part.
+  const char* kDies = R"(
+func begin(tree) { tree.book_h1("/n", 1, 0, 1); }
+func process(event, tree) {
+  tree.fill("/n", 0.5);
+  if (event.num("x") > 0.9) { return [1][5]; }  // out-of-range error
+}
+)";
+  ASSERT_TRUE(session->stage_script("dies", kDies).is_ok());
+  const auto result = session->run_to_completion(30.0);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("out of range"), std::string::npos)
+      << result.status().message();
+
+  // Recovery: fix the script, rewind, rerun.
+  ASSERT_TRUE(session->rewind().is_ok());
+  ASSERT_TRUE(session->stage_script("fixed", kCountScript).is_ok());
+  auto tree = session->run_to_completion(30.0);
+  ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+  EXPECT_DOUBLE_EQ((*tree->histogram1d("/n"))->bin_height(0), 1000.0);
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+TEST_F(FailureTest, TwoSessionsRunConcurrently) {
+  // Two users analyze the same dataset at the same time; results must be
+  // complete and independent.
+  const std::string token_b = manager_->authority().issue("cn=other", {"analysis"}, 3600);
+
+  auto run_session = [&](const std::string& token, double scale) -> double {
+    auto client = client::GridClient::connect(manager_->soap_endpoint(), token);
+    if (!client.is_ok()) return -1;
+    auto session = client->create_session(2);
+    if (!session.is_ok()) return -1;
+    if (!session->activate().is_ok()) return -2;
+    if (!session->select_dataset("ds-1").is_ok()) return -3;
+    const std::string script =
+        "func begin(tree) { tree.book_h1(\"/s\", 1, 0, 10); }\n"
+        "func process(event, tree) { tree.fill(\"/s\", " +
+        std::to_string(scale) + "); }\n";
+    if (!session->stage_script("s", script).is_ok()) return -4;
+    auto tree = session->run_to_completion(60.0);
+    if (!tree.is_ok()) return -5;
+    auto hist = tree->histogram1d("/s");
+    const double entries = static_cast<double>((*hist)->entries());
+    (void)session->close();
+    return entries;
+  };
+
+  double result_a = 0, result_b = 0;
+  {
+    std::jthread a([&] { result_a = run_session(token_, 1.0); });
+    std::jthread b([&] { result_b = run_session(token_b, 2.0); });
+  }
+  EXPECT_DOUBLE_EQ(result_a, 1000.0);
+  EXPECT_DOUBLE_EQ(result_b, 1000.0);
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+}
+
+TEST_F(FailureTest, CloseWhileRunningShutsEnginesDown) {
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-1").is_ok());
+  // Slow script so the session is definitely still running at close.
+  const char* kSlow = R"(
+func begin(tree) { tree.book_h1("/n", 1, 0, 1); }
+func process(event, tree) {
+  let x = 0;
+  for (let i = 0; i < 3000; i += 1) { x += i; }
+  tree.fill("/n", 0.5);
+}
+)";
+  ASSERT_TRUE(session->stage_script("slow", kSlow).is_ok());
+  ASSERT_TRUE(session->run().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(session->close().is_ok());
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+  // Manager survives and can host a fresh session afterwards.
+  auto again = client->create_session(1);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again->close().is_ok());
+}
+
+TEST_F(FailureTest, ManagerStopWithLiveSessionsIsClean) {
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-1").is_ok());
+  ASSERT_TRUE(session->stage_script("s", kCountScript).is_ok());
+  ASSERT_TRUE(session->run().is_ok());
+  manager_->stop();  // hard site shutdown under a running session
+  // Client calls now fail but do not hang or crash.
+  const auto status = session->poll();
+  EXPECT_FALSE(status.is_ok());
+}
+
+TEST_F(FailureTest, PollWithForeignSessionIdFails) {
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(1);
+  ASSERT_TRUE(session.is_ok());
+  // Raw RMI poll with a bogus session id.
+  auto rmi = rpc::RpcClient::connect(session->info().rmi_endpoint);
+  ASSERT_TRUE(rmi.is_ok());
+  auto reply = rmi->call(services::kAidaManagerService, "poll",
+                         services::encode_poll_request("sess-bogus", 0));
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+}  // namespace
+}  // namespace ipa

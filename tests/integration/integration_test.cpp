@@ -1,0 +1,309 @@
+// End-to-end tests: manager node + client over real transports, walking the
+// paper's full four-step flow (connect/auth → session → dataset → analyze →
+// merged results).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "client/grid_client.hpp"
+#include "common/rng.hpp"
+#include "services/manager.hpp"
+
+namespace ipa {
+namespace {
+
+const char* kMassScript = R"(
+func begin(tree) {
+  tree.book_h1("/mass", 50, 0, 200, "invariant mass");
+  tree.book_h1("/ntrk", 20, 0, 40, "track multiplicity");
+}
+func process(event, tree) {
+  tree.fill("/mass", event.num("mass"));
+  tree.fill("/ntrk", event.num("ntrk"));
+}
+)";
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipa-int-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+
+    // A small record-based dataset with a peak at mass ~ 91.
+    Rng rng(2006);
+    std::vector<data::Record> records;
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      data::Record record(i);
+      record.set("mass", rng.bernoulli(0.3) ? rng.breit_wigner(91.2, 2.5)
+                                            : rng.uniform(0.0, 200.0));
+      record.set("ntrk", static_cast<std::int64_t>(rng.uniform_u64(2, 30)));
+      records.push_back(std::move(record));
+    }
+    dataset_path_ = (dir_ / "zpole.ipd").string();
+    ASSERT_TRUE(data::write_dataset(dataset_path_, "zpole", records).is_ok());
+
+    services::ManagerConfig config;
+    config.staging_dir = (dir_ / "staging").string();
+    config.engine_config.snapshot_every = 500;
+    auto manager = services::ManagerNode::start(std::move(config));
+    ASSERT_TRUE(manager.is_ok()) << manager.status().to_string();
+    manager_ = std::move(*manager);
+    ASSERT_TRUE(manager_
+                    ->publish_dataset("lc/2006/zpole", "ds-zpole",
+                                      {{"experiment", "LC"}, {"year", "2006"}}, dataset_path_)
+                    .is_ok());
+
+    // User credential + delegated proxy (the JAS proxy plug-in step).
+    const std::string base =
+        manager_->authority().issue("cn=alice", {"analysis"}, 3600);
+    auto proxy = client::make_proxy(manager_->authority(), base);
+    ASSERT_TRUE(proxy.is_ok());
+    proxy_ = *proxy;
+  }
+
+  void TearDown() override {
+    manager_->stop();
+    manager_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  client::GridClient connect() {
+    auto client = client::GridClient::connect(manager_->soap_endpoint(), proxy_);
+    EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+    return std::move(*client);
+  }
+
+  static constexpr std::uint64_t kRecords = 3000;
+  std::filesystem::path dir_;
+  std::string dataset_path_;
+  std::unique_ptr<services::ManagerNode> manager_;
+  std::string proxy_;
+};
+
+TEST_F(IntegrationTest, FullAnalysisFlow) {
+  client::GridClient client = connect();
+
+  // Step 2 of the paper's flow: browse the catalog.
+  auto root = client.browse("");
+  ASSERT_TRUE(root.is_ok());
+  EXPECT_EQ(root->folders, std::vector<std::string>{"lc"});
+  auto level = client.browse("lc/2006");
+  ASSERT_TRUE(level.is_ok());
+  ASSERT_EQ(level->datasets.size(), 1u);
+  EXPECT_EQ(level->datasets[0].id, "ds-zpole");
+  EXPECT_EQ(level->datasets[0].metadata.at("records"), std::to_string(kRecords));
+
+  // Create session, activate engines.
+  auto session = client.create_session(4);
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_EQ(session->info().granted_nodes, 4);
+  EXPECT_EQ(session->info().queue, "interactive");
+  ASSERT_TRUE(session->activate().is_ok());
+
+  // Stage dataset + code.
+  auto staged = session->select_dataset("ds-zpole");
+  ASSERT_TRUE(staged.is_ok()) << staged.status().to_string();
+  EXPECT_EQ(staged->parts, 4);
+  EXPECT_EQ(staged->records, kRecords);
+  ASSERT_TRUE(session->stage_script("mass-v1", kMassScript).is_ok());
+
+  // Run to completion while watching intermediate updates.
+  int updates = 0;
+  auto tree = session->run_to_completion(60.0, [&](const client::PollUpdate&) { ++updates; });
+  ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+  EXPECT_GE(updates, 1);
+
+  auto mass = tree->histogram1d("/mass");
+  ASSERT_TRUE(mass.is_ok());
+  EXPECT_EQ((*mass)->entries(), kRecords);
+  // The Z-like peak must land near 91.
+  EXPECT_NEAR((*mass)->axis().bin_center((*mass)->max_bin()), 91.2, 4.0);
+  auto ntrk = tree->histogram1d("/ntrk");
+  ASSERT_TRUE(ntrk.is_ok());
+  EXPECT_EQ((*ntrk)->entries(), kRecords);
+
+  ASSERT_TRUE(session->close().is_ok());
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+}
+
+TEST_F(IntegrationTest, MergedResultEqualsSingleEngineRun) {
+  client::GridClient client = connect();
+
+  const auto run_with = [&](int nodes) -> aida::Tree {
+    auto session = client.create_session(nodes);
+    EXPECT_TRUE(session.is_ok());
+    EXPECT_TRUE(session->activate().is_ok());
+    EXPECT_TRUE(session->select_dataset("ds-zpole").is_ok());
+    EXPECT_TRUE(session->stage_script("mass", kMassScript).is_ok());
+    auto tree = session->run_to_completion(60.0);
+    EXPECT_TRUE(tree.is_ok()) << tree.status().to_string();
+    EXPECT_TRUE(session->close().is_ok());
+    return tree.is_ok() ? std::move(*tree) : aida::Tree();
+  };
+
+  aida::Tree one = run_with(1);
+  aida::Tree four = run_with(4);
+  auto h1 = one.histogram1d("/mass");
+  auto h4 = four.histogram1d("/mass");
+  ASSERT_TRUE(h1.is_ok() && h4.is_ok());
+  EXPECT_EQ((*h1)->entries(), (*h4)->entries());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR((*h1)->bin_height(i), (*h4)->bin_height(i), 1e-9) << "bin " << i;
+  }
+}
+
+TEST_F(IntegrationTest, InteractiveControlsAndReload) {
+  client::GridClient client = connect();
+  auto session = client.create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-zpole").is_ok());
+  ASSERT_TRUE(session->stage_script("v1", kMassScript).is_ok());
+
+  // Bounded run: each engine processes exactly 200 records then pauses.
+  ASSERT_TRUE(session->run_records(200).is_ok());
+  client::PollUpdate update;
+  for (int i = 0; i < 500; ++i) {
+    auto poll = session->poll();
+    ASSERT_TRUE(poll.is_ok());
+    update = std::move(*poll);
+    bool all_paused = update.engines.size() == 2;
+    for (const auto& report : update.engines) {
+      all_paused = all_paused && report.state == engine::EngineState::kPaused;
+    }
+    if (all_paused) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(update.total_processed(), 400u);  // 2 engines x 200
+
+  // Hot-reload a different algorithm, rewind and re-run to completion.
+  const char* kV2 = R"(
+func begin(tree) { tree.book_h1("/half", 25, 0, 100); }
+func process(event, tree) { tree.fill("/half", event.num("mass") / 2); }
+)";
+  ASSERT_TRUE(session->rewind().is_ok());
+  ASSERT_TRUE(session->stage_script("v2", kV2).is_ok());
+  auto tree = session->run_to_completion(60.0);
+  ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+  EXPECT_FALSE(tree->find("/mass").is_ok());  // old results gone
+  auto half = tree->histogram1d("/half");
+  ASSERT_TRUE(half.is_ok());
+  EXPECT_EQ((*half)->entries(), kRecords);
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+TEST_F(IntegrationTest, SearchAndLocate) {
+  client::GridClient client = connect();
+  auto hits = client.search("experiment == \"LC\" && records >= 1000");
+  ASSERT_TRUE(hits.is_ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].id, "ds-zpole");
+
+  auto location = client.locate("ds-zpole");
+  ASSERT_TRUE(location.is_ok());
+  EXPECT_EQ(location->first, "file://" + dataset_path_);
+}
+
+TEST_F(IntegrationTest, AuthRejectsBadAndExpiredTokens) {
+  // Garbage token: connection succeeds (transport-level), calls fail.
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), "garbage.token");
+  ASSERT_TRUE(client.is_ok());
+  const auto denied = client->browse("");
+  ASSERT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kUnauthenticated);
+
+  // Valid token from a different VO secret is also rejected.
+  security::CredentialAuthority imposter("ipa-vo", "wrong-secret");
+  auto forged = client::GridClient::connect(manager_->soap_endpoint(),
+                                            imposter.issue("cn=eve", {"analysis"}, 3600));
+  ASSERT_TRUE(forged.is_ok());
+  EXPECT_EQ(forged->browse("").status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(IntegrationTest, VoPolicyCapsNodes) {
+  // Student role is capped at 2 nodes on the batch queue.
+  const std::string student_base =
+      manager_->authority().issue("cn=bob", {"student"}, 3600);
+  auto proxy = client::make_proxy(manager_->authority(), student_base);
+  ASSERT_TRUE(proxy.is_ok());
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), *proxy);
+  ASSERT_TRUE(client.is_ok());
+  auto session = client->create_session(16);
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session->info().granted_nodes, 2);
+  EXPECT_EQ(session->info().queue, "batch");
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+TEST_F(IntegrationTest, NoRoleIsDenied) {
+  const std::string visitor = manager_->authority().issue("cn=carol", {"visitor"}, 3600);
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), visitor);
+  ASSERT_TRUE(client.is_ok());
+  const auto session = client->create_session(4);
+  ASSERT_FALSE(session.is_ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(IntegrationTest, SessionIsolationBetweenUsers) {
+  client::GridClient alice = connect();
+  auto alice_session = alice.create_session(1);
+  ASSERT_TRUE(alice_session.is_ok());
+
+  // Bob cannot drive Alice's session resource.
+  const std::string bob_base = manager_->authority().issue("cn=bob", {"analysis"}, 3600);
+  auto bob = client::GridClient::connect(manager_->soap_endpoint(), bob_base);
+  ASSERT_TRUE(bob.is_ok());
+  auto bob_session = bob->create_session(1);
+  ASSERT_TRUE(bob_session.is_ok());
+  // Forge: swap Bob's session id for Alice's by calling through SOAP directly.
+  auto soap = soap::SoapClient::connect(manager_->soap_endpoint());
+  ASSERT_TRUE(soap.is_ok());
+  soap->set_token(bob_base);
+  const auto denied = soap->call(services::kSessionService, "activate",
+                                 xml::Node("ipa:activate"),
+                                 alice_session->info().session_id);
+  ASSERT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(alice_session->close().is_ok());
+  ASSERT_TRUE(bob_session->close().is_ok());
+}
+
+TEST_F(IntegrationTest, SelectUnknownDatasetFails) {
+  client::GridClient client = connect();
+  auto session = client.create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  const auto staged = session->select_dataset("ds-ghost");
+  ASSERT_FALSE(staged.is_ok());
+  EXPECT_EQ(staged.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+TEST_F(IntegrationTest, BadScriptReportedAtStaging) {
+  client::GridClient client = connect();
+  auto session = client.create_session(1);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-zpole").is_ok());
+  const Status bad = session->stage_script("broken", "func process( {");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  // Session remains usable with a fixed script.
+  ASSERT_TRUE(session->stage_script("fixed", kMassScript).is_ok());
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+TEST_F(IntegrationTest, ControlBeforeStagingFails) {
+  client::GridClient client = connect();
+  auto session = client.create_session(1);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  EXPECT_EQ(session->run().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session->close().is_ok());
+}
+
+}  // namespace
+}  // namespace ipa

@@ -1,0 +1,241 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ipa::net {
+namespace {
+
+ser::Bytes bytes_of(std::string_view s) {
+  return ser::Bytes(s.begin(), s.end());
+}
+
+class TransportTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  Uri make_endpoint() {
+    if (GetParam() == "inproc") {
+      static std::atomic<int> counter{0};
+      Uri uri;
+      uri.scheme = "inproc";
+      uri.host = "test-ep-" + std::to_string(counter.fetch_add(1));
+      return uri;
+    }
+    Uri uri;
+    uri.scheme = "tcp";
+    uri.host = "127.0.0.1";
+    uri.port = 0;
+    return uri;
+  }
+};
+
+TEST_P(TransportTest, EchoRoundTrip) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    auto frame = (*conn)->receive(5.0);
+    ASSERT_TRUE(frame.is_ok());
+    ASSERT_TRUE((*conn)->send(*frame).is_ok());
+  });
+
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  ASSERT_TRUE((*client)->send(bytes_of("ping")).is_ok());
+  auto echoed = (*client)->receive(5.0);
+  ASSERT_TRUE(echoed.is_ok());
+  EXPECT_EQ(*echoed, bytes_of("ping"));
+}
+
+TEST_P(TransportTest, ManySequentialFramesPreserveOrderAndContent) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  constexpr int kFrames = 200;
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    for (int i = 0; i < kFrames; ++i) {
+      auto frame = (*conn)->receive(5.0);
+      ASSERT_TRUE(frame.is_ok());
+      EXPECT_EQ(*frame, bytes_of("msg-" + std::to_string(i)));
+    }
+    ASSERT_TRUE((*conn)->send(bytes_of("done")).is_ok());
+  });
+
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE((*client)->send(bytes_of("msg-" + std::to_string(i))).is_ok());
+  }
+  EXPECT_EQ((*client)->receive(5.0).value(), bytes_of("done"));
+}
+
+TEST_P(TransportTest, LargeFrameRoundTrip) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  ser::Bytes big(3 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    auto frame = (*conn)->receive(10.0);
+    ASSERT_TRUE(frame.is_ok());
+    ASSERT_TRUE((*conn)->send(*frame).is_ok());
+  });
+
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE((*client)->send(big).is_ok());
+  auto echoed = (*client)->receive(10.0);
+  ASSERT_TRUE(echoed.is_ok());
+  EXPECT_EQ(*echoed, big);
+}
+
+TEST_P(TransportTest, EmptyFrameIsValid) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    auto frame = (*conn)->receive(5.0);
+    ASSERT_TRUE(frame.is_ok());
+    EXPECT_TRUE(frame->empty());
+    ASSERT_TRUE((*conn)->send({}).is_ok());
+  });
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE((*client)->send({}).is_ok());
+  EXPECT_TRUE((*client)->receive(5.0).value().empty());
+}
+
+TEST_P(TransportTest, ReceiveTimesOut) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    // Keep the connection open (sending nothing) past the client's timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  const auto result = (*client)->receive(0.05);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_P(TransportTest, AcceptTimesOut) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+  const auto result = (*listener)->accept(0.05);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_P(TransportTest, PeerCloseUnblocksReceive) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    (*conn)->close();
+  });
+
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  const auto result = (*client)->receive(5.0);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_P(TransportTest, ConcurrentConnections) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  constexpr int kClients = 8;
+  std::jthread server([&] {
+    for (int i = 0; i < kClients; ++i) {
+      auto conn = (*listener)->accept(5.0);
+      ASSERT_TRUE(conn.is_ok());
+      std::jthread([c = std::shared_ptr<Connection>(conn->release())] {
+        auto frame = c->receive(5.0);
+        if (frame.is_ok()) (void)c->send(*frame);
+      }).detach();
+    }
+  });
+
+  std::vector<std::jthread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = connect((*listener)->endpoint());
+      if (!client.is_ok()) return;
+      const ser::Bytes msg = bytes_of("client-" + std::to_string(i));
+      if (!(*client)->send(msg).is_ok()) return;
+      auto echoed = (*client)->receive(5.0);
+      if (echoed.is_ok() && *echoed == msg) ++ok_count;
+    });
+  }
+  clients.clear();
+  EXPECT_EQ(ok_count.load(), kClients);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportTest,
+                         ::testing::Values("inproc", "tcp"),
+                         [](const auto& info) { return info.param; });
+
+TEST(InProc, ConnectWithoutListenerFails) {
+  Uri uri;
+  uri.scheme = "inproc";
+  uri.host = "nobody-home";
+  EXPECT_EQ(connect(uri).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(InProc, DuplicateListenRejected) {
+  Uri uri;
+  uri.scheme = "inproc";
+  uri.host = "dup-ep";
+  auto first = listen(uri);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(listen(uri).status().code(), StatusCode::kAlreadyExists);
+  (*first)->close();
+  // After close the name is free again.
+  auto second = listen(uri);
+  EXPECT_TRUE(second.is_ok());
+}
+
+TEST(Tcp, EphemeralPortIsReported) {
+  Uri uri;
+  uri.scheme = "tcp";
+  uri.host = "127.0.0.1";
+  uri.port = 0;
+  auto listener = listen(uri);
+  ASSERT_TRUE(listener.is_ok());
+  EXPECT_GT((*listener)->endpoint().port, 0);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  Uri uri;
+  uri.scheme = "tcp";
+  uri.host = "127.0.0.1";
+  uri.port = 1;  // almost certainly closed
+  const auto result = connect(uri, 1.0);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Transport, UnknownSchemeRejected) {
+  Uri uri;
+  uri.scheme = "carrier-pigeon";
+  uri.host = "x";
+  EXPECT_EQ(listen(uri).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(connect(uri).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ipa::net

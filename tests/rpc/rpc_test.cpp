@@ -1,0 +1,229 @@
+#include "rpc/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace ipa::rpc {
+namespace {
+
+Uri inproc_endpoint(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  Uri uri;
+  uri.scheme = "inproc";
+  uri.host = "rpc-" + tag + "-" + std::to_string(counter.fetch_add(1));
+  return uri;
+}
+
+ser::Bytes payload_of(std::string_view s) { return ser::Bytes(s.begin(), s.end()); }
+
+std::shared_ptr<Service> make_echo_service() {
+  auto service = std::make_shared<Service>("Echo");
+  service->register_method("echo", [](const CallContext&, const ser::Bytes& in) {
+    return Result<ser::Bytes>(in);
+  });
+  service->register_method("fail", [](const CallContext&, const ser::Bytes&) {
+    return Result<ser::Bytes>(failed_precondition("engine not staged"));
+  });
+  service->register_method("context", [](const CallContext& ctx, const ser::Bytes&) {
+    ser::Writer w;
+    w.string(ctx.service);
+    w.string(ctx.method);
+    w.string(ctx.resource);
+    w.string(ctx.principal);
+    return Result<ser::Bytes>(std::move(w).take());
+  });
+  return service;
+}
+
+TEST(Rpc, EchoCall) {
+  RpcServer server(inproc_endpoint("echo"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  auto reply = client->call("Echo", "echo", payload_of("hello grid"));
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(*reply, payload_of("hello grid"));
+  server.stop();
+}
+
+TEST(Rpc, RemoteErrorKeepsCodeAndMessage) {
+  RpcServer server(inproc_endpoint("err"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  const auto reply = client->call("Echo", "fail", {});
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(reply.status().message(), "engine not staged");
+  server.stop();
+}
+
+TEST(Rpc, UnknownServiceAndMethod) {
+  RpcServer server(inproc_endpoint("unk"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_EQ(client->call("Nope", "echo", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client->call("Echo", "nope", {}).status().code(), StatusCode::kUnimplemented);
+  server.stop();
+}
+
+TEST(Rpc, ResourceIdReachesContext) {
+  RpcServer server(inproc_endpoint("res"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  auto reply = client->call("Echo", "context", {}, "sess-42");
+  ASSERT_TRUE(reply.is_ok());
+  ser::Reader r(*reply);
+  EXPECT_EQ(r.string().value(), "Echo");
+  EXPECT_EQ(r.string().value(), "context");
+  EXPECT_EQ(r.string().value(), "sess-42");
+  server.stop();
+}
+
+TEST(Rpc, AuthRequiredServiceRejectsBadToken) {
+  RpcServer server(inproc_endpoint("auth"));
+  auto service = std::make_shared<Service>("Secure", /*require_auth=*/true);
+  service->register_method("whoami", [](const CallContext& ctx, const ser::Bytes&) {
+    ser::Writer w;
+    w.string(ctx.principal);
+    return Result<ser::Bytes>(std::move(w).take());
+  });
+  server.add_service(std::move(service));
+  server.set_auth([](const std::string& token) -> Result<std::string> {
+    if (token == "valid-token") return std::string("alice");
+    return unauthenticated("bad token");
+  });
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+
+  EXPECT_EQ(client->call("Secure", "whoami", {}).status().code(),
+            StatusCode::kUnauthenticated);
+
+  client->set_auth_token("valid-token");
+  auto reply = client->call("Secure", "whoami", {});
+  ASSERT_TRUE(reply.is_ok());
+  ser::Reader r(*reply);
+  EXPECT_EQ(r.string().value(), "alice");
+  server.stop();
+}
+
+TEST(Rpc, AuthNotRequiredSkipsHook) {
+  RpcServer server(inproc_endpoint("noauth"));
+  server.add_service(make_echo_service());
+  server.set_auth([](const std::string&) -> Result<std::string> {
+    return unauthenticated("always deny");
+  });
+  ASSERT_TRUE(server.start().is_ok());
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_TRUE(client->call("Echo", "echo", payload_of("x")).is_ok());
+  server.stop();
+}
+
+TEST(Rpc, SequentialCallsOnOneConnection) {
+  RpcServer server(inproc_endpoint("seq"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < 50; ++i) {
+    const std::string msg = "call-" + std::to_string(i);
+    auto reply = client->call("Echo", "echo", payload_of(msg));
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_EQ(*reply, payload_of(msg));
+  }
+  server.stop();
+}
+
+TEST(Rpc, ManyConcurrentClients) {
+  RpcServer server(inproc_endpoint("conc"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = RpcClient::connect(server.endpoint());
+        if (!client.is_ok()) return;
+        for (int i = 0; i < 20; ++i) {
+          const std::string msg = "t" + std::to_string(t) + "-" + std::to_string(i);
+          auto reply = client->call("Echo", "echo", payload_of(msg));
+          if (reply.is_ok() && *reply == payload_of(msg)) ++ok;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok.load(), 6 * 20);
+  server.stop();
+}
+
+TEST(Rpc, WorksOverTcp) {
+  Uri uri;
+  uri.scheme = "tcp";
+  uri.host = "127.0.0.1";
+  uri.port = 0;
+  RpcServer server(uri);
+  server.add_service(make_echo_service());
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+  ASSERT_GT(bound->port, 0);
+
+  auto client = RpcClient::connect(*bound);
+  ASSERT_TRUE(client.is_ok());
+  auto reply = client->call("Echo", "echo", payload_of("over tcp"));
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(*reply, payload_of("over tcp"));
+  server.stop();
+}
+
+TEST(Rpc, StopUnblocksAndRejectsFurtherCalls) {
+  RpcServer server(inproc_endpoint("stop"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+  auto client = RpcClient::connect(server.endpoint());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client->call("Echo", "echo", payload_of("x")).is_ok());
+  server.stop();
+  const auto after = client->call("Echo", "echo", payload_of("y"), "", 1.0);
+  EXPECT_FALSE(after.is_ok());
+}
+
+TEST(ResourceSet, CreateFindDestroy) {
+  ResourceSet<std::string> set;
+  const std::string id = set.create(std::make_shared<std::string>("state"), "sess");
+  EXPECT_TRUE(id.rfind("sess-", 0) == 0);
+  auto found = set.find(id);
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(**found, "state");
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.destroy(id));
+  EXPECT_FALSE(set.destroy(id));
+  EXPECT_EQ(set.find(id).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResourceSet, IdsListsAll) {
+  ResourceSet<int> set;
+  const std::string a = set.create(std::make_shared<int>(1));
+  const std::string b = set.create(std::make_shared<int>(2));
+  const auto ids = set.ids();
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_TRUE((ids[0] == a && ids[1] == b) || (ids[0] == b && ids[1] == a));
+}
+
+}  // namespace
+}  // namespace ipa::rpc

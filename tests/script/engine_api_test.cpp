@@ -1,0 +1,183 @@
+#include "script/engine_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/interp.hpp"
+
+namespace ipa::script {
+namespace {
+
+class EngineApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    record_.set_index(7);
+    record_.set("energy", 91.2);
+    record_.set("ntrk", std::int64_t{5});
+    record_.set("tag", "signal");
+    record_.set("px", data::Value::RealVec{1.0, 2.0, 3.0});
+    interp_.set_global("event", Value(make_event_object(&record_)));
+    interp_.set_global("tree", Value(make_tree_object(&tree_)));
+  }
+
+  Result<Value> run(const std::string& body) {
+    const std::string source = "func main() {\n" + body + "\n}";
+    IPA_RETURN_IF_ERROR(interp_.load(source));
+    return interp_.call("main", {});
+  }
+
+  data::Record record_;
+  aida::Tree tree_;
+  Interp interp_;
+};
+
+TEST_F(EngineApiTest, EventFieldAccess) {
+  auto result = run(R"(
+    let px = event.get("px");
+    return event.num("energy") + event.num("ntrk") + px[2] + len(px);
+  )");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_DOUBLE_EQ(result->number(), 91.2 + 5 + 3 + 3);
+}
+
+TEST_F(EngineApiTest, EventStringAndHasAndIndex) {
+  auto result = run(R"(
+    if (event.has("tag") && event.str("tag") == "signal" && !event.has("nope")) {
+      return event.index();
+    }
+    return -1;
+  )");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(result->number(), 7.0);
+}
+
+TEST_F(EngineApiTest, EventFallbacks) {
+  auto result = run(R"(return event.num("absent", -5) + num(event.str("absent", "2"));)");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(result->number(), -3.0);
+}
+
+TEST_F(EngineApiTest, EventGetMissingFieldIsError) {
+  EXPECT_FALSE(run(R"(return event.get("absent");)").is_ok());
+}
+
+TEST_F(EngineApiTest, UnknownMethodIsError) {
+  const auto result = run(R"(return event.teleport();)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("teleport"), std::string::npos);
+}
+
+TEST_F(EngineApiTest, BookAndFillHistogram1D) {
+  auto result = run(R"(
+    tree.book_h1("/mass", 10, 0, 100);
+    tree.fill("/mass", 45);
+    tree.fill("/mass", 45, 2);
+    tree.fill("/mass", 999);
+    return 0;
+  )");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  auto hist = tree_.histogram1d("/mass");
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_EQ((*hist)->entries(), 3u);
+  EXPECT_DOUBLE_EQ((*hist)->bin_height(4), 3.0);
+  EXPECT_DOUBLE_EQ((*hist)->overflow(), 1.0);
+}
+
+TEST_F(EngineApiTest, BookWithTitle) {
+  ASSERT_TRUE(run(R"(tree.book_h1("/m", 5, 0, 1, "dimuon mass"); return 0;)").is_ok());
+  EXPECT_EQ((*tree_.histogram1d("/m"))->title(), "dimuon mass");
+}
+
+TEST_F(EngineApiTest, BookAndFill2D) {
+  ASSERT_TRUE(run(R"(
+    tree.book_h2("/xy", 4, 0, 4, 4, 0, 4);
+    tree.fill2("/xy", 1.5, 2.5);
+    tree.fill2("/xy", 1.5, 2.5, 3);
+    return 0;
+  )").is_ok());
+  auto hist = tree_.histogram2d("/xy");
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_DOUBLE_EQ((*hist)->bin_height(1, 2), 4.0);
+}
+
+TEST_F(EngineApiTest, BookAndFillProfile) {
+  ASSERT_TRUE(run(R"(
+    tree.book_prof("/prof", 2, 0, 2);
+    tree.fill2("/prof", 0.5, 10);
+    tree.fill2("/prof", 0.5, 20);
+    return 0;
+  )").is_ok());
+  auto profile = tree_.profile1d("/prof");
+  ASSERT_TRUE(profile.is_ok());
+  EXPECT_DOUBLE_EQ((*profile)->bin_mean(0), 15.0);
+}
+
+TEST_F(EngineApiTest, BookAndFillCloud) {
+  ASSERT_TRUE(run(R"(
+    tree.book_cloud("/cloud");
+    tree.fill("/cloud", 1);
+    tree.fill("/cloud", 2);
+    return 0;
+  )").is_ok());
+  auto cloud = tree_.cloud1d("/cloud");
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ((*cloud)->entries(), 2u);
+}
+
+TEST_F(EngineApiTest, BookAndFillTuple) {
+  ASSERT_TRUE(run(R"(
+    tree.book_tuple("/nt", ["mass", "pt"]);
+    tree.fill_row("/nt", [125, 40]);
+    tree.fill_row("/nt", [91, 20]);
+    return 0;
+  )").is_ok());
+  auto tuple = tree_.tuple("/nt");
+  ASSERT_TRUE(tuple.is_ok());
+  EXPECT_EQ((*tuple)->rows(), 2u);
+  EXPECT_EQ((*tuple)->column("mass").value(), (std::vector<double>{125, 91}));
+}
+
+TEST_F(EngineApiTest, FillKindMismatchReportsKind) {
+  const auto result = run(R"(
+    tree.book_h2("/xy", 2, 0, 1, 2, 0, 1);
+    tree.fill("/xy", 1);
+    return 0;
+  )");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("Histogram2D"), std::string::npos);
+}
+
+TEST_F(EngineApiTest, FillUnbookedPathIsError) {
+  EXPECT_FALSE(run(R"(tree.fill("/never-booked", 1); return 0;)").is_ok());
+}
+
+TEST_F(EngineApiTest, BookValidatesAxis) {
+  EXPECT_FALSE(run(R"(tree.book_h1("/bad", 0, 0, 1); return 0;)").is_ok());
+  EXPECT_FALSE(run(R"(tree.book_h1("/bad", 10, 5, 1); return 0;)").is_ok());
+}
+
+TEST_F(EngineApiTest, FullAnalysisScriptShape) {
+  // The begin/process/end contract the engine drives.
+  const char* source = R"(
+func begin(tree) {
+  tree.book_h1("/e", 20, 0, 200);
+}
+func process(event, tree) {
+  let e = event.num("energy");
+  if (e > 50) { tree.fill("/e", e); }
+}
+func end(tree) { print("analysis complete"); }
+)";
+  ASSERT_TRUE(interp_.load(source).is_ok());
+  Value tree_obj(make_tree_object(&tree_));
+  ASSERT_TRUE(interp_.call("begin", {tree_obj}).is_ok());
+  Value event_obj(make_event_object(&record_));
+  ASSERT_TRUE(interp_.call("process", {event_obj, tree_obj}).is_ok());
+  ASSERT_TRUE(interp_.call("end", {tree_obj}).is_ok());
+  auto hist = tree_.histogram1d("/e");
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_EQ((*hist)->entries(), 1u);
+  EXPECT_EQ(interp_.output().back(), "analysis complete");
+}
+
+}  // namespace
+}  // namespace ipa::script

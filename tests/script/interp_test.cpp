@@ -1,0 +1,324 @@
+#include "script/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "script/lexer.hpp"
+#include "script/parser.hpp"
+
+namespace ipa::script {
+namespace {
+
+/// Run `source`, call fn() with args, return the result.
+Result<Value> run(const std::string& source, const std::string& fn,
+                  std::vector<Value> args = {}) {
+  Interp interp;
+  IPA_RETURN_IF_ERROR(interp.load(source));
+  return interp.call(fn, std::move(args));
+}
+
+double run_num(const std::string& source, const std::string& fn = "main") {
+  auto result = run(source, fn);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  if (!result.is_ok() || !result->is_number()) return -1e308;
+  return result->number();
+}
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  auto tokens = lex("let x = 1.5e2 + \"hi\\n\"; // comment\n x <= 3 && !y");
+  ASSERT_TRUE(tokens.is_ok());
+  std::vector<Tok> kinds;
+  for (const auto& token : *tokens) kinds.push_back(token.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<Tok>{Tok::kLet, Tok::kIdent, Tok::kAssign, Tok::kNumber, Tok::kPlus,
+                              Tok::kString, Tok::kSemicolon, Tok::kIdent, Tok::kLe, Tok::kNumber,
+                              Tok::kAnd, Tok::kNot, Tok::kIdent, Tok::kEnd}));
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 150.0);
+  EXPECT_EQ((*tokens)[5].text, "hi\n");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("a\nb\n\nc");
+  ASSERT_TRUE(tokens.is_ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(lex("\"unterminated").is_ok());
+  EXPECT_FALSE(lex("a @ b").is_ok());
+  EXPECT_FALSE(lex("a & b").is_ok());
+  EXPECT_FALSE(lex("\"bad \\q escape\"").is_ok());
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  EXPECT_FALSE(parse("func () {}").is_ok());
+  EXPECT_FALSE(parse("func f( {}").is_ok());
+  EXPECT_FALSE(parse("func f() { let 1 = 2; }").is_ok());
+  EXPECT_FALSE(parse("let x = ;").is_ok());
+  EXPECT_FALSE(parse("if (x) {}").is_ok() == false && false);  // if at top level is fine
+  EXPECT_FALSE(parse("func f() { x + ; }").is_ok());
+  EXPECT_FALSE(parse("func f() { 1 = 2; }").is_ok());
+  EXPECT_FALSE(parse("func f() { while (1) x; }").is_ok());  // block required
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(run_num("func main() { return 2 + 3 * 4; }"), 14.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return (2 + 3) * 4; }"), 20.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return 10 / 4; }"), 2.5);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return 10 % 3; }"), 1.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return -3 + 1; }"), -2.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return 2 - 3 - 4; }"), -5.0);  // left assoc
+}
+
+TEST(Interp, DivisionByZeroIsError) {
+  const auto result = run("func main() { return 1 / 0; }", "main");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, ComparisonsAndLogic) {
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3) { return 1; } return 0; }"), 1.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (\"abc\" < \"abd\") { return 1; } return 0; }"), 1.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (1 == 1 && \"a\" == \"a\" && !(1 == 2)) { return 1; } return 0; }"), 1.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (nil == nil && !(nil == 0)) { return 1; } return 0; }"), 1.0);
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // Right side would divide by zero; && must not evaluate it.
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (false && 1/0 > 0) { return 1; } return 2; }"), 2.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { if (true || 1/0 > 0) { return 3; } return 4; }"), 3.0);
+}
+
+TEST(Interp, VariablesScopesAndAssignment) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func main() {
+  let x = 1;
+  { let x = 10; x += 5; }   // inner shadows, dies at }
+  x += 2;
+  x -= 0.5;
+  return x;
+})"), 2.5);
+}
+
+TEST(Interp, AssignmentToUndeclaredFails) {
+  const auto result = run("func main() { y = 3; return y; }", "main");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST(Interp, WhileAndFor) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func main() {
+  let total = 0;
+  for (let i = 1; i <= 10; i += 1) { total += i; }
+  return total;
+})"), 55.0);
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func main() {
+  let n = 0;
+  while (n < 100) { n += 7; }
+  return n;
+})"), 105.0);
+}
+
+TEST(Interp, BreakAndContinue) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func main() {
+  let total = 0;
+  for (let i = 0; i < 100; i += 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 10) { break; }
+    total += i;       // 1+3+5+7+9
+  }
+  return total;
+})"), 25.0);
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(15); })"), 610.0);
+}
+
+TEST(Interp, FunctionsAsValues) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func twice(f, x) { return f(f(x)); }
+func inc(x) { return x + 1; }
+func main() { return twice(inc, 5); })"), 7.0);
+}
+
+TEST(Interp, WrongArityReported) {
+  const auto result = run("func f(a, b) { return a; } func main() { return f(1); }", "main");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("expects 2"), std::string::npos);
+}
+
+TEST(Interp, ListsIndexingAndMutation) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func main() {
+  let xs = [1, 2, 3];
+  xs[1] = 20;
+  push(xs, 4);
+  return xs[0] + xs[1] + xs[2] + xs[3] + len(xs);
+})"), 32.0);
+}
+
+TEST(Interp, ListReferenceSemantics) {
+  EXPECT_DOUBLE_EQ(run_num(R"(
+func add_one(xs) { push(xs, 1); return 0; }
+func main() {
+  let xs = [];
+  add_one(xs);
+  add_one(xs);
+  return len(xs);
+})"), 2.0);
+}
+
+TEST(Interp, IndexOutOfRangeIsError) {
+  EXPECT_FALSE(run("func main() { let xs = [1]; return xs[5]; }", "main").is_ok());
+  EXPECT_FALSE(run("func main() { let xs = [1]; return xs[-1]; }", "main").is_ok());
+}
+
+TEST(Interp, StringsConcatAndIndex) {
+  auto result = run(R"(func main() { return "m = " + 5 + "!"; })", "main");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->string(), "m = 5!");
+  auto ch = run(R"(func main() { return "abc"[1]; })", "main");
+  ASSERT_TRUE(ch.is_ok());
+  EXPECT_EQ(ch->string(), "b");
+}
+
+TEST(Interp, TopLevelStatementsRunOnLoad) {
+  Interp interp;
+  ASSERT_TRUE(interp.load("let counter = 41; counter += 1;").is_ok());
+  auto global = interp.global("counter");
+  ASSERT_TRUE(global.is_ok());
+  EXPECT_DOUBLE_EQ(global->number(), 42.0);
+}
+
+TEST(Interp, ReloadReplacesFunctionsKeepsGlobals) {
+  Interp interp;
+  ASSERT_TRUE(interp.load("let runs = 0; func f() { return 1; }").is_ok());
+  EXPECT_DOUBLE_EQ(interp.call("f", {})->number(), 1.0);
+  // Reload with a changed algorithm — the paper's §3.6 hot-reload loop.
+  ASSERT_TRUE(interp.load("runs += 1; func f() { return 2; }").is_ok());
+  EXPECT_DOUBLE_EQ(interp.call("f", {})->number(), 2.0);
+  EXPECT_DOUBLE_EQ(interp.global("runs")->number(), 1.0);
+  EXPECT_TRUE(interp.has_function("f"));
+  EXPECT_FALSE(interp.has_function("g"));
+}
+
+TEST(Interp, StepBudgetStopsRunawayLoops) {
+  Interp interp(InterpOptions{.max_steps_per_call = 10000});
+  ASSERT_TRUE(interp.load("func spin() { while (true) { } }").is_ok());
+  const auto result = interp.call("spin", {});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Interp, RuntimeErrorsCarryLineNumbers) {
+  const auto result = run("func main() {\n  let x = 1;\n  return x + nil;\n}", "main");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(Interp, NativeFunctionsAndGlobals) {
+  Interp interp;
+  interp.register_native("answer", [](std::vector<Value>&) -> Result<Value> {
+    return Value(42.0);
+  });
+  interp.set_global("offset", Value(0.5));
+  ASSERT_TRUE(interp.load("func main() { return answer() + offset; }").is_ok());
+  EXPECT_DOUBLE_EQ(interp.call("main", {})->number(), 42.5);
+}
+
+TEST(Stdlib, MathFunctions) {
+  EXPECT_DOUBLE_EQ(run_num("func main() { return sqrt(16) + abs(-2) + pow(2, 5); }"), 38.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return min(3, 7) + max(3, 7); }"), 10.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return floor(2.7) + ceil(2.1); }"), 5.0);
+  EXPECT_NEAR(run_num("func main() { return sin(PI / 2) + cos(0); }"), 2.0, 1e-12);
+  EXPECT_NEAR(run_num("func main() { return log(exp(3)); }"), 3.0, 1e-12);
+  EXPECT_NEAR(run_num("func main() { return atan2(1, 1); }"), 0.7853981634, 1e-9);
+}
+
+TEST(Stdlib, ListHelpers) {
+  EXPECT_DOUBLE_EQ(run_num("func main() { return sum(range(5)); }"), 10.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { return sum(range(2, 5)); }"), 9.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { let xs = [3, 1, 2]; sort(xs); return xs[0] * 100 + xs[1] * 10 + xs[2]; }"), 123.0);
+  EXPECT_DOUBLE_EQ(run_num("func main() { let xs = [1, 2]; return pop(xs) + len(xs); }"), 3.0);
+}
+
+TEST(Stdlib, StringHelpers) {
+  auto s = run(R"(func main() { return upper(substr("higgs boson", 0, 5)); })", "main");
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(s->string(), "HIGGS");
+  EXPECT_DOUBLE_EQ(run_num(R"(func main() { if (contains("abcdef", "cde")) { return 1; } return 0; })"), 1.0);
+  EXPECT_DOUBLE_EQ(run_num(R"(func main() { return num("2.5") * 2; })"), 5.0);
+  EXPECT_FALSE(run(R"(func main() { return num("xyz"); })", "main").is_ok());
+}
+
+TEST(Stdlib, PrintIsCaptured) {
+  Interp interp;
+  ASSERT_TRUE(interp.load(R"(func main() { print("mass", 125.0); print("done"); })").is_ok());
+  ASSERT_TRUE(interp.call("main", {}).is_ok());
+  ASSERT_EQ(interp.output().size(), 2u);
+  EXPECT_EQ(interp.output()[0], "mass 125");
+  EXPECT_EQ(interp.output()[1], "done");
+}
+
+TEST(Interp, ElseIfChain) {
+  const char* source = R"(
+func grade(x) {
+  if (x >= 90) { return "A"; }
+  else if (x >= 80) { return "B"; }
+  else { return "C"; }
+})";
+  EXPECT_EQ(run(source, "grade", {Value(95.0)})->string(), "A");
+  EXPECT_EQ(run(source, "grade", {Value(85.0)})->string(), "B");
+  EXPECT_EQ(run(source, "grade", {Value(55.0)})->string(), "C");
+}
+
+TEST(Interp, ReturnNilByDefault) {
+  auto result = run("func f() { }", "f");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->is_nil());
+}
+
+}  // namespace
+}  // namespace ipa::script
+// (appended) recursion-depth protection: a runaway recursive script must
+// fail with a Status instead of overflowing the worker's C++ stack.
+namespace ipa::script {
+namespace {
+
+TEST(Interp, InfiniteRecursionIsRejected) {
+  Interp interp;
+  ASSERT_TRUE(interp.load("func f(n) { return f(n + 1); }").is_ok());
+  const auto result = interp.call("f", {Value(0.0)});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("recursion"), std::string::npos);
+  // The interpreter is still usable afterwards (depth counter unwound).
+  ASSERT_TRUE(interp.load("func g() { return 7; }").is_ok());
+  EXPECT_DOUBLE_EQ(interp.call("g", {})->number(), 7.0);
+}
+
+TEST(Interp, DeepButBoundedRecursionWorks) {
+  Interp interp;
+  ASSERT_TRUE(interp.load(R"(
+func down(n) {
+  if (n <= 0) { return 0; }
+  return 1 + down(n - 1);
+})").is_ok());
+  auto result = interp.call("down", {Value(200.0)});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_DOUBLE_EQ(result->number(), 200.0);
+}
+
+}  // namespace
+}  // namespace ipa::script

@@ -1,0 +1,179 @@
+#include "security/credentials.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa::security {
+namespace {
+
+class CredentialTest : public ::testing::Test {
+ protected:
+  ManualClock clock_{1000.0};
+  CredentialAuthority authority_{"lc-vo", "super-secret-vo-key", clock_};
+};
+
+TEST_F(CredentialTest, IssueAndVerify) {
+  const std::string token = authority_.issue("cn=alice", {"analysis"}, 3600);
+  auto identity = authority_.verify(token);
+  ASSERT_TRUE(identity.is_ok()) << identity.status().to_string();
+  EXPECT_EQ(identity->subject, "cn=alice");
+  EXPECT_EQ(identity->vo, "lc-vo");
+  EXPECT_TRUE(identity->has_role("analysis"));
+  EXPECT_FALSE(identity->has_role("admin"));
+  EXPECT_EQ(identity->delegation_depth, 0);
+  EXPECT_DOUBLE_EQ(identity->issued_at, 1000.0);
+  EXPECT_DOUBLE_EQ(identity->expires_at, 4600.0);
+}
+
+TEST_F(CredentialTest, ExpiryEnforced) {
+  const std::string token = authority_.issue("cn=alice", {"analysis"}, 100);
+  clock_.advance(99);
+  EXPECT_TRUE(authority_.verify(token).is_ok());
+  clock_.advance(2);
+  const auto expired = authority_.verify(token);
+  ASSERT_FALSE(expired.is_ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_NE(expired.status().message().find("expired"), std::string::npos);
+}
+
+TEST_F(CredentialTest, TamperedTokenRejected) {
+  std::string token = authority_.issue("cn=alice", {"analysis"}, 3600);
+  token[token.size() / 2] = token[token.size() / 2] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(authority_.verify(token).is_ok());
+}
+
+TEST_F(CredentialTest, ForgedPayloadRejected) {
+  // Re-sign with a different secret: signature must not verify.
+  CredentialAuthority imposter("lc-vo", "wrong-key", clock_);
+  const std::string forged = imposter.issue("cn=mallory", {"admin"}, 3600);
+  EXPECT_EQ(authority_.verify(forged).status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(CredentialTest, MalformedTokensRejected) {
+  EXPECT_FALSE(authority_.verify("").is_ok());
+  EXPECT_FALSE(authority_.verify("no-dot-here").is_ok());
+  EXPECT_FALSE(authority_.verify("abc.def").is_ok());
+}
+
+TEST_F(CredentialTest, WrongVoRejected) {
+  CredentialAuthority other_vo("atlas-vo", "super-secret-vo-key", clock_);
+  const std::string token = other_vo.issue("cn=alice", {"analysis"}, 3600);
+  const auto result = authority_.verify(token);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("wrong VO"), std::string::npos);
+}
+
+TEST_F(CredentialTest, DelegationIncrementsDepthAndClampsLifetime) {
+  const std::string parent = authority_.issue("cn=alice", {"analysis"}, 1000);
+  clock_.advance(500);
+  auto proxy = authority_.delegate(parent, 10000);
+  ASSERT_TRUE(proxy.is_ok());
+  auto identity = authority_.verify(*proxy);
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(identity->delegation_depth, 1);
+  EXPECT_EQ(identity->subject, "cn=alice");
+  // Clamped to parent expiry (1000+1000=2000), not now+10000.
+  EXPECT_DOUBLE_EQ(identity->expires_at, 2000.0);
+}
+
+TEST_F(CredentialTest, DelegationChainDepthLimit) {
+  std::string token = authority_.issue("cn=alice", {"analysis"}, 1e6);
+  for (int depth = 0; depth < kMaxDelegationDepth; ++depth) {
+    auto next = authority_.delegate(token, 1e6);
+    ASSERT_TRUE(next.is_ok()) << "depth " << depth;
+    token = *next;
+  }
+  const auto too_deep = authority_.delegate(token, 1e6);
+  ASSERT_FALSE(too_deep.is_ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CredentialTest, DelegateFromExpiredParentFails) {
+  const std::string parent = authority_.issue("cn=alice", {"analysis"}, 10);
+  clock_.advance(11);
+  EXPECT_FALSE(authority_.delegate(parent, 100).is_ok());
+}
+
+const char* kPolicyText = R"(
+vo.name = lc-vo
+role.analysis.max_nodes = 16
+role.analysis.queue = interactive
+role.student.max_nodes = 2
+role.student.queue = batch
+)";
+
+class PolicyTest : public CredentialTest {
+ protected:
+  void SetUp() override {
+    auto config = Config::parse(kPolicyText);
+    ASSERT_TRUE(config.is_ok());
+    auto policy = VoPolicy::from_config(*config);
+    ASSERT_TRUE(policy.is_ok()) << policy.status().to_string();
+    policy_ = std::make_unique<VoPolicy>(std::move(*policy));
+  }
+  std::unique_ptr<VoPolicy> policy_;
+};
+
+TEST_F(PolicyTest, GrantsUpToRoleCap) {
+  auto identity = authority_.verify(authority_.issue("cn=alice", {"analysis"}, 100));
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 8).value(), 8);
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 64).value(), 16);  // capped
+  EXPECT_EQ(policy_->queue_for(*identity).value(), "interactive");
+}
+
+TEST_F(PolicyTest, BestRoleWins) {
+  auto identity = authority_.verify(authority_.issue("cn=bob", {"student", "analysis"}, 100));
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 64).value(), 16);
+  EXPECT_EQ(policy_->queue_for(*identity).value(), "interactive");
+}
+
+TEST_F(PolicyTest, StudentCappedAtTwo) {
+  auto identity = authority_.verify(authority_.issue("cn=carol", {"student"}, 100));
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 16).value(), 2);
+  EXPECT_EQ(policy_->queue_for(*identity).value(), "batch");
+}
+
+TEST_F(PolicyTest, NoRoleDenied) {
+  auto identity = authority_.verify(authority_.issue("cn=dave", {"visitor"}, 100));
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 4).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_FALSE(policy_->queue_for(*identity).is_ok());
+}
+
+TEST_F(PolicyTest, WrongVoDenied) {
+  Identity identity;
+  identity.subject = "cn=eve";
+  identity.vo = "other-vo";
+  identity.roles = {"analysis"};
+  EXPECT_EQ(policy_->authorize_nodes(identity, 4).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(PolicyTest, InvalidRequestRejected) {
+  auto identity = authority_.verify(authority_.issue("cn=alice", {"analysis"}, 100));
+  ASSERT_TRUE(identity.is_ok());
+  EXPECT_EQ(policy_->authorize_nodes(*identity, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(policy_->authorize_nodes(*identity, -3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyConfig, RejectsBadConfigs) {
+  auto no_vo = Config::parse("role.x.max_nodes = 4\n");
+  ASSERT_TRUE(no_vo.is_ok());
+  EXPECT_FALSE(VoPolicy::from_config(*no_vo).is_ok());
+
+  auto no_roles = Config::parse("vo.name = v\n");
+  ASSERT_TRUE(no_roles.is_ok());
+  EXPECT_FALSE(VoPolicy::from_config(*no_roles).is_ok());
+
+  auto bad_cap = Config::parse("vo.name = v\nrole.x.max_nodes = 0\n");
+  ASSERT_TRUE(bad_cap.is_ok());
+  EXPECT_FALSE(VoPolicy::from_config(*bad_cap).is_ok());
+}
+
+}  // namespace
+}  // namespace ipa::security

@@ -1,0 +1,213 @@
+#include "serialize/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ipa::ser {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_FALSE(r.boolean().value());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, F64RoundTripExact) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -3.25,
+                          471e6,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity()};
+  for (const double v : cases) {
+    Writer w;
+    w.f64(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.f64().value(), v);
+  }
+  // NaN round-trips as NaN.
+  Writer w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  Reader r(w.data());
+  EXPECT_TRUE(std::isnan(r.f64().value()));
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  const std::uint64_t cases[] = {0, 1, 127, 128, 300, 16383, 16384,
+                                 0xffffffffULL, ~0ULL};
+  for (const std::uint64_t v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint().value(), v) << v;
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Serialize, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+  Writer w3;
+  w3.varint(~0ULL);
+  EXPECT_EQ(w3.size(), 10u);
+}
+
+TEST(Serialize, SignedVarintRoundTrip) {
+  const std::int64_t cases[] = {0, -1, 1, -64, 63, -65, 12345, -12345,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : cases) {
+    Writer w;
+    w.svarint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.svarint().value(), v) << v;
+  }
+}
+
+TEST(Serialize, ZigzagSmallMagnitudesAreSmall) {
+  Writer w;
+  w.svarint(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Writer w;
+  w.string("higgs \0 analysis");
+  w.string("");
+  std::string long_str(100000, 'x');
+  w.string(long_str);
+  Reader r(w.data());
+  EXPECT_EQ(r.string().value(), "higgs ");  // literal truncates at NUL
+  EXPECT_EQ(r.string().value(), "");
+  EXPECT_EQ(r.string().value(), long_str);
+}
+
+TEST(Serialize, StringWithEmbeddedNul) {
+  Writer w;
+  const std::string s{"a\0b", 3};
+  w.string(s);
+  Reader r(w.data());
+  EXPECT_EQ(r.string().value(), s);
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  Writer w;
+  const Bytes payload = {0x00, 0xff, 0x7f, 0x80};
+  w.bytes(payload);
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes().value(), payload);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  Writer w;
+  const std::vector<std::uint64_t> xs = {1, 1000, 100000};
+  w.vector(xs, [](Writer& ww, std::uint64_t v) { ww.varint(v); });
+  Reader r(w.data());
+  const auto back = r.vector<std::uint64_t>([](Reader& rr) { return rr.varint(); });
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, xs);
+}
+
+TEST(Serialize, StringMapRoundTrip) {
+  Writer w;
+  const std::map<std::string, std::string> m = {
+      {"experiment", "LC"}, {"run", "7"}, {"detector", "sid"}};
+  w.string_map(m);
+  Reader r(w.data());
+  EXPECT_EQ(r.string_map().value(), m);
+}
+
+TEST(Serialize, TruncatedFixedWidthFails) {
+  Writer w;
+  w.u32(42);
+  Bytes truncated(w.data().begin(), w.data().begin() + 2);
+  Reader r(truncated);
+  EXPECT_EQ(r.u32().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Serialize, TruncatedStringFails) {
+  Writer w;
+  w.string("hello world");
+  Bytes truncated(w.data().begin(), w.data().begin() + 5);
+  Reader r(truncated);
+  EXPECT_EQ(r.string().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Serialize, OversizedLengthRejectedWithoutAllocating) {
+  Writer w;
+  w.varint(Reader::kMaxFieldLen + 1);
+  Reader r(w.data());
+  EXPECT_EQ(r.string().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Serialize, UnterminatedVarintFails) {
+  Bytes bad = {0x80, 0x80, 0x80};  // continuation bits never end
+  Reader r(bad);
+  EXPECT_EQ(r.varint().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Serialize, VarintOverflowRejected) {
+  Bytes bad(11, 0xff);  // 11 continuation bytes > max 10 for 64-bit
+  Reader r(bad);
+  EXPECT_FALSE(r.varint().is_ok());
+}
+
+TEST(Serialize, BadBoolByteRejected) {
+  Bytes bad = {2};
+  Reader r(bad);
+  EXPECT_EQ(r.boolean().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Serialize, SkipAndRemaining) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  EXPECT_TRUE(r.skip(4).is_ok());
+  EXPECT_EQ(r.u32().value(), 2u);
+  EXPECT_FALSE(r.skip(1).is_ok());
+}
+
+TEST(Serialize, MixedMessageRoundTrip) {
+  // Shape of a typical RPC payload: id, method, params map, opaque body.
+  Writer w;
+  w.string("sess-00ab12");
+  w.string("submitAnalysis");
+  w.string_map({{"dataset", "lc-run7"}, {"nodes", "16"}});
+  w.bytes({1, 2, 3});
+  w.f64(471.0);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.string().value(), "sess-00ab12");
+  EXPECT_EQ(r.string().value(), "submitAnalysis");
+  const auto params = r.string_map().value();
+  EXPECT_EQ(params.at("nodes"), "16");
+  EXPECT_EQ(r.bytes().value(), (Bytes{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r.f64().value(), 471.0);
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace ipa::ser

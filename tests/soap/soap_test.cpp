@@ -1,0 +1,203 @@
+#include "soap/soap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa::soap {
+namespace {
+
+TEST(SoapCodec, EnvelopeRoundTrip) {
+  xml::Node op("ipa:createSession");
+  op.add_child("user").set_text("alice");
+  const xml::Node envelope = make_envelope(op, "sess-1", "tok-abc");
+
+  std::string resource, token;
+  read_headers(envelope, resource, token);
+  EXPECT_EQ(resource, "sess-1");
+  EXPECT_EQ(token, "tok-abc");
+
+  auto body = unwrap_envelope(envelope);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->name(), "ipa:createSession");
+  EXPECT_EQ(body->child_text("user"), "alice");
+}
+
+TEST(SoapCodec, EnvelopeWithoutHeaders) {
+  const xml::Node envelope = make_envelope(xml::Node("ping"));
+  std::string resource, token;
+  read_headers(envelope, resource, token);
+  EXPECT_TRUE(resource.empty());
+  EXPECT_TRUE(token.empty());
+  EXPECT_EQ(envelope.find("Header"), nullptr);
+}
+
+TEST(SoapCodec, EnvelopeSerializesAndReparses) {
+  xml::Node op("ipa:submit");
+  op.add_child("dataset").set_text("lc-run7 & more");
+  const xml::Node envelope = make_envelope(op, "res-9", "t<o>k");
+  const auto doc = xml::parse(envelope.to_string());
+  ASSERT_TRUE(doc.is_ok());
+  std::string resource, token;
+  read_headers(*doc, resource, token);
+  EXPECT_EQ(resource, "res-9");
+  EXPECT_EQ(token, "t<o>k");
+  auto body = unwrap_envelope(*doc);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->child_text("dataset"), "lc-run7 & more");
+}
+
+TEST(SoapCodec, FaultStatusRoundTrip) {
+  const Status orig = not_found("dataset 'x' is not in the catalog");
+  const xml::Node fault = status_to_fault(orig);
+  const Status back = fault_to_status(fault);
+  EXPECT_EQ(back.code(), orig.code());
+  EXPECT_EQ(back.message(), orig.message());
+}
+
+TEST(SoapCodec, FaultCodeClientVsServer) {
+  EXPECT_EQ(status_to_fault(invalid_argument("x")).child_text("faultcode"), "soap:Client");
+  EXPECT_EQ(status_to_fault(internal_error("x")).child_text("faultcode"), "soap:Server");
+  EXPECT_EQ(status_to_fault(unavailable("x")).child_text("faultcode"), "soap:Server");
+}
+
+TEST(SoapCodec, UnwrapFaultBecomesStatus) {
+  const xml::Node envelope = make_envelope(status_to_fault(permission_denied("no VO role")));
+  const auto result = unwrap_envelope(envelope);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(result.status().message(), "no VO role");
+}
+
+TEST(SoapCodec, UnwrapRejectsNonEnvelope) {
+  EXPECT_FALSE(unwrap_envelope(xml::Node("notEnvelope")).is_ok());
+}
+
+class SoapServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<SoapServer>("127.0.0.1", 0);
+    server_->register_operation("Calc", "add", [](const SoapContext&, const xml::Node& args) {
+      double a = 0, b = 0;
+      (void)strings_to_double(args.child_text("a"), a);
+      (void)strings_to_double(args.child_text("b"), b);
+      xml::Node reply("ipa:addResponse");
+      reply.add_child("sum").set_text(std::to_string(a + b));
+      return Result<xml::Node>(std::move(reply));
+    });
+    server_->register_operation("Calc", "fail", [](const SoapContext&, const xml::Node&) {
+      return Result<xml::Node>(resource_exhausted("queue full"));
+    });
+    server_->register_operation(
+        "Calc", "ctx",
+        [](const SoapContext& ctx, const xml::Node&) {
+          xml::Node reply("ipa:ctxResponse");
+          reply.add_child("service").set_text(ctx.service);
+          reply.add_child("operation").set_text(ctx.operation);
+          reply.add_child("resource").set_text(ctx.resource);
+          reply.add_child("principal").set_text(ctx.principal);
+          return Result<xml::Node>(std::move(reply));
+        },
+        /*require_auth=*/true);
+    server_->set_auth([](const std::string& token) -> Result<std::string> {
+      if (token == "proxy-ok") return std::string("cn=alice");
+      return unauthenticated("invalid proxy");
+    });
+    auto bound = server_->start();
+    ASSERT_TRUE(bound.is_ok());
+    endpoint_ = *bound;
+  }
+
+  static bool strings_to_double(const std::string& s, double& out) {
+    try {
+      out = std::stod(s);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::unique_ptr<SoapServer> server_;
+  Uri endpoint_;
+};
+
+TEST_F(SoapServerTest, CallReturnsBodyElement) {
+  auto client = SoapClient::connect(endpoint_);
+  ASSERT_TRUE(client.is_ok());
+  xml::Node args("ipa:add");
+  args.add_child("a").set_text("1.5");
+  args.add_child("b").set_text("2.25");
+  auto reply = client->call("Calc", "add", std::move(args));
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->name(), "ipa:addResponse");
+  EXPECT_DOUBLE_EQ(std::stod(reply->child_text("sum")), 3.75);
+}
+
+TEST_F(SoapServerTest, RemoteFaultSurfacesAsStatus) {
+  auto client = SoapClient::connect(endpoint_);
+  ASSERT_TRUE(client.is_ok());
+  const auto reply = client->call("Calc", "fail", xml::Node("ipa:fail"));
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(reply.status().message(), "queue full");
+}
+
+TEST_F(SoapServerTest, UnknownOperationFaults) {
+  auto client = SoapClient::connect(endpoint_);
+  ASSERT_TRUE(client.is_ok());
+  const auto reply = client->call("Calc", "nope", xml::Node("ipa:nope"));
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SoapServerTest, AuthFlowsThroughSecurityHeader) {
+  auto client = SoapClient::connect(endpoint_);
+  ASSERT_TRUE(client.is_ok());
+
+  // Without a token: rejected.
+  const auto denied = client->call("Calc", "ctx", xml::Node("ipa:ctx"), "res-7");
+  ASSERT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kUnauthenticated);
+
+  // With the right token: principal and resource propagate.
+  client->set_token("proxy-ok");
+  auto reply = client->call("Calc", "ctx", xml::Node("ipa:ctx"), "res-7");
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->child_text("service"), "Calc");
+  EXPECT_EQ(reply->child_text("operation"), "ctx");
+  EXPECT_EQ(reply->child_text("resource"), "res-7");
+  EXPECT_EQ(reply->child_text("principal"), "cn=alice");
+}
+
+TEST_F(SoapServerTest, ManySequentialCalls) {
+  auto client = SoapClient::connect(endpoint_);
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < 25; ++i) {
+    xml::Node args("ipa:add");
+    args.add_child("a").set_text(std::to_string(i));
+    args.add_child("b").set_text("1");
+    auto reply = client->call("Calc", "add", std::move(args));
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_DOUBLE_EQ(std::stod(reply->child_text("sum")), i + 1.0);
+  }
+}
+
+TEST_F(SoapServerTest, RawHttpPostWithoutSoapActionFaults) {
+  auto http = http::Client::connect(endpoint_.host, endpoint_.port);
+  ASSERT_TRUE(http.is_ok());
+  auto resp = http->post("/ipa/services", "<x/>");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_NE(resp->body.find("faultstring"), std::string::npos);
+}
+
+TEST_F(SoapServerTest, GetMethodRejected) {
+  auto http = http::Client::connect(endpoint_.host, endpoint_.port);
+  ASSERT_TRUE(http.is_ok());
+  auto resp = http->get("/ipa/services");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 400);
+}
+
+}  // namespace
+}  // namespace ipa::soap

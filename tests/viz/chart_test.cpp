@@ -1,0 +1,93 @@
+#include "viz/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace ipa::viz {
+namespace {
+
+Series make_series(const std::string& label, std::initializer_list<double> xs,
+                   std::initializer_list<double> ys) {
+  Series s;
+  s.label = label;
+  s.xs = xs;
+  s.ys = ys;
+  return s;
+}
+
+TEST(Chart, RendersWellFormedSvg) {
+  const std::vector<Series> series = {
+      make_series("local", {1, 10, 100}, {11.5, 115, 1150}),
+      make_series("grid", {1, 10, 100}, {120, 170, 680}),
+  };
+  ChartOptions options;
+  options.title = "T vs X";
+  options.x_label = "X [MB]";
+  options.y_label = "time [s]";
+  auto svg = svg_line_chart(series, options);
+  ASSERT_TRUE(svg.is_ok()) << svg.status().to_string();
+  EXPECT_NE(svg->find("<polyline"), std::string::npos);
+  EXPECT_NE(svg->find("local"), std::string::npos);
+  EXPECT_NE(svg->find("grid"), std::string::npos);
+  EXPECT_NE(svg->find("X [MB]"), std::string::npos);
+  const auto doc = xml::parse(*svg);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->name(), "svg");
+}
+
+TEST(Chart, LogAxes) {
+  const std::vector<Series> series = {
+      make_series("s", {1, 10, 100, 1000}, {1, 100, 10000, 1000000}),
+  };
+  ChartOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  auto svg = svg_line_chart(series, options);
+  ASSERT_TRUE(svg.is_ok());
+  EXPECT_TRUE(xml::parse(*svg).is_ok());
+}
+
+TEST(Chart, RejectsBadInput) {
+  EXPECT_FALSE(svg_line_chart({}, {}).is_ok());
+
+  Series mismatched = make_series("m", {1, 2}, {1});
+  EXPECT_FALSE(svg_line_chart({mismatched}, {}).is_ok());
+
+  Series empty = make_series("e", {}, {});
+  EXPECT_FALSE(svg_line_chart({empty}, {}).is_ok());
+
+  Series negative = make_series("n", {-1, 2}, {1, 2});
+  ChartOptions log_opts;
+  log_opts.log_x = true;
+  EXPECT_FALSE(svg_line_chart({negative}, log_opts).is_ok());
+}
+
+TEST(Chart, EscapesLabels) {
+  const std::vector<Series> series = {
+      make_series("a < b & \"c\"", {1, 2}, {1, 2}),
+  };
+  ChartOptions options;
+  options.title = "T<sub> & more";
+  auto svg = svg_line_chart(series, options);
+  ASSERT_TRUE(svg.is_ok());
+  EXPECT_TRUE(xml::parse(*svg).is_ok());
+}
+
+TEST(Chart, SingleFlatSeriesDoesNotDivideByZero) {
+  const std::vector<Series> series = {make_series("flat", {5}, {7})};
+  auto svg = svg_line_chart(series, {});
+  ASSERT_TRUE(svg.is_ok());
+  EXPECT_TRUE(xml::parse(*svg).is_ok());
+}
+
+TEST(Chart, CustomColorsRespected) {
+  std::vector<Series> series = {make_series("c", {1, 2}, {1, 2})};
+  series[0].color = "#123456";
+  auto svg = svg_line_chart(series, {});
+  ASSERT_TRUE(svg.is_ok());
+  EXPECT_NE(svg->find("#123456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipa::viz

@@ -1,0 +1,176 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipa::xml {
+namespace {
+
+TEST(Xml, EscapeAllSpecials) {
+  EXPECT_EQ(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Xml, BuilderAndSerialize) {
+  Node root("catalog");
+  root.set_attribute("version", "1");
+  Node& ds = root.add_child("dataset");
+  ds.set_attribute("id", "lc-run7");
+  ds.add_child("size").set_text("471");
+  EXPECT_EQ(root.to_string(),
+            "<catalog version=\"1\"><dataset id=\"lc-run7\"><size>471</size></dataset></catalog>");
+}
+
+TEST(Xml, SelfClosingWhenEmpty) {
+  Node node("ready");
+  EXPECT_EQ(node.to_string(), "<ready/>");
+}
+
+TEST(Xml, ParseSimpleDocument) {
+  const auto doc = parse("<a><b x=\"1\">hello</b><c/></a>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->name(), "a");
+  ASSERT_EQ(doc->children().size(), 2u);
+  EXPECT_EQ(doc->children()[0].name(), "b");
+  EXPECT_EQ(doc->children()[0].attribute("x"), "1");
+  EXPECT_EQ(doc->children()[0].text(), "hello");
+  EXPECT_EQ(doc->children()[1].name(), "c");
+}
+
+TEST(Xml, ParseWithDeclarationAndComments) {
+  const auto doc = parse(R"(<?xml version="1.0" encoding="utf-8"?>
+<!-- a comment -->
+<root>
+  <!-- inner comment -->
+  <child>text</child>
+</root>)");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->name(), "root");
+  EXPECT_EQ(doc->child_text("child"), "text");
+}
+
+TEST(Xml, ParseEntities) {
+  const auto doc = parse("<m>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</m>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->text(), "<tag> & \"q\" 'a'");
+}
+
+TEST(Xml, ParseNumericCharacterReferences) {
+  const auto doc = parse("<m>&#65;&#x42;&#x3b1;</m>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->text(), "AB\xce\xb1");  // A, B, greek alpha in UTF-8
+}
+
+TEST(Xml, ParseCdata) {
+  const auto doc = parse("<script><![CDATA[if (a < b && c > d) {}]]></script>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->text(), "if (a < b && c > d) {}");
+}
+
+TEST(Xml, ParseAttributesWithBothQuotes) {
+  const auto doc = parse("<e a=\"1\" b='two' c=\"x &amp; y\"/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->attribute("a"), "1");
+  EXPECT_EQ(doc->attribute("b"), "two");
+  EXPECT_EQ(doc->attribute("c"), "x & y");
+}
+
+TEST(Xml, RoundTripComplexTree) {
+  Node root("soap:Envelope");
+  root.set_attribute("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/");
+  Node& body = root.add_child("soap:Body");
+  Node& op = body.add_child("ipa:createSession");
+  op.add_child("user").set_text("alice & bob <team>");
+  op.add_child("nodes").set_text("16");
+
+  const auto parsed = parse(root.to_string());
+  ASSERT_TRUE(parsed.is_ok());
+  const Node* op2 = parsed->find_path("Body/createSession");
+  ASSERT_NE(op2, nullptr);
+  EXPECT_EQ(op2->child_text("user"), "alice & bob <team>");
+  EXPECT_EQ(op2->child_text("nodes"), "16");
+}
+
+TEST(Xml, PrettyPrintingParsesBack) {
+  Node root("a");
+  root.add_child("b").set_text("x");
+  root.add_child("c");
+  const std::string pretty = root.to_string(true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto reparsed = parse(pretty);
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed->child_text("b"), "x");
+}
+
+TEST(Xml, NamespacePrefixMatching) {
+  EXPECT_TRUE(name_matches("soap:Body", "Body"));
+  EXPECT_TRUE(name_matches("Body", "Body"));
+  EXPECT_FALSE(name_matches("soap:Body", "other:Body"));
+  EXPECT_TRUE(name_matches("soap:Body", "soap:Body"));
+  EXPECT_FALSE(name_matches("NotBody", "Body"));
+}
+
+TEST(Xml, FindAll) {
+  const auto doc = parse("<r><d id=\"1\"/><x/><d id=\"2\"/></r>");
+  ASSERT_TRUE(doc.is_ok());
+  const auto all = doc->find_all("d");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->attribute("id"), "1");
+  EXPECT_EQ(all[1]->attribute("id"), "2");
+}
+
+TEST(Xml, FindPathMissingReturnsNull) {
+  const auto doc = parse("<r><a><b/></a></r>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_NE(doc->find_path("a/b"), nullptr);
+  EXPECT_EQ(doc->find_path("a/c"), nullptr);
+  EXPECT_EQ(doc->find_path("z"), nullptr);
+}
+
+TEST(Xml, WhitespaceBetweenChildrenDropped) {
+  const auto doc = parse("<r>\n  <a/>\n  <b/>\n</r>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->text(), "");
+  EXPECT_EQ(doc->children().size(), 2u);
+}
+
+TEST(Xml, ErrorMismatchedTags) {
+  const auto doc = parse("<a><b></a></b>");
+  EXPECT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(Xml, ErrorUnterminatedElement) {
+  EXPECT_FALSE(parse("<a><b>").is_ok());
+}
+
+TEST(Xml, ErrorTrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").is_ok());
+}
+
+TEST(Xml, ErrorBadEntity) {
+  EXPECT_FALSE(parse("<a>&bogus;</a>").is_ok());
+  EXPECT_FALSE(parse("<a>&#xZZ;</a>").is_ok());
+  EXPECT_FALSE(parse("<a>&unterminated</a>").is_ok());
+}
+
+TEST(Xml, ErrorUnquotedAttribute) {
+  EXPECT_FALSE(parse("<a x=1/>").is_ok());
+}
+
+TEST(Xml, ErrorReportsLineNumber) {
+  const auto doc = parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(Xml, AttributeEscapingRoundTrip) {
+  Node node("e");
+  node.set_attribute("v", "a\"b<c>&'d");
+  const auto parsed = parse(node.to_string());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->attribute("v"), "a\"b<c>&'d");
+}
+
+}  // namespace
+}  // namespace ipa::xml

@@ -1,0 +1,128 @@
+// ipa_site: run an IPA grid site (manager node) as a standalone daemon.
+//
+// Brings up the SOAP and RMI endpoints on TCP, optionally generates and
+// publishes demo datasets, prints a ready-to-use user token, then serves
+// until EOF on stdin (pipe-friendly) or SIGINT.
+//
+//   ipa_site [--soap-port P] [--rpc-port P] [--nodes N]
+//            [--staging DIR] [--demo-events N] [--secret S]
+//
+// Connect with:  ipa_shell --connect http://127.0.0.1:P --token <printed>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "common/log.hpp"
+#include "physics/event_gen.hpp"
+#include "services/manager.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace ipa;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Line-buffer stdout so the banner (with the token) reaches logs/pipes
+  // immediately when the daemon is detached.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  log::set_global_level(log::Level::kInfo);
+
+  std::uint16_t soap_port = 8443;
+  std::uint16_t rpc_port = 8444;
+  int nodes = 16;
+  std::string staging = "/tmp/ipa-site-staging";
+  std::uint64_t demo_events = 50000;
+  std::string secret = "ipa-dev-secret";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--soap-port") soap_port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--rpc-port") rpc_port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--nodes") nodes = std::atoi(next());
+    else if (arg == "--staging") staging = next();
+    else if (arg == "--demo-events") demo_events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--secret") secret = next();
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  services::ManagerConfig config;
+  config.soap_host = "127.0.0.1";
+  config.soap_port = soap_port;
+  config.rpc_endpoint = Uri::parse("tcp://127.0.0.1:" + std::to_string(rpc_port)).value();
+  config.staging_dir = staging;
+  config.vo_secret = secret;
+  config.site_max_nodes = nodes;
+
+  auto manager = services::ManagerNode::start(std::move(config));
+  if (!manager.is_ok()) {
+    std::fprintf(stderr, "manager start: %s\n", manager.status().to_string().c_str());
+    return 1;
+  }
+
+  // Demo datasets so a fresh site has something to analyze.
+  if (demo_events > 0) {
+    const auto data_dir = std::filesystem::path(staging) / "site-data";
+    std::filesystem::create_directories(data_dir);
+    const std::string lc = (data_dir / "lc-higgs.ipd").string();
+    const std::string dna = (data_dir / "reads.ipd").string();
+    const std::string ticks = (data_dir / "ticks.ipd").string();
+    std::printf("generating demo datasets (%llu events) ...\n",
+                static_cast<unsigned long long>(demo_events));
+    (void)physics::generate_dataset(lc, "lc-higgs", demo_events);
+    (void)workloads::generate_dna_dataset(dna, "reads", demo_events / 4);
+    (void)workloads::generate_stock_dataset(ticks, "ticks", demo_events);
+    (void)(*manager)->publish_dataset("lc/2006/higgs", "ds-higgs",
+                                      {{"experiment", "LC"}}, lc);
+    (void)(*manager)->publish_dataset("bio/dna/reads", "ds-reads",
+                                      {{"experiment", "genome"}}, dna);
+    (void)(*manager)->publish_dataset("finance/ticks", "ds-ticks",
+                                      {{"domain", "finance"}}, ticks);
+    physics::register_higgs_plugin();
+  }
+
+  const std::string token =
+      (*manager)->authority().issue("cn=demo-user", {"analysis"}, 24 * 3600);
+
+  std::printf("\nIPA site is up.\n");
+  std::printf("  SOAP (web services): %s\n", (*manager)->soap_endpoint().to_string().c_str());
+  std::printf("  RMI  (result polling): %s\n", (*manager)->rpc_endpoint().to_string().c_str());
+  std::printf("  demo user token:\n    %s\n\n", token.c_str());
+  std::printf("connect with:\n  ipa_shell --connect %s --token '%s'\n\n",
+              (*manager)->soap_endpoint().to_string().c_str(), token.c_str());
+  std::printf("serving until EOF/SIGINT ...\n");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // Interactive: pressing enter/EOF stops the site. Detached (stdin already
+  // at EOF, e.g. started with </dev/null): serve until a signal arrives.
+  bool stdin_open = true;
+  while (!g_stop) {
+    if (stdin_open) {
+      const int c = std::getchar();
+      if (c == EOF) {
+        if (std::feof(stdin) == 0) continue;  // EINTR etc.
+        stdin_open = false;
+      } else if (c == '\n') {
+        break;
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+  std::printf("shutting down.\n");
+  (*manager)->stop();
+  return 0;
+}
