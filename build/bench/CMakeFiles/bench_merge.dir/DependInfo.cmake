@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_merge.cpp" "bench/CMakeFiles/bench_merge.dir/bench_merge.cpp.o" "gcc" "bench/CMakeFiles/bench_merge.dir/bench_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipa_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_aida.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_gridsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_script.dir/bench_script.cpp.o"
+  "CMakeFiles/bench_script.dir/bench_script.cpp.o.d"
+  "bench_script"
+  "bench_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_kmer.dir/dna_kmer.cpp.o"
+  "CMakeFiles/dna_kmer.dir/dna_kmer.cpp.o.d"
+  "dna_kmer"
+  "dna_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

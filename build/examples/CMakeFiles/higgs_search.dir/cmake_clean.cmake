@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/higgs_search.dir/higgs_search.cpp.o"
+  "CMakeFiles/higgs_search.dir/higgs_search.cpp.o.d"
+  "higgs_search"
+  "higgs_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/higgs_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

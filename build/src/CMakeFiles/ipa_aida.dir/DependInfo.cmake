@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aida/cloud1d.cpp" "src/CMakeFiles/ipa_aida.dir/aida/cloud1d.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/cloud1d.cpp.o.d"
+  "/root/repo/src/aida/histogram1d.cpp" "src/CMakeFiles/ipa_aida.dir/aida/histogram1d.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/histogram1d.cpp.o.d"
+  "/root/repo/src/aida/histogram2d.cpp" "src/CMakeFiles/ipa_aida.dir/aida/histogram2d.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/histogram2d.cpp.o.d"
+  "/root/repo/src/aida/profile1d.cpp" "src/CMakeFiles/ipa_aida.dir/aida/profile1d.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/profile1d.cpp.o.d"
+  "/root/repo/src/aida/tree.cpp" "src/CMakeFiles/ipa_aida.dir/aida/tree.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/tree.cpp.o.d"
+  "/root/repo/src/aida/tuple.cpp" "src/CMakeFiles/ipa_aida.dir/aida/tuple.cpp.o" "gcc" "src/CMakeFiles/ipa_aida.dir/aida/tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_aida.dir/aida/cloud1d.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/cloud1d.cpp.o.d"
+  "CMakeFiles/ipa_aida.dir/aida/histogram1d.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/histogram1d.cpp.o.d"
+  "CMakeFiles/ipa_aida.dir/aida/histogram2d.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/histogram2d.cpp.o.d"
+  "CMakeFiles/ipa_aida.dir/aida/profile1d.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/profile1d.cpp.o.d"
+  "CMakeFiles/ipa_aida.dir/aida/tree.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/tree.cpp.o.d"
+  "CMakeFiles/ipa_aida.dir/aida/tuple.cpp.o"
+  "CMakeFiles/ipa_aida.dir/aida/tuple.cpp.o.d"
+  "libipa_aida.a"
+  "libipa_aida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_aida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

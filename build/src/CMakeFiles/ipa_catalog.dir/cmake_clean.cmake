@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_catalog.dir/catalog/catalog.cpp.o"
+  "CMakeFiles/ipa_catalog.dir/catalog/catalog.cpp.o.d"
+  "CMakeFiles/ipa_catalog.dir/catalog/query.cpp.o"
+  "CMakeFiles/ipa_catalog.dir/catalog/query.cpp.o.d"
+  "libipa_catalog.a"
+  "libipa_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

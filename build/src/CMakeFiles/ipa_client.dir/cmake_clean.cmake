@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_client.dir/client/grid_client.cpp.o"
+  "CMakeFiles/ipa_client.dir/client/grid_client.cpp.o.d"
+  "libipa_client.a"
+  "libipa_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/ipa_common.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/ipa_common.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/ids.cpp" "src/CMakeFiles/ipa_common.dir/common/ids.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/ids.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/ipa_common.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/ipa_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/ipa_common.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/ipa_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/uri.cpp" "src/CMakeFiles/ipa_common.dir/common/uri.cpp.o" "gcc" "src/CMakeFiles/ipa_common.dir/common/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_common.dir/common/clock.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/clock.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/config.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/ids.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/ids.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/log.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/status.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/strings.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/thread_pool.cpp.o.d"
+  "CMakeFiles/ipa_common.dir/common/uri.cpp.o"
+  "CMakeFiles/ipa_common.dir/common/uri.cpp.o.d"
+  "libipa_common.a"
+  "libipa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

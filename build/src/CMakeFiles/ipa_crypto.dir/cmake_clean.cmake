@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_crypto.dir/crypto/encoding.cpp.o"
+  "CMakeFiles/ipa_crypto.dir/crypto/encoding.cpp.o.d"
+  "CMakeFiles/ipa_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/ipa_crypto.dir/crypto/sha256.cpp.o.d"
+  "libipa_crypto.a"
+  "libipa_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

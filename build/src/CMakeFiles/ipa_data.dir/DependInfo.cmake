@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/crc32.cpp" "src/CMakeFiles/ipa_data.dir/data/crc32.cpp.o" "gcc" "src/CMakeFiles/ipa_data.dir/data/crc32.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/ipa_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/ipa_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/record.cpp" "src/CMakeFiles/ipa_data.dir/data/record.cpp.o" "gcc" "src/CMakeFiles/ipa_data.dir/data/record.cpp.o.d"
+  "/root/repo/src/data/splitter.cpp" "src/CMakeFiles/ipa_data.dir/data/splitter.cpp.o" "gcc" "src/CMakeFiles/ipa_data.dir/data/splitter.cpp.o.d"
+  "/root/repo/src/data/value.cpp" "src/CMakeFiles/ipa_data.dir/data/value.cpp.o" "gcc" "src/CMakeFiles/ipa_data.dir/data/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

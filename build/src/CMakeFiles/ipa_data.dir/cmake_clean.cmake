@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_data.dir/data/crc32.cpp.o"
+  "CMakeFiles/ipa_data.dir/data/crc32.cpp.o.d"
+  "CMakeFiles/ipa_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/ipa_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/ipa_data.dir/data/record.cpp.o"
+  "CMakeFiles/ipa_data.dir/data/record.cpp.o.d"
+  "CMakeFiles/ipa_data.dir/data/splitter.cpp.o"
+  "CMakeFiles/ipa_data.dir/data/splitter.cpp.o.d"
+  "CMakeFiles/ipa_data.dir/data/value.cpp.o"
+  "CMakeFiles/ipa_data.dir/data/value.cpp.o.d"
+  "libipa_data.a"
+  "libipa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

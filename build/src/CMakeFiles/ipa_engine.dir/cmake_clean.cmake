@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_engine.dir/engine/analyzer.cpp.o"
+  "CMakeFiles/ipa_engine.dir/engine/analyzer.cpp.o.d"
+  "CMakeFiles/ipa_engine.dir/engine/engine.cpp.o"
+  "CMakeFiles/ipa_engine.dir/engine/engine.cpp.o.d"
+  "libipa_engine.a"
+  "libipa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

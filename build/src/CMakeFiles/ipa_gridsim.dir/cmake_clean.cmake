@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_gridsim.dir/gridsim/link.cpp.o"
+  "CMakeFiles/ipa_gridsim.dir/gridsim/link.cpp.o.d"
+  "CMakeFiles/ipa_gridsim.dir/gridsim/scheduler.cpp.o"
+  "CMakeFiles/ipa_gridsim.dir/gridsim/scheduler.cpp.o.d"
+  "CMakeFiles/ipa_gridsim.dir/gridsim/sim.cpp.o"
+  "CMakeFiles/ipa_gridsim.dir/gridsim/sim.cpp.o.d"
+  "libipa_gridsim.a"
+  "libipa_gridsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_gridsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

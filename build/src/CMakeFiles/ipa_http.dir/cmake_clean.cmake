@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_http.dir/http/http.cpp.o"
+  "CMakeFiles/ipa_http.dir/http/http.cpp.o.d"
+  "libipa_http.a"
+  "libipa_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_net.dir/net/inproc.cpp.o"
+  "CMakeFiles/ipa_net.dir/net/inproc.cpp.o.d"
+  "CMakeFiles/ipa_net.dir/net/socket_io.cpp.o"
+  "CMakeFiles/ipa_net.dir/net/socket_io.cpp.o.d"
+  "CMakeFiles/ipa_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/ipa_net.dir/net/tcp.cpp.o.d"
+  "libipa_net.a"
+  "libipa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_perf.dir/perf/paper_model.cpp.o"
+  "CMakeFiles/ipa_perf.dir/perf/paper_model.cpp.o.d"
+  "CMakeFiles/ipa_perf.dir/perf/scenario.cpp.o"
+  "CMakeFiles/ipa_perf.dir/perf/scenario.cpp.o.d"
+  "libipa_perf.a"
+  "libipa_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

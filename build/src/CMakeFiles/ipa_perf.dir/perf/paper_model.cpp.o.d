@@ -1,0 +1,3 @@
+src/CMakeFiles/ipa_perf.dir/perf/paper_model.cpp.o: \
+ /root/repo/src/perf/paper_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/perf/paper_model.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_physics.dir/physics/event_gen.cpp.o"
+  "CMakeFiles/ipa_physics.dir/physics/event_gen.cpp.o.d"
+  "libipa_physics.a"
+  "libipa_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_rpc.dir/rpc/rpc.cpp.o"
+  "CMakeFiles/ipa_rpc.dir/rpc/rpc.cpp.o.d"
+  "libipa_rpc.a"
+  "libipa_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

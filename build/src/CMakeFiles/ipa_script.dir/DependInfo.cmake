@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/engine_api.cpp" "src/CMakeFiles/ipa_script.dir/script/engine_api.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/engine_api.cpp.o.d"
+  "/root/repo/src/script/interp.cpp" "src/CMakeFiles/ipa_script.dir/script/interp.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/interp.cpp.o.d"
+  "/root/repo/src/script/lexer.cpp" "src/CMakeFiles/ipa_script.dir/script/lexer.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/lexer.cpp.o.d"
+  "/root/repo/src/script/parser.cpp" "src/CMakeFiles/ipa_script.dir/script/parser.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/parser.cpp.o.d"
+  "/root/repo/src/script/stdlib.cpp" "src/CMakeFiles/ipa_script.dir/script/stdlib.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/stdlib.cpp.o.d"
+  "/root/repo/src/script/value.cpp" "src/CMakeFiles/ipa_script.dir/script/value.cpp.o" "gcc" "src/CMakeFiles/ipa_script.dir/script/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_aida.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_script.dir/script/engine_api.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/engine_api.cpp.o.d"
+  "CMakeFiles/ipa_script.dir/script/interp.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/interp.cpp.o.d"
+  "CMakeFiles/ipa_script.dir/script/lexer.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/lexer.cpp.o.d"
+  "CMakeFiles/ipa_script.dir/script/parser.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/parser.cpp.o.d"
+  "CMakeFiles/ipa_script.dir/script/stdlib.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/stdlib.cpp.o.d"
+  "CMakeFiles/ipa_script.dir/script/value.cpp.o"
+  "CMakeFiles/ipa_script.dir/script/value.cpp.o.d"
+  "libipa_script.a"
+  "libipa_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_security.dir/security/credentials.cpp.o"
+  "CMakeFiles/ipa_security.dir/security/credentials.cpp.o.d"
+  "libipa_security.a"
+  "libipa_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

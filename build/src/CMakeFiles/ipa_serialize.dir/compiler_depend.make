@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for ipa_serialize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_services.dir/services/aida_manager.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/aida_manager.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/locator.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/locator.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/manager.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/manager.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/protocol.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/protocol.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/session.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/session.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/splitter_service.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/splitter_service.cpp.o.d"
+  "CMakeFiles/ipa_services.dir/services/worker_host.cpp.o"
+  "CMakeFiles/ipa_services.dir/services/worker_host.cpp.o.d"
+  "libipa_services.a"
+  "libipa_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_soap.dir/soap/soap.cpp.o"
+  "CMakeFiles/ipa_soap.dir/soap/soap.cpp.o.d"
+  "libipa_soap.a"
+  "libipa_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/chart.cpp" "src/CMakeFiles/ipa_viz.dir/viz/chart.cpp.o" "gcc" "src/CMakeFiles/ipa_viz.dir/viz/chart.cpp.o.d"
+  "/root/repo/src/viz/render.cpp" "src/CMakeFiles/ipa_viz.dir/viz/render.cpp.o" "gcc" "src/CMakeFiles/ipa_viz.dir/viz/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ipa_aida.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_viz.dir/viz/chart.cpp.o"
+  "CMakeFiles/ipa_viz.dir/viz/chart.cpp.o.d"
+  "CMakeFiles/ipa_viz.dir/viz/render.cpp.o"
+  "CMakeFiles/ipa_viz.dir/viz/render.cpp.o.d"
+  "libipa_viz.a"
+  "libipa_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/ipa_workloads.dir/workloads/workloads.cpp.o.d"
+  "libipa_workloads.a"
+  "libipa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

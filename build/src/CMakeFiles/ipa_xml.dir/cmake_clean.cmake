@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_xml.dir/xml/xml.cpp.o"
+  "CMakeFiles/ipa_xml.dir/xml/xml.cpp.o.d"
+  "libipa_xml.a"
+  "libipa_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

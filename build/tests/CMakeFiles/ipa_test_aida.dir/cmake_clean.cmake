@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_aida.dir/aida/histogram_test.cpp.o"
+  "CMakeFiles/ipa_test_aida.dir/aida/histogram_test.cpp.o.d"
+  "CMakeFiles/ipa_test_aida.dir/aida/tree_test.cpp.o"
+  "CMakeFiles/ipa_test_aida.dir/aida/tree_test.cpp.o.d"
+  "ipa_test_aida"
+  "ipa_test_aida.pdb"
+  "ipa_test_aida[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_aida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

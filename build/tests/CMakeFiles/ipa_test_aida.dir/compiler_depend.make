@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ipa_test_aida.
+# This may be replaced when dependencies are built.

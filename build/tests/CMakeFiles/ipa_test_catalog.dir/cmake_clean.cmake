@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_catalog.dir/catalog/catalog_test.cpp.o"
+  "CMakeFiles/ipa_test_catalog.dir/catalog/catalog_test.cpp.o.d"
+  "ipa_test_catalog"
+  "ipa_test_catalog.pdb"
+  "ipa_test_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_common.dir/common/concurrency_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/concurrency_test.cpp.o.d"
+  "CMakeFiles/ipa_test_common.dir/common/config_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/config_test.cpp.o.d"
+  "CMakeFiles/ipa_test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/ipa_test_common.dir/common/status_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/ipa_test_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/ipa_test_common.dir/common/uri_test.cpp.o"
+  "CMakeFiles/ipa_test_common.dir/common/uri_test.cpp.o.d"
+  "ipa_test_common"
+  "ipa_test_common.pdb"
+  "ipa_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

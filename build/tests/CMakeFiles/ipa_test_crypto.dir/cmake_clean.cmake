@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_crypto.dir/crypto/crypto_test.cpp.o"
+  "CMakeFiles/ipa_test_crypto.dir/crypto/crypto_test.cpp.o.d"
+  "ipa_test_crypto"
+  "ipa_test_crypto.pdb"
+  "ipa_test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

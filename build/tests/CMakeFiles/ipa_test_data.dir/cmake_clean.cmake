@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_data.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/ipa_test_data.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/ipa_test_data.dir/data/value_record_test.cpp.o"
+  "CMakeFiles/ipa_test_data.dir/data/value_record_test.cpp.o.d"
+  "ipa_test_data"
+  "ipa_test_data.pdb"
+  "ipa_test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_engine.dir/engine/engine_test.cpp.o"
+  "CMakeFiles/ipa_test_engine.dir/engine/engine_test.cpp.o.d"
+  "ipa_test_engine"
+  "ipa_test_engine.pdb"
+  "ipa_test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_fuzz.dir/fuzz/fuzz_test.cpp.o"
+  "CMakeFiles/ipa_test_fuzz.dir/fuzz/fuzz_test.cpp.o.d"
+  "ipa_test_fuzz"
+  "ipa_test_fuzz.pdb"
+  "ipa_test_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

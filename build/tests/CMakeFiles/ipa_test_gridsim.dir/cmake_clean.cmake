@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_gridsim.dir/gridsim/sim_test.cpp.o"
+  "CMakeFiles/ipa_test_gridsim.dir/gridsim/sim_test.cpp.o.d"
+  "ipa_test_gridsim"
+  "ipa_test_gridsim.pdb"
+  "ipa_test_gridsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_gridsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_http.dir/http/http_test.cpp.o"
+  "CMakeFiles/ipa_test_http.dir/http/http_test.cpp.o.d"
+  "ipa_test_http"
+  "ipa_test_http.pdb"
+  "ipa_test_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_integration.dir/integration/failure_test.cpp.o"
+  "CMakeFiles/ipa_test_integration.dir/integration/failure_test.cpp.o.d"
+  "CMakeFiles/ipa_test_integration.dir/integration/integration_test.cpp.o"
+  "CMakeFiles/ipa_test_integration.dir/integration/integration_test.cpp.o.d"
+  "ipa_test_integration"
+  "ipa_test_integration.pdb"
+  "ipa_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

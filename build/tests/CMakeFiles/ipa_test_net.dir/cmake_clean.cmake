@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_net.dir/net/transport_test.cpp.o"
+  "CMakeFiles/ipa_test_net.dir/net/transport_test.cpp.o.d"
+  "ipa_test_net"
+  "ipa_test_net.pdb"
+  "ipa_test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_perf.dir/perf/perf_test.cpp.o"
+  "CMakeFiles/ipa_test_perf.dir/perf/perf_test.cpp.o.d"
+  "ipa_test_perf"
+  "ipa_test_perf.pdb"
+  "ipa_test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_physics.dir/physics/physics_test.cpp.o"
+  "CMakeFiles/ipa_test_physics.dir/physics/physics_test.cpp.o.d"
+  "ipa_test_physics"
+  "ipa_test_physics.pdb"
+  "ipa_test_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

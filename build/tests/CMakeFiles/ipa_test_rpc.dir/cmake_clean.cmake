@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_rpc.dir/rpc/rpc_test.cpp.o"
+  "CMakeFiles/ipa_test_rpc.dir/rpc/rpc_test.cpp.o.d"
+  "ipa_test_rpc"
+  "ipa_test_rpc.pdb"
+  "ipa_test_rpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_script.dir/script/engine_api_test.cpp.o"
+  "CMakeFiles/ipa_test_script.dir/script/engine_api_test.cpp.o.d"
+  "CMakeFiles/ipa_test_script.dir/script/interp_test.cpp.o"
+  "CMakeFiles/ipa_test_script.dir/script/interp_test.cpp.o.d"
+  "ipa_test_script"
+  "ipa_test_script.pdb"
+  "ipa_test_script[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

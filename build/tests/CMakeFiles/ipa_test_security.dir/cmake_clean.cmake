@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_security.dir/security/credentials_test.cpp.o"
+  "CMakeFiles/ipa_test_security.dir/security/credentials_test.cpp.o.d"
+  "ipa_test_security"
+  "ipa_test_security.pdb"
+  "ipa_test_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

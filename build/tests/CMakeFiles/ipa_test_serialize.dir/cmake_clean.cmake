@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_serialize.dir/serialize/serialize_test.cpp.o"
+  "CMakeFiles/ipa_test_serialize.dir/serialize/serialize_test.cpp.o.d"
+  "ipa_test_serialize"
+  "ipa_test_serialize.pdb"
+  "ipa_test_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

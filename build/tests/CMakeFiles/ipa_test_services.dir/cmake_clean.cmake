@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_services.dir/services/services_test.cpp.o"
+  "CMakeFiles/ipa_test_services.dir/services/services_test.cpp.o.d"
+  "ipa_test_services"
+  "ipa_test_services.pdb"
+  "ipa_test_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_soap.dir/soap/soap_test.cpp.o"
+  "CMakeFiles/ipa_test_soap.dir/soap/soap_test.cpp.o.d"
+  "ipa_test_soap"
+  "ipa_test_soap.pdb"
+  "ipa_test_soap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

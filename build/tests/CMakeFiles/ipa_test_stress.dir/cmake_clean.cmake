@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_stress.dir/stress/stress_test.cpp.o"
+  "CMakeFiles/ipa_test_stress.dir/stress/stress_test.cpp.o.d"
+  "ipa_test_stress"
+  "ipa_test_stress.pdb"
+  "ipa_test_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

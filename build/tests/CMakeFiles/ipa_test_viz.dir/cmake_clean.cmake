@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_viz.dir/viz/chart_test.cpp.o"
+  "CMakeFiles/ipa_test_viz.dir/viz/chart_test.cpp.o.d"
+  "CMakeFiles/ipa_test_viz.dir/viz/render_test.cpp.o"
+  "CMakeFiles/ipa_test_viz.dir/viz/render_test.cpp.o.d"
+  "ipa_test_viz"
+  "ipa_test_viz.pdb"
+  "ipa_test_viz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_workloads.dir/workloads/workloads_test.cpp.o"
+  "CMakeFiles/ipa_test_workloads.dir/workloads/workloads_test.cpp.o.d"
+  "ipa_test_workloads"
+  "ipa_test_workloads.pdb"
+  "ipa_test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_test_xml.dir/xml/xml_test.cpp.o"
+  "CMakeFiles/ipa_test_xml.dir/xml/xml_test.cpp.o.d"
+  "ipa_test_xml"
+  "ipa_test_xml.pdb"
+  "ipa_test_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_test_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

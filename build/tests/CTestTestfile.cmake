@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ipa_test_common[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_xml[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_net[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_http[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_soap[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_security[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_data[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_catalog[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_aida[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_script[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_gridsim[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_engine[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_services[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_integration[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_viz[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_physics[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_perf[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/ipa_test_stress[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_shell.dir/ipa_shell.cpp.o"
+  "CMakeFiles/ipa_shell.dir/ipa_shell.cpp.o.d"
+  "ipa_shell"
+  "ipa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

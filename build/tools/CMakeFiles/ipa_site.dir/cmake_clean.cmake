@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipa_site.dir/ipa_site.cpp.o"
+  "CMakeFiles/ipa_site.dir/ipa_site.cpp.o.d"
+  "ipa_site"
+  "ipa_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipa_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
