@@ -11,6 +11,7 @@ namespace ipa::client {
 bool PollUpdate::all_engines_done(std::size_t expected) const {
   if (engines.size() < expected || engines.empty()) return false;
   for (const auto& report : engines) {
+    if (report.lost) continue;  // lost engines will never report again
     if (report.state != engine::EngineState::kFinished &&
         report.state != engine::EngineState::kFailed) {
       return false;
@@ -21,7 +22,14 @@ bool PollUpdate::all_engines_done(std::size_t expected) const {
 
 bool PollUpdate::any_engine_failed() const {
   for (const auto& report : engines) {
-    if (report.state == engine::EngineState::kFailed) return true;
+    if (report.state == engine::EngineState::kFailed && !report.lost) return true;
+  }
+  return false;
+}
+
+bool PollUpdate::degraded() const {
+  for (const auto& report : engines) {
+    if (report.lost) return true;
   }
   return false;
 }
@@ -38,7 +46,14 @@ std::uint64_t PollUpdate::total_records() const {
   return total;
 }
 
+GridClient::GridClient(Uri endpoint, soap::SoapClient soap, std::string token)
+    : endpoint_(std::move(endpoint)), soap_(std::move(soap)), token_(std::move(token)) {
+  // A dropped poll response should cost one quick retry, not a whole call.
+  rmi_policy_.attempt_timeout_s = 0.25;
+}
+
 Result<GridClient> GridClient::connect(const Uri& soap_endpoint, std::string proxy_token) {
+  services::register_idempotent_methods();
   auto soap = soap::SoapClient::connect(soap_endpoint);
   IPA_RETURN_IF_ERROR(soap.status().with_prefix("client: manager connect"));
   soap->set_token(proxy_token);
@@ -112,7 +127,8 @@ Result<GridSession> GridClient::create_session(int nodes) {
   auto session_soap = soap::SoapClient::connect(endpoint_);
   IPA_RETURN_IF_ERROR(session_soap.status());
   session_soap->set_token(token_);
-  auto rmi = rpc::RpcClient::connect(info.rmi_endpoint);
+  if (rmi_decorator_) info.rmi_endpoint = rmi_decorator_(info.rmi_endpoint);
+  auto rmi = rpc::RpcClient::connect(info.rmi_endpoint, 5.0, rmi_policy_);
   IPA_RETURN_IF_ERROR(rmi.status().with_prefix("createSession: rmi connect"));
 
   return GridSession(std::move(info), std::move(*session_soap), token_, std::move(*rmi));
@@ -131,7 +147,8 @@ GridSession::GridSession(GridSession&& other) noexcept
       token_(std::move(other.token_)),
       rmi_(std::move(other.rmi_)),
       last_version_(other.last_version_),
-      closed_(other.closed_) {
+      closed_(other.closed_),
+      degraded_(other.degraded_) {
   other.closed_ = true;
 }
 
@@ -144,6 +161,7 @@ GridSession& GridSession::operator=(GridSession&& other) noexcept {
     rmi_ = std::move(other.rmi_);
     last_version_ = other.last_version_;
     closed_ = other.closed_;
+    degraded_ = other.degraded_;
     other.closed_ = true;
   }
   return *this;
@@ -248,6 +266,7 @@ Result<PollUpdate> GridSession::poll() {
   update.version = response.version;
   update.changed = response.changed;
   update.engines = response.engines;
+  if (update.degraded()) degraded_ = true;
   if (response.changed) {
     auto tree = aida::Tree::deserialize(response.merged);
     IPA_RETURN_IF_ERROR(tree.status().with_prefix("poll: merged tree"));
@@ -255,6 +274,10 @@ Result<PollUpdate> GridSession::poll() {
     last_version_ = response.version;
   }
   return update;
+}
+
+void GridSession::drop_connections() {
+  if (rmi_) rmi_->drop_connection();
 }
 
 Result<aida::Tree> GridSession::run_to_completion(

@@ -53,11 +53,15 @@ struct PollUpdate {
   aida::Tree merged;  // valid when changed
   std::vector<services::EngineReport> engines;
 
-  /// True when `expected` engines have reported and all are finished or
-  /// failed. Engines only appear after their first snapshot push, so the
-  /// expected count guards against declaring victory early.
+  /// True when `expected` engines have reported and all are finished,
+  /// failed or lost. Engines only appear after their first snapshot push,
+  /// so the expected count guards against declaring victory early.
   bool all_engines_done(std::size_t expected) const;
+  /// A genuine analysis failure — lost engines do not count: losing an
+  /// engine degrades the result, it does not fail the session.
   bool any_engine_failed() const;
+  /// True when any engine was lost: the merged tree is a partial result.
+  bool degraded() const;
   std::uint64_t total_processed() const;
   std::uint64_t total_records() const;
 };
@@ -92,15 +96,25 @@ class GridClient {
   /// grant fewer).
   Result<GridSession> create_session(int nodes);
 
+  /// Rewrite the manager-announced RMI endpoint before the polling client
+  /// dials it (chaos tests wrap the polling path in a fault scheme here).
+  void set_rmi_decorator(std::function<Uri(const Uri&)> decorator) {
+    rmi_decorator_ = std::move(decorator);
+  }
+
+  /// Retry policy for the session polling clients this GridClient creates.
+  void set_rmi_retry_policy(rpc::RetryPolicy policy) { rmi_policy_ = policy; }
+
   const Uri& soap_endpoint() const { return endpoint_; }
 
  private:
-  GridClient(Uri endpoint, soap::SoapClient soap, std::string token)
-      : endpoint_(std::move(endpoint)), soap_(std::move(soap)), token_(std::move(token)) {}
+  GridClient(Uri endpoint, soap::SoapClient soap, std::string token);
 
   Uri endpoint_;
   soap::SoapClient soap_;
   std::string token_;
+  std::function<Uri(const Uri&)> rmi_decorator_;
+  rpc::RetryPolicy rmi_policy_;
 };
 
 class GridSession {
@@ -135,11 +149,24 @@ class GridSession {
   /// Poll the AIDA manager for merged results newer than the last poll.
   Result<PollUpdate> poll();
 
-  /// Convenience: run + poll until every engine finished (or failed /
-  /// deadline). Calls `on_update` for each change when provided.
+  /// Convenience: run + poll until every engine finished, failed or was
+  /// lost (or deadline). A degraded session still returns its merged tree —
+  /// check degraded() to tell a partial result from a complete one. Calls
+  /// `on_update` for each change when provided.
   Result<aida::Tree> run_to_completion(
       double timeout_s = 60.0,
       const std::function<void(const PollUpdate&)>& on_update = nullptr);
+
+  /// "Partial, not just slow": true once any engine was reported lost.
+  /// Reflects the most recent poll().
+  bool degraded() const { return degraded_; }
+
+  /// Retry/reconnect counters of the RMI polling client — how bumpy the
+  /// data path has been.
+  rpc::RetryStats rmi_stats() const { return rmi_ ? rmi_->stats() : rpc::RetryStats{}; }
+
+  /// Chaos hook: sever the polling connection; the next poll re-dials.
+  void drop_connections();
 
   /// Release the engines and the session resource.
   Status close();
@@ -157,6 +184,7 @@ class GridSession {
   std::optional<rpc::RpcClient> rmi_;
   std::uint64_t last_version_ = 0;
   bool closed_ = false;
+  bool degraded_ = false;
 };
 
 /// Build the client-side proxy credential the paper's proxy plug-in makes:

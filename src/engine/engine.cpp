@@ -169,6 +169,7 @@ Progress AnalysisEngine::wait() {
   progress.state = state_;
   progress.processed = processed_.load();
   progress.total = total_.load();
+  progress.snapshots = snapshots_.load();
   progress.error = error_;
   return progress;
 }
@@ -184,6 +185,7 @@ Progress AnalysisEngine::progress() const {
   progress.state = state_;
   progress.processed = processed_.load();
   progress.total = total_.load();
+  progress.snapshots = snapshots_.load();
   progress.error = error_;
   return progress;
 }
@@ -330,6 +332,7 @@ void AnalysisEngine::emit_snapshot_locked() {
     std::lock_guard tree_lock(tree_mutex_);
     bytes = tree_.serialize();
   }
+  ++snapshots_;
   handler(bytes, progress());
 }
 

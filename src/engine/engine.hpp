@@ -42,6 +42,7 @@ struct Progress {
   EngineState state = EngineState::kIdle;
   std::uint64_t processed = 0;  // records consumed since last rewind
   std::uint64_t total = 0;      // records in the staged part
+  std::uint64_t snapshots = 0;  // snapshots emitted since construction
   std::string error;            // set when state == kFailed
 };
 
@@ -116,6 +117,7 @@ class AnalysisEngine {
 
   std::atomic<std::uint64_t> processed_{0};  // records since last rewind
   std::atomic<std::uint64_t> total_{0};      // records in the staged part
+  std::atomic<std::uint64_t> snapshots_{0};  // snapshots emitted
 
   std::unique_ptr<data::DatasetReader> reader_;
   std::unique_ptr<Analyzer> analyzer_;

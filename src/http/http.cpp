@@ -336,7 +336,8 @@ Result<Client> Client::connect(const std::string& host, std::uint16_t port, doub
   return Client(fd->release(), host + ":" + std::to_string(port));
 }
 
-Result<Response> Client::send(Request request, double timeout_s) {
+Result<Response> Client::send(Request request, double timeout_s, bool* got_any_bytes) {
+  if (got_any_bytes) *got_any_bytes = false;
   if (!state_) return unavailable("http client moved-from");
   std::lock_guard lock(state_->mutex);
   if (!state_->fd.valid()) return unavailable("http client closed");
@@ -355,6 +356,7 @@ Result<Response> Client::send(Request request, double timeout_s) {
     if (*got) return response;
     IPA_ASSIGN_OR_RETURN(const std::size_t n,
                          net::read_some(state_->fd.get(), chunk, sizeof chunk, timeout_s));
+    if (n > 0 && got_any_bytes) *got_any_bytes = true;
     state_->parser.feed(std::string_view(reinterpret_cast<const char*>(chunk), n));
   }
 }

@@ -1,0 +1,263 @@
+#include "net/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace ipa::net {
+namespace {
+
+constexpr std::string_view kChaosPrefix = "chaos+";
+
+/// Process-global dial counters: one ordinal sequence per endpoint name, so
+/// connection schedules are reproducible run to run.
+std::uint64_t next_ordinal(const std::string& key) {
+  static std::mutex mutex;
+  static std::map<std::string, std::uint64_t> counters;
+  std::lock_guard lock(mutex);
+  return counters[key]++;
+}
+
+/// Deterministic per-connection fault stream shared by send and receive.
+class FaultStream {
+ public:
+  FaultStream(const FaultPolicy& policy, std::uint64_t ordinal)
+      : policy_(policy), ordinal_(ordinal),
+        rng_(policy.seed ^ (0x9e3779b97f4a7c15ULL * (ordinal + 1))) {}
+
+  /// Draw the fault for the next operation. `is_send` gates the
+  /// deterministic fail_first / disconnect_after triggers, which count
+  /// frames on the send side only.
+  Fault next(bool is_send) {
+    std::lock_guard lock(mutex_);
+    if (is_send) {
+      if (ordinal_ < static_cast<std::uint64_t>(policy_.fail_first_connections) &&
+          sends_ == 0) {
+        ++sends_;
+        return Fault::kDisconnect;
+      }
+      ++sends_;
+      if (policy_.disconnect_after_frames != 0 && sends_ > policy_.disconnect_after_frames) {
+        return Fault::kDisconnect;
+      }
+    }
+    return draw_locked();
+  }
+
+ private:
+  Fault draw_locked() {
+    const double u = rng_.uniform();
+    double edge = policy_.disconnect_prob;
+    if (u < edge) return Fault::kDisconnect;
+    edge += policy_.drop_prob;
+    if (u < edge) return Fault::kDrop;
+    edge += policy_.truncate_prob;
+    if (u < edge) return Fault::kTruncate;
+    edge += policy_.delay_prob;
+    if (u < edge) return Fault::kDelay;
+    return Fault::kNone;
+  }
+
+  FaultPolicy policy_;
+  std::uint64_t ordinal_;
+  std::mutex mutex_;
+  Rng rng_;
+  std::uint64_t sends_ = 0;
+};
+
+class FaultConnection final : public Connection {
+ public:
+  FaultConnection(ConnectionPtr inner, const FaultPolicy& policy, std::uint64_t ordinal)
+      : inner_(std::move(inner)), policy_(policy), stream_(policy, ordinal) {}
+
+  ~FaultConnection() override { close(); }
+
+  Status send(const ser::Bytes& frame) override {
+    if (broken_.load()) return unavailable("chaos: injected disconnect");
+    switch (stream_.next(/*is_send=*/true)) {
+      case Fault::kDisconnect:
+        break_connection();
+        return unavailable("chaos: injected disconnect");
+      case Fault::kDrop:
+        IPA_LOG(trace) << "chaos: dropping sent frame to " << inner_->peer();
+        return Status::ok();  // frame vanishes on the wire
+      case Fault::kTruncate:
+        return inner_->send(prefix_of(frame));
+      case Fault::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double>(policy_.delay_s));
+        return inner_->send(frame);
+      case Fault::kNone:
+        break;
+    }
+    return inner_->send(frame);
+  }
+
+  Result<ser::Bytes> receive(double timeout_s) override {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_s < 0 ? 0.0 : timeout_s);
+    for (;;) {
+      if (broken_.load()) return unavailable("chaos: injected disconnect");
+      double remaining = timeout_s;
+      if (timeout_s >= 0) {
+        remaining = std::chrono::duration<double>(deadline - std::chrono::steady_clock::now())
+                        .count();
+        if (remaining <= 0) return deadline_exceeded("chaos: receive timeout");
+      }
+      IPA_ASSIGN_OR_RETURN(ser::Bytes frame, inner_->receive(remaining));
+      switch (stream_.next(/*is_send=*/false)) {
+        case Fault::kDisconnect:
+          break_connection();
+          return unavailable("chaos: injected disconnect");
+        case Fault::kDrop:
+          IPA_LOG(trace) << "chaos: swallowing received frame from " << inner_->peer();
+          continue;  // as if it never arrived
+        case Fault::kTruncate:
+          return prefix_of(frame);
+        case Fault::kDelay:
+          std::this_thread::sleep_for(std::chrono::duration<double>(policy_.delay_s));
+          return frame;
+        case Fault::kNone:
+          break;
+      }
+      return frame;
+    }
+  }
+
+  void close() override { inner_->close(); }
+
+  std::string peer() const override { return "chaos:" + inner_->peer(); }
+
+ private:
+  static ser::Bytes prefix_of(const ser::Bytes& frame) {
+    return ser::Bytes(frame.begin(), frame.begin() + static_cast<long>(frame.size() / 2));
+  }
+
+  void break_connection() {
+    broken_.store(true);
+    inner_->close();
+  }
+
+  ConnectionPtr inner_;
+  FaultPolicy policy_;
+  FaultStream stream_;
+  std::atomic<bool> broken_{false};
+};
+
+/// Listener that re-brands the bound endpoint as chaos so every dialer
+/// inherits the fault policy. Accepted connections are returned unwrapped:
+/// faults are injected on the dialing side only, so each logical link has
+/// exactly one schedule.
+class FaultListener final : public Listener {
+ public:
+  FaultListener(ListenerPtr inner, Uri chaos_endpoint)
+      : inner_(std::move(inner)), endpoint_(std::move(chaos_endpoint)) {}
+
+  Result<ConnectionPtr> accept(double timeout_s) override { return inner_->accept(timeout_s); }
+  void close() override { inner_->close(); }
+  Uri endpoint() const override { return endpoint_; }
+
+ private:
+  ListenerPtr inner_;
+  Uri endpoint_;
+};
+
+Result<double> parse_prob(const Uri& endpoint, const char* key) {
+  const std::string text = endpoint.query_or(key);
+  if (text.empty()) return 0.0;
+  double value = 0;
+  if (!strings::parse_f64(text, value) || value < 0 || value > 1) {
+    return invalid_argument(std::string("chaos: bad probability '") + key + "=" + text + "'");
+  }
+  return value;
+}
+
+Result<std::uint64_t> parse_count(const Uri& endpoint, const char* key) {
+  const std::string text = endpoint.query_or(key);
+  if (text.empty()) return std::uint64_t{0};
+  std::uint64_t value = 0;
+  if (!strings::parse_u64(text, value)) {
+    return invalid_argument(std::string("chaos: bad count '") + key + "=" + text + "'");
+  }
+  return value;
+}
+
+Uri strip_chaos(const Uri& endpoint) {
+  Uri inner = endpoint;
+  inner.scheme = endpoint.scheme.substr(kChaosPrefix.size());
+  inner.query.clear();  // policy parameters are not the inner transport's business
+  return inner;
+}
+
+}  // namespace
+
+std::string_view to_string(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kDrop: return "drop";
+    case Fault::kDelay: return "delay";
+    case Fault::kTruncate: return "truncate";
+    case Fault::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+Result<FaultPolicy> FaultPolicy::from_uri(const Uri& endpoint) {
+  FaultPolicy policy;
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t seed, parse_count(endpoint, "seed"));
+  if (seed != 0) policy.seed = seed;
+  IPA_ASSIGN_OR_RETURN(policy.disconnect_prob, parse_prob(endpoint, "disconnect"));
+  IPA_ASSIGN_OR_RETURN(policy.drop_prob, parse_prob(endpoint, "drop"));
+  IPA_ASSIGN_OR_RETURN(policy.truncate_prob, parse_prob(endpoint, "truncate"));
+  IPA_ASSIGN_OR_RETURN(policy.delay_prob, parse_prob(endpoint, "delay_p"));
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t delay_ms, parse_count(endpoint, "delay_ms"));
+  if (delay_ms != 0) policy.delay_s = static_cast<double>(delay_ms) / 1000.0;
+  IPA_ASSIGN_OR_RETURN(policy.disconnect_after_frames,
+                       parse_count(endpoint, "disconnect_after"));
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t fail_first, parse_count(endpoint, "fail_first"));
+  policy.fail_first_connections = static_cast<int>(fail_first);
+  return policy;
+}
+
+Result<ListenerPtr> FaultInjectingTransport::listen(const Uri& endpoint) {
+  IPA_RETURN_IF_ERROR(FaultPolicy::from_uri(endpoint).status());  // reject bad policy early
+  IPA_ASSIGN_OR_RETURN(ListenerPtr inner, inner_.listen(strip_chaos(endpoint)));
+  Uri bound = inner->endpoint();
+  bound.scheme = endpoint.scheme;
+  bound.query = endpoint.query;  // dialers must inherit the policy
+  return ListenerPtr(new FaultListener(std::move(inner), std::move(bound)));
+}
+
+Result<ConnectionPtr> FaultInjectingTransport::connect(const Uri& endpoint, double timeout_s) {
+  IPA_ASSIGN_OR_RETURN(const FaultPolicy policy, FaultPolicy::from_uri(endpoint));
+  IPA_ASSIGN_OR_RETURN(ConnectionPtr inner, inner_.connect(strip_chaos(endpoint), timeout_s));
+  const std::uint64_t ordinal = next_ordinal(endpoint.to_string());
+  return ConnectionPtr(new FaultConnection(std::move(inner), policy, ordinal));
+}
+
+ConnectionPtr wrap_with_faults(ConnectionPtr inner, const FaultPolicy& policy,
+                               std::uint64_t ordinal) {
+  return ConnectionPtr(new FaultConnection(std::move(inner), policy, ordinal));
+}
+
+std::vector<Fault> preview_schedule(const FaultPolicy& policy, std::uint64_t ordinal,
+                                    std::size_t n) {
+  FaultStream stream(policy, ordinal);
+  std::vector<Fault> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(stream.next(/*is_send=*/true));
+  return out;
+}
+
+bool is_chaos_scheme(std::string_view scheme) {
+  if (!strings::starts_with(scheme, kChaosPrefix)) return false;
+  const std::string_view inner = scheme.substr(kChaosPrefix.size());
+  return inner == "inproc" || inner == "tcp";
+}
+
+}  // namespace ipa::net

@@ -6,6 +6,7 @@
 
 #include "common/ids.hpp"
 #include "common/mpmc_queue.hpp"
+#include "net/fault.hpp"
 #include "net/transport.hpp"
 
 namespace ipa::net {
@@ -151,15 +152,34 @@ Transport& inproc_transport() {
   return transport;
 }
 
+namespace {
+
+/// chaos+inproc / chaos+tcp share one decorator instance per inner scheme.
+Transport* chaos_transport_for(const std::string& scheme) {
+  if (!is_chaos_scheme(scheme)) return nullptr;
+  if (scheme == "chaos+inproc") {
+    static FaultInjectingTransport transport(inproc_transport(), "inproc");
+    return &transport;
+  }
+  static FaultInjectingTransport transport(tcp_transport(), "tcp");
+  return &transport;
+}
+
+}  // namespace
+
 Result<ListenerPtr> listen(const Uri& endpoint) {
   if (endpoint.scheme == "inproc") return inproc_transport().listen(endpoint);
   if (endpoint.scheme == "tcp") return tcp_transport().listen(endpoint);
+  if (Transport* chaos = chaos_transport_for(endpoint.scheme)) return chaos->listen(endpoint);
   return invalid_argument("listen: unsupported scheme '" + endpoint.scheme + "'");
 }
 
 Result<ConnectionPtr> connect(const Uri& endpoint, double timeout_s) {
   if (endpoint.scheme == "inproc") return inproc_transport().connect(endpoint, timeout_s);
   if (endpoint.scheme == "tcp") return tcp_transport().connect(endpoint, timeout_s);
+  if (Transport* chaos = chaos_transport_for(endpoint.scheme)) {
+    return chaos->connect(endpoint, timeout_s);
+  }
   return invalid_argument("connect: unsupported scheme '" + endpoint.scheme + "'");
 }
 

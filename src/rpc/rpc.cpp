@@ -1,5 +1,10 @@
 #include "rpc/rpc.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
 #include "common/log.hpp"
 
 namespace ipa::rpc {
@@ -29,7 +34,24 @@ ser::Bytes encode_ok_response(std::uint64_t call_id, const ser::Bytes& payload) 
 
 }  // namespace
 
-void Service::register_method(std::string method, Method fn) {
+MethodTraits& MethodTraits::instance() {
+  static MethodTraits traits;
+  return traits;
+}
+
+void MethodTraits::mark_idempotent(std::string_view service, std::string_view method) {
+  std::lock_guard lock(mutex_);
+  idempotent_[std::string(service) + "#" + std::string(method)] = true;
+}
+
+bool MethodTraits::is_idempotent(std::string_view service, std::string_view method) const {
+  std::lock_guard lock(mutex_);
+  const auto it = idempotent_.find(std::string(service) + "#" + std::string(method));
+  return it != idempotent_.end() && it->second;
+}
+
+void Service::register_method(std::string method, Method fn, bool idempotent) {
+  if (idempotent) MethodTraits::instance().mark_idempotent(name_, method);
   methods_.emplace(std::move(method), std::move(fn));
 }
 
@@ -99,6 +121,10 @@ void RpcServer::serve_connection(net::ConnectionPtr conn) {
       break;  // closed or broken
     }
     const ser::Bytes reply = handle_frame(*frame, conn->peer());
+    // An undecodable frame means the stream's integrity is gone (e.g. a
+    // truncated request): drop the connection instead of answering, so the
+    // client classifies it as a transport failure and retries elsewhere.
+    if (reply.empty()) break;
     if (!conn->send(reply).is_ok()) break;
   }
   conn->close();
@@ -110,11 +136,9 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   std::uint64_t call_id = 0;
 
   const auto type = r.u8();
-  if (!type.is_ok() || *type != kRequest) {
-    return encode_error_response(0, data_loss("rpc: expected request frame"));
-  }
+  if (!type.is_ok() || *type != kRequest) return {};  // not a request: close
   const auto id = r.varint();
-  if (!id.is_ok()) return encode_error_response(0, data_loss("rpc: bad call id"));
+  if (!id.is_ok()) return {};  // unreadable call id: close
   call_id = *id;
 
   CallContext ctx;
@@ -126,7 +150,7 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   auto payload = r.bytes();
   if (!service_name.is_ok() || !method.is_ok() || !resource.is_ok() || !auth.is_ok() ||
       !payload.is_ok()) {
-    return encode_error_response(call_id, data_loss("rpc: malformed request"));
+    return {};  // truncated/corrupted request: close
   }
   ctx.service = std::move(*service_name);
   ctx.method = std::move(*method);
@@ -160,48 +184,176 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   return encode_ok_response(call_id, *result);
 }
 
-Result<RpcClient> RpcClient::connect(const Uri& endpoint, double timeout_s) {
+RpcClient::RpcClient(net::ConnectionPtr conn, Uri endpoint, RetryPolicy policy)
+    : endpoint_(std::move(endpoint)),
+      policy_(policy),
+      conn_(std::move(conn)),
+      backoff_rng_(policy.seed) {}
+
+Result<RpcClient> RpcClient::connect(const Uri& endpoint, double timeout_s,
+                                     RetryPolicy policy) {
   IPA_ASSIGN_OR_RETURN(net::ConnectionPtr conn, net::connect(endpoint, timeout_s));
-  return RpcClient(std::move(conn));
+  return RpcClient(std::move(conn), endpoint, policy);
+}
+
+void RpcClient::set_retry_policy(RetryPolicy policy) {
+  std::lock_guard lock(*call_mutex_);
+  policy_ = policy;
+  backoff_rng_.reseed(policy.seed);
+}
+
+RetryStats RpcClient::stats() const {
+  std::lock_guard lock(*call_mutex_);
+  return stats_;
+}
+
+struct RpcClient::CallState {
+  std::uint64_t call_id = 0;
+  double deadline = 0;  // WallClock seconds
+};
+
+Status RpcClient::reconnect_locked(double deadline) {
+  const double remaining = deadline - WallClock::instance().now();
+  if (remaining <= 0) return deadline_exceeded("rpc: deadline exhausted before reconnect");
+  auto conn = net::connect(endpoint_, std::min(remaining, policy_.connect_timeout_s));
+  IPA_RETURN_IF_ERROR(conn.status().with_prefix("rpc: reconnect"));
+  conn_ = std::move(*conn);
+  ++stats_.reconnects;
+  IPA_LOG(debug) << "rpc: reconnected to " << endpoint_.to_string();
+  return Status::ok();
+}
+
+/// One wire round-trip. Sets *transport_failed when the failure came from
+/// the connection (dead link, lost/corrupt frame, attempt timeout) rather
+/// than from the remote method.
+Result<ser::Bytes> RpcClient::attempt_locked(CallState& state, const ser::Bytes& request,
+                                             bool* transport_failed) {
+  *transport_failed = true;  // every early exit below is a transport fault
+  const Status sent = conn_->send(request);
+  if (!sent.is_ok()) return sent;
+
+  for (;;) {
+    double wait = state.deadline - WallClock::instance().now();
+    if (policy_.attempt_timeout_s > 0) wait = std::min(wait, policy_.attempt_timeout_s);
+    if (wait <= 0) return deadline_exceeded("rpc: timed out awaiting response");
+    IPA_ASSIGN_OR_RETURN(const ser::Bytes frame, conn_->receive(wait));
+
+    ser::Reader r(frame);
+    IPA_ASSIGN_OR_RETURN(const std::uint8_t type, r.u8());
+    if (type != 1 /* kResponse */) return data_loss("rpc: expected response frame");
+    IPA_ASSIGN_OR_RETURN(const std::uint64_t reply_id, r.varint());
+    if (reply_id < state.call_id) continue;  // stale response from an abandoned attempt
+    if (reply_id > state.call_id) return data_loss("rpc: response id mismatch");
+    IPA_ASSIGN_OR_RETURN(const std::uint8_t ok, r.u8());
+    if (ok == 1) {
+      IPA_ASSIGN_OR_RETURN(ser::Bytes body, r.bytes());
+      *transport_failed = false;
+      return body;
+    }
+    IPA_ASSIGN_OR_RETURN(const std::uint8_t code, r.u8());
+    IPA_ASSIGN_OR_RETURN(const std::string message, r.string());
+    *transport_failed = false;  // a well-formed remote error is not a link fault
+    if (code == 0 || code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
+      return internal_error("rpc: remote error with invalid code: " + message);
+    }
+    return Status(static_cast<StatusCode>(code), message);
+  }
 }
 
 Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view method,
                                    const ser::Bytes& payload, std::string_view resource,
                                    double timeout_s) {
   std::lock_guard lock(*call_mutex_);
-  if (!conn_) return unavailable("rpc client closed");
-  const std::uint64_t call_id = next_call_id_++;
+  if (closed_) return unavailable("rpc client closed");
 
-  ser::Writer w;
-  w.u8(0 /* kRequest */);
-  w.varint(call_id);
-  w.string(service);
-  w.string(method);
-  w.string(resource);
-  w.string(auth_token_);
-  w.bytes(payload);
-  IPA_RETURN_IF_ERROR(conn_->send(w.data()));
+  const bool idempotent = MethodTraits::instance().is_idempotent(service, method);
+  CallState state;
+  state.deadline = WallClock::instance().now() + timeout_s;
+  double backoff = policy_.initial_backoff_s;
+  Status last_error = Status::ok();
 
-  IPA_ASSIGN_OR_RETURN(const ser::Bytes frame, conn_->receive(timeout_s));
-  ser::Reader r(frame);
-  IPA_ASSIGN_OR_RETURN(const std::uint8_t type, r.u8());
-  if (type != 1 /* kResponse */) return data_loss("rpc: expected response frame");
-  IPA_ASSIGN_OR_RETURN(const std::uint64_t reply_id, r.varint());
-  if (reply_id != call_id) return data_loss("rpc: response id mismatch");
-  IPA_ASSIGN_OR_RETURN(const std::uint8_t ok, r.u8());
-  if (ok == 1) {
-    IPA_ASSIGN_OR_RETURN(ser::Bytes body, r.bytes());
-    return body;
+  for (int attempt = 1;; ++attempt) {
+    // (Re)establish the link first; this is safe for any method because no
+    // request has been sent on the fresh connection yet.
+    if (!conn_) {
+      const Status reconnected =
+          policy_.reconnect ? reconnect_locked(state.deadline)
+                            : unavailable("rpc: connection lost and reconnect disabled");
+      if (!reconnected.is_ok()) {
+        last_error = reconnected;
+      }
+    }
+
+    if (conn_) {
+      state.call_id = next_call_id_++;
+      ser::Writer w;
+      w.u8(0 /* kRequest */);
+      w.varint(state.call_id);
+      w.string(service);
+      w.string(method);
+      w.string(resource);
+      w.string(auth_token_);
+      w.bytes(payload);
+
+      ++stats_.attempts;
+      if (attempt > 1) ++stats_.retries;
+      bool transport_failed = false;
+      auto result = attempt_locked(state, std::move(w).take(), &transport_failed);
+      if (!transport_failed) return result;  // success or a genuine remote error
+
+      last_error = result.status();
+      // The link is suspect: drop it so no stale response can ever be
+      // matched to a future call id.
+      if (conn_) conn_->close();
+      conn_.reset();
+
+      if (!idempotent) {
+        // Fail fast: the request may have reached the server, so replaying
+        // it is not safe. The next call will reconnect lazily.
+        if (last_error.code() == StatusCode::kDeadlineExceeded) return last_error;
+        return unavailable("rpc: " + std::string(service) + "." + std::string(method) +
+                           " transport failure (not retried): " + last_error.message());
+      }
+    }
+
+    if (attempt >= policy_.max_attempts) {
+      ++stats_.giveups;
+      return last_error.with_prefix("rpc: giving up after " + std::to_string(attempt) +
+                                    " attempts");
+    }
+    const double now = WallClock::instance().now();
+    if (now >= state.deadline) {
+      ++stats_.giveups;
+      return deadline_exceeded("rpc: deadline exceeded after " + std::to_string(attempt) +
+                               " attempts: " + last_error.message());
+    }
+    // Exponential backoff with deterministic jitter, clipped to the deadline.
+    const double jitter = 1.0 + policy_.jitter * (2.0 * backoff_rng_.uniform() - 1.0);
+    double sleep_s = std::min(backoff * jitter, policy_.max_backoff_s);
+    backoff *= policy_.backoff_multiplier;
+    if (now + sleep_s >= state.deadline) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(state.deadline - now));
+      stats_.backoff_total_s += state.deadline - now;
+      ++stats_.giveups;
+      return deadline_exceeded("rpc: deadline expired during backoff: " +
+                               last_error.message());
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    stats_.backoff_total_s += sleep_s;
   }
-  IPA_ASSIGN_OR_RETURN(const std::uint8_t code, r.u8());
-  IPA_ASSIGN_OR_RETURN(const std::string message, r.string());
-  if (code == 0 || code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
-    return internal_error("rpc: remote error with invalid code: " + message);
-  }
-  return Status(static_cast<StatusCode>(code), message);
 }
 
 void RpcClient::close() {
+  std::lock_guard lock(*call_mutex_);
+  closed_ = true;
+  if (conn_) {
+    conn_->close();
+    conn_.reset();
+  }
+}
+
+void RpcClient::drop_connection() {
+  std::lock_guard lock(*call_mutex_);
   if (conn_) {
     conn_->close();
     conn_.reset();

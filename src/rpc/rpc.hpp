@@ -25,11 +25,28 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "net/transport.hpp"
 #include "serialize/serialize.hpp"
 
 namespace ipa::rpc {
+
+/// Process-global idempotency declarations: method tables declare which
+/// calls are safe to retry after a transport failure, and RpcClient
+/// consults the same table before retrying. Registering a method via
+/// Service::register_method(..., idempotent=true) populates it.
+class MethodTraits {
+ public:
+  static MethodTraits& instance();
+
+  void mark_idempotent(std::string_view service, std::string_view method);
+  bool is_idempotent(std::string_view service, std::string_view method) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, bool, std::less<>> idempotent_;  // "Service#method"
+};
 
 /// Per-call server-side context.
 struct CallContext {
@@ -55,7 +72,9 @@ class Service {
   const std::string& name() const { return name_; }
   bool require_auth() const { return require_auth_; }
 
-  void register_method(std::string method, Method fn);
+  /// `idempotent` marks the method safe for client-side retry (recorded in
+  /// the process-global MethodTraits table).
+  void register_method(std::string method, Method fn, bool idempotent = false);
   Result<ser::Bytes> dispatch(const CallContext& ctx, const ser::Bytes& payload) const;
 
  private:
@@ -92,6 +111,8 @@ class RpcServer {
  private:
   void accept_loop();
   void serve_connection(net::ConnectionPtr conn);
+  /// Decode + dispatch one request frame. An empty result means the frame
+  /// was undecodable and the connection must be dropped.
   ser::Bytes handle_frame(const ser::Bytes& frame, const std::string& peer);
 
   Uri requested_;
@@ -105,17 +126,49 @@ class RpcServer {
   std::atomic<std::size_t> active_{0};
 };
 
+/// Client-side retry behaviour. Retries apply only to methods declared
+/// idempotent in MethodTraits; everything else fails fast on transport
+/// errors (but still reconnects lazily before the next call).
+struct RetryPolicy {
+  int max_attempts = 4;            // total attempts, including the first
+  double initial_backoff_s = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 0.25;
+  double jitter = 0.2;             // backoff scaled by 1 +/- jitter
+  std::uint64_t seed = Rng::kDefaultSeed;  // deterministic jitter stream
+  /// Cap on one attempt's receive wait (0 = the call's full deadline). Set
+  /// this when responses can be lost in flight: a dropped response then
+  /// costs one attempt, not the whole deadline.
+  double attempt_timeout_s = 0.0;
+  double connect_timeout_s = 5.0;
+  bool reconnect = true;           // re-dial the endpoint on kUnavailable
+};
+
+/// Observable retry behaviour, for callers that distinguish slow from
+/// broken ("surfacing retry state", paper §3.4's interactive ethos).
+struct RetryStats {
+  std::uint64_t attempts = 0;    // call attempts that reached the wire
+  std::uint64_t retries = 0;     // attempts after the first, per call
+  std::uint64_t reconnects = 0;  // successful re-dials
+  std::uint64_t giveups = 0;     // calls that exhausted attempts/deadline
+  double backoff_total_s = 0.0;  // time spent sleeping between attempts
+};
+
 /// Synchronous RPC client. Thread-safe: calls are serialized on the single
-/// underlying connection.
+/// underlying connection. On transport failure the client reconnects and,
+/// for idempotent methods, retries with exponential backoff and jitter;
+/// the per-call deadline spans all attempts, reconnects and backoff.
 class RpcClient {
  public:
-  static Result<RpcClient> connect(const Uri& endpoint, double timeout_s = 5.0);
+  static Result<RpcClient> connect(const Uri& endpoint, double timeout_s = 5.0,
+                                   RetryPolicy policy = {});
 
   RpcClient(RpcClient&&) = default;
   RpcClient& operator=(RpcClient&&) = default;
 
   /// Invoke service.method; the error Status of a remote failure carries the
-  /// remote code and message.
+  /// remote code and message. `timeout_s` is the call's total deadline: it
+  /// survives reconnects and bounds every backoff sleep.
   Result<ser::Bytes> call(std::string_view service, std::string_view method,
                           const ser::Bytes& payload, std::string_view resource = "",
                           double timeout_s = 30.0);
@@ -123,15 +176,35 @@ class RpcClient {
   void set_auth_token(std::string token) { auth_token_ = std::move(token); }
   const std::string& auth_token() const { return auth_token_; }
 
+  void set_retry_policy(RetryPolicy policy);
+  const RetryPolicy& retry_policy() const { return policy_; }
+  RetryStats stats() const;
+
+  /// Permanently close: further calls fail with kUnavailable.
   void close();
 
- private:
-  explicit RpcClient(net::ConnectionPtr conn) : conn_(std::move(conn)) {}
+  /// Sever the current connection but keep the client usable: the next
+  /// call re-dials the endpoint (chaos hook and reconnect test aid).
+  void drop_connection();
 
+ private:
+  RpcClient(net::ConnectionPtr conn, Uri endpoint, RetryPolicy policy);
+
+  struct CallState;  // per-call bookkeeping shared by the helpers below
+
+  Status reconnect_locked(double deadline);
+  Result<ser::Bytes> attempt_locked(CallState& state, const ser::Bytes& request,
+                                    bool* transport_failed);
+
+  Uri endpoint_;
+  RetryPolicy policy_;
   net::ConnectionPtr conn_;
   std::unique_ptr<std::mutex> call_mutex_ = std::make_unique<std::mutex>();
   std::string auth_token_;
   std::uint64_t next_call_id_ = 1;
+  Rng backoff_rng_{Rng::kDefaultSeed};
+  RetryStats stats_;
+  bool closed_ = false;
 };
 
 /// WSRF-style resource set: stateful instances of a web service, addressed

@@ -1,5 +1,8 @@
 #include "services/aida_manager.hpp"
 
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
 namespace ipa::services {
 
 Status AidaManager::open_session(const std::string& session_id) {
@@ -30,8 +33,64 @@ Status AidaManager::push(const PushRequest& request) {
   IPA_RETURN_IF_ERROR(tree.status().with_prefix("aida manager: bad snapshot"));
   it->second.engine_snapshots[request.report.engine_id] = request.snapshot;
   it->second.reports[request.report.engine_id] = request.report;
+  auto& health = it->second.health[request.report.engine_id];
+  health.last_seen = WallClock::instance().now();
+  health.lost = false;  // a resurrected engine counts as alive again
   ++it->second.version;
   return Status::ok();
+}
+
+void AidaManager::heartbeat(const std::string& session_id, const std::string& engine_id) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  auto& health = it->second.health[engine_id];
+  health.last_seen = WallClock::instance().now();
+  health.lost = false;
+}
+
+std::vector<std::string> AidaManager::stale_engines(const std::string& session_id,
+                                                    double timeout_s) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> stale;
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return stale;
+  const double now = WallClock::instance().now();
+  for (const auto& [engine_id, health] : it->second.health) {
+    if (health.lost || now - health.last_seen < timeout_s) continue;
+    const auto report = it->second.reports.find(engine_id);
+    if (report != it->second.reports.end() &&
+        (report->second.state == engine::EngineState::kFinished ||
+         report->second.state == engine::EngineState::kFailed)) {
+      continue;  // done engines are allowed to go quiet
+    }
+    stale.push_back(engine_id);
+  }
+  return stale;
+}
+
+void AidaManager::mark_engine_lost(const std::string& session_id,
+                                   const std::string& engine_id,
+                                   const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  it->second.health[engine_id].lost = true;
+  EngineReport& report = it->second.reports[engine_id];  // may fabricate one
+  report.engine_id = engine_id;
+  report.lost = true;
+  if (report.error.empty()) report.error = reason;
+  ++it->second.version;  // pollers must observe the degradation
+  IPA_LOG(warn) << "aida manager: engine " << engine_id << " lost in session "
+                << session_id << ": " << reason;
+}
+
+void AidaManager::forget_engine(const std::string& session_id,
+                                const std::string& engine_id) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  it->second.health.erase(engine_id);
 }
 
 Result<ser::Bytes> AidaManager::merge_session(const SessionMerge& session) const {

@@ -41,6 +41,24 @@ class AidaManager {
   /// Drop all engine contributions for a session (rewind support).
   Status reset_session(const std::string& session_id);
 
+  /// Liveness: record that `engine_id` was heard from (ready, heartbeat or
+  /// push). Unknown sessions are ignored — heartbeats race session close.
+  void heartbeat(const std::string& session_id, const std::string& engine_id);
+
+  /// Engines that were heard from but have been silent for `timeout_s`
+  /// seconds. Skips engines already finished, failed or marked lost.
+  std::vector<std::string> stale_engines(const std::string& session_id,
+                                         double timeout_s) const;
+
+  /// Degrade: keep the engine's last snapshot in the merge but flag its
+  /// report lost/failed so pollers can tell the result is partial.
+  void mark_engine_lost(const std::string& session_id, const std::string& engine_id,
+                        const std::string& reason);
+
+  /// Forget liveness state for an engine (restart: the replacement starts
+  /// with a fresh heartbeat clock).
+  void forget_engine(const std::string& session_id, const std::string& engine_id);
+
   std::size_t session_count() const;
 
   /// Number of pairwise tree merges performed since construction — the
@@ -48,9 +66,15 @@ class AidaManager {
   std::uint64_t merges_performed() const { return merges_; }
 
  private:
+  struct EngineHealth {
+    double last_seen = 0;  // WallClock seconds of the last ready/push/heartbeat
+    bool lost = false;
+  };
+
   struct SessionMerge {
     std::map<std::string, ser::Bytes> engine_snapshots;  // engine id -> latest
     std::map<std::string, EngineReport> reports;
+    std::map<std::string, EngineHealth> health;
     std::uint64_t version = 0;
     // Cached merged tree, rebuilt lazily on poll after a push.
     mutable ser::Bytes merged_cache;

@@ -1,22 +1,33 @@
 #include "services/manager.hpp"
 
+#include <chrono>
+
 #include "common/ids.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
 namespace ipa::services {
 
-Result<std::vector<std::unique_ptr<EngineHandle>>> LocalComputeElement::start_engines(
+Result<std::vector<std::unique_ptr<EngineHandle>>> ComputeElement::start_engines(
     const std::string& session_id, int count, const Uri& manager_rpc_endpoint) {
   std::vector<std::unique_ptr<EngineHandle>> engines;
   engines.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     const std::string engine_id = session_id + "-eng" + std::to_string(i);
-    auto host = WorkerHost::start(session_id, engine_id, manager_rpc_endpoint, config_);
-    IPA_RETURN_IF_ERROR(host.status());
-    engines.push_back(std::move(*host));
+    IPA_ASSIGN_OR_RETURN(auto engine,
+                         start_engine(session_id, engine_id, manager_rpc_endpoint));
+    engines.push_back(std::move(engine));
   }
   return engines;
+}
+
+Result<std::unique_ptr<EngineHandle>> LocalComputeElement::start_engine(
+    const std::string& session_id, const std::string& engine_id,
+    const Uri& manager_rpc_endpoint) {
+  auto host = WorkerHost::start(session_id, engine_id, manager_rpc_endpoint, config_,
+                                heartbeat_interval_s_);
+  IPA_RETURN_IF_ERROR(host.status());
+  return std::unique_ptr<EngineHandle>(std::move(*host));
 }
 
 namespace {
@@ -36,7 +47,8 @@ ManagerNode::ManagerNode(ManagerConfig config)
       authority_("ipa-vo", config_.vo_secret),
       splitter_(config_.staging_dir),
       aida_(config_.merge_fan_in),
-      compute_(std::make_unique<LocalComputeElement>(config_.engine_config)) {}
+      compute_(std::make_unique<LocalComputeElement>(config_.engine_config,
+                                                     config_.heartbeat_interval_s)) {}
 
 ManagerNode::~ManagerNode() { stop(); }
 
@@ -74,12 +86,20 @@ Status ManagerNode::initialize() {
   });
   register_soap_operations();
   IPA_RETURN_IF_ERROR(soap_->start().status());
+
+  if (config_.monitor_interval_s > 0) {
+    monitor_ = std::jthread([this](std::stop_token stop) { monitor_loop(stop); });
+  }
   IPA_LOG(info) << "IPA manager up: soap=" << soap_->endpoint().to_string()
                 << " rpc=" << rpc_bound_.to_string();
   return Status::ok();
 }
 
 void ManagerNode::stop() {
+  // The monitor goes first: a restart in flight must not race the session
+  // teardown below.
+  monitor_.request_stop();
+  if (monitor_.joinable()) monitor_.join();
   // Close all sessions first so worker hosts disconnect before servers die.
   for (const std::string& id : sessions_.ids()) {
     if (auto session = sessions_.find(id); session.is_ok()) {
@@ -118,6 +138,89 @@ void ManagerNode::set_compute_element(std::unique_ptr<ComputeElement> element) {
 
 std::size_t ManagerNode::active_sessions() const { return sessions_.size(); }
 
+Status ManagerNode::kill_engine(const std::string& session_id,
+                                const std::string& engine_id) {
+  IPA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, sessions_.find(session_id));
+  return session->kill_engine(engine_id);
+}
+
+// ---------------------------------------------------------------------------
+// Dead-engine detection and recovery
+// ---------------------------------------------------------------------------
+
+void ManagerNode::monitor_loop(std::stop_token stop) {
+  const auto slice = std::chrono::milliseconds(5);
+  while (!stop.stop_requested()) {
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(config_.monitor_interval_s));
+    while (!stop.stop_requested() && std::chrono::steady_clock::now() < wake) {
+      std::this_thread::sleep_for(slice);
+    }
+    if (stop.stop_requested()) return;
+    for (const std::string& session_id : sessions_.ids()) {
+      auto session = sessions_.find(session_id);
+      if (!session.is_ok()) continue;
+      for (const std::string& engine_id :
+           aida_.stale_engines(session_id, config_.heartbeat_timeout_s)) {
+        handle_dead_engine(*session, engine_id);
+      }
+    }
+  }
+}
+
+/// Replace a dead engine: start a fresh one on the compute element, replay
+/// the session's staging (dataset part, code, last control verb) and swap
+/// it into the seat. Runs without the session lock — the new engine's
+/// ready signal re-enters the manager.
+Status ManagerNode::restart_engine(const std::shared_ptr<Session>& session,
+                                   const std::string& engine_id,
+                                   const Session::RestartPlan& plan) {
+  ComputeElement* compute;
+  {
+    std::lock_guard lock(mutex_);
+    compute = compute_.get();
+  }
+  IPA_ASSIGN_OR_RETURN(std::unique_ptr<EngineHandle> handle,
+                       compute->start_engine(session->id(), engine_id, rpc_bound_));
+  if (!plan.part_path.empty()) {
+    IPA_RETURN_IF_ERROR(handle->stage_dataset(plan.part_path).with_prefix("restart"));
+  }
+  if (plan.code) {
+    IPA_RETURN_IF_ERROR(handle->stage_code(*plan.code).with_prefix("restart"));
+  }
+  if (plan.verb) {
+    IPA_RETURN_IF_ERROR(
+        handle->control(*plan.verb, plan.verb_records).with_prefix("restart"));
+  }
+  return session->complete_restart(engine_id, std::move(handle));
+}
+
+void ManagerNode::handle_dead_engine(const std::shared_ptr<Session>& session,
+                                     const std::string& engine_id) {
+  IPA_LOG(warn) << "manager: engine " << engine_id << " in session " << session->id()
+                << " missed heartbeats";
+  std::string reason = "heartbeat timeout";
+  if (config_.restart_lost_engines) {
+    auto plan = session->begin_restart(engine_id, config_.max_engine_restarts);
+    if (plan.is_ok()) {
+      // Fresh liveness clock for the replacement.
+      aida_.forget_engine(session->id(), engine_id);
+      const Status restarted = restart_engine(session, engine_id, *plan);
+      if (restarted.is_ok()) return;
+      reason = "restart failed: " + restarted.message();
+    } else if (plan.status().code() == StatusCode::kFailedPrecondition) {
+      return;  // already lost, closed, or a restart is in flight
+    } else {
+      reason = plan.status().message();
+    }
+  }
+  // Degrade: the session carries on with the surviving engines and the
+  // merge keeps the dead engine's last snapshot, flagged partial.
+  session->mark_engine_lost(engine_id, reason);
+  aida_.mark_engine_lost(session->id(), engine_id, reason);
+}
+
 // ---------------------------------------------------------------------------
 // RPC services (the "RMI" side)
 // ---------------------------------------------------------------------------
@@ -125,29 +228,44 @@ std::size_t ManagerNode::active_sessions() const { return sessions_.size(); }
 void ManagerNode::register_rpc_services() {
   auto registry = std::make_shared<rpc::Service>(kWorkerRegistryService);
   registry->register_method(
-      "ready", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+      "ready",
+      [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
         IPA_ASSIGN_OR_RETURN(const auto ready, decode_ready(payload));
         auto session = sessions_.find(ready.first);
         IPA_RETURN_IF_ERROR(session.status());
         (*session)->mark_ready(ready.second);
+        aida_.heartbeat(ready.first, ready.second);  // alive from the start
         return ser::Bytes{};
-      });
+      },
+      /*idempotent=*/true);
+  registry->register_method(
+      "heartbeat",
+      [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+        IPA_ASSIGN_OR_RETURN(const auto beat, decode_ready(payload));
+        aida_.heartbeat(beat.first, beat.second);
+        return ser::Bytes{};
+      },
+      /*idempotent=*/true);
   rpc_->add_service(std::move(registry));
 
   auto aida = std::make_shared<rpc::Service>(kAidaManagerService);
   aida->register_method(
-      "push", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+      "push",
+      [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
         IPA_ASSIGN_OR_RETURN(const PushRequest request, decode_push(payload));
         IPA_RETURN_IF_ERROR(aida_.push(request));
         return ser::Bytes{};
-      });
+      },
+      /*idempotent=*/true);
   aida->register_method(
-      "poll", [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
+      "poll",
+      [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
         IPA_ASSIGN_OR_RETURN(const auto request, decode_poll_request(payload));
         IPA_ASSIGN_OR_RETURN(const PollResponse response,
                              aida_.poll(request.first, request.second));
         return encode_poll_response(response);
-      });
+      },
+      /*idempotent=*/true);
   rpc_->add_service(std::move(aida));
 }
 
@@ -307,6 +425,7 @@ Result<xml::Node> ManagerNode::op_status(const soap::SoapContext& ctx, const xml
   xml::Node reply("ipa:statusResponse");
   reply.add_child(text_element("state", std::string(to_string(session->state()))));
   reply.add_child(text_element("dataset", session->dataset_id()));
+  reply.add_child(text_element("degraded", session->degraded() ? "true" : "false"));
   xml::Node engines("engines");
   for (const EngineReport& report : session->reports()) {
     xml::Node engine("engine");
@@ -314,6 +433,7 @@ Result<xml::Node> ManagerNode::op_status(const soap::SoapContext& ctx, const xml
     engine.set_attribute("state", engine_state_name(report.state));
     engine.set_attribute("processed", std::to_string(report.processed));
     engine.set_attribute("total", std::to_string(report.total));
+    if (report.lost) engine.set_attribute("lost", "true");
     if (!report.error.empty()) engine.set_attribute("error", report.error);
     engines.add_child(std::move(engine));
   }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "catalog/catalog.hpp"
 #include "common/config.hpp"
@@ -32,18 +33,31 @@ namespace ipa::services {
 class ComputeElement {
  public:
   virtual ~ComputeElement() = default;
+
+  /// Start a single engine — also the restart path when the heartbeat
+  /// monitor replaces a dead engine on a surviving compute slot.
+  virtual Result<std::unique_ptr<EngineHandle>> start_engine(
+      const std::string& session_id, const std::string& engine_id,
+      const Uri& manager_rpc_endpoint) = 0;
+
+  /// Start `count` engines with ids "<session>-eng<i>". The default loops
+  /// over start_engine.
   virtual Result<std::vector<std::unique_ptr<EngineHandle>>> start_engines(
-      const std::string& session_id, int count, const Uri& manager_rpc_endpoint) = 0;
+      const std::string& session_id, int count, const Uri& manager_rpc_endpoint);
 };
 
 class LocalComputeElement final : public ComputeElement {
  public:
-  explicit LocalComputeElement(engine::EngineConfig config = {}) : config_(config) {}
-  Result<std::vector<std::unique_ptr<EngineHandle>>> start_engines(
-      const std::string& session_id, int count, const Uri& manager_rpc_endpoint) override;
+  explicit LocalComputeElement(engine::EngineConfig config = {},
+                               double heartbeat_interval_s = 0.05)
+      : config_(config), heartbeat_interval_s_(heartbeat_interval_s) {}
+  Result<std::unique_ptr<EngineHandle>> start_engine(
+      const std::string& session_id, const std::string& engine_id,
+      const Uri& manager_rpc_endpoint) override;
 
  private:
   engine::EngineConfig config_;
+  double heartbeat_interval_s_;
 };
 
 struct ManagerConfig {
@@ -61,6 +75,17 @@ struct ManagerConfig {
   /// AidaManager merge fan-in (0 = single level).
   std::size_t merge_fan_in = 0;
   engine::EngineConfig engine_config;
+  /// How often worker hosts heartbeat the registry (<= 0 disables).
+  double heartbeat_interval_s = 0.05;
+  /// An engine silent for this long is treated as dead.
+  double heartbeat_timeout_s = 1.0;
+  /// Dead-engine scan period (<= 0 disables the monitor thread).
+  double monitor_interval_s = 0.25;
+  /// Restarts allowed per engine before it is given up as lost.
+  int max_engine_restarts = 1;
+  /// false = skip restarts entirely: dead engines degrade the merge to a
+  /// partial result immediately.
+  bool restart_lost_engines = true;
 };
 
 class ManagerNode {
@@ -91,12 +116,21 @@ class ManagerNode {
 
   std::size_t active_sessions() const;
 
+  /// Chaos hook: abruptly destroy a session's engine, as if its grid node
+  /// died. The heartbeat monitor then restarts or degrades it.
+  Status kill_engine(const std::string& session_id, const std::string& engine_id);
+
  private:
   explicit ManagerNode(ManagerConfig config);
 
   Status initialize();
   void register_soap_operations();
   void register_rpc_services();
+  void monitor_loop(std::stop_token stop);
+  void handle_dead_engine(const std::shared_ptr<Session>& session,
+                          const std::string& engine_id);
+  Status restart_engine(const std::shared_ptr<Session>& session,
+                        const std::string& engine_id, const Session::RestartPlan& plan);
 
   // SOAP operation bodies.
   Result<xml::Node> op_create_session(const soap::SoapContext& ctx, const xml::Node& args);
@@ -127,6 +161,7 @@ class ManagerNode {
 
   rpc::ResourceSet<Session> sessions_;
   mutable std::mutex mutex_;
+  std::jthread monitor_;
 };
 
 }  // namespace ipa::services

@@ -1,5 +1,7 @@
 #include "services/protocol.hpp"
 
+#include "rpc/rpc.hpp"
+
 namespace ipa::services {
 
 void encode_report(ser::Writer& w, const EngineReport& report) {
@@ -8,6 +10,7 @@ void encode_report(ser::Writer& w, const EngineReport& report) {
   w.varint(report.processed);
   w.varint(report.total);
   w.string(report.error);
+  w.boolean(report.lost);
 }
 
 Result<EngineReport> decode_report(ser::Reader& r) {
@@ -21,6 +24,7 @@ Result<EngineReport> decode_report(ser::Reader& r) {
   IPA_ASSIGN_OR_RETURN(report.processed, r.varint());
   IPA_ASSIGN_OR_RETURN(report.total, r.varint());
   IPA_ASSIGN_OR_RETURN(report.error, r.string());
+  IPA_ASSIGN_OR_RETURN(report.lost, r.boolean());
   return report;
 }
 
@@ -97,6 +101,18 @@ Result<std::pair<std::string, std::string>> decode_ready(const ser::Bytes& paylo
   IPA_ASSIGN_OR_RETURN(std::string session_id, r.string());
   IPA_ASSIGN_OR_RETURN(std::string engine_id, r.string());
   return std::make_pair(std::move(session_id), std::move(engine_id));
+}
+
+void register_idempotent_methods() {
+  static const bool once = [] {
+    auto& traits = rpc::MethodTraits::instance();
+    traits.mark_idempotent(kAidaManagerService, "push");
+    traits.mark_idempotent(kAidaManagerService, "poll");
+    traits.mark_idempotent(kWorkerRegistryService, "ready");
+    traits.mark_idempotent(kWorkerRegistryService, "heartbeat");
+    return true;
+  }();
+  (void)once;
 }
 
 Result<ControlVerb> parse_verb(std::string_view text) {

@@ -29,13 +29,16 @@ inline constexpr const char* kLocatorService = "Locator";
 inline constexpr const char* kAidaManagerService = "AidaManager";
 inline constexpr const char* kWorkerRegistryService = "WorkerRegistry";
 
-/// Engine-side view of its own progress, as reported to the manager.
+/// Engine-side view of its own progress, as reported to the manager. The
+/// manager sets `lost` when the engine stopped heartbeating and could not
+/// be restarted: its last snapshot stays in the merge, flagged partial.
 struct EngineReport {
   std::string engine_id;
   engine::EngineState state = engine::EngineState::kIdle;
   std::uint64_t processed = 0;
   std::uint64_t total = 0;
   std::string error;
+  bool lost = false;
 };
 
 void encode_report(ser::Writer& w, const EngineReport& report);
@@ -64,9 +67,16 @@ Result<std::pair<std::string, std::uint64_t>> decode_poll_request(const ser::Byt
 ser::Bytes encode_poll_response(const PollResponse& response);
 Result<PollResponse> decode_poll_response(const ser::Bytes& payload);
 
-/// WorkerRegistry.ready payload.
+/// WorkerRegistry.ready payload; WorkerRegistry.heartbeat reuses the same
+/// {session, engine} shape.
 ser::Bytes encode_ready(const std::string& session_id, const std::string& engine_id);
 Result<std::pair<std::string, std::string>> decode_ready(const ser::Bytes& payload);
+
+/// Declare the retry-safe RPC methods (AidaManager.push/poll, WorkerRegistry
+/// ready/heartbeat) in rpc::MethodTraits. Idempotent runtime side effects:
+/// push merges latest-wins, poll is a read, ready/heartbeat refresh liveness.
+/// Called from every component that dials them; safe to call repeatedly.
+void register_idempotent_methods();
 
 /// Engine control verbs carried by Session.control.
 enum class ControlVerb { kRun, kPause, kStop, kRewind, kRunRecords };

@@ -1,5 +1,7 @@
 #include "services/session.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace ipa::services {
@@ -25,6 +27,20 @@ SessionState Session::state() const {
   return state_;
 }
 
+Session::EngineSeat* Session::find_seat_locked(const std::string& engine_id) {
+  for (std::size_t i = 0; i < seat_ids_.size(); ++i) {
+    if (seat_ids_[i] == engine_id) return &seats_[i];
+  }
+  return nullptr;
+}
+
+const Session::EngineSeat* Session::find_seat_locked(const std::string& engine_id) const {
+  for (std::size_t i = 0; i < seat_ids_.size(); ++i) {
+    if (seat_ids_[i] == engine_id) return &seats_[i];
+  }
+  return nullptr;
+}
+
 Status Session::attach_engines(std::vector<std::unique_ptr<EngineHandle>> engines) {
   std::lock_guard lock(mutex_);
   if (state_ != SessionState::kCreated) {
@@ -39,7 +55,14 @@ Status Session::attach_engines(std::vector<std::unique_ptr<EngineHandle>> engine
                                  "' never signalled ready");
     }
   }
-  engines_ = std::move(engines);
+  seats_.clear();
+  seat_ids_.clear();
+  for (auto& engine : engines) {
+    seat_ids_.push_back(engine->engine_id());
+    EngineSeat seat;
+    seat.handle = std::move(engine);
+    seats_.push_back(std::move(seat));
+  }
   state_ = SessionState::kEnginesReady;
   return Status::ok();
 }
@@ -60,13 +83,15 @@ Status Session::distribute_parts(const data::SplitResult& split) {
     return failed_precondition("session: engines not started yet");
   }
   if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
-  if (split.parts.size() != engines_.size()) {
+  if (split.parts.size() != seats_.size()) {
     return internal_error("session: part count != engine count");
   }
-  for (std::size_t i = 0; i < engines_.size(); ++i) {
-    IPA_RETURN_IF_ERROR(engines_[i]
-                            ->stage_dataset(split.parts[i].path)
-                            .with_prefix("engine " + engines_[i]->engine_id()));
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    seats_[i].part_path = split.parts[i].path;
+    if (!seats_[i].handle) continue;  // lost seat keeps the assignment only
+    IPA_RETURN_IF_ERROR(seats_[i]
+                            .handle->stage_dataset(split.parts[i].path)
+                            .with_prefix("engine " + seat_ids_[i]));
   }
   state_ = SessionState::kDatasetStaged;
   return Status::ok();
@@ -78,9 +103,11 @@ Status Session::stage_code(const engine::CodeBundle& bundle) {
     return failed_precondition("session: engines not started yet");
   }
   if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
-  for (const auto& engine : engines_) {
+  staged_code_ = bundle;
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    if (!seats_[i].handle) continue;
     IPA_RETURN_IF_ERROR(
-        engine->stage_code(bundle).with_prefix("engine " + engine->engine_id()));
+        seats_[i].handle->stage_code(bundle).with_prefix("engine " + seat_ids_[i]));
   }
   return Status::ok();
 }
@@ -90,9 +117,12 @@ Status Session::control(ControlVerb verb, std::uint64_t records) {
   if (state_ != SessionState::kDatasetStaged) {
     return failed_precondition("session: dataset not staged");
   }
-  for (const auto& engine : engines_) {
+  last_verb_ = verb;
+  last_verb_records_ = records;
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    if (!seats_[i].handle) continue;  // lost or mid-restart: degraded fan-out
     IPA_RETURN_IF_ERROR(
-        engine->control(verb, records).with_prefix("engine " + engine->engine_id()));
+        seats_[i].handle->control(verb, records).with_prefix("engine " + seat_ids_[i]));
   }
   return Status::ok();
 }
@@ -100,15 +130,105 @@ Status Session::control(ControlVerb verb, std::uint64_t records) {
 std::vector<EngineReport> Session::reports() const {
   std::lock_guard lock(mutex_);
   std::vector<EngineReport> out;
-  out.reserve(engines_.size());
-  for (const auto& engine : engines_) out.push_back(engine->report());
+  out.reserve(seats_.size());
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    if (seats_[i].handle) {
+      out.push_back(seats_[i].handle->report());
+      continue;
+    }
+    // Lost (or mid-restart) seat: fabricate the degraded view.
+    EngineReport report;
+    report.engine_id = seat_ids_[i];
+    report.state = engine::EngineState::kFailed;
+    report.lost = true;
+    report.error = seats_[i].lost ? seats_[i].lost_reason : "engine restarting";
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+Status Session::kill_engine(const std::string& engine_id) {
+  std::lock_guard lock(mutex_);
+  EngineSeat* seat = find_seat_locked(engine_id);
+  if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
+  if (!seat->handle) return failed_precondition("session: engine already dead");
+  seat->handle.reset();
+  IPA_LOG(warn) << "session " << id_ << ": engine " << engine_id << " killed";
+  return Status::ok();
+}
+
+Result<Session::RestartPlan> Session::begin_restart(const std::string& engine_id,
+                                                    int max_restarts) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
+  EngineSeat* seat = find_seat_locked(engine_id);
+  if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
+  if (seat->lost) return failed_precondition("session: engine already lost");
+  if (seat->restarting) return failed_precondition("session: restart already in flight");
+  if (seat->restarts >= max_restarts) {
+    return resource_exhausted("session: engine '" + engine_id + "' exceeded " +
+                              std::to_string(max_restarts) + " restarts");
+  }
+  seat->handle.reset();  // whatever is left of the old engine goes away now
+  seat->restarting = true;
+  ++seat->restarts;
+
+  RestartPlan plan;
+  plan.part_path = seat->part_path;
+  plan.code = staged_code_;
+  plan.verb = last_verb_;
+  plan.verb_records = last_verb_records_;
+  plan.restarts = seat->restarts;
+  return plan;
+}
+
+Status Session::complete_restart(const std::string& engine_id,
+                                 std::unique_ptr<EngineHandle> handle) {
+  std::lock_guard lock(mutex_);
+  EngineSeat* seat = find_seat_locked(engine_id);
+  if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
+  if (!seat->restarting) return failed_precondition("session: no restart in flight");
+  if (state_ == SessionState::kClosed) {
+    return failed_precondition("session: closed during restart");
+  }
+  seat->handle = std::move(handle);
+  seat->restarting = false;
+  IPA_LOG(info) << "session " << id_ << ": engine " << engine_id << " restarted (attempt "
+                << seat->restarts << ")";
+  return Status::ok();
+}
+
+void Session::mark_engine_lost(const std::string& engine_id, const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  EngineSeat* seat = find_seat_locked(engine_id);
+  if (seat == nullptr) return;
+  seat->handle.reset();
+  seat->restarting = false;
+  seat->lost = true;
+  seat->lost_reason = reason;
+  IPA_LOG(warn) << "session " << id_ << ": engine " << engine_id << " lost: " << reason;
+}
+
+bool Session::degraded() const {
+  std::lock_guard lock(mutex_);
+  return std::any_of(seats_.begin(), seats_.end(),
+                     [](const EngineSeat& seat) { return seat.lost; });
+}
+
+std::vector<std::string> Session::lost_engines() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    if (seats_[i].lost) out.push_back(seat_ids_[i]);
+  }
   return out;
 }
 
 Status Session::close() {
   std::lock_guard lock(mutex_);
   if (state_ == SessionState::kClosed) return Status::ok();
-  engines_.clear();  // destroys worker hosts, shutting engines down
+  seats_.clear();  // destroys worker hosts, shutting engines down
+  seat_ids_.clear();
   state_ = SessionState::kClosed;
   IPA_LOG(debug) << "session " << id_ << " closed";
   return Status::ok();

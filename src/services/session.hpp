@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -54,8 +55,9 @@ class Session {
   /// Ship analysis code to every engine.
   Status stage_code(const engine::CodeBundle& bundle);
 
-  /// Fan a control verb out to every engine. Fails fast on the first
-  /// engine error but reports which engine failed.
+  /// Fan a control verb out to every live engine (lost seats are skipped —
+  /// that is the degraded mode). Fails fast on the first engine error but
+  /// reports which engine failed.
   Status control(ControlVerb verb, std::uint64_t records = 0);
 
   std::vector<EngineReport> reports() const;
@@ -64,9 +66,57 @@ class Session {
   const std::string& dataset_id() const { return dataset_id_; }
   void set_dataset_id(std::string id) { dataset_id_ = std::move(id); }
 
+  // --- Fault handling -------------------------------------------------
+
+  /// Everything the manager needs to rebuild a seat's engine elsewhere.
+  struct RestartPlan {
+    std::string part_path;                      // "" when no dataset staged
+    std::optional<engine::CodeBundle> code;     // staged analysis code
+    std::optional<ControlVerb> verb;            // last control verb to replay
+    std::uint64_t verb_records = 0;
+    int restarts = 0;                           // count including this one
+  };
+
+  /// Abruptly destroy an engine's handle (chaos hook: the "process died"
+  /// event). The seat stays; the heartbeat monitor notices the silence.
+  Status kill_engine(const std::string& engine_id);
+
+  /// Claim a dead seat for restarting: tears down the old handle, bumps the
+  /// restart count and returns the replay plan. Fails with
+  /// kResourceExhausted once `max_restarts` is reached, kFailedPrecondition
+  /// when the seat is lost/closed or a restart is already in flight.
+  Result<RestartPlan> begin_restart(const std::string& engine_id, int max_restarts);
+
+  /// Install the freshly started replacement engine (already staged and
+  /// replayed by the manager, outside the session lock).
+  Status complete_restart(const std::string& engine_id,
+                          std::unique_ptr<EngineHandle> handle);
+
+  /// Give up on an engine: its seat is flagged lost and its handle freed.
+  /// The session keeps running on the surviving engines.
+  void mark_engine_lost(const std::string& engine_id, const std::string& reason);
+
+  /// True once any engine was marked lost (results are partial).
+  bool degraded() const;
+  std::vector<std::string> lost_engines() const;
+
   Status close();
 
  private:
+  /// One granted node: the engine handle plus what was staged on it, so a
+  /// replacement can be rebuilt after a failure.
+  struct EngineSeat {
+    std::unique_ptr<EngineHandle> handle;
+    std::string part_path;
+    int restarts = 0;
+    bool restarting = false;
+    bool lost = false;
+    std::string lost_reason;
+  };
+
+  EngineSeat* find_seat_locked(const std::string& engine_id);
+  const EngineSeat* find_seat_locked(const std::string& engine_id) const;
+
   std::string id_;
   std::string owner_;
   int granted_nodes_;
@@ -74,9 +124,13 @@ class Session {
 
   mutable std::mutex mutex_;
   SessionState state_ = SessionState::kCreated;
-  std::vector<std::unique_ptr<EngineHandle>> engines_;
+  std::vector<EngineSeat> seats_;
+  std::vector<std::string> seat_ids_;  // engine id per seat, fixed at attach
   std::set<std::string> ready_engines_;
   std::string dataset_id_;
+  std::optional<engine::CodeBundle> staged_code_;
+  std::optional<ControlVerb> last_verb_;
+  std::uint64_t last_verb_records_ = 0;
 };
 
 }  // namespace ipa::services

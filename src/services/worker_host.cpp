@@ -1,5 +1,7 @@
 #include "services/worker_host.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 
 namespace ipa::services {
@@ -7,8 +9,14 @@ namespace ipa::services {
 Result<std::unique_ptr<WorkerHost>> WorkerHost::start(const std::string& session_id,
                                                       const std::string& engine_id,
                                                       const Uri& manager_rpc_endpoint,
-                                                      engine::EngineConfig config) {
-  auto client = rpc::RpcClient::connect(manager_rpc_endpoint);
+                                                      engine::EngineConfig config,
+                                                      double heartbeat_interval_s) {
+  register_idempotent_methods();
+  rpc::RetryPolicy policy;
+  // A dropped push/heartbeat response must cost one attempt, not a whole
+  // call deadline: the data path only stays fresh if retries are quick.
+  policy.attempt_timeout_s = 0.25;
+  auto client = rpc::RpcClient::connect(manager_rpc_endpoint, 5.0, policy);
   IPA_RETURN_IF_ERROR(client.status().with_prefix("worker: manager connect"));
 
   std::unique_ptr<WorkerHost> host(
@@ -18,7 +26,34 @@ Result<std::unique_ptr<WorkerHost>> WorkerHost::start(const std::string& session
   auto ack = host->rpc_->call(kWorkerRegistryService, "ready",
                               encode_ready(session_id, engine_id));
   IPA_RETURN_IF_ERROR(ack.status().with_prefix("worker: ready signal"));
+
+  if (heartbeat_interval_s > 0) {
+    host->heartbeat_ = std::jthread(
+        [raw = host.get(), heartbeat_interval_s](std::stop_token stop) {
+          raw->heartbeat_loop(stop, heartbeat_interval_s);
+        });
+  }
   return host;
+}
+
+void WorkerHost::heartbeat_loop(std::stop_token stop, double interval_s) {
+  const auto slice = std::chrono::milliseconds(5);
+  auto next = std::chrono::steady_clock::now();
+  while (!stop.stop_requested()) {
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(interval_s));
+    while (!stop.stop_requested() && std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(slice);
+    }
+    if (stop.stop_requested()) return;
+    const auto ack = rpc_->call(kWorkerRegistryService, "heartbeat",
+                                encode_ready(session_id_, engine_id_), "",
+                                /*timeout_s=*/1.0);
+    if (!ack.is_ok()) {
+      IPA_LOG(debug) << "worker " << engine_id_
+                     << ": heartbeat failed: " << ack.status().to_string();
+    }
+  }
 }
 
 WorkerHost::WorkerHost(std::string session_id, std::string engine_id, rpc::RpcClient client,
@@ -34,8 +69,10 @@ WorkerHost::WorkerHost(std::string session_id, std::string engine_id, rpc::RpcCl
 }
 
 WorkerHost::~WorkerHost() {
-  // Drop the snapshot handler before tearing down the RPC client so a final
-  // in-flight snapshot cannot race the destruction.
+  // Heartbeats stop first, then the snapshot handler, so nothing touches
+  // the RPC client while it is being closed.
+  heartbeat_.request_stop();
+  if (heartbeat_.joinable()) heartbeat_.join();
   engine_->set_snapshot_handler(nullptr);
   engine_.reset();
   if (rpc_) rpc_->close();

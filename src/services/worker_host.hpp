@@ -1,10 +1,13 @@
 // Worker-node side: hosts one analysis engine, pushes its snapshots to the
 // AIDA manager over RPC and signals readiness to the worker registry — the
-// process GRAM starts on each grid node in the paper.
+// process GRAM starts on each grid node in the paper. A heartbeat thread
+// keeps telling the registry the engine is alive so the manager can detect
+// dead engines between snapshots.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/status.hpp"
 #include "common/uri.hpp"
@@ -31,12 +34,14 @@ class EngineHandle {
 /// One engine + the RPC client it uses to reach the manager node.
 class WorkerHost final : public EngineHandle {
  public:
-  /// Connects to the manager's RPC endpoint, signals ready and wires the
-  /// engine's snapshot stream to AidaManager.push.
+  /// Connects to the manager's RPC endpoint, signals ready, wires the
+  /// engine's snapshot stream to AidaManager.push and starts heartbeating
+  /// (heartbeat_interval_s <= 0 disables the heartbeat thread).
   static Result<std::unique_ptr<WorkerHost>> start(const std::string& session_id,
                                                    const std::string& engine_id,
                                                    const Uri& manager_rpc_endpoint,
-                                                   engine::EngineConfig config = {});
+                                                   engine::EngineConfig config = {},
+                                                   double heartbeat_interval_s = 0.05);
 
   ~WorkerHost() override;
 
@@ -47,17 +52,20 @@ class WorkerHost final : public EngineHandle {
   EngineReport report() const override;
 
   engine::AnalysisEngine& engine() { return *engine_; }
+  rpc::RetryStats rmi_stats() const { return rpc_->stats(); }
 
  private:
   WorkerHost(std::string session_id, std::string engine_id, rpc::RpcClient client,
              engine::EngineConfig config);
 
   void push_snapshot(const ser::Bytes& snapshot, const engine::Progress& progress);
+  void heartbeat_loop(std::stop_token stop, double interval_s);
 
   std::string session_id_;
   std::string engine_id_;
   std::unique_ptr<rpc::RpcClient> rpc_;
   std::unique_ptr<engine::AnalysisEngine> engine_;
+  std::jthread heartbeat_;  // last member: joins before the rest tears down
 };
 
 }  // namespace ipa::services

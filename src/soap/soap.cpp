@@ -160,7 +160,7 @@ http::Response SoapServer::handle(const http::Request& request) {
 Result<SoapClient> SoapClient::connect(const Uri& endpoint, std::string path, double timeout_s) {
   auto http = http::Client::connect(endpoint.host, endpoint.port, timeout_s);
   IPA_RETURN_IF_ERROR(http.status());
-  return SoapClient(std::move(*http), std::move(path));
+  return SoapClient(std::move(*http), endpoint, std::move(path), timeout_s);
 }
 
 Result<xml::Node> SoapClient::call(const std::string& service, const std::string& operation,
@@ -175,8 +175,22 @@ Result<xml::Node> SoapClient::call(const std::string& service, const std::string
   req.headers["SOAPAction"] = "\"" + service + "#" + operation + "\"";
   req.body = "<?xml version=\"1.0\"?>\n" + envelope.to_string();
 
-  IPA_ASSIGN_OR_RETURN(const http::Response response, http_.send(std::move(req), timeout_s));
-  IPA_ASSIGN_OR_RETURN(const xml::Node doc, xml::parse(response.body));
+  bool got_any_bytes = false;
+  auto response = http_.send(req, timeout_s, &got_any_bytes);
+  if (!response.is_ok() && !got_any_bytes &&
+      response.status().code() != StatusCode::kDeadlineExceeded) {
+    // The keep-alive connection died before any response byte arrived, so
+    // the request is safe to replay on a fresh connection.
+    auto fresh = http::Client::connect(endpoint_.host, endpoint_.port, connect_timeout_s_);
+    IPA_RETURN_IF_ERROR(
+        fresh.status().with_prefix("soap: reconnect after " +
+                                   response.status().message()));
+    http_ = std::move(*fresh);
+    ++reconnects_;
+    response = http_.send(std::move(req), timeout_s);
+  }
+  IPA_RETURN_IF_ERROR(response.status());
+  IPA_ASSIGN_OR_RETURN(const xml::Node doc, xml::parse(response->body));
   return unwrap_envelope(doc);
 }
 

@@ -87,7 +87,11 @@ class SoapServer {
   std::map<std::string, Op> operations_;  // "Service#operation" -> Op
 };
 
-/// Client for one SOAP endpoint.
+/// Client for one SOAP endpoint. The keep-alive connection under a call can
+/// die between calls; when a request fails before any response byte arrives
+/// the client re-dials the endpoint and replays it once (the standard
+/// stale-connection retry), so a dropped SOAP channel costs latency, not
+/// the session.
 class SoapClient {
  public:
   static Result<SoapClient> connect(const Uri& endpoint, std::string path = "/ipa/services",
@@ -105,13 +109,25 @@ class SoapClient {
   void set_token(std::string token) { token_ = std::move(token); }
   const std::string& token() const { return token_; }
 
+  /// Times the connection was re-dialed after a stale-connection failure.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+  /// Chaos hook: sever the current connection; the next call re-dials.
+  void drop_connection() { http_.close(); }
+
  private:
-  SoapClient(http::Client http, std::string path)
-      : http_(std::move(http)), path_(std::move(path)) {}
+  SoapClient(http::Client http, Uri endpoint, std::string path, double connect_timeout_s)
+      : http_(std::move(http)),
+        endpoint_(std::move(endpoint)),
+        path_(std::move(path)),
+        connect_timeout_s_(connect_timeout_s) {}
 
   http::Client http_;
+  Uri endpoint_;
   std::string path_;
+  double connect_timeout_s_ = 5.0;
   std::string token_;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace ipa::soap

@@ -18,6 +18,17 @@ func begin(tree) { tree.book_h1("/n", 1, 0, 1); }
 func process(event, tree) { tree.fill("/n", 0.5); }
 )";
 
+// Slow enough that a 2-engine run over 1000 records is still in flight when
+// a test kills an engine or closes the session.
+const char* kSlowScript = R"(
+func begin(tree) { tree.book_h1("/n", 1, 0, 1); }
+func process(event, tree) {
+  let x = 0;
+  for (let i = 0; i < 3000; i += 1) { x += i; }
+  tree.fill("/n", 0.5);
+}
+)";
+
 class FailureTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -34,10 +45,22 @@ class FailureTest : public ::testing::Test {
     }
     dataset_ = (dir_ / "d.ipd").string();
     ASSERT_TRUE(data::write_dataset(dataset_, "d", records).is_ok());
+    start_manager(/*restart_lost_engines=*/true);
+  }
 
+  /// (Re)start the manager with aggressive liveness timing so dead-engine
+  /// tests converge quickly.
+  void start_manager(bool restart_lost_engines) {
+    if (manager_) {
+      manager_->stop();
+      manager_.reset();
+    }
     services::ManagerConfig config;
     config.staging_dir = (dir_ / "staging").string();
     config.engine_config.snapshot_every = 200;
+    config.heartbeat_timeout_s = 0.4;
+    config.monitor_interval_s = 0.1;
+    config.restart_lost_engines = restart_lost_engines;
     auto manager = services::ManagerNode::start(std::move(config));
     ASSERT_TRUE(manager.is_ok());
     manager_ = std::move(*manager);
@@ -52,6 +75,27 @@ class FailureTest : public ::testing::Test {
     std::filesystem::remove_all(dir_, ec);
   }
 
+  /// Poll until every engine is finished, failed or lost; returns the last
+  /// update seen. Fails the test on timeout.
+  client::PollUpdate poll_until_done(client::GridSession& session, std::size_t engines,
+                                     double timeout_s) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+    client::PollUpdate last;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto update = session.poll();
+      if (update.is_ok()) {
+        if (update->changed) last.merged = std::move(update->merged);
+        last.version = update->version;
+        last.engines = std::move(update->engines);
+        if (last.all_engines_done(engines)) return last;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "engines did not finish within " << timeout_s << "s";
+    return last;
+  }
+
   std::filesystem::path dir_;
   std::string dataset_;
   std::unique_ptr<services::ManagerNode> manager_;
@@ -62,8 +106,9 @@ class FailureTest : public ::testing::Test {
 /// failure).
 class BrokenComputeElement final : public services::ComputeElement {
  public:
-  Result<std::vector<std::unique_ptr<services::EngineHandle>>> start_engines(
-      const std::string&, int, const Uri&) override {
+  Result<std::unique_ptr<services::EngineHandle>> start_engine(const std::string&,
+                                                               const std::string&,
+                                                               const Uri&) override {
     return unavailable("GRAM: job manager contact failed");
   }
 };
@@ -71,11 +116,19 @@ class BrokenComputeElement final : public services::ComputeElement {
 /// Starts fewer engines than requested (partial node failure).
 class PartialComputeElement final : public services::ComputeElement {
  public:
+  Result<std::unique_ptr<services::EngineHandle>> start_engine(
+      const std::string& session_id, const std::string& engine_id,
+      const Uri& endpoint) override {
+    return inner_.start_engine(session_id, engine_id, endpoint);
+  }
+
   Result<std::vector<std::unique_ptr<services::EngineHandle>>> start_engines(
       const std::string& session_id, int count, const Uri& endpoint) override {
-    services::LocalComputeElement inner;
-    return inner.start_engines(session_id, count > 1 ? count - 1 : count, endpoint);
+    return inner_.start_engines(session_id, count > 1 ? count - 1 : count, endpoint);
   }
+
+ private:
+  services::LocalComputeElement inner_;
 };
 
 TEST_F(FailureTest, ActivateSurfacesComputeElementFailure) {
@@ -191,6 +244,61 @@ func process(event, tree) {
   auto again = client->create_session(1);
   ASSERT_TRUE(again.is_ok());
   EXPECT_TRUE(again->close().is_ok());
+}
+
+TEST_F(FailureTest, EngineKilledMidRunIsRestarted) {
+  // An engine dies mid-run; the heartbeat monitor restarts it on the same
+  // compute slot, re-stages data + code, replays the run verb, and the
+  // session still produces the COMPLETE result.
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-1").is_ok());
+  ASSERT_TRUE(session->stage_script("slow", kSlowScript).is_ok());
+  ASSERT_TRUE(session->run().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  const std::string session_id = session->info().session_id;
+  ASSERT_TRUE(manager_->kill_engine(session_id, session_id + "-eng0").is_ok());
+
+  auto last = poll_until_done(*session, 2, 30.0);
+  EXPECT_FALSE(last.any_engine_failed());
+  // The restarted engine reran its whole part, so nothing is missing.
+  auto hist = last.merged.histogram1d("/n");
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_EQ((*hist)->entries(), 1000u);
+  EXPECT_TRUE(session->close().is_ok());
+}
+
+TEST_F(FailureTest, EngineKilledWithRestartDisabledDegrades) {
+  // Same death, but the site policy forbids restarts: the session must
+  // complete DEGRADED — partial merged result, explicitly flagged — rather
+  // than hang or fail.
+  start_manager(/*restart_lost_engines=*/false);
+  auto client = client::GridClient::connect(manager_->soap_endpoint(), token_);
+  auto session = client->create_session(2);
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->activate().is_ok());
+  ASSERT_TRUE(session->select_dataset("ds-1").is_ok());
+  ASSERT_TRUE(session->stage_script("slow", kSlowScript).is_ok());
+  ASSERT_TRUE(session->run().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  const std::string session_id = session->info().session_id;
+  ASSERT_TRUE(manager_->kill_engine(session_id, session_id + "-eng0").is_ok());
+
+  auto last = poll_until_done(*session, 2, 30.0);
+  EXPECT_TRUE(last.degraded());
+  EXPECT_FALSE(last.any_engine_failed());
+  EXPECT_TRUE(session->degraded());
+  // The surviving engine's 500 records are all there; the dead engine
+  // contributes at most its last snapshot.
+  auto hist = last.merged.histogram1d("/n");
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_GE((*hist)->entries(), 500u);
+  EXPECT_LT((*hist)->entries(), 1000u);
+  EXPECT_TRUE(session->close().is_ok());
 }
 
 TEST_F(FailureTest, ManagerStopWithLiveSessionsIsClean) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 namespace ipa::net {
@@ -15,18 +17,19 @@ ser::Bytes bytes_of(std::string_view s) {
 
 class TransportTest : public ::testing::TestWithParam<std::string> {
  protected:
+  // "chaos+" endpoints carry no fault query: the decorator must be a pure
+  // passthrough, so every transport contract holds under it verbatim.
   Uri make_endpoint() {
-    if (GetParam() == "inproc") {
-      static std::atomic<int> counter{0};
-      Uri uri;
-      uri.scheme = "inproc";
-      uri.host = "test-ep-" + std::to_string(counter.fetch_add(1));
-      return uri;
-    }
+    const std::string& scheme = GetParam();
     Uri uri;
-    uri.scheme = "tcp";
-    uri.host = "127.0.0.1";
-    uri.port = 0;
+    uri.scheme = scheme;
+    if (scheme == "tcp" || scheme == "chaos+tcp") {
+      uri.host = "127.0.0.1";
+      uri.port = 0;
+    } else {
+      static std::atomic<int> counter{0};
+      uri.host = "test-ep-" + std::to_string(counter.fetch_add(1));
+    }
     return uri;
   }
 };
@@ -186,9 +189,108 @@ TEST_P(TransportTest, ConcurrentConnections) {
   EXPECT_EQ(ok_count.load(), kClients);
 }
 
+TEST_P(TransportTest, FrameAtMaxSizeIsDelivered) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    auto frame = (*conn)->receive(30.0);
+    ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+    EXPECT_EQ(frame->size(), kMaxFrameBytes);
+    EXPECT_EQ(frame->front(), 0xAB);
+    EXPECT_EQ(frame->back(), 0xCD);
+    ASSERT_TRUE((*conn)->send(bytes_of("got it")).is_ok());
+  });
+
+  ser::Bytes frame(kMaxFrameBytes, 0);
+  frame.front() = 0xAB;
+  frame.back() = 0xCD;
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE((*client)->send(frame).is_ok());
+  EXPECT_EQ((*client)->receive(30.0).value(), bytes_of("got it"));
+}
+
+TEST_P(TransportTest, OversizedFrameIsRejectedAtSend) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  const ser::Bytes frame(kMaxFrameBytes + 1, 0);
+  EXPECT_EQ((*client)->send(frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(TransportTest, SelfCloseWakesBlockedReceive) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    // Keep the server end open and silent; only the client's own close may
+    // end its blocked receive.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  std::shared_ptr<Connection> conn(client->release());
+
+  std::jthread closer([conn] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    conn->close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = conn->receive(5.0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(result.is_ok());
+  // Woke on the close, not the 5 s deadline.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST_P(TransportTest, ConcurrentSendAndReceiveAreFullDuplex) {
+  auto listener = listen(make_endpoint());
+  ASSERT_TRUE(listener.is_ok());
+
+  constexpr int kFrames = 100;
+  std::jthread server([&] {
+    auto conn = (*listener)->accept(5.0);
+    ASSERT_TRUE(conn.is_ok());
+    std::shared_ptr<Connection> c(conn->release());
+    std::jthread tx([c] {
+      for (int i = 0; i < kFrames; ++i) {
+        ASSERT_TRUE(c->send(bytes_of("s" + std::to_string(i))).is_ok());
+      }
+    });
+    for (int i = 0; i < kFrames; ++i) {
+      auto frame = c->receive(5.0);
+      ASSERT_TRUE(frame.is_ok());
+      EXPECT_EQ(*frame, bytes_of("c" + std::to_string(i)));
+    }
+  });
+
+  auto client = connect((*listener)->endpoint());
+  ASSERT_TRUE(client.is_ok());
+  std::shared_ptr<Connection> c(client->release());
+  std::jthread tx([c] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(c->send(bytes_of("c" + std::to_string(i))).is_ok());
+    }
+  });
+  for (int i = 0; i < kFrames; ++i) {
+    auto frame = c->receive(5.0);
+    ASSERT_TRUE(frame.is_ok());
+    EXPECT_EQ(*frame, bytes_of("s" + std::to_string(i)));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTransports, TransportTest,
-                         ::testing::Values("inproc", "tcp"),
-                         [](const auto& info) { return info.param; });
+                         ::testing::Values("inproc", "tcp", "chaos+inproc", "chaos+tcp"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '+', '_');
+                           return name;
+                         });
 
 TEST(InProc, ConnectWithoutListenerFails) {
   Uri uri;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <map>
 
 namespace ipa::rpc {
 namespace {
@@ -201,6 +203,150 @@ TEST(Rpc, StopUnblocksAndRejectsFurtherCalls) {
   server.stop();
   const auto after = client->call("Echo", "echo", payload_of("y"), "", 1.0);
   EXPECT_FALSE(after.is_ok());
+}
+
+// --- retry / backoff -------------------------------------------------------
+
+Uri chaos_inproc_endpoint(const std::string& tag,
+                          std::map<std::string, std::string> query) {
+  Uri uri = inproc_endpoint(tag);
+  uri.scheme = "chaos+inproc";
+  uri.query = std::move(query);
+  return uri;
+}
+
+RetryPolicy fast_retry_policy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_s = 0.001;
+  policy.max_backoff_s = 0.01;
+  policy.attempt_timeout_s = 0.1;
+  return policy;
+}
+
+/// Service with one idempotent and one non-idempotent counting method.
+std::shared_ptr<Service> make_counting_service(std::atomic<int>& idem,
+                                               std::atomic<int>& mutating) {
+  auto service = std::make_shared<Service>("Counter");
+  service->register_method(
+      "get",
+      [&idem](const CallContext&, const ser::Bytes& in) {
+        ++idem;
+        return Result<ser::Bytes>(in);
+      },
+      /*idempotent=*/true);
+  service->register_method("put", [&mutating](const CallContext&, const ser::Bytes& in) {
+    ++mutating;
+    return Result<ser::Bytes>(in);
+  });
+  return service;
+}
+
+TEST(RpcRetry, IdempotentCallRetriesAndExecutesExactlyOnce) {
+  // The first connection dies on its first send: the request never reaches
+  // the server, so the retry must not cause a duplicate execution.
+  std::atomic<int> idem{0}, mutating{0};
+  RpcServer server(chaos_inproc_endpoint("retry-idem", {{"fail_first", "1"}}));
+  server.add_service(make_counting_service(idem, mutating));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy(4));
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  auto reply = client->call("Counter", "get", payload_of("g"), "", 5.0);
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(idem.load(), 1);
+  EXPECT_GE(client->stats().retries, 1u);
+  EXPECT_GE(client->stats().reconnects, 1u);
+  server.stop();
+}
+
+TEST(RpcRetry, NonIdempotentCallFailsFastWithoutExecuting) {
+  std::atomic<int> idem{0}, mutating{0};
+  RpcServer server(chaos_inproc_endpoint("retry-mut", {{"fail_first", "1"}}));
+  server.add_service(make_counting_service(idem, mutating));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy(4));
+  ASSERT_TRUE(client.is_ok());
+  const auto reply = client->call("Counter", "put", payload_of("p"), "", 5.0);
+  // A transport failure on a mutating method must surface, not retry: the
+  // caller cannot know whether the server acted.
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(mutating.load(), 0);
+  EXPECT_EQ(client->stats().retries, 0u);
+
+  // The client recovers: the same (non-idempotent) call succeeds on the
+  // next, healthy connection, exactly once.
+  auto again = client->call("Counter", "put", payload_of("p"), "", 5.0);
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_EQ(mutating.load(), 1);
+  server.stop();
+}
+
+TEST(RpcRetry, RemoteErrorsAreNotRetried) {
+  RpcServer server(inproc_endpoint("noretry-err"));
+  std::atomic<int> calls{0};
+  auto service = std::make_shared<Service>("Flaky");
+  service->register_method(
+      "always_fails",
+      [&calls](const CallContext&, const ser::Bytes&) {
+        ++calls;
+        return Result<ser::Bytes>(failed_precondition("not staged"));
+      },
+      /*idempotent=*/true);
+  server.add_service(std::move(service));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy(4));
+  ASSERT_TRUE(client.is_ok());
+  const auto reply = client->call("Flaky", "always_fails", {}, "", 5.0);
+  // A well-formed remote error is an answer, not a transport failure.
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(client->stats().retries, 0u);
+  server.stop();
+}
+
+TEST(RpcRetry, DeadlineExpiresDuringBackoff) {
+  // Every connection's first send dies, so attempts keep failing; the call
+  // deadline lands mid-backoff and must surface as kDeadlineExceeded well
+  // before the 50 attempts are spent.
+  std::atomic<int> idem{0}, mutating{0};
+  RpcServer server(chaos_inproc_endpoint("deadline", {{"fail_first", "1000"}}));
+  server.add_service(make_counting_service(idem, mutating));
+  ASSERT_TRUE(server.start().is_ok());
+
+  RetryPolicy policy = fast_retry_policy(50);
+  policy.initial_backoff_s = 0.05;
+  policy.backoff_multiplier = 2.0;
+  auto client = RpcClient::connect(server.endpoint(), 5.0, policy);
+  ASSERT_TRUE(client.is_ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply = client->call("Counter", "get", payload_of("g"), "", 0.15);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  // Respected the call deadline, give or take scheduling: nowhere near the
+  // time 50 spent attempts would take.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_EQ(idem.load(), 0);
+  EXPECT_GE(client->stats().giveups, 1u);
+  server.stop();
+}
+
+TEST(RpcRetry, ClosedClientRefusesCalls) {
+  RpcServer server(inproc_endpoint("closed"));
+  server.add_service(make_echo_service());
+  ASSERT_TRUE(server.start().is_ok());
+  auto client = RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy(4));
+  ASSERT_TRUE(client.is_ok());
+  client->close();
+  // close() is permanent — no reconnect, unlike a dropped connection.
+  EXPECT_EQ(client->call("Echo", "echo", payload_of("x"), "", 1.0).status().code(),
+            StatusCode::kUnavailable);
+  server.stop();
 }
 
 TEST(ResourceSet, CreateFindDestroy) {

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repo verification: the tier-1 build-and-test pass, then one sanitizer
+# configuration over the fault-sensitive suites (chaos, net, rpc).
+#
+# Usage: tools/check.sh [address|thread|undefined]
+#   The optional argument picks the sanitizer for the second pass
+#   (default: address). Set IPA_CHECK_JOBS to override parallelism.
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="${IPA_CHECK_JOBS:-2}"
+san="${1:-address}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== tier 2: ${san} sanitizer over chaos/net/rpc =="
+cmake -B "build-${san}" -S . -DIPA_SANITIZE="${san}" >/dev/null
+cmake --build "build-${san}" -j "$jobs" \
+  --target ipa_test_chaos ipa_test_net ipa_test_rpc
+(cd "build-${san}" && ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc')
+
+echo "== all checks passed =="
