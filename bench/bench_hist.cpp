@@ -25,6 +25,22 @@ void BM_Fill1D(benchmark::State& state) {
 }
 BENCHMARK(BM_Fill1D)->Arg(50)->Arg(1000);
 
+void BM_FillN1D(benchmark::State& state) {
+  // Bulk fill used by the batched engine path; items = individual fills so
+  // throughput is directly comparable with BM_Fill1D.
+  auto hist = aida::Histogram1D::create("h", static_cast<int>(state.range(0)), 0, 100);
+  Rng rng(1);
+  std::vector<double> values(4096);
+  for (double& v : values) v = rng.uniform(-10, 110);
+  for (auto _ : state) {
+    hist->fill_n(values);
+    benchmark::DoNotOptimize(*hist);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_FillN1D)->Arg(50)->Arg(1000);
+
 void BM_Fill2D(benchmark::State& state) {
   auto hist = aida::Histogram2D::create("h", 50, 0, 100, 50, 0, 100);
   Rng rng(1);

@@ -22,6 +22,10 @@ std::uint64_t Cloud1D::entries() const {
   return converted_ ? converted_->entries() : xs_.size();
 }
 
+void Cloud1D::fill_n(std::span<const double> xs, double weight) {
+  for (const double x : xs) fill(x, weight);
+}
+
 void Cloud1D::convert() {
   if (converted_ || xs_.empty()) return;
   const auto [lo_it, hi_it] = std::minmax_element(xs_.begin(), xs_.end());

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,10 @@ class Cloud1D {
   const std::map<std::string, std::string>& annotation() const { return annotation_; }
 
   void fill(double x, double weight = 1.0);
+  /// Bulk fill: equivalent to fill(x, weight) per element in order, so the
+  /// cap-triggered conversion happens at exactly the same point as scalar
+  /// filling and results stay bit-identical.
+  void fill_n(std::span<const double> xs, double weight = 1.0);
 
   bool is_converted() const { return converted_.has_value(); }
   std::uint64_t entries() const;

@@ -29,6 +29,15 @@ void Histogram1D::fill(double x, double weight) {
   }
 }
 
+void Histogram1D::fill_n(std::span<const double> xs, double weight) {
+  for (const double x : xs) fill(x, weight);
+}
+
+void Histogram1D::fill_n(std::span<const double> xs, std::span<const double> weights) {
+  const std::size_t n = std::min(xs.size(), weights.size());
+  for (std::size_t i = 0; i < n; ++i) fill(xs[i], weights[i]);
+}
+
 void Histogram1D::reset() {
   std::fill(sumw_.begin(), sumw_.end(), 0.0);
   std::fill(sumw2_.begin(), sumw2_.end(), 0.0);

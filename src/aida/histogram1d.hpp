@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ class Histogram1D {
   const std::map<std::string, std::string>& annotation() const { return annotation_; }
 
   void fill(double x, double weight = 1.0);
+  /// Bulk fill for the batched hot path: equivalent to fill(x, weight) per
+  /// element in order, so batched and scalar runs produce bit-identical
+  /// sums. The loop body stays branch-light and allocation-free.
+  void fill_n(std::span<const double> xs, double weight = 1.0);
+  /// Per-element weights; fills min(xs, weights) pairs.
+  void fill_n(std::span<const double> xs, std::span<const double> weights);
   void reset();
 
   /// Fill count (unweighted), including out-of-range fills.

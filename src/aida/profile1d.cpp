@@ -27,6 +27,11 @@ void Profile1D::fill(double x, double y, double weight) {
   ++entries_;
 }
 
+void Profile1D::fill_n(std::span<const double> xs, std::span<const double> ys, double weight) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  for (std::size_t i = 0; i < n; ++i) fill(xs[i], ys[i], weight);
+}
+
 void Profile1D::reset() {
   std::fill(sumw_.begin(), sumw_.end(), 0.0);
   std::fill(sumw2_.begin(), sumw2_.end(), 0.0);

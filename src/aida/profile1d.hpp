@@ -3,6 +3,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,9 @@ class Profile1D {
   const std::map<std::string, std::string>& annotation() const { return annotation_; }
 
   void fill(double x, double y, double weight = 1.0);
+  /// Bulk fill: equivalent to fill(x, y, weight) per pair in order (fills
+  /// min(xs, ys) pairs), so batched and scalar runs stay bit-identical.
+  void fill_n(std::span<const double> xs, std::span<const double> ys, double weight = 1.0);
   void reset();
 
   std::uint64_t entries() const { return entries_; }

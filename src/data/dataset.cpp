@@ -1,5 +1,6 @@
 #include "data/dataset.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -143,13 +144,14 @@ struct DatasetReader::State {
   std::uint64_t footer_offset = 0;
   std::uint32_t stored_crc = 0;
   std::uint64_t position = 0;     // next record to be returned by next()
+  SchemaPtr schema = std::make_shared<Schema>();  // interned as records decode
+  ser::Bytes frame_buf;           // reusable frame scratch for read_batch
 };
 
 namespace {
 
-/// Read one length-framed record at the current file position.
-Result<Record> read_record_frame(std::FILE* fp) {
-  // Varint length: read byte by byte.
+/// Read a frame's varint length prefix at the current file position.
+Result<std::uint64_t> read_frame_length(std::FILE* fp) {
   std::uint64_t len = 0;
   int shift = 0;
   while (true) {
@@ -161,6 +163,12 @@ Result<Record> read_record_frame(std::FILE* fp) {
     shift += 7;
   }
   if (len > ser::Reader::kMaxFieldLen) return data_loss("dataset: oversized record");
+  return len;
+}
+
+/// Read one length-framed record at the current file position.
+Result<Record> read_record_frame(std::FILE* fp) {
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t len, read_frame_length(fp));
   ser::Bytes body(static_cast<std::size_t>(len));
   IPA_RETURN_IF_ERROR(read_bytes(fp, body.data(), body.size()));
   ser::Reader r(body);
@@ -324,6 +332,77 @@ Result<Record> DatasetReader::read(std::uint64_t i) {
   IPA_RETURN_IF_ERROR(seek(i));
   return next();
 }
+
+Result<std::uint64_t> DatasetReader::read_batch(RecordBatch& batch,
+                                                std::uint64_t max_records) {
+  State& st = *state_;
+  std::uint64_t appended = 0;
+  // Block-buffered frame parsing: per-frame reads cost three locked stdio
+  // calls per record (two one-byte reads for the varint length plus one for
+  // the body); reading a large chunk and parsing frames out of memory pays
+  // that cost once per ~256 KiB instead.
+  ser::Bytes& buf = st.frame_buf;
+  std::size_t pos = 0;  // next unparsed byte in buf
+  std::size_t len = 0;  // valid bytes in buf
+  constexpr std::size_t kChunk = 256 * 1024;
+
+  // Top up the buffer until at least `needed` bytes are available at `pos`;
+  // false when the file cannot supply them (truncated file).
+  const auto ensure = [&](std::size_t needed) -> bool {
+    while (len - pos < needed) {
+      if (pos > 0) {
+        std::memmove(buf.data(), buf.data() + pos, len - pos);
+        len -= pos;
+        pos = 0;
+      }
+      const std::size_t want = std::max(kChunk, needed);
+      if (buf.size() < want) buf.resize(want);
+      const std::size_t got = std::fread(buf.data() + len, 1, buf.size() - len, st.file.fp);
+      if (got == 0) return false;
+      len += got;
+    }
+    return true;
+  };
+
+  const auto parse = [&]() -> Status {
+    while (appended < max_records && st.position < st.info.record_count) {
+      std::uint64_t frame_len = 0;
+      int shift = 0;
+      while (true) {
+        if (!ensure(1)) return data_loss("dataset: truncated file");
+        const std::uint8_t byte = buf[pos++];
+        if (shift >= 64) return data_loss("dataset: corrupt record length");
+        frame_len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+      }
+      if (frame_len > ser::Reader::kMaxFieldLen) return data_loss("dataset: oversized record");
+      if (!ensure(static_cast<std::size_t>(frame_len))) {
+        return data_loss("dataset: truncated file");
+      }
+      ser::Reader r(buf.data() + pos, static_cast<std::size_t>(frame_len));
+      IPA_RETURN_IF_ERROR(batch.append_encoded(r));
+      if (!r.at_end()) return data_loss("dataset: trailing bytes in record frame");
+      pos += static_cast<std::size_t>(frame_len);
+      ++st.position;
+      ++appended;
+    }
+    return Status::ok();
+  };
+
+  const Status status = parse();
+  // Rewind the unconsumed tail so the stdio position matches st.position and
+  // next()/seek() keep working after (even a failed) batch read.
+  if (len > pos && std::fseek(st.file.fp, -static_cast<long>(len - pos), SEEK_CUR) != 0) {
+    return data_loss("dataset: seek failed");
+  }
+  IPA_RETURN_IF_ERROR(status);
+  return appended;
+}
+
+const SchemaPtr& DatasetReader::schema() const { return state_->schema; }
+
+RecordBatch DatasetReader::make_batch() const { return RecordBatch(state_->schema); }
 
 Status DatasetReader::verify_integrity() {
   State& st = *state_;

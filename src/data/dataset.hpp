@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "data/record.hpp"
+#include "data/record_batch.hpp"
 
 namespace ipa::data {
 
@@ -80,6 +81,22 @@ class DatasetReader {
   /// Sequential read of the next record from the current position;
   /// kOutOfRange at end.
   Result<Record> next();
+
+  /// Batched sequential read: decode up to `max_records` from the current
+  /// position straight into `batch`'s columns (appending — callers clear()
+  /// between batches). Returns the number of records appended; 0 at end of
+  /// dataset. This is the analysis hot path: no per-record Record/Value
+  /// materialization.
+  Result<std::uint64_t> read_batch(RecordBatch& batch, std::uint64_t max_records);
+
+  /// Field schema interned so far by this reader (grows as records with new
+  /// fields are decoded); shared by every batch made via make_batch().
+  const SchemaPtr& schema() const;
+
+  /// An empty batch bound to this reader's cached schema, so slot ids stay
+  /// stable across all batches of the dataset (analyzers cache name→slot
+  /// resolutions once per run).
+  RecordBatch make_batch() const;
   std::uint64_t position() const;
   Status seek(std::uint64_t record_index);
 

@@ -1,5 +1,7 @@
 #include "data/record.hpp"
 
+#include <algorithm>
+
 namespace ipa::data {
 
 void Record::set(std::string name, Value value) {
@@ -9,14 +11,39 @@ void Record::set(std::string name, Value value) {
       return;
     }
   }
+  // Most records carry a handful of fields; one up-front reservation avoids
+  // the doubling reallocations of growing from zero.
+  if (fields_.empty()) fields_.reserve(kLinearLookupMax);
   fields_.emplace_back(std::move(name), std::move(value));
+  sorted_.clear();  // appended name invalidates the sorted view
 }
 
 const Value* Record::find(std::string_view name) const {
-  for (const auto& [key, value] : fields_) {
-    if (key == name) return &value;
+  if (fields_.size() <= kLinearLookupMax) {
+    for (const auto& [key, value] : fields_) {
+      if (key == name) return &value;
+    }
+    return nullptr;
   }
-  return nullptr;
+  return find_sorted(name);
+}
+
+const Value* Record::find_sorted(std::string_view name) const {
+  if (sorted_.size() != fields_.size()) {
+    sorted_.resize(fields_.size());
+    for (std::uint32_t i = 0; i < sorted_.size(); ++i) sorted_[i] = i;
+    // Stable tie-break on position so duplicate names (possible via
+    // decode()) resolve to the first occurrence, matching the linear scan.
+    std::sort(sorted_.begin(), sorted_.end(), [this](std::uint32_t a, std::uint32_t b) {
+      const int cmp = fields_[a].first.compare(fields_[b].first);
+      return cmp != 0 ? cmp < 0 : a < b;
+    });
+  }
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), name,
+      [this](std::uint32_t i, std::string_view key) { return fields_[i].first < key; });
+  if (it == sorted_.end() || fields_[*it].first != name) return nullptr;
+  return &fields_[*it].second;
 }
 
 double Record::real_or(std::string_view name, double fallback) const {

@@ -13,6 +13,11 @@ namespace ipa::data {
 
 class Record {
  public:
+  /// Records with at most this many fields use a plain linear scan; wider
+  /// records fall back to a lazily built name-sorted index (wide records
+  /// show up in generic/tabular datasets, not the physics path).
+  static constexpr std::size_t kLinearLookupMax = 8;
+
   Record() = default;
   explicit Record(std::uint64_t index) : index_(index) {}
 
@@ -41,13 +46,20 @@ class Record {
   /// Approximate in-memory/on-disk size, used by byte-balanced splitting.
   std::size_t encoded_size_hint() const;
 
-  friend bool operator==(const Record& a, const Record& b) = default;
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.index_ == b.index_ && a.fields_ == b.fields_;
+  }
 
  private:
+  const Value* find_sorted(std::string_view name) const;
+
   std::uint64_t index_ = 0;
-  // Ordered list keeps serialization deterministic; linear lookup is fine
-  // for the handful of fields a record carries.
+  // Ordered list keeps serialization deterministic.
   std::vector<std::pair<std::string, Value>> fields_;
+  // Name-sorted view over fields_, built on first wide lookup and
+  // invalidated by set(). Records are single-owner objects (the engine
+  // worker thread), so the mutable cache needs no synchronization.
+  mutable std::vector<std::uint32_t> sorted_;
 };
 
 }  // namespace ipa::data

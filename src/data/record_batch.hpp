@@ -1,0 +1,120 @@
+// Columnar record batch: the unit of the batched analysis hot path.
+//
+// A RecordBatch holds N records column-major: one dense, row-aligned column
+// per interned schema slot (real/int/string/vec storage + a per-row
+// presence mask), so the engine's inner loop reads typed arrays by slot id
+// instead of string-matching field names per record. Batches convert
+// to/from row-form Records exactly — values, indices and presence survive a
+// round trip; field order is normalized to schema slot order.
+//
+// Kind conflicts (a field whose kind differs from the column's) are legal
+// in the row format and preserved exactly here via a small row-wise
+// overflow side-table; conflicting cells are rare and never lossy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/record.hpp"
+#include "data/schema.hpp"
+
+namespace ipa::data {
+
+class RecordBatch {
+ public:
+  /// Effective kind of one cell (resolves presence and overflow).
+  enum class CellKind : std::uint8_t { kNull = 0, kInt, kReal, kStr, kVec };
+
+  /// Batches made by one reader share its interned Schema; a standalone
+  /// batch creates its own.
+  explicit RecordBatch(SchemaPtr schema = nullptr);
+
+  const Schema& schema() const { return *schema_; }
+  const SchemaPtr& schema_ptr() const { return schema_; }
+
+  std::size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Drop all rows, keep the schema and column capacity (the engine reuses
+  /// one batch across the whole dataset).
+  void clear();
+
+  /// Append a row-form record (fields normalized to slot order).
+  void append(const Record& record);
+
+  /// Decode one wire-encoded Record (the .ipd frame payload) straight into
+  /// the columns — the allocation-light path DatasetReader::read_batch uses.
+  Status append_encoded(ser::Reader& r);
+
+  /// Exact row-form view of row `row`.
+  Record to_record(std::size_t row) const;
+  std::vector<Record> to_records() const;
+  static RecordBatch from_records(const std::vector<Record>& records);
+
+  /// Record index (the dataset position stamped by the writer).
+  std::uint64_t index(std::size_t row) const { return indices_[row]; }
+
+  // --- typed cell access (slot from schema(), row < rows()) ----------------
+  CellKind cell_kind(int slot, std::size_t row) const;
+  std::int64_t cell_int(int slot, std::size_t row) const;
+  double cell_real(int slot, std::size_t row) const;
+  const std::string& cell_str(int slot, std::size_t row) const;
+  std::span<const double> cell_vec(int slot, std::size_t row) const;
+  /// Numeric widening identical to Value::to_number (ints widen, others
+  /// fail); returns false for null/non-numeric cells.
+  bool cell_number(int slot, std::size_t row, double* out) const;
+
+  /// Materialize one cell as a row-form Value (null cells return false).
+  bool cell_value(int slot, std::size_t row, Value* out) const;
+
+  /// Columnar serialization (snapshot/transfer of whole batches).
+  void encode(ser::Writer& w) const;
+  static Result<RecordBatch> decode(ser::Reader& r);
+
+  /// Approximate decoded size, mirroring Record::encoded_size_hint.
+  std::size_t encoded_size_hint() const;
+
+ private:
+  // Per-row presence marker inside a column.
+  static constexpr std::uint8_t kAbsent = 0;
+  static constexpr std::uint8_t kPresent = 1;
+  static constexpr std::uint8_t kOverflow = 2;  // value lives in overflow_
+
+  struct Column {
+    ColumnKind kind = ColumnKind::kInt;
+    std::vector<std::uint8_t> mask;        // row-aligned presence
+    std::vector<std::int64_t> ints;        // kind == kInt (row-aligned)
+    std::vector<double> reals;             // kind == kReal (row-aligned)
+    std::vector<std::string> strs;         // kind == kStr (row-aligned)
+    std::vector<double> vec_values;        // kind == kVec: flattened payload
+    std::vector<std::uint64_t> vec_offsets;  // kind == kVec: rows()+1 bounds
+  };
+
+  struct OverflowCell {
+    std::uint32_t row;
+    std::int32_t slot;
+    Value value;
+  };
+
+  Column& column_for_slot(int slot);
+  /// Pad every column that did not receive a value for the row being closed.
+  void finish_row();
+  void push_null(Column& column);
+  void set_cell(int slot, std::size_t row, const Value& value);
+  const Value* overflow_at(int slot, std::size_t row) const;
+
+  SchemaPtr schema_;
+  std::size_t rows_ = 0;
+  std::vector<std::uint64_t> indices_;
+  std::vector<Column> columns_;  // indexed by schema slot id
+  std::vector<OverflowCell> overflow_;
+  // Slot of the i-th field of the previously decoded record. Records of one
+  // dataset nearly always share a field layout, so append_encoded checks
+  // this before the schema's map lookup: one string compare per field on
+  // the homogeneous path. Slots are append-only, so stale hints only miss.
+  std::vector<int> layout_hint_;
+};
+
+}  // namespace ipa::data

@@ -1,0 +1,51 @@
+#include "data/schema.hpp"
+
+namespace ipa::data {
+
+std::string_view to_string(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kInt: return "int";
+    case ColumnKind::kReal: return "real";
+    case ColumnKind::kStr: return "str";
+    case ColumnKind::kVec: return "vec";
+  }
+  return "?";
+}
+
+int Schema::intern(std::string_view name, ColumnKind kind) {
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) return it->second;
+  const int slot = static_cast<int>(fields_.size());
+  fields_.push_back(Field{std::string(name), kind});
+  slots_.emplace(fields_.back().name, slot);
+  ++version_;
+  return slot;
+}
+
+int Schema::slot_of(std::string_view name) const {
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? kNoSlot : it->second;
+}
+
+void Schema::encode(ser::Writer& w) const {
+  w.varint(fields_.size());
+  for (const Field& field : fields_) {
+    w.string(field.name);
+    w.u8(static_cast<std::uint8_t>(field.kind));
+  }
+}
+
+Result<Schema> Schema::decode(ser::Reader& r) {
+  Schema schema;
+  IPA_ASSIGN_OR_RETURN(const std::uint64_t count, r.varint());
+  if (count > 65536) return data_loss("schema: implausible field count");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IPA_ASSIGN_OR_RETURN(std::string name, r.string());
+    IPA_ASSIGN_OR_RETURN(const std::uint8_t kind, r.u8());
+    if (kind > 3) return data_loss("schema: bad column kind");
+    schema.intern(name, static_cast<ColumnKind>(kind));
+  }
+  return schema;
+}
+
+}  // namespace ipa::data

@@ -1,0 +1,77 @@
+// Interned dataset schema: field names → dense slot ids.
+//
+// Row-format records carry their field names on every record; the batched
+// analysis hot path pays that string cost once. A Schema accumulates the
+// union of fields seen while decoding a dataset and hands out stable slot
+// ids, so column lookups inside the record loop are array indexing instead
+// of per-record string compares. Readers cache one Schema per dataset and
+// every RecordBatch they produce shares it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serialize/serialize.hpp"
+
+namespace ipa::data {
+
+/// Storage class of a column. Fixed by the first value seen for the field;
+/// later records holding a different kind for the same name go to the
+/// batch's row-wise overflow side-table (rare, exact).
+enum class ColumnKind : std::uint8_t { kInt = 0, kReal = 1, kStr = 2, kVec = 3 };
+
+std::string_view to_string(ColumnKind kind);
+
+class Schema {
+ public:
+  static constexpr int kNoSlot = -1;
+
+  /// Slot id for `name`, interning it with `kind` when unseen. An existing
+  /// field keeps its original kind (the caller detects mismatches via
+  /// kind(slot)).
+  int intern(std::string_view name, ColumnKind kind);
+
+  /// Lookup without interning; kNoSlot when absent.
+  int slot_of(std::string_view name) const;
+
+  const std::string& name(int slot) const { return fields_[static_cast<std::size_t>(slot)].name; }
+  ColumnKind kind(int slot) const { return fields_[static_cast<std::size_t>(slot)].kind; }
+
+  std::size_t field_count() const { return fields_.size(); }
+
+  /// Bumped whenever a new field is interned; lets per-analyzer name→slot
+  /// caches detect growth without re-hashing on every access.
+  std::uint64_t version() const { return version_; }
+
+  void encode(ser::Writer& w) const;
+  static Result<Schema> decode(ser::Reader& r);
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.fields_.size() != b.fields_.size()) return false;
+    for (std::size_t i = 0; i < a.fields_.size(); ++i) {
+      if (a.fields_[i].name != b.fields_[i].name || a.fields_[i].kind != b.fields_[i].kind) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Field {
+    std::string name;
+    ColumnKind kind;
+  };
+
+  std::vector<Field> fields_;                       // slot id -> field
+  std::map<std::string, int, std::less<>> slots_;   // heterogeneous lookup
+  std::uint64_t version_ = 0;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace ipa::data

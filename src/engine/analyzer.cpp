@@ -4,6 +4,13 @@
 
 namespace ipa::engine {
 
+Status Analyzer::process_batch(const data::RecordBatch& batch, aida::Tree& tree) {
+  for (std::size_t row = 0; row < batch.rows(); ++row) {
+    IPA_RETURN_IF_ERROR(process(batch.to_record(row), tree));
+  }
+  return Status::ok();
+}
+
 void CodeBundle::encode(ser::Writer& w) const {
   w.u8(kind == Kind::kScript ? 0 : 1);
   w.string(name);
@@ -73,6 +80,21 @@ Status ScriptAnalyzer::process(const data::Record& record, aida::Tree& tree) {
       interp_.call("process", {script::Value(script::make_event_object(&record)),
                                script::Value(script::make_tree_object(&tree))});
   return result.status().with_prefix("process()");
+}
+
+Status ScriptAnalyzer::process_batch(const data::RecordBatch& batch, aida::Tree& tree) {
+  if (cursor_batch_ != &batch) {
+    cursor_ = script::make_batch_event_object(&batch);
+    cursor_batch_ = &batch;
+  }
+  const script::Value event(cursor_);
+  const script::Value tree_object(script::make_tree_object(&tree));
+  for (std::size_t row = 0; row < batch.rows(); ++row) {
+    cursor_->set_row(row);
+    const auto result = interp_.call("process", {event, tree_object});
+    IPA_RETURN_IF_ERROR(result.status().with_prefix("process()"));
+  }
+  return Status::ok();
 }
 
 Status ScriptAnalyzer::end(aida::Tree& tree) {

@@ -16,8 +16,13 @@
 #include "aida/tree.hpp"
 #include "common/status.hpp"
 #include "data/record.hpp"
+#include "data/record_batch.hpp"
 #include "engine/code_bundle.hpp"
 #include "script/interp.hpp"
+
+namespace ipa::script {
+class BatchEventObject;
+}  // namespace ipa::script
 
 namespace ipa::engine {
 
@@ -29,6 +34,11 @@ class Analyzer {
   virtual Status begin(aida::Tree& tree) = 0;
   /// Called for every record.
   virtual Status process(const data::Record& record, aida::Tree& tree) = 0;
+  /// Batched hot path: consume a columnar batch in row order. The default
+  /// materializes each row and forwards to process(), so existing plugins
+  /// keep working unmodified; fast analyzers override this to read columns
+  /// by slot id. Must be observably equivalent to calling process() per row.
+  virtual Status process_batch(const data::RecordBatch& batch, aida::Tree& tree);
   /// Called when the dataset is exhausted (not on stop/pause).
   virtual Status end(aida::Tree& tree) { (void)tree; return Status::ok(); }
 };
@@ -59,6 +69,9 @@ class ScriptAnalyzer final : public Analyzer {
 
   Status begin(aida::Tree& tree) override;
   Status process(const data::Record& record, aida::Tree& tree) override;
+  /// Fast path: one cursor object per batch resolves field names to schema
+  /// slots once, then every process(event, tree) call reads columns by index.
+  Status process_batch(const data::RecordBatch& batch, aida::Tree& tree) override;
   Status end(aida::Tree& tree) override;
 
   /// print() output accumulated by the script.
@@ -68,6 +81,10 @@ class ScriptAnalyzer final : public Analyzer {
   explicit ScriptAnalyzer(script::Interp interp) : interp_(std::move(interp)) {}
 
   script::Interp interp_;
+  // Cursor reused across process_batch calls: the engine feeds one batch
+  // object for the whole run, so the cursor's name→slot cache stays warm.
+  std::shared_ptr<script::BatchEventObject> cursor_;
+  const data::RecordBatch* cursor_batch_ = nullptr;
 };
 
 /// Build an analyzer from a staged code bundle.

@@ -18,6 +18,7 @@ std::string_view to_string(EngineState state) {
 
 AnalysisEngine::AnalysisEngine(Config config) : config_(std::move(config)) {
   if (config_.snapshot_every == 0) config_.snapshot_every = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
   worker_ = std::jthread([this](std::stop_token stop) { worker_loop(stop); });
 }
 
@@ -44,6 +45,7 @@ Status AnalysisEngine::stage_dataset(const std::string& path) {
   auto reader = data::DatasetReader::open(path);
   IPA_RETURN_IF_ERROR(reader.status());
   reader_ = std::make_unique<data::DatasetReader>(std::move(*reader));
+  batch_ = std::make_unique<data::RecordBatch>(reader_->make_batch());
   processed_.store(0);
   total_.store(reader_->size());
   begin_pending_ = true;
@@ -243,7 +245,11 @@ void AnalysisEngine::process_loop() {
 
   std::uint64_t since_snapshot = 0;
   while (true) {
-    // Check controls.
+    // Check controls and size the next batch. Capping at the remaining
+    // run budget and the distance to the next snapshot makes the batched
+    // loop land pauses and snapshots on exactly the same record counts as
+    // record-at-a-time processing; control verbs act at batch boundaries.
+    std::uint64_t cap;
     {
       std::unique_lock lock(mutex_);
       if (state_ != EngineState::kRunning) {
@@ -252,58 +258,69 @@ void AnalysisEngine::process_loop() {
         cv_.notify_all();
         return;
       }
+      cap = config_.batch_size;
+      if (run_budget_ > 0 && run_budget_ < cap) cap = run_budget_;
+    }
+    if (config_.snapshot_every - since_snapshot < cap) {
+      cap = config_.snapshot_every - since_snapshot;
     }
 
-    auto record = reader_->next();
-    if (!record.is_ok()) {
-      if (record.status().code() == StatusCode::kOutOfRange) {
-        // Dataset exhausted: run end() and finish.
-        Status status;
-        {
-          std::lock_guard tree_lock(tree_mutex_);
-          status = analyzer_->end(tree_);
-        }
-        std::unique_lock lock(mutex_);
-        if (!status.is_ok()) {
-          state_ = EngineState::kFailed;
-          error_ = status.to_string();
-        } else {
-          state_ = EngineState::kFinished;
-        }
-        lock.unlock();
-        emit_snapshot_locked();
-        cv_.notify_all();
-        return;
+    batch_->clear();
+    const auto appended = reader_->read_batch(*batch_, cap);
+    if (!appended.is_ok()) {
+      fail("dataset read: " + appended.status().to_string());
+      return;
+    }
+    if (*appended == 0) {
+      // Dataset exhausted: run end() and finish.
+      Status status;
+      {
+        std::lock_guard tree_lock(tree_mutex_);
+        status = analyzer_->end(tree_);
       }
-      fail("dataset read: " + record.status().to_string());
+      std::unique_lock lock(mutex_);
+      if (!status.is_ok()) {
+        state_ = EngineState::kFailed;
+        error_ = status.to_string();
+      } else {
+        state_ = EngineState::kFinished;
+      }
+      lock.unlock();
+      emit_snapshot_locked();
+      cv_.notify_all();
       return;
     }
 
     Status status;
     {
       std::lock_guard tree_lock(tree_mutex_);
-      status = analyzer_->process(*record, tree_);
+      status = analyzer_->process_batch(*batch_, tree_);
     }
     if (!status.is_ok()) {
       fail(status.to_string());
       return;
     }
-    processed_.fetch_add(1, std::memory_order_relaxed);
+    processed_.fetch_add(*appended, std::memory_order_relaxed);
 
-    if (++since_snapshot >= config_.snapshot_every) {
+    since_snapshot += *appended;
+    if (since_snapshot >= config_.snapshot_every) {
       since_snapshot = 0;
       emit_snapshot_locked();
     }
 
-    // Bounded runs ("run N events").
+    // Bounded runs ("run N events"); the cap above never lets a batch
+    // overshoot the budget.
     {
       std::unique_lock lock(mutex_);
-      if (run_budget_ > 0 && --run_budget_ == 0) {
-        state_ = EngineState::kPaused;
-        lock.unlock();
-        emit_snapshot_locked();
-        cv_.notify_all();
-        return;
+      if (run_budget_ > 0) {
+        run_budget_ -= *appended;
+        if (run_budget_ == 0) {
+          state_ = EngineState::kPaused;
+          lock.unlock();
+          emit_snapshot_locked();
+          cv_.notify_all();
+          return;
+        }
       }
     }
   }

@@ -50,6 +50,11 @@ struct Progress {
 struct EngineConfig {
   /// Emit a snapshot every N processed records (plus one at completion).
   std::uint64_t snapshot_every = 2000;
+  /// Records decoded per columnar batch on the hot path. Each loop
+  /// iteration is capped so snapshot cadence and run_records() pause points
+  /// land on exactly the same record counts as record-at-a-time processing;
+  /// control verbs take effect at batch boundaries.
+  std::uint64_t batch_size = 256;
   script::InterpOptions interp;
 };
 
@@ -120,6 +125,10 @@ class AnalysisEngine {
   std::atomic<std::uint64_t> snapshots_{0};  // snapshots emitted
 
   std::unique_ptr<data::DatasetReader> reader_;
+  // One batch reused for the whole dataset (worker-thread only): columns
+  // keep their capacity across clear(), and analyzers' per-batch slot
+  // resolutions stay valid because the schema is shared with the reader.
+  std::unique_ptr<data::RecordBatch> batch_;
   std::unique_ptr<Analyzer> analyzer_;
   SnapshotFn snapshot_handler_;
 

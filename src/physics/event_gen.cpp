@@ -1,6 +1,7 @@
 #include "physics/event_gen.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "engine/analyzer.hpp"
 
@@ -112,6 +113,41 @@ double leading_pair_mass(const data::Record& record) {
 
 namespace {
 
+constexpr double kPtCut = 20.0;  // GeV
+
+/// Candidate with its transverse momentum computed once up front: the
+/// partial_sort comparator otherwise recomputes two sqrts per comparison.
+/// The cached value is the identical double pt() would return, so ordering,
+/// cut decisions and the resulting histograms stay bit-identical.
+struct PtCandidate {
+  double pt;
+  FourVector v;
+};
+
+/// Per-row selection shared by the scalar and batch paths so both run the
+/// exact same arithmetic (same partial_sort, same comparator, same cut) —
+/// the golden test asserts bit-identical histograms between the two.
+/// Returns the leading-pair mass, or 0.0 when the row fails selection
+/// (the caller only fills for mass > 0, matching the original cut).
+double selected_pair_mass(std::span<const double> px, std::span<const double> py,
+                          std::span<const double> pz, std::span<const double> e,
+                          std::vector<PtCandidate>& scratch) {
+  const std::size_t n = px.size();
+  if (py.size() != n || pz.size() != n || e.size() != n) return 0.0;
+  if (n < 2) return 0.0;
+  scratch.clear();
+  scratch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FourVector v{px[i], py[i], pz[i], e[i]};
+    scratch.push_back(PtCandidate{v.pt(), v});
+  }
+  std::partial_sort(scratch.begin(), scratch.begin() + 2, scratch.end(),
+                    [](const PtCandidate& a, const PtCandidate& b) { return a.pt > b.pt; });
+  // Both legs must pass the pT cut; suppresses soft combinatorics.
+  if (scratch[0].pt < kPtCut || scratch[1].pt < kPtCut) return 0.0;
+  return pair_mass(scratch[0].v, scratch[1].v);
+}
+
 class HiggsMassAnalyzer final : public engine::Analyzer {
  public:
   Status begin(aida::Tree& tree) override {
@@ -126,18 +162,60 @@ class HiggsMassAnalyzer final : public engine::Analyzer {
 
   Status process(const data::Record& record, aida::Tree& tree) override {
     (*tree.histogram1d("/higgs/ntrk"))->fill(record.real_or("ntrk"));
-    auto parts = candidates(record);
-    if (!parts.is_ok() || parts->size() < 2) return Status::ok();
-    std::partial_sort(parts->begin(), parts->begin() + 2, parts->end(),
-                      [](const FourVector& a, const FourVector& b) { return a.pt() > b.pt(); });
-    // Both legs must pass the pT cut; suppresses soft combinatorics.
-    if ((*parts)[0].pt() < kPtCut || (*parts)[1].pt() < kPtCut) return Status::ok();
-    const double mass = pair_mass((*parts)[0], (*parts)[1]);
+    const auto* px = record.vec_or_null("px");
+    const auto* py = record.vec_or_null("py");
+    const auto* pz = record.vec_or_null("pz");
+    const auto* e = record.vec_or_null("e");
+    if (px == nullptr || py == nullptr || pz == nullptr || e == nullptr) return Status::ok();
+    const double mass = selected_pair_mass(*px, *py, *pz, *e, scratch_);
     if (mass > 0) (*tree.histogram1d("/higgs/mass"))->fill(mass);
     return Status::ok();
   }
 
-  static constexpr double kPtCut = 20.0;  // GeV
+  Status process_batch(const data::RecordBatch& batch, aida::Tree& tree) override {
+    // Resolve slots and histogram paths once per batch, then run the inner
+    // loop over typed columns. Fills accumulate per histogram in row order,
+    // so each histogram sees the exact fill sequence of the scalar path.
+    const data::Schema& schema = batch.schema();
+    const int ntrk = schema.slot_of("ntrk");
+    const int px = schema.slot_of("px");
+    const int py = schema.slot_of("py");
+    const int pz = schema.slot_of("pz");
+    const int e = schema.slot_of("e");
+    auto ntrk_hist = tree.histogram1d("/higgs/ntrk");
+    IPA_RETURN_IF_ERROR(ntrk_hist.status());
+    auto mass_hist = tree.histogram1d("/higgs/mass");
+    IPA_RETURN_IF_ERROR(mass_hist.status());
+
+    ntrk_fills_.clear();
+    mass_fills_.clear();
+    constexpr auto kVec = data::RecordBatch::CellKind::kVec;
+    for (std::size_t row = 0; row < batch.rows(); ++row) {
+      double multiplicity = 0.0;
+      if (ntrk != data::Schema::kNoSlot) (void)batch.cell_number(ntrk, row, &multiplicity);
+      ntrk_fills_.push_back(multiplicity);
+      if (px == data::Schema::kNoSlot || py == data::Schema::kNoSlot ||
+          pz == data::Schema::kNoSlot || e == data::Schema::kNoSlot) {
+        continue;
+      }
+      if (batch.cell_kind(px, row) != kVec || batch.cell_kind(py, row) != kVec ||
+          batch.cell_kind(pz, row) != kVec || batch.cell_kind(e, row) != kVec) {
+        continue;
+      }
+      const double mass =
+          selected_pair_mass(batch.cell_vec(px, row), batch.cell_vec(py, row),
+                             batch.cell_vec(pz, row), batch.cell_vec(e, row), scratch_);
+      if (mass > 0) mass_fills_.push_back(mass);
+    }
+    (*ntrk_hist)->fill_n(ntrk_fills_);
+    (*mass_hist)->fill_n(mass_fills_);
+    return Status::ok();
+  }
+
+ private:
+  std::vector<PtCandidate> scratch_;
+  std::vector<double> ntrk_fills_;
+  std::vector<double> mass_fills_;
 };
 
 }  // namespace

@@ -61,6 +61,99 @@ class EventObject final : public NativeObject {
   const data::Record* record_;
 };
 
+class BatchEventObjectImpl final : public BatchEventObject {
+ public:
+  explicit BatchEventObjectImpl(const data::RecordBatch* batch) : batch_(batch) {}
+
+  std::string_view type_name() const override { return "event"; }
+
+  void set_row(std::size_t row) override { row_ = row; }
+
+  Result<Value> call_method(std::string_view method, std::vector<Value>& args) override {
+    if (method == "get") {
+      IPA_RETURN_IF_ERROR(check_arity(args, 1, 1, "event.get"));
+      IPA_ASSIGN_OR_RETURN(const std::string name, arg_string(args, 0, "event.get"));
+      const int slot = slot_for(name);
+      const auto kind = slot == data::Schema::kNoSlot
+                            ? data::RecordBatch::CellKind::kNull
+                            : batch_->cell_kind(slot, row_);
+      switch (kind) {
+        case data::RecordBatch::CellKind::kNull:
+          return not_found("event.get: no field '" + name + "'");
+        case data::RecordBatch::CellKind::kInt:
+          return Value(static_cast<double>(batch_->cell_int(slot, row_)));
+        case data::RecordBatch::CellKind::kReal:
+          return Value(batch_->cell_real(slot, row_));
+        case data::RecordBatch::CellKind::kStr:
+          return Value(batch_->cell_str(slot, row_));
+        case data::RecordBatch::CellKind::kVec: {
+          const auto vec = batch_->cell_vec(slot, row_);
+          List items;
+          items.reserve(vec.size());
+          for (const double x : vec) items.push_back(Value(x));
+          return Value::list(std::move(items));
+        }
+      }
+      return internal_error("event.get: unreachable cell kind");
+    }
+    if (method == "num") {
+      IPA_RETURN_IF_ERROR(check_arity(args, 1, 2, "event.num"));
+      IPA_ASSIGN_OR_RETURN(const std::string name, arg_string(args, 0, "event.num"));
+      double fallback = 0;
+      if (args.size() == 2) {
+        IPA_ASSIGN_OR_RETURN(fallback, arg_number(args, 1, "event.num"));
+      }
+      const int slot = slot_for(name);
+      double out = fallback;
+      if (slot != data::Schema::kNoSlot && batch_->cell_number(slot, row_, &out)) {
+        return Value(out);
+      }
+      return Value(fallback);
+    }
+    if (method == "str") {
+      IPA_RETURN_IF_ERROR(check_arity(args, 1, 2, "event.str"));
+      IPA_ASSIGN_OR_RETURN(const std::string name, arg_string(args, 0, "event.str"));
+      std::string fallback;
+      if (args.size() == 2) {
+        IPA_ASSIGN_OR_RETURN(fallback, arg_string(args, 1, "event.str"));
+      }
+      const int slot = slot_for(name);
+      if (slot != data::Schema::kNoSlot &&
+          batch_->cell_kind(slot, row_) == data::RecordBatch::CellKind::kStr) {
+        return Value(batch_->cell_str(slot, row_));
+      }
+      return Value(std::move(fallback));
+    }
+    if (method == "has") {
+      IPA_RETURN_IF_ERROR(check_arity(args, 1, 1, "event.has"));
+      IPA_ASSIGN_OR_RETURN(const std::string name, arg_string(args, 0, "event.has"));
+      const int slot = slot_for(name);
+      return Value(slot != data::Schema::kNoSlot &&
+                   batch_->cell_kind(slot, row_) != data::RecordBatch::CellKind::kNull);
+    }
+    if (method == "index") {
+      IPA_RETURN_IF_ERROR(check_arity(args, 0, 0, "event.index"));
+      return Value(static_cast<double>(batch_->index(row_)));
+    }
+    return unimplemented("event: no method '" + std::string(method) + "'");
+  }
+
+ private:
+  // Only hits are cached: a miss may become a hit later because the reader's
+  // schema keeps interning fields as batches decode new records.
+  int slot_for(const std::string& name) {
+    const auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    const int slot = batch_->schema().slot_of(name);
+    if (slot != data::Schema::kNoSlot) slots_.emplace(name, slot);
+    return slot;
+  }
+
+  const data::RecordBatch* batch_;
+  std::size_t row_ = 0;
+  std::map<std::string, int, std::less<>> slots_;
+};
+
 class TreeObject final : public NativeObject {
  public:
   explicit TreeObject(aida::Tree* tree) : tree_(tree) {}
@@ -225,6 +318,10 @@ class TreeObject final : public NativeObject {
 
 std::shared_ptr<NativeObject> make_event_object(const data::Record* record) {
   return std::make_shared<EventObject>(record);
+}
+
+std::shared_ptr<BatchEventObject> make_batch_event_object(const data::RecordBatch* batch) {
+  return std::make_shared<BatchEventObjectImpl>(batch);
 }
 
 std::shared_ptr<NativeObject> make_tree_object(aida::Tree* tree) {

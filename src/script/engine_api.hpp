@@ -22,10 +22,12 @@
 //   tree.fill_row(path, [values...])    - Tuple
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "aida/tree.hpp"
 #include "data/record.hpp"
+#include "data/record_batch.hpp"
 #include "script/value.hpp"
 
 namespace ipa::script {
@@ -33,6 +35,19 @@ namespace ipa::script {
 /// Wrap a record for script access. The record must outlive the value
 /// (engines hold the record for the duration of the process() call).
 std::shared_ptr<NativeObject> make_event_object(const data::Record* record);
+
+/// Columnar twin of the event object: one cursor spans a whole RecordBatch,
+/// resolving field names to schema slot ids once and reading columns by
+/// index per row. Scripts see exactly the event API above; the engine moves
+/// the cursor with set_row() between process() calls.
+class BatchEventObject : public NativeObject {
+ public:
+  virtual void set_row(std::size_t row) = 0;
+};
+
+/// The batch must outlive the cursor; slot resolutions cached by the cursor
+/// stay valid because schema slot ids are append-only.
+std::shared_ptr<BatchEventObject> make_batch_event_object(const data::RecordBatch* batch);
 
 /// Wrap a tree for script access; same lifetime contract.
 std::shared_ptr<NativeObject> make_tree_object(aida::Tree* tree);

@@ -12,6 +12,7 @@
 // input; a malformed peer message can never crash a service.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -58,6 +59,19 @@ class Writer {
   void string(std::string_view s) {
     varint(s.size());
     buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Bulk fixed-width doubles (columnar payloads); count is NOT written —
+  /// pair with f64_array() reads framed by an external count.
+  void f64_array(const double* data, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      // IEEE-754 doubles already match the wire byte order on little-endian
+      // targets; one insert replaces 8 shift-and-push steps per element.
+      const auto* p = reinterpret_cast<const std::uint8_t*>(data);
+      buf_.insert(buf_.end(), p, p + n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) f64(data[i]);
+    }
   }
 
   void bytes(const Bytes& b) {
@@ -156,6 +170,37 @@ class Reader {
     std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return out;
+  }
+
+  /// Zero-copy string read: the view aliases the reader's buffer and is
+  /// valid only while the underlying bytes live. Used by the columnar batch
+  /// decoder to intern field names without a per-record allocation.
+  Result<std::string_view> string_view() {
+    IPA_ASSIGN_OR_RETURN(const std::uint64_t len, varint());
+    if (len > kMaxFieldLen) return data_loss("string length too large");
+    IPA_RETURN_IF_ERROR(need(len));
+    std::string_view out(reinterpret_cast<const char*>(data_ + pos_),
+                         static_cast<std::size_t>(len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Bulk fixed-width doubles into caller storage (columnar payloads).
+  Status f64_array(double* out, std::size_t n) {
+    IPA_RETURN_IF_ERROR(need(n * sizeof(double)));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, data_ + pos_, n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t bits = 0;
+        for (std::size_t b = 0; b < sizeof(double); ++b) {
+          bits |= static_cast<std::uint64_t>(data_[pos_ + i * sizeof(double) + b]) << (8 * b);
+        }
+        std::memcpy(&out[i], &bits, sizeof(double));
+      }
+    }
+    pos_ += n * sizeof(double);
+    return Status::ok();
   }
 
   Result<Bytes> bytes() {

@@ -1,5 +1,8 @@
 #include "services/aida_manager.hpp"
 
+#include <algorithm>
+#include <future>
+
 #include "common/clock.hpp"
 #include "common/log.hpp"
 
@@ -94,40 +97,58 @@ void AidaManager::forget_engine(const std::string& session_id,
 }
 
 Result<ser::Bytes> AidaManager::merge_session(const SessionMerge& session) const {
-  // Deserialize every engine's latest snapshot and merge.
-  std::vector<aida::Tree> trees;
-  trees.reserve(session.engine_snapshots.size());
+  // Snapshot list in deterministic (engine-id map) order; deserialization
+  // happens inside the sub-merge tasks so it parallelizes with the merging.
+  std::vector<std::pair<const std::string*, const ser::Bytes*>> snapshots;
+  snapshots.reserve(session.engine_snapshots.size());
   for (const auto& [engine_id, bytes] : session.engine_snapshots) {
-    auto tree = aida::Tree::deserialize(bytes);
-    IPA_RETURN_IF_ERROR(tree.status().with_prefix("merge: engine " + engine_id));
-    trees.push_back(std::move(*tree));
+    snapshots.emplace_back(&engine_id, &bytes);
   }
-  if (trees.empty()) return aida::Tree().serialize();
+  if (snapshots.empty()) return aida::Tree().serialize();
 
-  const auto merge_range = [this](std::vector<aida::Tree>& group) -> Result<aida::Tree> {
+  const auto merge_group = [&](std::size_t begin, std::size_t end) -> Result<aida::Tree> {
     aida::Tree merged;
-    for (aida::Tree& tree : group) {
-      IPA_RETURN_IF_ERROR(merged.merge(tree));
-      ++merges_;
+    for (std::size_t i = begin; i < end; ++i) {
+      auto tree = aida::Tree::deserialize(*snapshots[i].second);
+      IPA_RETURN_IF_ERROR(tree.status().with_prefix("merge: engine " + *snapshots[i].first));
+      IPA_RETURN_IF_ERROR(merged.merge(*tree));
+      merges_.fetch_add(1, std::memory_order_relaxed);
     }
     return merged;
   };
 
-  if (merge_fan_in_ == 0 || trees.size() <= merge_fan_in_) {
-    IPA_ASSIGN_OR_RETURN(aida::Tree merged, merge_range(trees));
+  if (merge_fan_in_ == 0 || snapshots.size() <= merge_fan_in_) {
+    IPA_ASSIGN_OR_RETURN(aida::Tree merged, merge_group(0, snapshots.size()));
     return merged.serialize();
   }
 
-  // Two-level hierarchy: sub-mergers of bounded fan-in, then the top level.
-  std::vector<aida::Tree> sub_results;
-  for (std::size_t begin = 0; begin < trees.size(); begin += merge_fan_in_) {
-    const std::size_t end = std::min(begin + merge_fan_in_, trees.size());
-    std::vector<aida::Tree> group(std::make_move_iterator(trees.begin() + static_cast<long>(begin)),
-                                  std::make_move_iterator(trees.begin() + static_cast<long>(end)));
-    IPA_ASSIGN_OR_RETURN(aida::Tree sub, merge_range(group));
-    sub_results.push_back(std::move(sub));
+  // Two-level hierarchy: sub-mergers of bounded fan-in fan out onto the
+  // shared pool; the top level then merges the sub-results sequentially in
+  // group order, so the result is independent of task scheduling.
+  if (!merge_pool_) {
+    const std::size_t threads =
+        std::min<std::size_t>(4, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+    merge_pool_ = std::make_unique<ThreadPool>(threads);
   }
-  IPA_ASSIGN_OR_RETURN(aida::Tree merged, merge_range(sub_results));
+  std::vector<std::future<Result<aida::Tree>>> futures;
+  for (std::size_t begin = 0; begin < snapshots.size(); begin += merge_fan_in_) {
+    const std::size_t end = std::min(begin + merge_fan_in_, snapshots.size());
+    futures.push_back(merge_pool_->submit([&merge_group, begin, end] {
+      return merge_group(begin, end);
+    }));
+  }
+  // Collect every future before acting on errors: the tasks alias this
+  // frame's `snapshots`, which must outlive all of them.
+  std::vector<Result<aida::Tree>> subs;
+  subs.reserve(futures.size());
+  for (auto& future : futures) subs.push_back(future.get());
+
+  aida::Tree merged;
+  for (auto& sub : subs) {
+    IPA_RETURN_IF_ERROR(sub.status());
+    IPA_RETURN_IF_ERROR(merged.merge(*sub));
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
   return merged.serialize();
 }
 

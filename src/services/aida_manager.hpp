@@ -13,6 +13,7 @@
 // merge_fan_in == 0 disables the hierarchy (single-level merge).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "aida/tree.hpp"
+#include "common/thread_pool.hpp"
 #include "services/protocol.hpp"
 
 namespace ipa::services {
@@ -63,7 +65,7 @@ class AidaManager {
 
   /// Number of pairwise tree merges performed since construction — the
   /// cost metric for the bench_merge ablation.
-  std::uint64_t merges_performed() const { return merges_; }
+  std::uint64_t merges_performed() const { return merges_.load(std::memory_order_relaxed); }
 
  private:
   struct EngineHealth {
@@ -86,7 +88,11 @@ class AidaManager {
   std::size_t merge_fan_in_;
   mutable std::mutex mutex_;
   std::map<std::string, SessionMerge> sessions_;
-  mutable std::uint64_t merges_ = 0;
+  // Sub-merge tasks run concurrently on the pool; atomic so their counting
+  // doesn't race (the pool is created lazily on the first hierarchical
+  // merge and bounds concurrency independent of the session's group count).
+  mutable std::atomic<std::uint64_t> merges_{0};
+  mutable std::unique_ptr<ThreadPool> merge_pool_;
 };
 
 }  // namespace ipa::services

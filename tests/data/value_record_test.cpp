@@ -120,6 +120,60 @@ TEST(Record, SizeHintTracksContent) {
   EXPECT_GT(large.encoded_size_hint(), small.encoded_size_hint() + 900);
 }
 
+TEST(Record, SizeHintCoversActualEncodingForVecAndString) {
+  Record record(99);
+  record.set("mass", 125.3);
+  record.set("n", std::int64_t{-40});
+  record.set("seq", std::string(300, 'g'));
+  record.set("p4", Value::RealVec(50, 1.25));
+  ser::Writer w;
+  record.encode(w);
+  // The hint feeds buffer reservations, so it must not undershoot for
+  // string- and vector-heavy records.
+  EXPECT_GE(record.encoded_size_hint(), w.data().size());
+  EXPECT_LE(record.encoded_size_hint(), w.data().size() * 2 + 64);
+}
+
+TEST(Record, WideRecordLookupUsesSortedPath) {
+  // Past kLinearLookupMax fields, find() switches to the sorted index; the
+  // answers must not change.
+  Record record;
+  for (int i = 0; i < 3 * static_cast<int>(Record::kLinearLookupMax); ++i) {
+    record.set("field" + std::to_string(i), static_cast<double>(i));
+  }
+  for (int i = 0; i < 3 * static_cast<int>(Record::kLinearLookupMax); ++i) {
+    EXPECT_DOUBLE_EQ(record.real_or("field" + std::to_string(i), -1), i);
+  }
+  EXPECT_EQ(record.find("absent"), nullptr);
+  // Overwrites and appends after lookups keep the index coherent.
+  record.set("field5", 500.0);
+  record.set("brand-new", 7.0);
+  EXPECT_DOUBLE_EQ(record.real_or("field5"), 500.0);
+  EXPECT_DOUBLE_EQ(record.real_or("brand-new"), 7.0);
+}
+
+TEST(Record, DuplicateNamesFromDecodeResolveToFirst) {
+  // decode() does not dedupe, so duplicate names can exist; both the linear
+  // and the sorted lookup must resolve to the first occurrence.
+  for (const int filler : {0, 20}) {  // 0 → linear scan; 20 → sorted path
+    ser::Writer w;
+    w.varint(1);  // index
+    w.varint(static_cast<std::uint64_t>(filler) + 2);
+    w.string("dup");
+    Value(1.0).encode(w);
+    for (int i = 0; i < filler; ++i) {
+      w.string("f" + std::to_string(i));
+      Value(static_cast<double>(i)).encode(w);
+    }
+    w.string("dup");
+    Value(2.0).encode(w);
+    ser::Reader r(w.data());
+    auto record = Record::decode(r);
+    ASSERT_TRUE(record.is_ok());
+    EXPECT_DOUBLE_EQ(record->real_or("dup", -1), 1.0) << "filler " << filler;
+  }
+}
+
 TEST(Crc32, KnownVectors) {
   // "123456789" -> 0xCBF43926 (standard check value).
   EXPECT_EQ(Crc32::of("123456789", 9), 0xcbf43926u);

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against checked-in baselines.
+
+Usage: tools/bench_diff.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+
+BASELINE is the regression-gate file (BENCH_batch.json): its `gates` list
+holds benchmark names with the items-per-second floor they must sustain.
+CURRENT files are `--benchmark_out` JSON from the binaries. A benchmark
+regresses when its items_per_second drops below floor * (1 - tolerance).
+Gated benchmarks missing from the current run fail the gate (a renamed
+benchmark must come with a baseline update). Exit code 1 on any regression.
+"""
+import json
+import sys
+
+
+def load_results(paths):
+    results = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            results[bench["name"]] = bench
+    return results
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    current = load_results(argv[2:])
+
+    tolerance = baseline.get("tolerance", 0.15)
+    failures = []
+    print(f"{'benchmark':44} {'floor':>12} {'current':>12}  verdict")
+    for gate in baseline["gates"]:
+        name, floor = gate["name"], gate["min_items_per_second"]
+        bench = current.get(name)
+        if bench is None:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:44} {floor:12.3e} {'absent':>12}  FAIL")
+            continue
+        ips = bench.get("items_per_second")
+        if ips is None:
+            failures.append(f"{name}: no items_per_second counter")
+            print(f"{name:44} {floor:12.3e} {'no-items':>12}  FAIL")
+            continue
+        threshold = floor * (1.0 - tolerance)
+        ok = ips >= threshold
+        print(f"{name:44} {floor:12.3e} {ips:12.3e}  {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: {ips:.3e} items/s < {threshold:.3e} "
+                f"(floor {floor:.3e} - {tolerance:.0%})")
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo verification: the tier-1 build-and-test pass, then one sanitizer
-# configuration over the fault-sensitive suites (chaos, net, rpc).
+# Repo verification: the tier-1 build-and-test pass, one sanitizer
+# configuration over the fault-sensitive suites (chaos, net, rpc), and a
+# Release build + smoke run of the hot-path benchmarks (full regression
+# gating against BENCH_batch.json lives in tools/bench.sh).
 #
 # Usage: tools/check.sh [address|thread|undefined]
 #   The optional argument picks the sanitizer for the second pass
@@ -21,5 +23,15 @@ cmake -B "build-${san}" -S . -DIPA_SANITIZE="${san}" >/dev/null
 cmake --build "build-${san}" -j "$jobs" \
   --target ipa_test_chaos ipa_test_net ipa_test_rpc
 (cd "build-${san}" && ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc')
+
+echo "== tier 3: Release bench build + smoke run =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$jobs" \
+  --target bench_engine bench_merge bench_hist
+for bench in bench_engine bench_merge bench_hist; do
+  # One rep per benchmark: catches crashes/asserts without the multi-minute
+  # timed run (the older benchmark lib wants a plain double for min_time).
+  "build-release/bench/$bench" --benchmark_min_time=0.01 >/dev/null
+done
 
 echo "== all checks passed =="
