@@ -2,14 +2,23 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 namespace ipa::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
-std::atomic<SinkFn> g_sink{nullptr};
+// shared_ptr so an emit in flight keeps the sink it grabbed alive even if
+// another thread swaps it mid-call.
+std::mutex g_sink_mutex;
+std::shared_ptr<const SinkFn> g_sink;  // guarded by g_sink_mutex
 std::mutex g_emit_mutex;
+
+std::shared_ptr<const SinkFn> current_sink() {
+  std::lock_guard lock(g_sink_mutex);
+  return g_sink;
+}
 
 }  // namespace
 
@@ -27,7 +36,14 @@ std::string_view to_string(Level level) {
 
 Level global_level() { return g_level.load(std::memory_order_relaxed); }
 void set_global_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
-void set_sink(SinkFn sink) { g_sink.store(sink, std::memory_order_relaxed); }
+SinkFn set_sink(SinkFn sink) {
+  auto next = sink ? std::make_shared<const SinkFn>(std::move(sink))
+                   : std::shared_ptr<const SinkFn>();
+  std::lock_guard lock(g_sink_mutex);
+  std::shared_ptr<const SinkFn> prev = std::move(g_sink);
+  g_sink = std::move(next);
+  return prev ? *prev : SinkFn();
+}
 
 namespace detail {
 
@@ -40,8 +56,8 @@ LineBuilder::LineBuilder(Level level, const char* file, int line) : level_(level
 
 LineBuilder::~LineBuilder() {
   std::string line = stream_.str();
-  if (SinkFn sink = g_sink.load(std::memory_order_relaxed)) {
-    sink(level_, line);
+  if (auto sink = current_sink()) {
+    (*sink)(level_, line);
     return;
   }
   std::lock_guard lock(g_emit_mutex);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -22,10 +23,16 @@ std::string_view to_string(Level level);
 Level global_level();
 void set_global_level(Level level);
 
-/// Sink override for tests: when set, formatted lines go here instead of
-/// stderr. Pass nullptr to restore stderr. Not owned.
-using SinkFn = void (*)(Level, const std::string& line);
-void set_sink(SinkFn sink);
+/// Sink override: when set, formatted lines go here instead of stderr.
+/// A std::function so sinks can capture state (test capture buffers, the
+/// metrics layer's per-level line counters). Pass an empty function (or
+/// nullptr) to restore stderr.
+///
+/// Thread-safe: the sink may be swapped while other threads emit; an
+/// in-flight emit keeps the sink it started with alive until the call
+/// returns. Returns the previously installed sink so wrappers can chain.
+using SinkFn = std::function<void(Level, const std::string& line)>;
+SinkFn set_sink(SinkFn sink);
 
 namespace detail {
 

@@ -1,8 +1,40 @@
 #include "engine/engine.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipa::engine {
+namespace {
+
+/// Handles resolved once per process: the batch loop is the bench-gated hot
+/// path, so each batch costs a few relaxed atomic adds and nothing else.
+struct EngineMetrics {
+  obs::Counter& records;
+  obs::Counter& batches;
+  obs::Histogram& batch_records;
+  obs::Counter& pauses;
+  obs::Counter& snapshots;
+
+  static EngineMetrics& instance() {
+    static EngineMetrics* m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return new EngineMetrics{
+          r.counter("ipa_engine_records_processed_total", {},
+                    "Records pushed through analysis engines."),
+          r.counter("ipa_engine_batches_total", {}, "Record batches processed."),
+          r.histogram("ipa_engine_batch_records", {}, obs::exponential_bounds(1, 4, 10),
+                      "Records per processed batch."),
+          r.counter("ipa_engine_pauses_total", {},
+                    "Engine pauses (control verb or run budget exhausted)."),
+          r.counter("ipa_engine_snapshots_total", {},
+                    "Histogram snapshots emitted to the manager."),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(EngineState state) {
   switch (state) {
@@ -126,6 +158,7 @@ Status AnalysisEngine::pause() {
     return failed_precondition("engine: not running");
   }
   state_ = EngineState::kPaused;
+  EngineMetrics::instance().pauses.inc();
   cv_.notify_all();
   return Status::ok();
 }
@@ -301,6 +334,10 @@ void AnalysisEngine::process_loop() {
       return;
     }
     processed_.fetch_add(*appended, std::memory_order_relaxed);
+    EngineMetrics& metrics = EngineMetrics::instance();
+    metrics.records.inc(*appended);
+    metrics.batches.inc();
+    metrics.batch_records.observe(static_cast<double>(*appended));
 
     since_snapshot += *appended;
     if (since_snapshot >= config_.snapshot_every) {
@@ -316,6 +353,7 @@ void AnalysisEngine::process_loop() {
         run_budget_ -= *appended;
         if (run_budget_ == 0) {
           state_ = EngineState::kPaused;
+          EngineMetrics::instance().pauses.inc();
           lock.unlock();
           emit_snapshot_locked();
           cv_.notify_all();
@@ -350,6 +388,7 @@ void AnalysisEngine::emit_snapshot_locked() {
     bytes = tree_.serialize();
   }
   ++snapshots_;
+  EngineMetrics::instance().snapshots.inc();
   handler(bytes, progress());
 }
 

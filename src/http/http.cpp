@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "net/socket_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipa::http {
 
@@ -300,6 +301,20 @@ void Server::serve_connection(int fd, std::string peer) {
     if (response.reason.empty()) response.reason = reason_phrase(response.status);
     response.headers["Connection"] = keep_alive ? "keep-alive" : "close";
     const std::string wire = response.serialize();
+    obs::Registry& registry = obs::Registry::global();
+    registry
+        .counter("ipa_http_requests_total",
+                 {{"method", request.method}, {"status", std::to_string(response.status)}},
+                 "HTTP requests served, by method and status code.")
+        .inc();
+    registry
+        .counter("ipa_http_request_bytes_total", {},
+                 "HTTP request body bytes received by servers in this process.")
+        .inc(request.body.size());
+    registry
+        .counter("ipa_http_response_bytes_total", {},
+                 "HTTP response bytes (headers included) written by servers.")
+        .inc(wire.size());
     ++served_;  // counted before the write so it is visible once the
                 // client has the response in hand
     if (!net::write_all(fd, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size())

@@ -9,11 +9,24 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace ipa::net {
 namespace {
 
 constexpr std::string_view kChaosPrefix = "chaos+";
+
+/// Every acted-on fault is counted, so chaos tests can assert the injection
+/// schedule actually fired and /metrics shows what the run endured.
+void count_fault(Fault fault, bool is_send) {
+  if (fault == Fault::kNone) return;
+  obs::Registry::global()
+      .counter("ipa_fault_injected_total",
+               {{"kind", std::string(to_string(fault))},
+                {"dir", is_send ? "send" : "receive"}},
+               "Chaos faults injected by the fault transport, by kind and direction.")
+      .inc();
+}
 
 /// Process-global dial counters: one ordinal sequence per endpoint name, so
 /// connection schedules are reproducible run to run.
@@ -80,7 +93,9 @@ class FaultConnection final : public Connection {
 
   Status send(const ser::Bytes& frame) override {
     if (broken_.load()) return unavailable("chaos: injected disconnect");
-    switch (stream_.next(/*is_send=*/true)) {
+    const Fault fault = stream_.next(/*is_send=*/true);
+    count_fault(fault, /*is_send=*/true);
+    switch (fault) {
       case Fault::kDisconnect:
         break_connection();
         return unavailable("chaos: injected disconnect");
@@ -110,7 +125,9 @@ class FaultConnection final : public Connection {
         if (remaining <= 0) return deadline_exceeded("chaos: receive timeout");
       }
       IPA_ASSIGN_OR_RETURN(ser::Bytes frame, inner_->receive(remaining));
-      switch (stream_.next(/*is_send=*/false)) {
+      const Fault fault = stream_.next(/*is_send=*/false);
+      count_fault(fault, /*is_send=*/false);
+      switch (fault) {
         case Fault::kDisconnect:
           break_connection();
           return unavailable("chaos: injected disconnect");

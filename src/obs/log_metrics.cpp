@@ -1,0 +1,39 @@
+#include "obs/log_metrics.hpp"
+
+#include <array>
+#include <cstdio>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace ipa::obs {
+
+void install_log_metrics(Registry& registry) {
+  static std::once_flag once;
+  std::call_once(once, [&registry] {
+    // One counter handle per level, resolved up front so the sink itself
+    // never touches the registry mutex.
+    auto counters = std::make_shared<std::array<Counter*, 5>>();
+    static constexpr const char* kLevels[5] = {"trace", "debug", "info", "warn", "error"};
+    for (int i = 0; i < 5; ++i) {
+      (*counters)[static_cast<std::size_t>(i)] = &registry.counter(
+          "ipa_log_lines_total", {{"level", kLevels[i]}}, "Log lines emitted, by level.");
+    }
+    // Detach the current sink so we can chain to it; emits in the brief
+    // window between the two set_sink calls fall back to stderr.
+    log::SinkFn prev = log::set_sink(nullptr);
+    log::set_sink([counters, prev = std::move(prev)](log::Level level,
+                                                     const std::string& line) {
+      const int index = static_cast<int>(level);
+      if (index >= 0 && index < 5) (*counters)[static_cast<std::size_t>(index)]->inc();
+      if (prev) {
+        prev(level, line);
+        return;
+      }
+      std::fputs(line.c_str(), stderr);
+      std::fputc('\n', stderr);
+    });
+  });
+}
+
+}  // namespace ipa::obs

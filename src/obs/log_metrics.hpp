@@ -1,0 +1,15 @@
+// First consumer of the std::function log sink: counts emitted lines per
+// level into ipa_log_lines_total{level=...}, then chains to whatever sink
+// was installed before it (or stderr when none was).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace ipa::obs {
+
+/// Install the counting sink once per process (idempotent; later calls are
+/// no-ops, including with a different registry). Wraps — does not replace —
+/// the sink installed at call time.
+void install_log_metrics(Registry& registry = Registry::global());
+
+}  // namespace ipa::obs

@@ -1,0 +1,263 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ipa::obs {
+namespace {
+
+/// Canonical map key for a (sorted) label set: k1=v1,k2=v2 with separators
+/// escaped so distinct label sets cannot collide.
+std::string label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+void sort_labels(Labels& labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral values render without a fractional part (Prometheus accepts
+  // both; this keeps counters readable).
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string render_labels(const Labels& labels, const std::string& extra_key = "",
+                          const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> exponential_bounds(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_bounds() {
+  // 100us -> ~1000s in half-decade steps: wide enough for RPC hops and for
+  // the paper's multi-minute staging phases in one ladder.
+  return {1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 0.1, 0.316,
+          1.0,  3.16,    10.0, 31.6,    100.0, 316.0,  1000.0};
+}
+
+Registry::Family& Registry::family_locked(std::string_view name, MetricKind kind,
+                                          std::string_view help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  } else {
+    assert(it->second.kind == kind && "metric family redefined with a different kind");
+    if (it->second.help.empty() && !help.empty()) it->second.help = std::string(help);
+  }
+  return it->second;
+}
+
+Registry::Series& Registry::series_locked(Family& family, Labels&& labels) {
+  sort_labels(labels);
+  const std::string key = label_key(labels);
+  auto it = family.series.find(key);
+  if (it == family.series.end()) {
+    Series series;
+    series.labels = std::move(labels);
+    it = family.series.emplace(key, std::move(series)).first;
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, MetricKind::kCounter, help);
+  Series& series = series_locked(family, std::move(labels));
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, MetricKind::kGauge, help);
+  Series& series = series_locked(family, std::move(labels));
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               std::vector<double> upper_bounds, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, MetricKind::kHistogram, help);
+  if (family.upper_bounds.empty()) {
+    family.upper_bounds =
+        upper_bounds.empty() ? default_latency_bounds() : std::move(upper_bounds);
+    std::sort(family.upper_bounds.begin(), family.upper_bounds.end());
+    family.upper_bounds.erase(
+        std::unique(family.upper_bounds.begin(), family.upper_bounds.end()),
+        family.upper_bounds.end());
+  }
+  Series& series = series_locked(family, std::move(labels));
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>(family.upper_bounds);
+  return *series.histogram;
+}
+
+std::vector<FamilySnapshot> Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family.help;
+    fs.kind = family.kind;
+    fs.upper_bounds = family.upper_bounds;
+    for (const auto& [key, series] : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          ss.value = series.counter ? static_cast<double>(series.counter->value()) : 0;
+          break;
+        case MetricKind::kGauge:
+          ss.value = series.gauge ? series.gauge->value() : 0;
+          break;
+        case MetricKind::kHistogram:
+          if (series.histogram) {
+            const Histogram& h = *series.histogram;
+            ss.bucket_counts.reserve(h.upper_bounds().size() + 1);
+            for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+              ss.bucket_counts.push_back(h.bucket_count(i));
+            }
+            ss.count = h.count();
+            ss.sum = h.sum();
+          }
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+std::string Registry::render_prometheus() const {
+  const std::vector<FamilySnapshot> families = snapshot();
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " " + kind_name(family.kind) + "\n";
+    for (const SeriesSnapshot& series : family.series) {
+      if (family.kind != MetricKind::kHistogram) {
+        out += family.name + render_labels(series.labels) + " " +
+               format_double(series.value) + "\n";
+        continue;
+      }
+      // Histogram: cumulative buckets, then sum and count.
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < family.upper_bounds.size(); ++i) {
+        cumulative += i < series.bucket_counts.size() ? series.bucket_counts[i] : 0;
+        out += family.name + "_bucket" +
+               render_labels(series.labels, "le", format_double(family.upper_bounds[i])) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      cumulative += family.upper_bounds.size() < series.bucket_counts.size()
+                        ? series.bucket_counts[family.upper_bounds.size()]
+                        : 0;
+      out += family.name + "_bucket" + render_labels(series.labels, "le", "+Inf") + " " +
+             std::to_string(cumulative) + "\n";
+      out += family.name + "_sum" + render_labels(series.labels) + " " +
+             format_double(series.sum) + "\n";
+      out += family.name + "_count" + render_labels(series.labels) + " " +
+             std::to_string(series.count) + "\n";
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+}  // namespace ipa::obs

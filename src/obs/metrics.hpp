@@ -1,0 +1,159 @@
+// Process-wide metrics: named counter / gauge / histogram families with
+// labels, rendered in Prometheus text-exposition format.
+//
+// The paper's whole evaluation (§4, Tables 1-2, Figure 5) is a per-phase
+// timing breakdown, but the live system had no in-band measurement — only
+// the offline gridsim replay. This registry is the in-band side: every
+// layer (http, rpc, engine, services) records into one process-global
+// Registry which the site serves at GET /metrics.
+//
+// Cost model: series handles are plain atomics — inc()/observe() on the hot
+// path touch no lock. Only *creating* a family or a labeled series takes
+// the registry mutex, so callers on hot paths resolve their handles once
+// and keep the reference (handles are never invalidated; series storage is
+// node-based).
+//
+// Naming scheme (see docs/observability.md): ipa_<layer>_<what>_<unit>,
+// counters end in _total, histograms in _seconds/_records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipa::obs {
+
+/// Label set of one series. Kept sorted by key on entry to the registry so
+/// {a=1,b=2} and {b=2,a=1} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value (set/add; CAS loop keeps add() lock-free on
+/// platforms without atomic double fetch_add).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: upper bounds chosen at family creation, counts
+/// and sum updated atomically per observation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one series, for /metrics rendering and tests.
+struct SeriesSnapshot {
+  Labels labels;
+  // Counter/gauge value.
+  double value = 0;
+  // Histogram-only.
+  std::vector<std::uint64_t> bucket_counts;  // non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<double> upper_bounds;  // histogram families only
+  std::vector<SeriesSnapshot> series;
+};
+
+/// Latency bucket ladder suitable for both sub-millisecond RPC hops and
+/// multi-minute staging phases: 100us .. ~1000s, x~3.16 per step.
+std::vector<double> default_latency_bounds();
+/// Exponential ladder: start, start*factor, ... (count bounds).
+std::vector<double> exponential_bounds(double start, double factor, int count);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. The kind and (for histograms) bucket bounds are fixed
+  /// by the first call for a family name; a later call with a conflicting
+  /// kind aborts via assert in debug and returns the existing family's
+  /// series in release (misuse is a programming error, not runtime input).
+  Counter& counter(std::string_view name, Labels labels = {}, std::string_view help = "");
+  Gauge& gauge(std::string_view name, Labels labels = {}, std::string_view help = "");
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::vector<double> upper_bounds = {}, std::string_view help = "");
+
+  /// Stable copy of every family and series, families in name order.
+  std::vector<FamilySnapshot> snapshot() const;
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE comments,
+  /// one line per sample, histogram series expanded into cumulative
+  /// _bucket{le=...} plus _sum and _count.
+  std::string render_prometheus() const;
+
+  /// The process-global registry served at /metrics.
+  static Registry& global();
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> upper_bounds;
+    std::map<std::string, Series> series;  // canonical label key -> series
+  };
+
+  Family& family_locked(std::string_view name, MetricKind kind, std::string_view help);
+  Series& series_locked(Family& family, Labels&& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace ipa::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+namespace ipa::obs {
+namespace {
+
+thread_local TraceContext t_current{};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void set_current(TraceContext context) { t_current = context; }
+
+}  // namespace
+
+TraceContext current_trace() { return t_current; }
+
+std::uint64_t new_trace_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  std::uint64_t id = 0;
+  while (id == 0) {  // 0 is the "no trace" sentinel
+    id = splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanRing::record(SpanRecord span) {
+  std::lock_guard lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> SpanRing::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_) once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanRing::snapshot_session(const std::string& session) const {
+  std::vector<SpanRecord> all = snapshot();
+  std::vector<SpanRecord> out;
+  for (auto& span : all) {
+    if (span.session == session) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::uint64_t SpanRing::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+SpanRing& SpanRing::global() {
+  static SpanRing* ring = new SpanRing(4096);  // leaked: outlives all users
+  return *ring;
+}
+
+TraceContextScope::TraceContextScope(TraceContext context) : prev_(current_trace()) {
+  set_current(context.valid() ? context : TraceContext{});
+}
+
+TraceContextScope::~TraceContextScope() { set_current(prev_); }
+
+ScopedSpan::ScopedSpan(std::string name, const Clock& clock, SpanRing& ring,
+                       std::string session)
+    : clock_(&clock), ring_(&ring), prev_(current_trace()) {
+  record_.name = std::move(name);
+  record_.session = std::move(session);
+  record_.trace_id = prev_.valid() ? prev_.trace_id : new_trace_id();
+  record_.span_id = new_trace_id();
+  record_.parent_id = prev_.valid() ? prev_.span_id : 0;
+  record_.start_s = clock_->now();
+  set_current({record_.trace_id, record_.span_id});
+}
+
+ScopedSpan::~ScopedSpan() {
+  record_.end_s = clock_->now();
+  set_current(prev_);
+  ring_->record(std::move(record_));
+}
+
+void ScopedSpan::set_status(const Status& status) {
+  if (status.is_ok()) return;
+  record_.ok = false;
+  if (record_.note.empty()) record_.note = status.to_string();
+}
+
+}  // namespace ipa::obs

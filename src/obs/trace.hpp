@@ -1,0 +1,120 @@
+// Trace spans: 64-bit trace/span ids with parent propagation, a bounded
+// ring of completed spans, and RAII timing against an ipa::Clock.
+//
+// The propagation model is deliberately small: a thread-local TraceContext
+// names the active span. ScopedSpan pushes itself as current for its
+// lifetime (parent = whatever was current), so nested scopes form the span
+// tree without any plumbing through call signatures. Cross-process hops
+// carry the context in-band — an <ipa:Trace> SOAP header and two trailing
+// varints on the binary RPC request frame — and the receiving server
+// installs it with TraceContextScope before dispatching, so client call
+// spans parent server operation spans.
+//
+// Timing goes through ipa::Clock: wall-time sites and gridsim virtual-time
+// runs (or ManualClock tests) produce spans with the same machinery.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace ipa::obs {
+
+/// The active span, as carried across call boundaries. trace_id groups one
+/// request tree; span_id is the node whose children-to-be will point at it.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+/// The calling thread's current context ({0,0} when none).
+TraceContext current_trace();
+/// Non-zero process-unique id (counter mixed through splitmix64, so ids
+/// from concurrent threads interleave without coordination).
+std::uint64_t new_trace_id();
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::string session;  // session id label, "" when not session-scoped
+  double start_s = 0;   // Clock seconds (wall or virtual)
+  double end_s = 0;
+  bool ok = true;
+  std::string note;  // error text or free-form annotation
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Bounded ring of completed spans, newest evicting oldest. The site keeps
+/// one global ring and serves it at GET /status; tests construct their own.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity = 2048);
+
+  void record(SpanRecord span);
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+  /// Retained spans for one session, oldest first.
+  std::vector<SpanRecord> snapshot_session(const std::string& session) const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_recorded() const;
+
+  static SpanRing& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;  // ring_ insertion cursor once full
+  std::uint64_t total_ = 0;
+};
+
+/// Install a specific context (e.g. decoded from a wire header) as the
+/// thread's current trace for the scope's lifetime. An invalid context
+/// installs "no trace" — a server thread handling an untraced request must
+/// not inherit a context left over from the previous request.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// RAII span: starts on construction, becomes the thread's current context,
+/// records into the ring on destruction. Continues the current trace when
+/// one is active, otherwise starts a new trace as a root span.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, const Clock& clock = WallClock::instance(),
+                      SpanRing& ring = SpanRing::global(), std::string session = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  TraceContext context() const { return {record_.trace_id, record_.span_id}; }
+  double elapsed_s() const { return clock_->now() - record_.start_s; }
+
+  void set_session(std::string session) { record_.session = std::move(session); }
+  void set_note(std::string note) { record_.note = std::move(note); }
+  /// Mark the span failed; a non-ok status also fills the note.
+  void set_status(const Status& status);
+
+ private:
+  const Clock* clock_;
+  SpanRing* ring_;
+  SpanRecord record_;
+  TraceContext prev_;
+};
+
+}  // namespace ipa::obs

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "perf/paper_model.hpp"
+
 namespace ipa::perf {
+
+ScenarioTimings ScenarioTimings::paper_prediction(double dataset_mb, int nodes) {
+  if (nodes < 1) nodes = 1;
+  ScenarioTimings t;
+  t.locate_s = 0;  // catalog lookup is below the model's resolution
+  t.split_s = PaperModel::t_split(dataset_mb);
+  t.transfer_s = PaperModel::t_move_parts(nodes);
+  t.code_stage_s = PaperModel::t_stage_code();
+  t.run_s = PaperModel::t_analyze_grid(dataset_mb, nodes);
+  t.merge_s = 0;  // merging rides inside the paper's analysis term
+  return t;
+}
 
 GridRunBreakdown simulate_grid_run(const SiteCalibration& cal, double dataset_mb, int nodes) {
   using gridsim::SimTime;

@@ -63,6 +63,34 @@ struct LocalRunBreakdown {
   double total_s = 0;
 };
 
+/// The six phases of one *live* session, in pipeline order. The
+/// observability layer (src/obs plus the services instrumentation) uses
+/// these exact field names — minus the _s suffix — as span names and as the
+/// `phase` label on ipa_session_phase_seconds, so the live-run column lines
+/// up name-for-name with the simulator and the paper model.
+struct ScenarioTimings {
+  double locate_s = 0;      // catalog lookup: logical name -> replica
+  double split_s = 0;       // splitter pass over the staged dataset
+  double transfer_s = 0;    // part distribution to the engines
+  double code_stage_s = 0;  // analysis code bundle staging
+  double run_s = 0;         // parallel analysis: run verb -> all engines terminal
+  double merge_s = 0;       // AIDA sub-tree merge fan-in
+
+  double total_s() const {
+    return locate_s + split_s + transfer_s + code_stage_s + run_s + merge_s;
+  }
+
+  /// Canonical phase label values, pipeline order.
+  static constexpr const char* kPhaseNames[6] = {"locate",     "split", "transfer",
+                                                 "code_stage", "run",   "merge"};
+
+  /// The published-equation prediction (PaperModel) on the same six fields:
+  /// locate is below the model's resolution (0), split = T_split, transfer
+  /// = T_move-parts, code_stage = T_stage-code, run = T_analyze-grid, and
+  /// merge rides inside the paper's analysis term (0).
+  static ScenarioTimings paper_prediction(double dataset_mb, int nodes);
+};
+
 /// Replay the full grid pipeline for an X-MB dataset on N nodes.
 GridRunBreakdown simulate_grid_run(const SiteCalibration& cal, double dataset_mb, int nodes);
 

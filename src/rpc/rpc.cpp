@@ -6,12 +6,26 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ipa::rpc {
 namespace {
 
 constexpr std::uint8_t kRequest = 0;
 constexpr std::uint8_t kResponse = 1;
+
+/// Read the optional trailing trace context (two varints after the payload).
+/// Frames from pre-trace clients simply end at the payload, so absence is
+/// not an error.
+obs::TraceContext read_trace_trailer(ser::Reader& r) {
+  if (r.remaining() == 0) return {};
+  auto trace_id = r.varint();
+  if (!trace_id.is_ok()) return {};
+  auto span_id = r.varint();
+  if (!span_id.is_ok()) return {};
+  return {*trace_id, *span_id};
+}
 
 ser::Bytes encode_error_response(std::uint64_t call_id, const Status& status) {
   ser::Writer w;
@@ -157,6 +171,17 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   ctx.resource = std::move(*resource);
   ctx.auth_token = std::move(*auth);
 
+  // Adopt the caller's trace for the dispatch; the method runs as a child
+  // span of the client's attempt span.
+  obs::TraceContextScope trace_scope(read_trace_trailer(r));
+  obs::ScopedSpan dispatch_span("rpc." + ctx.service + "." + ctx.method);
+  dispatch_span.set_session(ctx.resource);
+  obs::Registry::global()
+      .counter("ipa_rpc_server_requests_total",
+               {{"service", ctx.service}, {"method", ctx.method}},
+               "RPC requests dispatched by the server, by service and method.")
+      .inc();
+
   std::shared_ptr<Service> service;
   {
     std::lock_guard lock(mutex_);
@@ -180,7 +205,10 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   }
 
   auto result = service->dispatch(ctx, *payload);
-  if (!result.is_ok()) return encode_error_response(call_id, result.status());
+  if (!result.is_ok()) {
+    dispatch_span.set_status(result.status());
+    return encode_error_response(call_id, result.status());
+  }
   return encode_ok_response(call_id, *result);
 }
 
@@ -219,6 +247,9 @@ Status RpcClient::reconnect_locked(double deadline) {
   IPA_RETURN_IF_ERROR(conn.status().with_prefix("rpc: reconnect"));
   conn_ = std::move(*conn);
   ++stats_.reconnects;
+  obs::Registry::global()
+      .counter("ipa_rpc_reconnects_total", {}, "Successful client re-dials after link loss.")
+      .inc();
   IPA_LOG(debug) << "rpc: reconnected to " << endpoint_.to_string();
   return Status::ok();
 }
@@ -263,8 +294,34 @@ Result<ser::Bytes> RpcClient::attempt_locked(CallState& state, const ser::Bytes&
 Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view method,
                                    const ser::Bytes& payload, std::string_view resource,
                                    double timeout_s) {
+  // The call span covers the full deadline window: every attempt, reconnect
+  // and backoff sleep happens under it, so per-attempt spans are its
+  // children even across retries.
+  obs::ScopedSpan call_span("rpc.call." + std::string(service) + "." + std::string(method));
+  call_span.set_session(std::string(resource));
+  const obs::Labels rpc_labels = {{"service", std::string(service)},
+                                  {"method", std::string(method)}};
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& attempts_counter = registry.counter(
+      "ipa_rpc_attempts_total", rpc_labels, "Call attempts that reached the wire.");
+  obs::Counter& retries_counter = registry.counter(
+      "ipa_rpc_retries_total", rpc_labels, "Attempts after the first, per call.");
+  obs::Counter& giveups_counter = registry.counter(
+      "ipa_rpc_giveups_total", rpc_labels, "Calls that exhausted attempts or deadline.");
+  obs::Counter& deadline_counter =
+      registry.counter("ipa_rpc_deadline_exceeded_total", rpc_labels,
+                       "Calls that failed because the deadline expired.");
+  obs::Histogram& backoff_hist =
+      registry.histogram("ipa_rpc_backoff_seconds", rpc_labels, {},
+                         "Backoff sleeps between retry attempts.");
+  const auto fail = [&](Status status) -> Result<ser::Bytes> {
+    if (status.code() == StatusCode::kDeadlineExceeded) deadline_counter.inc();
+    call_span.set_status(status);
+    return status;
+  };
+
   std::lock_guard lock(*call_mutex_);
-  if (closed_) return unavailable("rpc client closed");
+  if (closed_) return fail(unavailable("rpc client closed"));
 
   const bool idempotent = MethodTraits::instance().is_idempotent(service, method);
   CallState state;
@@ -286,20 +343,46 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
 
     if (conn_) {
       state.call_id = next_call_id_++;
-      ser::Writer w;
-      w.u8(0 /* kRequest */);
-      w.varint(state.call_id);
-      w.string(service);
-      w.string(method);
-      w.string(resource);
-      w.string(auth_token_);
-      w.bytes(payload);
-
-      ++stats_.attempts;
-      if (attempt > 1) ++stats_.retries;
       bool transport_failed = false;
-      auto result = attempt_locked(state, std::move(w).take(), &transport_failed);
-      if (!transport_failed) return result;  // success or a genuine remote error
+      Result<ser::Bytes> result = unavailable("rpc: attempt not made");
+      {
+        // Each wire attempt is its own child span, so a retried call shows
+        // one call span fanning into N attempt spans.
+        obs::ScopedSpan attempt_span("rpc.attempt");
+        attempt_span.set_session(std::string(resource));
+
+        ser::Writer w;
+        w.u8(0 /* kRequest */);
+        w.varint(state.call_id);
+        w.string(service);
+        w.string(method);
+        w.string(resource);
+        w.string(auth_token_);
+        w.bytes(payload);
+        // Trailing trace context: the attempt span rides after the payload
+        // so the server's dispatch span parents to this exact attempt. Old
+        // servers never read past the payload, so the frame stays
+        // backward-compatible.
+        const obs::TraceContext trace = obs::current_trace();
+        if (trace.valid()) {
+          w.varint(trace.trace_id);
+          w.varint(trace.span_id);
+        }
+
+        ++stats_.attempts;
+        attempts_counter.inc();
+        if (attempt > 1) {
+          ++stats_.retries;
+          retries_counter.inc();
+        }
+        result = attempt_locked(state, std::move(w).take(), &transport_failed);
+        if (!result.is_ok()) attempt_span.set_status(result.status());
+      }
+      if (!transport_failed) {
+        // Success or a genuine remote error.
+        if (!result.is_ok()) call_span.set_status(result.status());
+        return result;
+      }
 
       last_error = result.status();
       // The link is suspect: drop it so no stale response can ever be
@@ -310,22 +393,26 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
       if (!idempotent) {
         // Fail fast: the request may have reached the server, so replaying
         // it is not safe. The next call will reconnect lazily.
-        if (last_error.code() == StatusCode::kDeadlineExceeded) return last_error;
-        return unavailable("rpc: " + std::string(service) + "." + std::string(method) +
-                           " transport failure (not retried): " + last_error.message());
+        if (last_error.code() == StatusCode::kDeadlineExceeded) return fail(last_error);
+        return fail(unavailable("rpc: " + std::string(service) + "." +
+                                std::string(method) +
+                                " transport failure (not retried): " + last_error.message()));
       }
     }
 
     if (attempt >= policy_.max_attempts) {
       ++stats_.giveups;
-      return last_error.with_prefix("rpc: giving up after " + std::to_string(attempt) +
-                                    " attempts");
+      giveups_counter.inc();
+      return fail(last_error.with_prefix("rpc: giving up after " + std::to_string(attempt) +
+                                         " attempts"));
     }
     const double now = WallClock::instance().now();
     if (now >= state.deadline) {
       ++stats_.giveups;
-      return deadline_exceeded("rpc: deadline exceeded after " + std::to_string(attempt) +
-                               " attempts: " + last_error.message());
+      giveups_counter.inc();
+      return fail(deadline_exceeded("rpc: deadline exceeded after " +
+                                    std::to_string(attempt) +
+                                    " attempts: " + last_error.message()));
     }
     // Exponential backoff with deterministic jitter, clipped to the deadline.
     const double jitter = 1.0 + policy_.jitter * (2.0 * backoff_rng_.uniform() - 1.0);
@@ -334,12 +421,15 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
     if (now + sleep_s >= state.deadline) {
       std::this_thread::sleep_for(std::chrono::duration<double>(state.deadline - now));
       stats_.backoff_total_s += state.deadline - now;
+      backoff_hist.observe(state.deadline - now);
       ++stats_.giveups;
-      return deadline_exceeded("rpc: deadline expired during backoff: " +
-                               last_error.message());
+      giveups_counter.inc();
+      return fail(deadline_exceeded("rpc: deadline expired during backoff: " +
+                                    last_error.message()));
     }
     std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
     stats_.backoff_total_s += sleep_s;
+    backoff_hist.observe(sleep_s);
   }
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ipa::services {
 
@@ -37,7 +39,7 @@ Status AidaManager::push(const PushRequest& request) {
   it->second.engine_snapshots[request.report.engine_id] = request.snapshot;
   it->second.reports[request.report.engine_id] = request.report;
   auto& health = it->second.health[request.report.engine_id];
-  health.last_seen = WallClock::instance().now();
+  health.last_seen = clock_->now();
   health.lost = false;  // a resurrected engine counts as alive again
   ++it->second.version;
   return Status::ok();
@@ -48,7 +50,7 @@ void AidaManager::heartbeat(const std::string& session_id, const std::string& en
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   auto& health = it->second.health[engine_id];
-  health.last_seen = WallClock::instance().now();
+  health.last_seen = clock_->now();
   health.lost = false;
 }
 
@@ -58,7 +60,7 @@ std::vector<std::string> AidaManager::stale_engines(const std::string& session_i
   std::vector<std::string> stale;
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return stale;
-  const double now = WallClock::instance().now();
+  const double now = clock_->now();
   for (const auto& [engine_id, health] : it->second.health) {
     if (health.lost || now - health.last_seen < timeout_s) continue;
     const auto report = it->second.reports.find(engine_id);
@@ -137,6 +139,15 @@ Result<ser::Bytes> AidaManager::merge_session(const SessionMerge& session) const
       return merge_group(begin, end);
     }));
   }
+  obs::Registry& registry = obs::Registry::global();
+  registry
+      .counter("ipa_aida_submerges_total", {},
+               "Sub-merge tasks dispatched by the two-level merge hierarchy.")
+      .inc(futures.size());
+  registry
+      .gauge("ipa_aida_merge_fan_in", {},
+             "Configured sub-merger fan-in (0 = single-level merge).")
+      .set(static_cast<double>(merge_fan_in_));
   // Collect every future before acting on errors: the tasks alias this
   // frame's `snapshots`, which must outlive all of them.
   std::vector<Result<aida::Tree>> subs;
@@ -169,12 +180,37 @@ Result<PollResponse> AidaManager::poll(const std::string& session_id,
     return response;
   }
   if (session.merged_cache_version != session.version) {
-    IPA_ASSIGN_OR_RETURN(session.merged_cache, merge_session(session));
+    // The rebuild is the live "merge" phase: span + histogram, accumulated
+    // per session so /status can report a ScenarioTimings-shaped total.
+    obs::ScopedSpan merge_span("merge", *clock_, obs::SpanRing::global(), session_id);
+    auto merged = merge_session(session);
+    if (!merged.is_ok()) {
+      merge_span.set_status(merged.status());
+      return merged.status();
+    }
+    session.merged_cache = std::move(*merged);
     session.merged_cache_version = session.version;
+    const double elapsed = merge_span.elapsed_s();
+    session.merge_total_s += elapsed;
+    obs::Registry& registry = obs::Registry::global();
+    registry
+        .histogram("ipa_aida_merge_seconds", {}, {},
+                   "Latency of one merged-tree rebuild across engine snapshots.")
+        .observe(elapsed);
+    registry
+        .histogram("ipa_session_phase_seconds", {{"phase", "merge"}}, {},
+                   "Live session phase durations; phases match perf::ScenarioTimings.")
+        .observe(elapsed);
   }
   response.changed = true;
   response.merged = session.merged_cache;
   return response;
+}
+
+double AidaManager::merge_seconds(const std::string& session_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? 0.0 : it->second.merge_total_s;
 }
 
 Status AidaManager::reset_session(const std::string& session_id) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "aida/tree.hpp"
+#include "common/clock.hpp"
 #include "common/thread_pool.hpp"
 #include "services/protocol.hpp"
 
@@ -28,7 +29,12 @@ namespace ipa::services {
 
 class AidaManager {
  public:
-  explicit AidaManager(std::size_t merge_fan_in = 0) : merge_fan_in_(merge_fan_in) {}
+  /// `clock` drives liveness stamps and merge timing; tests inject a
+  /// ManualClock to make heartbeat timeouts and merge latency deterministic.
+  /// The clock must outlive the manager.
+  explicit AidaManager(std::size_t merge_fan_in = 0,
+                       const Clock& clock = WallClock::instance())
+      : merge_fan_in_(merge_fan_in), clock_(&clock) {}
 
   /// Create merge state for a session.
   Status open_session(const std::string& session_id);
@@ -67,6 +73,10 @@ class AidaManager {
   /// cost metric for the bench_merge ablation.
   std::uint64_t merges_performed() const { return merges_.load(std::memory_order_relaxed); }
 
+  /// Accumulated time spent rebuilding a session's merged tree (the live
+  /// "merge" phase, summed over every poll that re-merged).
+  double merge_seconds(const std::string& session_id) const;
+
  private:
   struct EngineHealth {
     double last_seen = 0;  // WallClock seconds of the last ready/push/heartbeat
@@ -81,11 +91,13 @@ class AidaManager {
     // Cached merged tree, rebuilt lazily on poll after a push.
     mutable ser::Bytes merged_cache;
     mutable std::uint64_t merged_cache_version = 0;
+    mutable double merge_total_s = 0;  // live "merge" phase accumulator
   };
 
   Result<ser::Bytes> merge_session(const SessionMerge& session) const;
 
   std::size_t merge_fan_in_;
+  const Clock* clock_;
   mutable std::mutex mutex_;
   std::map<std::string, SessionMerge> sessions_;
   // Sub-merge tasks run concurrently on the pool; atomic so their counting

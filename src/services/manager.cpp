@@ -5,6 +5,9 @@
 #include "common/ids.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "obs/log_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ipa::services {
 
@@ -40,15 +43,92 @@ role.student.max_nodes = 2
 role.student.queue = batch
 )";
 
+/// One histogram family for every live phase; the `phase` label values are
+/// exactly perf::ScenarioTimings field names.
+obs::Histogram& phase_histogram(const char* phase) {
+  return obs::Registry::global().histogram(
+      "ipa_session_phase_seconds", {{"phase", phase}}, {},
+      "Live session phase durations; phases match perf::ScenarioTimings.");
+}
+
+/// Times one synchronous pipeline phase: a session-labeled span (child of
+/// the surrounding SOAP op span), a phase-histogram sample and the
+/// session's accumulated ScenarioTimings entry — recorded even when the
+/// phase fails, so a stuck phase still shows up in the breakdown.
+class PhaseTimer {
+ public:
+  PhaseTimer(const char* phase, std::shared_ptr<Session> session, const Clock& clock)
+      : phase_(phase),
+        session_(std::move(session)),
+        span_(phase, clock, obs::SpanRing::global(), session_->id()) {}
+
+  ~PhaseTimer() {
+    const double elapsed = span_.elapsed_s();
+    session_->record_phase(phase_, elapsed);
+    phase_histogram(phase_).observe(elapsed);
+  }
+
+  void set_status(const Status& status) { span_.set_status(status); }
+
+ private:
+  const char* phase_;
+  std::shared_ptr<Session> session_;
+  obs::ScopedSpan span_;
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex_id(std::uint64_t id) { return strings::format("%016llx", (unsigned long long)id); }
+
+/// Value of one query parameter in a request target ("" when absent).
+std::string query_param(const std::string& target, const std::string& key) {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) return pair.substr(eq + 1);
+    pos = amp + 1;
+  }
+  return "";
+}
+
 }  // namespace
 
 ManagerNode::ManagerNode(ManagerConfig config)
     : config_(std::move(config)),
       authority_("ipa-vo", config_.vo_secret),
       splitter_(config_.staging_dir),
-      aida_(config_.merge_fan_in),
+      aida_(config_.merge_fan_in,
+            config_.clock != nullptr ? *config_.clock : WallClock::instance()),
       compute_(std::make_unique<LocalComputeElement>(config_.engine_config,
                                                      config_.heartbeat_interval_s)) {}
+
+const Clock& ManagerNode::clock() const {
+  return config_.clock != nullptr ? *config_.clock : WallClock::instance();
+}
 
 ManagerNode::~ManagerNode() { stop(); }
 
@@ -85,6 +165,7 @@ Status ManagerNode::initialize() {
     return identity->subject;
   });
   register_soap_operations();
+  register_observability_routes();
   IPA_RETURN_IF_ERROR(soap_->start().status());
 
   if (config_.monitor_interval_s > 0) {
@@ -222,6 +303,108 @@ void ManagerNode::handle_dead_engine(const std::shared_ptr<Session>& session,
 }
 
 // ---------------------------------------------------------------------------
+// Observability endpoints (served by the SOAP server's HTTP listener)
+// ---------------------------------------------------------------------------
+
+void ManagerNode::register_observability_routes() {
+  // The log layer's first metrics consumer: per-level line counters.
+  obs::install_log_metrics();
+  // Prefix patterns: route matching sees the full request target, so exact
+  // routes would miss "/status?session=...".
+  soap_->http().route("/metrics*", [](const http::Request&) {
+    return http::Response::make(200, obs::Registry::global().render_prometheus(),
+                                "text/plain; version=0.0.4; charset=utf-8");
+  });
+  soap_->http().route("/status*",
+                      [this](const http::Request& req) { return handle_status(req); });
+}
+
+http::Response ManagerNode::handle_status(const http::Request& request) {
+  const std::string filter = query_param(request.target, "session");
+  std::vector<std::string> ids;
+  if (filter.empty()) {
+    ids = sessions_.ids();
+  } else {
+    ids.push_back(filter);
+  }
+
+  std::string body = "{\"sessions\":[";
+  bool first_session = true;
+  for (const std::string& id : ids) {
+    auto session = sessions_.find(id);
+    if (!session.is_ok()) {
+      if (!filter.empty()) {
+        return http::Response::make(404, "{\"error\":\"no session '" + json_escape(id) + "'\"}",
+                                    "application/json");
+      }
+      continue;  // closed between ids() and find()
+    }
+    perf::ScenarioTimings timings = (*session)->phase_timings();
+    // The merge phase accumulates on the AIDA manager side.
+    timings.merge_s = aida_.merge_seconds(id);
+
+    if (!first_session) body += ',';
+    first_session = false;
+    body += "{\"id\":\"" + json_escape(id) + "\"";
+    body += ",\"state\":\"" + std::string(to_string((*session)->state())) + "\"";
+    body += ",\"dataset\":\"" + json_escape((*session)->dataset_id()) + "\"";
+    body += ",\"degraded\":" + std::string((*session)->degraded() ? "true" : "false");
+    body += ",\"phases\":{";
+    const double values[6] = {timings.locate_s, timings.split_s,     timings.transfer_s,
+                              timings.code_stage_s, timings.run_s, timings.merge_s};
+    for (int i = 0; i < 6; ++i) {
+      if (i != 0) body += ',';
+      body += "\"" + std::string(perf::ScenarioTimings::kPhaseNames[i]) +
+              "\":" + strings::format("%.6f", values[i]);
+    }
+    body += "},\"total\":" + strings::format("%.6f", timings.total_s());
+    body += ",\"spans\":[";
+    bool first_span = true;
+    for (const obs::SpanRecord& span : obs::SpanRing::global().snapshot_session(id)) {
+      if (!first_span) body += ',';
+      first_span = false;
+      body += "{\"name\":\"" + json_escape(span.name) + "\"";
+      body += ",\"trace\":\"" + hex_id(span.trace_id) + "\"";
+      body += ",\"span\":\"" + hex_id(span.span_id) + "\"";
+      body += ",\"parent\":\"" + hex_id(span.parent_id) + "\"";
+      body += ",\"start\":" + strings::format("%.6f", span.start_s);
+      body += ",\"duration\":" + strings::format("%.6f", span.duration_s());
+      body += ",\"ok\":" + std::string(span.ok ? "true" : "false");
+      if (!span.note.empty()) body += ",\"note\":\"" + json_escape(span.note) + "\"";
+      body += '}';
+    }
+    body += "]}";
+  }
+  body += "]}";
+  return http::Response::make(200, std::move(body), "application/json");
+}
+
+void ManagerNode::maybe_complete_run(const std::string& session_id) {
+  auto session = sessions_.find(session_id);
+  if (!session.is_ok()) return;
+  auto done = (*session)->try_complete_run();
+  if (!done) return;
+  const double end_s = clock().now();
+  const double duration = end_s - done->start_s;
+  (*session)->record_phase("run", duration);
+  phase_histogram("run").observe(duration);
+  // The run span is assembled by hand: it started on the control op's
+  // thread and ends here on the push handler's thread, so RAII scoping
+  // cannot carry it. Its parent is the control op span captured at start.
+  obs::SpanRecord span;
+  span.name = "run";
+  span.session = session_id;
+  span.trace_id = done->parent.valid() ? done->parent.trace_id : obs::new_trace_id();
+  span.span_id = obs::new_trace_id();
+  span.parent_id = done->parent.valid() ? done->parent.span_id : 0;
+  span.start_s = done->start_s;
+  span.end_s = end_s;
+  obs::SpanRing::global().record(std::move(span));
+  IPA_LOG(debug) << "session " << session_id << ": run phase complete in " << duration
+                 << "s";
+}
+
+// ---------------------------------------------------------------------------
 // RPC services (the "RMI" side)
 // ---------------------------------------------------------------------------
 
@@ -254,6 +437,10 @@ void ManagerNode::register_rpc_services() {
       [this](const rpc::CallContext&, const ser::Bytes& payload) -> Result<ser::Bytes> {
         IPA_ASSIGN_OR_RETURN(const PushRequest request, decode_push(payload));
         IPA_RETURN_IF_ERROR(aida_.push(request));
+        if (request.report.state != engine::EngineState::kRunning &&
+            request.report.state != engine::EngineState::kIdle) {
+          maybe_complete_run(request.session_id);
+        }
         return ser::Bytes{};
       },
       /*idempotent=*/true);
@@ -364,17 +551,37 @@ Result<xml::Node> ManagerNode::op_select_dataset(const soap::SoapContext& ctx,
   const std::string dataset_id = args.child_text("datasetId");
   if (dataset_id.empty()) return invalid_argument("selectDataset: missing <datasetId>");
 
-  IPA_ASSIGN_OR_RETURN(const DatasetLocation location, locator_.locate(dataset_id));
-  IPA_ASSIGN_OR_RETURN(
-      const data::SplitResult split,
-      splitter_.stage(session->id(), location.location, session->granted_nodes()));
-  IPA_RETURN_IF_ERROR(session->distribute_parts(split));
+  // The first three paper phases, timed live against the session clock.
+  Result<DatasetLocation> location = not_found("locate: not attempted");
+  {
+    PhaseTimer timer("locate", session, clock());
+    location = locator_.locate(dataset_id);
+    if (!location.is_ok()) timer.set_status(location.status());
+  }
+  IPA_RETURN_IF_ERROR(location.status());
+
+  Result<data::SplitResult> split = internal_error("split: not attempted");
+  {
+    PhaseTimer timer("split", session, clock());
+    split = splitter_.stage(session->id(), location->location, session->granted_nodes());
+    if (!split.is_ok()) timer.set_status(split.status());
+  }
+  IPA_RETURN_IF_ERROR(split.status());
+
+  {
+    PhaseTimer timer("transfer", session, clock());
+    const Status distributed = session->distribute_parts(*split);
+    if (!distributed.is_ok()) {
+      timer.set_status(distributed);
+      return distributed;
+    }
+  }
   session->set_dataset_id(dataset_id);
 
   xml::Node reply("ipa:selectDatasetResponse");
-  reply.add_child(text_element("parts", std::to_string(split.parts.size())));
-  reply.add_child(text_element("records", std::to_string(split.total_records)));
-  reply.add_child(text_element("bytes", std::to_string(split.total_bytes)));
+  reply.add_child(text_element("parts", std::to_string(split->parts.size())));
+  reply.add_child(text_element("records", std::to_string(split->total_records)));
+  reply.add_child(text_element("bytes", std::to_string(split->total_bytes)));
   return reply;
 }
 
@@ -393,7 +600,14 @@ Result<xml::Node> ManagerNode::op_stage_code(const soap::SoapContext& ctx,
   bundle.name = args.child_text("name", "anonymous");
   bundle.source = args.child_text("source");
   if (bundle.source.empty()) return invalid_argument("stageCode: missing <source>");
-  IPA_RETURN_IF_ERROR(session->stage_code(bundle));
+  {
+    PhaseTimer timer("code_stage", session, clock());
+    const Status staged = session->stage_code(bundle);
+    if (!staged.is_ok()) {
+      timer.set_status(staged);
+      return staged;
+    }
+  }
 
   xml::Node reply("ipa:stageCodeResponse");
   reply.add_child(text_element("bytes", std::to_string(bundle.byte_size())));
@@ -414,6 +628,12 @@ Result<xml::Node> ManagerNode::op_control(const soap::SoapContext& ctx, const xm
   // contributions do not linger.
   if (verb == ControlVerb::kRewind) {
     IPA_RETURN_IF_ERROR(aida_.reset_session(session->id()));
+  }
+  if (verb == ControlVerb::kRun || verb == ControlVerb::kRunRecords) {
+    // The run phase ends asynchronously: the push handler closes it when the
+    // last engine reports a terminal state. Captures the current (SOAP op)
+    // span as the run span's parent.
+    session->note_run_started(clock().now());
   }
   xml::Node reply("ipa:controlResponse");
   reply.add_child(text_element("applied", std::string(to_string(verb))));

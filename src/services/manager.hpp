@@ -86,6 +86,9 @@ struct ManagerConfig {
   /// false = skip restarts entirely: dead engines degrade the merge to a
   /// partial result immediately.
   bool restart_lost_engines = true;
+  /// Clock for phase timing and engine liveness (null = WallClock). Tests
+  /// inject a ManualClock; must outlive the manager.
+  const Clock* clock = nullptr;
 };
 
 class ManagerNode {
@@ -126,6 +129,12 @@ class ManagerNode {
   Status initialize();
   void register_soap_operations();
   void register_rpc_services();
+  void register_observability_routes();
+  http::Response handle_status(const http::Request& request);
+  const Clock& clock() const;
+  /// Close out the "run" phase if this terminal engine report was the last
+  /// one outstanding (called from the AidaManager push handler).
+  void maybe_complete_run(const std::string& session_id);
   void monitor_loop(std::stop_token stop);
   void handle_dead_engine(const std::shared_ptr<Session>& session,
                           const std::string& engine_id);

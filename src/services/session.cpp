@@ -147,6 +147,43 @@ std::vector<EngineReport> Session::reports() const {
   return out;
 }
 
+void Session::record_phase(std::string_view phase, double seconds) {
+  std::lock_guard lock(mutex_);
+  if (phase == "locate") phase_timings_.locate_s += seconds;
+  else if (phase == "split") phase_timings_.split_s += seconds;
+  else if (phase == "transfer") phase_timings_.transfer_s += seconds;
+  else if (phase == "code_stage") phase_timings_.code_stage_s += seconds;
+  else if (phase == "run") phase_timings_.run_s += seconds;
+  else if (phase == "merge") phase_timings_.merge_s += seconds;
+}
+
+perf::ScenarioTimings Session::phase_timings() const {
+  std::lock_guard lock(mutex_);
+  return phase_timings_;
+}
+
+void Session::note_run_started(double now_s) {
+  std::lock_guard lock(mutex_);
+  run_started_ = true;
+  run_start_s_ = now_s;
+  run_parent_ = obs::current_trace();
+}
+
+std::optional<Session::RunCompletion> Session::try_complete_run() {
+  std::lock_guard lock(mutex_);
+  if (!run_started_ || seats_.empty()) return std::nullopt;
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    if (seats_[i].lost) continue;  // degraded seats cannot hold the run open
+    if (!seats_[i].handle) return std::nullopt;  // mid-restart: still running
+    const engine::EngineState state = seats_[i].handle->report().state;
+    if (state == engine::EngineState::kRunning || state == engine::EngineState::kIdle) {
+      return std::nullopt;
+    }
+  }
+  run_started_ = false;  // completion is reported exactly once
+  return RunCompletion{run_start_s_, run_parent_};
+}
+
 Status Session::kill_engine(const std::string& engine_id) {
   std::lock_guard lock(mutex_);
   EngineSeat* seat = find_seat_locked(engine_id);

@@ -17,6 +17,8 @@
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "data/splitter.hpp"
+#include "obs/trace.hpp"
+#include "perf/scenario.hpp"
 #include "services/worker_host.hpp"
 
 namespace ipa::services {
@@ -65,6 +67,28 @@ class Session {
   /// The staged dataset id ("" when none).
   const std::string& dataset_id() const { return dataset_id_; }
   void set_dataset_id(std::string id) { dataset_id_ = std::move(id); }
+
+  // --- Phase timing (the live perf::ScenarioTimings column) -----------
+
+  /// Record one observed phase duration; `phase` is a ScenarioTimings
+  /// phase name (locate/split/transfer/code_stage/run/merge). Repeated
+  /// observations of a phase accumulate (e.g. merge over many polls).
+  void record_phase(std::string_view phase, double seconds);
+  /// The accumulated live phase breakdown, for GET /status and the shell.
+  perf::ScenarioTimings phase_timings() const;
+
+  /// The run phase is asynchronous: this marks it started (the run verb
+  /// was fanned out) and captures the calling thread's trace context as
+  /// the eventual run span's parent.
+  void note_run_started(double now_s);
+  struct RunCompletion {
+    double start_s = 0;
+    obs::TraceContext parent;
+  };
+  /// Check whether the run phase just finished: returns the captured start
+  /// exactly once, on the first call after every live engine reached a
+  /// terminal state. Called from the AidaManager push path.
+  std::optional<RunCompletion> try_complete_run();
 
   // --- Fault handling -------------------------------------------------
 
@@ -131,6 +155,11 @@ class Session {
   std::optional<engine::CodeBundle> staged_code_;
   std::optional<ControlVerb> last_verb_;
   std::uint64_t last_verb_records_ = 0;
+
+  perf::ScenarioTimings phase_timings_;
+  bool run_started_ = false;
+  double run_start_s_ = 0;
+  obs::TraceContext run_parent_;
 };
 
 }  // namespace ipa::services

@@ -1,9 +1,24 @@
 #include "soap/soap.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/strings.hpp"
 
 namespace ipa::soap {
 namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+std::uint64_t parse_hex_u64(const std::string& text) {
+  if (text.empty()) return 0;
+  return std::strtoull(text.c_str(), nullptr, 16);
+}
 
 /// Status code <-> faultcode text. Client-side categories map onto
 /// "soap:Client", server-side onto "soap:Server", with the precise code in
@@ -30,13 +45,21 @@ xml::Node make_envelope(xml::Node body_content, const std::string& resource,
   xml::Node envelope("soap:Envelope");
   envelope.set_attribute("xmlns:soap", kEnvelopeNs);
   envelope.set_attribute("xmlns:ipa", kIpaNs);
-  if (!resource.empty() || !token.empty()) {
+  const obs::TraceContext trace = obs::current_trace();
+  if (!resource.empty() || !token.empty() || trace.valid()) {
     xml::Node& header = envelope.add_child("soap:Header");
     if (!token.empty()) {
       header.add_child("ipa:Security").set_attribute("token", token);
     }
     if (!resource.empty()) {
       header.add_child("ipa:Resource").set_attribute("id", resource);
+    }
+    if (trace.valid()) {
+      // Trace propagation: the caller's active span travels with the call so
+      // the server's operation span becomes its child.
+      xml::Node& node = header.add_child("ipa:Trace");
+      node.set_attribute("trace", hex_u64(trace.trace_id));
+      node.set_attribute("span", hex_u64(trace.span_id));
     }
   }
   envelope.add_child("soap:Body").add_child(std::move(body_content));
@@ -64,6 +87,14 @@ void read_headers(const xml::Node& envelope, std::string& resource, std::string&
   if (header == nullptr) return;
   if (const xml::Node* sec = header->find("Security")) token = sec->attribute("token");
   if (const xml::Node* res = header->find("Resource")) resource = res->attribute("id");
+}
+
+obs::TraceContext read_trace_header(const xml::Node& envelope) {
+  const xml::Node* header = envelope.find("Header");
+  if (header == nullptr) return {};
+  const xml::Node* trace = header->find("Trace");
+  if (trace == nullptr) return {};
+  return {parse_hex_u64(trace->attribute("trace")), parse_hex_u64(trace->attribute("span"))};
 }
 
 xml::Node status_to_fault(const Status& status) {
@@ -145,15 +176,28 @@ http::Response SoapServer::handle(const http::Request& request) {
   ctx.operation = action.substr(hash + 1);
   read_headers(*doc, ctx.resource, ctx.token);
 
+  // Adopt the caller's trace (or none) for the dispatch, and time the
+  // operation as a child span. The resource id doubles as the session label
+  // so /status can list the op spans next to the phase spans they parent.
+  obs::TraceContextScope trace_scope(read_trace_header(*doc));
+  obs::ScopedSpan op_span("soap." + ctx.service + "." + ctx.operation);
+  op_span.set_session(ctx.resource);
+
   if (it->second.require_auth) {
     if (!auth_) return respond_fault(unauthenticated("soap: no authenticator installed"));
     auto principal = auth_(ctx.token);
-    if (!principal.is_ok()) return respond_fault(principal.status());
+    if (!principal.is_ok()) {
+      op_span.set_status(principal.status());
+      return respond_fault(principal.status());
+    }
     ctx.principal = std::move(*principal);
   }
 
   auto result = it->second.fn(ctx, *body);
-  if (!result.is_ok()) return respond_fault(result.status());
+  if (!result.is_ok()) {
+    op_span.set_status(result.status());
+    return respond_fault(result.status());
+  }
   return respond(200, *result);
 }
 
@@ -166,6 +210,10 @@ Result<SoapClient> SoapClient::connect(const Uri& endpoint, std::string path, do
 Result<xml::Node> SoapClient::call(const std::string& service, const std::string& operation,
                                    xml::Node args, const std::string& resource,
                                    double timeout_s) {
+  // The call span must be current before the envelope is built so the
+  // <ipa:Trace> header carries *this* span as the server op's parent.
+  obs::ScopedSpan call_span("soap.call." + service + "." + operation);
+  call_span.set_session(resource);
   const xml::Node envelope = make_envelope(std::move(args), resource, token_);
 
   http::Request req;
@@ -189,9 +237,14 @@ Result<xml::Node> SoapClient::call(const std::string& service, const std::string
     ++reconnects_;
     response = http_.send(std::move(req), timeout_s);
   }
-  IPA_RETURN_IF_ERROR(response.status());
+  if (!response.is_ok()) {
+    call_span.set_status(response.status());
+    return response.status();
+  }
   IPA_ASSIGN_OR_RETURN(const xml::Node doc, xml::parse(response->body));
-  return unwrap_envelope(doc);
+  auto result = unwrap_envelope(doc);
+  if (!result.is_ok()) call_span.set_status(result.status());
+  return result;
 }
 
 }  // namespace ipa::soap

@@ -18,6 +18,7 @@
 #include "common/status.hpp"
 #include "common/uri.hpp"
 #include "http/http.hpp"
+#include "obs/trace.hpp"
 #include "xml/xml.hpp"
 
 namespace ipa::soap {
@@ -46,6 +47,10 @@ Result<xml::Node> unwrap_envelope(const xml::Node& envelope);
 /// Read Security/Resource headers from an envelope.
 void read_headers(const xml::Node& envelope, std::string& resource, std::string& token);
 
+/// Read the <ipa:Trace trace=".." span=".."/> header extension; returns an
+/// invalid (zero) context when absent or malformed.
+obs::TraceContext read_trace_header(const xml::Node& envelope);
+
 /// soap:Fault <-> Status mapping. Status codes ride in the faultcode detail
 /// so remote errors keep their category.
 xml::Node status_to_fault(const Status& status);
@@ -72,6 +77,10 @@ class SoapServer {
   void stop();
   Uri endpoint() const { return http_.endpoint(); }
   const std::string& path() const { return path_; }
+
+  /// The embedded HTTP server, so hosts can hang extra routes off the same
+  /// listener (the site registers /metrics and /status here).
+  http::Server& http() { return http_; }
 
  private:
   http::Response handle(const http::Request& request);

@@ -1,0 +1,181 @@
+// Trace propagation under fault injection: span context must ride the RPC
+// frame trailer through drops, truncation and reconnects, with one child
+// span per attempt, and the fault transport must account for every injected
+// fault in the metrics registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/uri.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rpc/rpc.hpp"
+
+namespace ipa {
+namespace {
+
+Uri trace_chaos_endpoint(const std::string& tag,
+                         std::map<std::string, std::string> query) {
+  static std::atomic<int> counter{0};
+  Uri uri;
+  uri.scheme = "chaos+inproc";
+  uri.host = "chaos-trace-" + tag + "-" + std::to_string(counter.fetch_add(1));
+  uri.query = std::move(query);
+  return uri;
+}
+
+rpc::RetryPolicy fast_retry_policy() {
+  rpc::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_s = 0.001;
+  policy.max_backoff_s = 0.01;
+  policy.attempt_timeout_s = 0.1;
+  return policy;
+}
+
+/// Echo service that records the trace context each execution ran under.
+std::shared_ptr<rpc::Service> make_tracing_echo(std::mutex* mutex,
+                                                std::vector<obs::TraceContext>* seen) {
+  auto service = std::make_shared<rpc::Service>("Chaos");
+  service->register_method(
+      "echo",
+      [mutex, seen](const rpc::CallContext&, const ser::Bytes& in) {
+        std::lock_guard lock(*mutex);
+        seen->push_back(obs::current_trace());
+        return Result<ser::Bytes>(in);
+      },
+      /*idempotent=*/true);
+  return service;
+}
+
+std::uint64_t fault_injection_total() {
+  std::uint64_t total = 0;
+  for (const auto& family : obs::Registry::global().snapshot()) {
+    if (family.name != "ipa_fault_injected_total") continue;
+    for (const auto& series : family.series) {
+      total += static_cast<std::uint64_t>(series.value);
+    }
+  }
+  return total;
+}
+
+TEST(ChaosTrace, ContextSurvivesDroppedFramesAndRetries) {
+  rpc::RpcServer server(
+      trace_chaos_endpoint("prop", {{"seed", "7"}, {"drop", "0.12"}}));
+  std::mutex mutex;
+  std::vector<obs::TraceContext> seen;
+  server.add_service(make_tracing_echo(&mutex, &seen));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = rpc::RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy());
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  std::uint64_t trace_id = 0;
+  constexpr int kCalls = 30;
+  {
+    // All calls run under one client-side root span, so every context that
+    // reaches the server must carry this trace id.
+    obs::ScopedSpan root("chaos-trace-test");
+    trace_id = root.context().trace_id;
+    for (int i = 0; i < kCalls; ++i) {
+      const std::string msg = "trace-" + std::to_string(i);
+      auto reply =
+          client->call("Chaos", "echo", ser::Bytes(msg.begin(), msg.end()), "", 10.0);
+      ASSERT_TRUE(reply.is_ok()) << i << ": " << reply.status().to_string();
+    }
+  }
+
+  // Drops forced at least one retry, so some executions are replays.
+  EXPECT_GE(client->stats().retries, 1u);
+  std::lock_guard lock(mutex);
+  EXPECT_GE(seen.size(), static_cast<std::size_t>(kCalls));
+  for (const obs::TraceContext& context : seen) {
+    EXPECT_TRUE(context.valid());
+    EXPECT_EQ(context.trace_id, trace_id);
+  }
+  server.stop();
+}
+
+TEST(ChaosTrace, EveryAttemptIsItsOwnChildSpan) {
+  rpc::RpcServer server(
+      trace_chaos_endpoint("attempt", {{"seed", "19"}, {"drop", "0.15"}}));
+  std::mutex mutex;
+  std::vector<obs::TraceContext> seen;
+  server.add_service(make_tracing_echo(&mutex, &seen));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = rpc::RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy());
+  ASSERT_TRUE(client.is_ok());
+
+  std::uint64_t trace_id = 0;
+  constexpr int kCalls = 30;
+  {
+    obs::ScopedSpan root("chaos-attempt-test");
+    trace_id = root.context().trace_id;
+    for (int i = 0; i < kCalls; ++i) {
+      ASSERT_TRUE(client->call("Chaos", "echo", ser::Bytes{}, "", 10.0).is_ok()) << i;
+    }
+  }
+  ASSERT_GE(client->stats().retries, 1u) << "seed produced no retries";
+
+  // Partition this trace's spans by name.
+  std::size_t calls = 0;
+  std::vector<obs::SpanRecord> attempts;
+  std::vector<obs::SpanRecord> dispatches;
+  std::set<std::uint64_t> call_span_ids;
+  for (const auto& span : obs::SpanRing::global().snapshot()) {
+    if (span.trace_id != trace_id) continue;
+    if (span.name == "rpc.call.Chaos.echo") {
+      ++calls;
+      call_span_ids.insert(span.span_id);
+    } else if (span.name == "rpc.attempt") {
+      attempts.push_back(span);
+    } else if (span.name == "rpc.Chaos.echo") {
+      dispatches.push_back(span);
+    }
+  }
+  EXPECT_EQ(calls, static_cast<std::size_t>(kCalls));
+  // Retries mean strictly more attempt spans than calls, each parented by
+  // its call span.
+  EXPECT_GT(attempts.size(), static_cast<std::size_t>(kCalls));
+  std::set<std::uint64_t> attempt_span_ids;
+  for (const auto& attempt : attempts) {
+    EXPECT_TRUE(call_span_ids.count(attempt.parent_id))
+        << "attempt span not parented by a call span";
+    attempt_span_ids.insert(attempt.span_id);
+  }
+  // Server dispatch spans hang off the specific attempt that reached them.
+  EXPECT_FALSE(dispatches.empty());
+  for (const auto& dispatch : dispatches) {
+    EXPECT_TRUE(attempt_span_ids.count(dispatch.parent_id))
+        << "dispatch span not parented by an attempt span";
+  }
+  server.stop();
+}
+
+TEST(ChaosTrace, InjectedFaultsAreCounted) {
+  const std::uint64_t before = fault_injection_total();
+  rpc::RpcServer server(trace_chaos_endpoint(
+      "count", {{"seed", "23"}, {"drop", "0.2"}, {"delay_p", "0.2"}, {"delay_ms", "1"}}));
+  std::mutex mutex;
+  std::vector<obs::TraceContext> seen;
+  server.add_service(make_tracing_echo(&mutex, &seen));
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto client = rpc::RpcClient::connect(server.endpoint(), 5.0, fast_retry_policy());
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client->call("Chaos", "echo", ser::Bytes{}, "", 10.0).is_ok()) << i;
+  }
+  server.stop();
+  EXPECT_GT(fault_injection_total(), before)
+      << "fault transport injected nothing the registry saw";
+}
+
+}  // namespace
+}  // namespace ipa

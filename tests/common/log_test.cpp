@@ -1,0 +1,131 @@
+// Log sink: std::function sinks capture lines, chain, restore, and survive
+// being swapped while other threads are emitting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace ipa::log {
+namespace {
+
+/// Installs a capturing sink for the test's lifetime and restores the
+/// previous one (and the global level) on exit.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    prev_level_ = global_level();
+    set_global_level(Level::kTrace);
+    prev_ = set_sink([this](Level level, const std::string& line) {
+      std::lock_guard lock(mutex_);
+      lines_.emplace_back(level, line);
+    });
+  }
+  ~SinkCapture() {
+    set_sink(std::move(prev_));
+    set_global_level(prev_level_);
+  }
+
+  std::vector<std::pair<Level, std::string>> lines() const {
+    std::lock_guard lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<Level, std::string>> lines_;
+  SinkFn prev_;
+  Level prev_level_ = Level::kWarn;
+};
+
+TEST(LogSink, CapturesFormattedLinesWithLevel) {
+  SinkCapture capture;
+  IPA_LOG(info) << "hello " << 42;
+  IPA_LOG(error) << "boom";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, Level::kInfo);
+  EXPECT_NE(lines[0].second.find("hello 42"), std::string::npos);
+  EXPECT_EQ(lines[1].first, Level::kError);
+  EXPECT_NE(lines[1].second.find("boom"), std::string::npos);
+}
+
+TEST(LogSink, BelowThresholdLinesNeverReachTheSink) {
+  SinkCapture capture;
+  set_global_level(Level::kWarn);
+  IPA_LOG(debug) << "invisible";
+  IPA_LOG(warn) << "visible";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, Level::kWarn);
+}
+
+TEST(LogSink, SetSinkReturnsPreviousForChaining) {
+  SinkCapture capture;  // outer sink
+  std::atomic<int> wrapped{0};
+  // A wrapper counts lines, then forwards to whatever was installed.
+  SinkFn inner = set_sink(nullptr);  // grab the outer sink...
+  set_sink([&wrapped, inner](Level level, const std::string& line) {
+    ++wrapped;
+    if (inner) inner(level, line);
+  });
+  IPA_LOG(warn) << "through the chain";
+  set_sink(std::move(inner));  // unhook the wrapper
+  EXPECT_EQ(wrapped.load(), 1);
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].second.find("through the chain"), std::string::npos);
+}
+
+TEST(LogSink, ConcurrentEmissionWhileSwappingSinks) {
+  // Writers hammer the logger while the main thread repeatedly swaps
+  // between two capturing sinks. Every line must land in exactly one sink
+  // and none may be emitted against a destroyed closure (TSan-checked via
+  // tools/check.sh tier 2).
+  std::atomic<std::uint64_t> sink_a{0}, sink_b{0};
+  const Level prev_level = global_level();
+  set_global_level(Level::kTrace);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> emitted{0};
+  set_sink([&sink_a](Level, const std::string&) {
+    sink_a.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        IPA_LOG(info) << "spin";
+        emitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Keep swapping until the writers have emitted plenty of lines *through*
+  // the churn (bounded so a wedged logger still fails fast via timeout).
+  while (emitted.load(std::memory_order_relaxed) < 5000) {
+    set_sink([&sink_b](Level, const std::string&) {
+      sink_b.fetch_add(1, std::memory_order_relaxed);
+    });
+    set_sink([&sink_a](Level, const std::string&) {
+      sink_a.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  set_sink(nullptr);
+  set_global_level(prev_level);
+
+  // Every line landed in exactly one of the two capture sinks; emissions
+  // in flight across a swap kept their sink alive instead of crashing.
+  EXPECT_GE(emitted.load(), 5000u);
+  EXPECT_EQ(sink_a.load() + sink_b.load(), emitted.load());
+}
+
+}  // namespace
+}  // namespace ipa::log

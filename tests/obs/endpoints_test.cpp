@@ -1,0 +1,229 @@
+// End-to-end observability: a real manager + client session, then the
+// /metrics and /status endpoints and the global span ring are checked for
+// the paper's six phases (locate, split, transfer, code_stage, run, merge)
+// with consistent parent/child span links.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "client/grid_client.hpp"
+#include "common/rng.hpp"
+#include "http/http.hpp"
+#include "obs/trace.hpp"
+#include "services/manager.hpp"
+
+namespace ipa {
+namespace {
+
+const char* kScript = R"(
+func begin(tree) { tree.book_h1("/mass", 50, 0, 200); }
+func process(event, tree) { tree.fill("/mass", event.num("mass")); }
+)";
+
+/// Crude extractor for `"key":<number>` in the /status JSON body.
+double json_number(const std::string& body, const std::string& key, std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle, from);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(body.c_str() + at + needle.size(), nullptr);
+}
+
+class ObsEndpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipa-obs-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+
+    Rng rng(42);
+    std::vector<data::Record> records;
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      data::Record record(i);
+      record.set("mass", rng.uniform(0.0, 200.0));
+      records.push_back(std::move(record));
+    }
+    const std::string path = (dir_ / "data.ipd").string();
+    ASSERT_TRUE(data::write_dataset(path, "data", records).is_ok());
+
+    services::ManagerConfig config;
+    config.staging_dir = (dir_ / "staging").string();
+    config.engine_config.snapshot_every = 200;
+    auto manager = services::ManagerNode::start(std::move(config));
+    ASSERT_TRUE(manager.is_ok()) << manager.status().to_string();
+    manager_ = std::move(*manager);
+    ASSERT_TRUE(
+        manager_->publish_dataset("obs/2006/data", "ds-obs", {{"experiment", "OBS"}}, path)
+            .is_ok());
+    const std::string base = manager_->authority().issue("cn=alice", {"analysis"}, 3600);
+    auto proxy = client::make_proxy(manager_->authority(), base);
+    ASSERT_TRUE(proxy.is_ok());
+    proxy_ = *proxy;
+  }
+
+  void TearDown() override {
+    manager_->stop();
+    manager_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Drive a full stage -> run -> merge session; returns its id.
+  std::string run_full_session() {
+    auto client = client::GridClient::connect(manager_->soap_endpoint(), proxy_);
+    EXPECT_TRUE(client.is_ok());
+    auto session = client->create_session(2);
+    EXPECT_TRUE(session.is_ok()) << session.status().to_string();
+    EXPECT_TRUE(session->activate().is_ok());
+    EXPECT_TRUE(session->select_dataset("ds-obs").is_ok());
+    EXPECT_TRUE(session->stage_script("obs", kScript).is_ok());
+    auto tree = session->run_to_completion(60.0);
+    EXPECT_TRUE(tree.is_ok()) << tree.status().to_string();
+    const std::string id = session->info().session_id;
+    // The run phase closes asynchronously when the last terminal push lands;
+    // the client's final poll can race ahead of it by a beat.
+    wait_for_run_phase(id);
+    // Keep the session open: /status only reports live sessions.
+    session_ = std::make_unique<client::GridSession>(std::move(*session));
+    return id;
+  }
+
+  void wait_for_run_phase(const std::string& session_id) {
+    for (int i = 0; i < 1000; ++i) {
+      const auto spans = obs::SpanRing::global().snapshot_session(session_id);
+      for (const auto& span : spans) {
+        if (span.name == "run") return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    FAIL() << "run phase never completed for " << session_id;
+  }
+
+  http::Response get(const std::string& target) {
+    const Uri endpoint = manager_->soap_endpoint();
+    auto conn = http::Client::connect(endpoint.host, endpoint.port);
+    EXPECT_TRUE(conn.is_ok()) << conn.status().to_string();
+    auto response = conn->get(target);
+    EXPECT_TRUE(response.is_ok()) << response.status().to_string();
+    return response.is_ok() ? std::move(*response) : http::Response{};
+  }
+
+  static constexpr std::uint64_t kRecords = 1000;
+  std::filesystem::path dir_;
+  std::unique_ptr<services::ManagerNode> manager_;
+  std::unique_ptr<client::GridSession> session_;
+  std::string proxy_;
+};
+
+constexpr const char* kPhases[6] = {"locate", "split",
+                                    "transfer", "code_stage",
+                                    "run", "merge"};
+
+TEST_F(ObsEndpointsTest, MetricsEndpointServesAllSixPhases) {
+  run_full_session();
+  const http::Response response = get("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.header_or("content-type").find("version=0.0.4"), std::string::npos);
+
+  // Every ScenarioTimings phase shows up as a live histogram series with at
+  // least one observation.
+  for (const char* phase : kPhases) {
+    const std::string count_line =
+        "ipa_session_phase_seconds_count{phase=\"" + std::string(phase) + "\"}";
+    const std::size_t at = response.body.find(count_line);
+    ASSERT_NE(at, std::string::npos) << "missing phase series: " << phase;
+    const double count =
+        std::strtod(response.body.c_str() + at + count_line.size(), nullptr);
+    EXPECT_GE(count, 1.0) << phase;
+    EXPECT_NE(response.body.find("ipa_session_phase_seconds_bucket{phase=\"" +
+                                 std::string(phase) + "\",le=\""),
+              std::string::npos)
+        << phase;
+  }
+
+  // The layers underneath reported too.
+  EXPECT_NE(response.body.find("ipa_engine_records_processed_total"), std::string::npos);
+  EXPECT_NE(response.body.find("ipa_rpc_attempts_total"), std::string::npos);
+  EXPECT_NE(response.body.find("ipa_http_requests_total"), std::string::npos);
+  EXPECT_NE(response.body.find("ipa_aida_merge_seconds"), std::string::npos);
+  EXPECT_NE(response.body.find("ipa_log_lines_total"), std::string::npos);
+}
+
+TEST_F(ObsEndpointsTest, StatusEndpointReportsPhaseBreakdown) {
+  const std::string id = run_full_session();
+  const http::Response response = get("/status?session=" + id);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.header_or("content-type").find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"id\":\"" + id + "\""), std::string::npos);
+
+  double sum = 0;
+  for (const char* phase : kPhases) {
+    const double value = json_number(response.body, phase);
+    EXPECT_GT(value, 0.0) << "phase " << phase << " has no recorded duration";
+    sum += value;
+  }
+  const double total = json_number(response.body, "total");
+  // Each phase (and the total) is rendered with %.6f, so the six rounded
+  // addends can drift from the rounded total by up to 3.5e-6.
+  EXPECT_NEAR(total, sum, 5e-6);
+  // The span dump is inline.
+  EXPECT_NE(response.body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"run\""), std::string::npos);
+}
+
+TEST_F(ObsEndpointsTest, StatusRejectsUnknownSession) {
+  EXPECT_EQ(get("/status?session=sess-ghost").status, 404);
+}
+
+TEST_F(ObsEndpointsTest, PhaseSpansFormConsistentTraces) {
+  const std::string id = run_full_session();
+  const auto spans = obs::SpanRing::global().snapshot_session(id);
+
+  for (const char* phase : kPhases) {
+    const obs::SpanRecord* record = nullptr;
+    for (const auto& span : spans) {
+      if (span.name == phase) record = &span;
+    }
+    ASSERT_NE(record, nullptr) << "no span for phase " << phase;
+    EXPECT_GT(record->duration_s(), 0.0) << phase;
+    EXPECT_NE(record->trace_id, 0u) << phase;
+    EXPECT_NE(record->span_id, 0u) << phase;
+    // Every phase span is a child of a server-side operation span (the SOAP
+    // op that drove it, or the RPC dispatch for merge/run) that itself was
+    // recorded in the ring under the same trace. The parent closes after the
+    // phase span — for the final merge, even after the poll response is on
+    // the wire — so look in the full ring and give it a moment to land.
+    ASSERT_NE(record->parent_id, 0u) << phase;
+    bool parent_found = false;
+    for (int attempt = 0; attempt < 500 && !parent_found; ++attempt) {
+      for (const auto& span : obs::SpanRing::global().snapshot()) {
+        if (span.span_id == record->parent_id) {
+          parent_found = true;
+          EXPECT_EQ(span.trace_id, record->trace_id) << phase;
+        }
+      }
+      if (!parent_found) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(parent_found) << "parent span of " << phase << " not in ring";
+  }
+
+  // The staging phases share the selectDataset operation span as parent.
+  const auto find = [&](const char* name) -> const obs::SpanRecord* {
+    for (const auto& span : spans) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* locate = find("locate");
+  const obs::SpanRecord* split = find("split");
+  const obs::SpanRecord* transfer = find("transfer");
+  ASSERT_TRUE(locate && split && transfer);
+  EXPECT_EQ(locate->parent_id, split->parent_id);
+  EXPECT_EQ(split->parent_id, transfer->parent_id);
+  EXPECT_EQ(locate->trace_id, transfer->trace_id);
+}
+
+}  // namespace
+}  // namespace ipa

@@ -1,0 +1,63 @@
+// The metrics layer as the log sink's first consumer: per-level line
+// counters in the global registry.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "obs/log_metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace ipa::obs {
+namespace {
+
+class LogMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Idempotent: another test (or a manager in this process) may already
+    // have installed the counting sink — never replace it, or the counters
+    // would silently detach.
+    install_log_metrics();
+    prev_level_ = log::global_level();
+    log::set_global_level(log::Level::kTrace);
+  }
+  void TearDown() override { log::set_global_level(prev_level_); }
+
+  static std::uint64_t lines(const char* level) {
+    return Registry::global()
+        .counter("ipa_log_lines_total", {{"level", level}})
+        .value();
+  }
+
+  log::Level prev_level_ = log::Level::kWarn;
+};
+
+TEST_F(LogMetricsTest, CountsLinesPerLevel) {
+  const std::uint64_t warn_before = lines("warn");
+  const std::uint64_t info_before = lines("info");
+  const std::uint64_t error_before = lines("error");
+
+  IPA_LOG(warn) << "one";
+  IPA_LOG(warn) << "two";
+  IPA_LOG(info) << "three";
+
+  EXPECT_EQ(lines("warn"), warn_before + 2);
+  EXPECT_EQ(lines("info"), info_before + 1);
+  EXPECT_EQ(lines("error"), error_before);
+}
+
+TEST_F(LogMetricsTest, SuppressedLinesAreNotCounted) {
+  log::set_global_level(log::Level::kError);
+  const std::uint64_t debug_before = lines("debug");
+  IPA_LOG(debug) << "filtered before the sink";
+  EXPECT_EQ(lines("debug"), debug_before);
+}
+
+TEST_F(LogMetricsTest, InstallIsIdempotent) {
+  install_log_metrics();
+  install_log_metrics();
+  const std::uint64_t before = lines("error");
+  IPA_LOG(error) << "counted once";
+  EXPECT_EQ(lines("error"), before + 1);
+}
+
+}  // namespace
+}  // namespace ipa::obs

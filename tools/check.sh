@@ -1,6 +1,7 @@
 #!/bin/sh
 # Repo verification: the tier-1 build-and-test pass, one sanitizer
-# configuration over the fault-sensitive suites (chaos, net, rpc), and a
+# configuration over the fault-sensitive suites (chaos, net, rpc, obs,
+# and the common log-sink races), and a
 # Release build + smoke run of the hot-path benchmarks (full regression
 # gating against BENCH_batch.json lives in tools/bench.sh).
 #
@@ -18,11 +19,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
-echo "== tier 2: ${san} sanitizer over chaos/net/rpc =="
+echo "== tier 2: ${san} sanitizer over chaos/net/rpc/obs/common =="
 cmake -B "build-${san}" -S . -DIPA_SANITIZE="${san}" >/dev/null
 cmake --build "build-${san}" -j "$jobs" \
-  --target ipa_test_chaos ipa_test_net ipa_test_rpc
-(cd "build-${san}" && ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc')
+  --target ipa_test_chaos ipa_test_net ipa_test_rpc ipa_test_obs \
+  ipa_test_common
+(cd "build-${san}" && \
+  ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc|obs|common')
 
 echo "== tier 3: Release bench build + smoke run =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -27,6 +27,8 @@
 
 #include "client/grid_client.hpp"
 #include "common/strings.hpp"
+#include "http/http.hpp"
+#include "perf/scenario.hpp"
 #include "viz/render.hpp"
 
 using namespace ipa;
@@ -37,6 +39,7 @@ struct Shell {
   std::optional<client::GridClient> grid;
   std::optional<client::GridSession> session;
   aida::Tree latest;
+  double staged_mb = 0;  // size of the last staged dataset, for `stats`
 
   bool require_grid() const {
     if (!grid) std::printf("not connected\n");
@@ -119,6 +122,7 @@ struct Shell {
     std::printf("staged %llu records (%s) as %d part(s)\n",
                 static_cast<unsigned long long>(staged->records),
                 strings::human_bytes(staged->bytes).c_str(), staged->parts);
+    staged_mb = static_cast<double>(staged->bytes) / (1024.0 * 1024.0);
   }
 
   void cmd_load(const std::string& file) {
@@ -220,6 +224,48 @@ struct Shell {
                                         : written.to_string().c_str());
   }
 
+  void cmd_stats() {
+    if (!require_session()) return;
+    // The site serves live phase timings on the same HTTP listener as its
+    // web services.
+    const Uri& endpoint = grid->soap_endpoint();
+    auto http = http::Client::connect(endpoint.host, endpoint.port);
+    if (!http.is_ok()) {
+      std::printf("error: %s\n", http.status().to_string().c_str());
+      return;
+    }
+    auto response = http->get("/status?session=" + session->info().session_id);
+    if (!response.is_ok() || response->status != 200) {
+      std::printf("error: /status %s\n", response.is_ok()
+                                             ? std::to_string(response->status).c_str()
+                                             : response.status().to_string().c_str());
+      return;
+    }
+    const auto phase_of = [&response](const char* name) {
+      const std::string needle = "\"" + std::string(name) + "\":";
+      const std::size_t at = response->body.find(needle);
+      return at == std::string::npos
+                 ? 0.0
+                 : std::strtod(response->body.c_str() + at + needle.size(), nullptr);
+    };
+
+    const perf::ScenarioTimings model = perf::ScenarioTimings::paper_prediction(
+        staged_mb, session->info().granted_nodes);
+    const double model_phases[6] = {model.locate_s, model.split_s,  model.transfer_s,
+                                    model.code_stage_s, model.run_s, model.merge_s};
+    std::printf("  %-12s %12s %14s\n", "phase", "live (s)", "paper model (s)");
+    double live_total = 0;
+    for (int i = 0; i < 6; ++i) {
+      const double live = phase_of(perf::ScenarioTimings::kPhaseNames[i]);
+      live_total += live;
+      std::printf("  %-12s %12.4f %14.4f\n", perf::ScenarioTimings::kPhaseNames[i], live,
+                  model_phases[i]);
+    }
+    std::printf("  %-12s %12.4f %14.4f\n", "total", live_total, model.total_s());
+    std::printf("  (model: %.1f MB dataset on %d node(s); live merge accrues per poll)\n",
+                staged_mb, session->info().granted_nodes);
+  }
+
   void cmd_close() {
     if (!session) return;
     (void)session->close();
@@ -240,6 +286,7 @@ const char* kHelp = R"(commands:
   session <nodes>     select <id>         load <file.paw>     plugin <name>
   run | run <n>       pause | stop | rewind
   status | watch      show [path]         svg <path> <file>
+  stats               live phase timings vs the paper's cost model
   close               quit
 )";
 
@@ -309,6 +356,7 @@ int main(int argc, char** argv) {
     else if (cmd == "run") shell.cmd_control("run", arg1.empty() ? 0 : std::strtoull(arg1.c_str(), nullptr, 10));
     else if (cmd == "pause" || cmd == "stop" || cmd == "rewind") shell.cmd_control(cmd, 0);
     else if (cmd == "status") shell.cmd_status();
+    else if (cmd == "stats") shell.cmd_stats();
     else if (cmd == "watch") shell.cmd_watch();
     else if (cmd == "show") shell.cmd_show(arg1);
     else if (cmd == "svg") shell.cmd_svg(arg1, words.size() > 2 ? words[2] : "out.svg");
