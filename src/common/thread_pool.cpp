@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace ipa {
 
 ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(4096) {
@@ -26,6 +28,15 @@ void ThreadPool::shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+}
+
+ThreadPool& staging_pool() {
+  // 16 is the paper's node count; below that the fan-out could not match
+  // the parallel-transfer model even when cores are scarce, and the tasks
+  // spend their time waiting, not computing.
+  static ThreadPool pool(
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 16));
+  return pool;
 }
 
 }  // namespace ipa

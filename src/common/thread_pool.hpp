@@ -47,4 +47,10 @@ class ThreadPool {
   std::vector<std::jthread> workers_;
 };
 
+/// Process-shared pool for staging work: part writer tasks and per-seat
+/// RPC fan-out. The tasks are latency-bound (disk and network waits), so
+/// the pool is sized generously rather than to the core count. Created on
+/// first use, joined at process exit.
+ThreadPool& staging_pool();
+
 }  // namespace ipa

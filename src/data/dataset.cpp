@@ -89,19 +89,23 @@ DatasetWriter::~DatasetWriter() {
 }
 
 Status DatasetWriter::append(const Record& record) {
+  ser::Writer body;
+  record.encode(body);
+  ser::Writer framed;
+  framed.varint(body.size());
+  framed.raw(body.data().data(), body.size());
+  return append_framed(framed.data().data(), framed.size());
+}
+
+Status DatasetWriter::append_framed(const std::uint8_t* frame, std::size_t size) {
   if (!state_ || state_->finished) return failed_precondition("dataset: writer finished");
   if (count_ % state_->index_stride == 0) {
     const long pos = std::ftell(state_->file.fp);
     if (pos < 0) return unavailable("dataset: ftell failed");
     state_->index_offsets.push_back(static_cast<std::uint64_t>(pos));
   }
-  ser::Writer body;
-  record.encode(body);
-  ser::Writer framed;
-  framed.varint(body.size());
-  framed.raw(body.data().data(), body.size());
-  state_->crc.update(framed.data().data(), framed.size());
-  IPA_RETURN_IF_ERROR(write_bytes(state_->file.fp, framed.data().data(), framed.size()));
+  state_->crc.update(frame, size);
+  IPA_RETURN_IF_ERROR(write_bytes(state_->file.fp, frame, size));
   ++count_;
   return Status::ok();
 }
@@ -398,6 +402,69 @@ Result<std::uint64_t> DatasetReader::read_batch(RecordBatch& batch,
   }
   IPA_RETURN_IF_ERROR(status);
   return appended;
+}
+
+Result<std::vector<std::uint64_t>> DatasetReader::scan_frame_offsets() {
+  State& st = *state_;
+  const std::uint64_t saved = st.position;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(st.info.record_count) + 1);
+  if (std::fseek(st.file.fp, static_cast<long>(st.data_begin), SEEK_SET) != 0) {
+    return data_loss("dataset: seek failed");
+  }
+
+  // Buffered header walk: varint lengths are parsed out of large chunks and
+  // bodies are skipped within the buffer (or seeked over when they exceed
+  // it), so the scan costs one fread per ~256 KiB and zero decodes.
+  constexpr std::size_t kChunk = 256 * 1024;
+  ser::Bytes buf(kChunk);
+  std::size_t pos = 0;
+  std::size_t len = 0;
+  std::uint64_t at = st.data_begin;  // file offset of the next frame
+
+  for (std::uint64_t i = 0; i < st.info.record_count; ++i) {
+    offsets.push_back(at);
+    std::uint64_t frame_len = 0;
+    std::uint64_t varint_bytes = 0;
+    int shift = 0;
+    while (true) {
+      if (pos == len) {
+        pos = 0;
+        len = std::fread(buf.data(), 1, buf.size(), st.file.fp);
+        if (len == 0) return data_loss("dataset: truncated file");
+      }
+      const std::uint8_t byte = buf[pos++];
+      ++varint_bytes;
+      if (shift >= 64) return data_loss("dataset: corrupt record length");
+      frame_len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    if (frame_len > ser::Reader::kMaxFieldLen) return data_loss("dataset: oversized record");
+    at += varint_bytes + frame_len;
+    std::uint64_t remaining = frame_len;
+    while (remaining > 0) {
+      const std::uint64_t have = len - pos;
+      if (have == 0) {
+        // Body extends beyond the buffer: seek straight over the rest. A
+        // truncated file is caught by the tiling check below.
+        if (std::fseek(st.file.fp, static_cast<long>(remaining), SEEK_CUR) != 0) {
+          return data_loss("dataset: seek failed");
+        }
+        remaining = 0;
+        break;
+      }
+      const std::uint64_t take = std::min(remaining, have);
+      pos += static_cast<std::size_t>(take);
+      remaining -= take;
+    }
+  }
+  offsets.push_back(at);
+  if (at != st.footer_offset) {
+    return data_loss("dataset: record frames do not tile the data region");
+  }
+  IPA_RETURN_IF_ERROR(seek(saved));
+  return offsets;
 }
 
 const SchemaPtr& DatasetReader::schema() const { return state_->schema; }

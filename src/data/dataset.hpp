@@ -48,6 +48,14 @@ class DatasetWriter {
 
   Status append(const Record& record);
 
+  /// Append one already-framed record — `frame` must be the exact on-disk
+  /// form `[varint length][Record bytes]`. Index offsets and the CRC are
+  /// maintained exactly as append() would, so copying frames between files
+  /// reproduces append()'s output byte for byte without decoding. The
+  /// caller vouches for the frame's integrity (the splitter obtains frames
+  /// from a scanned source file).
+  Status append_framed(const std::uint8_t* frame, std::size_t size);
+
   /// Write footer+trailer and close the file. Must be called; the
   /// destructor closes without finalizing (leaving an unreadable file) and
   /// logs a warning.
@@ -99,6 +107,12 @@ class DatasetReader {
   RecordBatch make_batch() const;
   std::uint64_t position() const;
   Status seek(std::uint64_t record_index);
+
+  /// File offset of every record frame plus one end-of-records sentinel
+  /// (size()+1 entries): a single buffered pass over the varint frame
+  /// headers — record bodies are skipped, never decoded. Verifies that the
+  /// frames exactly tile the record region. Restores the read position.
+  Result<std::vector<std::uint64_t>> scan_frame_offsets();
 
   /// Verify the stored CRC against the record bytes.
   Status verify_integrity();

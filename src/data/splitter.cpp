@@ -1,10 +1,84 @@
 #include "data/splitter.hpp"
 
 #include <cstdio>
+#include <future>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ipa::data {
+namespace {
+
+/// RAII stdio handle for the per-part source reads.
+struct SourceFile {
+  std::FILE* fp = nullptr;
+  ~SourceFile() {
+    if (fp) std::fclose(fp);
+  }
+};
+
+/// Write one part: copy the source's record frames [first, last) — located
+/// via the scanned `offsets` — into a fresh part file as raw bytes. Each
+/// writer task owns its own file handle, so parts stream out concurrently.
+Result<PartInfo> write_part(const std::string& source_path, const DatasetInfo& info,
+                            const std::vector<std::uint64_t>& offsets, std::uint64_t first,
+                            std::uint64_t last, int k, int num_parts,
+                            const std::string& out_prefix) {
+  auto metadata = info.metadata;
+  metadata["part.index"] = std::to_string(k);
+  metadata["part.count"] = std::to_string(num_parts);
+  metadata["part.first"] = std::to_string(first);
+  metadata["part.parent"] = info.name;
+
+  PartInfo part;
+  part.path = strings::format("%s.part%d.ipd", out_prefix.c_str(), k);
+  part.first_record = first;
+  part.record_count = last - first;
+
+  IPA_ASSIGN_OR_RETURN(
+      DatasetWriter writer,
+      DatasetWriter::create(part.path, info.name + "/part" + std::to_string(k),
+                            std::move(metadata)));
+  if (last > first) {
+    SourceFile src;
+    src.fp = std::fopen(source_path.c_str(), "rb");
+    if (src.fp == nullptr) return not_found("split: cannot reopen '" + source_path + "'");
+    if (std::fseek(src.fp, static_cast<long>(offsets[first]), SEEK_SET) != 0) {
+      return data_loss("split: seek failed in '" + source_path + "'");
+    }
+    // Read runs of consecutive frames in one gulp, then append each frame
+    // individually so the writer's sparse index and CRC match append().
+    constexpr std::uint64_t kRunBytes = 256 * 1024;
+    std::vector<std::uint8_t> buf;
+    std::uint64_t i = first;
+    while (i < last) {
+      std::uint64_t j = i + 1;  // at least one frame, even an oversized one
+      while (j < last && offsets[j + 1] - offsets[i] <= kRunBytes) ++j;
+      const std::uint64_t run = offsets[j] - offsets[i];
+      buf.resize(static_cast<std::size_t>(run));
+      if (std::fread(buf.data(), 1, buf.size(), src.fp) != buf.size()) {
+        return data_loss("split: truncated read in '" + source_path + "'");
+      }
+      for (const std::uint64_t base = offsets[i]; i < j; ++i) {
+        IPA_RETURN_IF_ERROR(writer.append_framed(
+            buf.data() + (offsets[i] - base),
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])));
+      }
+    }
+  }
+  IPA_RETURN_IF_ERROR(writer.finish());
+
+  // Record the finished part's size.
+  if (std::FILE* fp = std::fopen(part.path.c_str(), "rb")) {
+    std::fseek(fp, 0, SEEK_END);
+    const long size = std::ftell(fp);
+    part.bytes = size < 0 ? 0 : static_cast<std::uint64_t>(size);
+    std::fclose(fp);
+  }
+  return part;
+}
+
+}  // namespace
 
 Result<SplitResult> split_dataset(const std::string& source_path, const std::string& out_prefix,
                                   int num_parts) {
@@ -15,17 +89,12 @@ Result<SplitResult> split_dataset(const std::string& source_path, const std::str
   result.total_records = reader.size();
   result.total_bytes = reader.info().file_bytes;
 
-  // First pass over record sizes to pick byte-balanced boundaries: target
-  // cumulative size k * total/num_parts at the k-th boundary.
-  std::vector<std::uint64_t> sizes;
-  sizes.reserve(static_cast<std::size_t>(reader.size()));
-  std::uint64_t payload_total = 0;
-  for (std::uint64_t i = 0; i < reader.size(); ++i) {
-    IPA_ASSIGN_OR_RETURN(const Record record, reader.next());
-    const std::uint64_t sz = record.encoded_size_hint();
-    sizes.push_back(sz);
-    payload_total += sz;
-  }
+  // Single pass over the frame headers (no record decoding) yields every
+  // frame's offset; boundaries balance the actual framed bytes that land in
+  // the part files: target cumulative size k * total/num_parts at the k-th
+  // boundary.
+  IPA_ASSIGN_OR_RETURN(const std::vector<std::uint64_t> offsets, reader.scan_frame_offsets());
+  const std::uint64_t payload_total = offsets.back() - offsets.front();
 
   // Boundary b[k] = first record index of part k.
   std::vector<std::uint64_t> bounds(static_cast<std::size_t>(num_parts) + 1, 0);
@@ -33,8 +102,8 @@ Result<SplitResult> split_dataset(const std::string& source_path, const std::str
   {
     std::uint64_t cumulative = 0;
     int part = 1;
-    for (std::uint64_t i = 0; i < sizes.size() && part < num_parts; ++i) {
-      cumulative += sizes[i];
+    for (std::uint64_t i = 0; i + 1 < offsets.size() && part < num_parts; ++i) {
+      cumulative += offsets[i + 1] - offsets[i];
       // Place boundaries when cumulative bytes cross the per-part target.
       while (part < num_parts &&
              cumulative >= payload_total * static_cast<std::uint64_t>(part) /
@@ -49,41 +118,30 @@ Result<SplitResult> split_dataset(const std::string& source_path, const std::str
     }
   }
 
-  IPA_RETURN_IF_ERROR(reader.seek(0));
+  // One writer task per part on the shared staging pool (the paper:
+  // "transfers are done in parallel"). Results are collected in part order,
+  // so the first failing part determines the error deterministically.
+  const DatasetInfo& info = reader.info();
+  std::vector<std::future<Result<PartInfo>>> parts;
+  parts.reserve(static_cast<std::size_t>(num_parts));
   for (int k = 0; k < num_parts; ++k) {
     const std::uint64_t first = bounds[static_cast<std::size_t>(k)];
     const std::uint64_t last = bounds[static_cast<std::size_t>(k) + 1];
-
-    auto metadata = reader.info().metadata;
-    metadata["part.index"] = std::to_string(k);
-    metadata["part.count"] = std::to_string(num_parts);
-    metadata["part.first"] = std::to_string(first);
-    metadata["part.parent"] = reader.info().name;
-
-    PartInfo part;
-    part.path = strings::format("%s.part%d.ipd", out_prefix.c_str(), k);
-    part.first_record = first;
-    part.record_count = last - first;
-
-    IPA_ASSIGN_OR_RETURN(
-        DatasetWriter writer,
-        DatasetWriter::create(part.path, reader.info().name + "/part" + std::to_string(k),
-                              std::move(metadata)));
-    for (std::uint64_t i = first; i < last; ++i) {
-      IPA_ASSIGN_OR_RETURN(const Record record, reader.next());
-      IPA_RETURN_IF_ERROR(writer.append(record));
-    }
-    IPA_RETURN_IF_ERROR(writer.finish());
-
-    // Record the finished part's size.
-    if (std::FILE* fp = std::fopen(part.path.c_str(), "rb")) {
-      std::fseek(fp, 0, SEEK_END);
-      const long size = std::ftell(fp);
-      part.bytes = size < 0 ? 0 : static_cast<std::uint64_t>(size);
-      std::fclose(fp);
-    }
-    result.parts.push_back(std::move(part));
+    parts.push_back(staging_pool().submit([&source_path, &info, &offsets, first, last, k,
+                                           num_parts, &out_prefix] {
+      return write_part(source_path, info, offsets, first, last, k, num_parts, out_prefix);
+    }));
   }
+  Status failure = Status::ok();
+  for (auto& future : parts) {
+    Result<PartInfo> part = future.get();
+    if (!part.is_ok()) {
+      if (failure.is_ok()) failure = part.status();
+      continue;
+    }
+    result.parts.push_back(std::move(*part));
+  }
+  IPA_RETURN_IF_ERROR(failure);
   return result;
 }
 

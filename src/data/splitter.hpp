@@ -4,6 +4,12 @@
 // and split it into a pre-configured number of approximately equal parts"
 // (§3.4). Parts are contiguous record ranges, balanced by encoded bytes so
 // heterogeneous records still yield even analysis work.
+//
+// The split is a single streaming pass: part boundaries come from a scan of
+// the frame headers (no record is ever decoded) and the parts are written
+// concurrently on the shared staging pool, each task raw-copying its frame
+// range — so the output bytes are identical to a sequential decode/re-encode
+// split, just produced in one pass and in parallel.
 #pragma once
 
 #include <string>

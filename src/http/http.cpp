@@ -183,7 +183,11 @@ template class Parser<Response>;
 // Server
 // ---------------------------------------------------------------------------
 
-Server::Server(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+Server::Server(std::string host, std::uint16_t port, net::ServerPoolOptions pool)
+    : host_(std::move(host)),
+      port_(port),
+      pool_("http", pool,
+            [this](Accepted conn) { serve_connection(conn.fd, std::move(conn.peer)); }) {}
 
 Server::~Server() { stop(); }
 
@@ -200,7 +204,7 @@ Result<Uri> Server::start() {
   bound_.scheme = "http";
   bound_.host = host_.empty() ? "127.0.0.1" : host_;
   bound_.port = bound_port;
-  threads_.emplace_back([this] { accept_loop(); });
+  accept_thread_ = std::jthread([this] { accept_loop(); });
   IPA_LOG(debug) << "http server on " << bound_.to_string();
   return bound_;
 }
@@ -210,12 +214,8 @@ void Server::stop() {
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
-  std::vector<std::jthread> to_join;
-  {
-    std::lock_guard lock(mutex_);
-    to_join.swap(threads_);
-  }
-  to_join.clear();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.stop();  // workers see stopping_ and drain their connections
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -248,11 +248,12 @@ void Server::accept_loop() {
       if (client.status().code() == StatusCode::kDeadlineExceeded) continue;
       break;
     }
-    std::lock_guard lock(mutex_);
-    if (stopping_.load()) break;
-    // Transfer fd ownership into the handler thread (it closes the fd).
+    // Transfer fd ownership into the pool (the serving worker closes it).
+    // A full queue sheds load here: close instead of spawning unboundedly.
     const int raw = client->release();
-    threads_.emplace_back([this, raw, peer] { serve_connection(raw, peer); });
+    if (!pool_.submit(Accepted{raw, std::move(peer)})) {
+      ::close(raw);
+    }
   }
 }
 

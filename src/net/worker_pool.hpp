@@ -1,0 +1,141 @@
+// Bounded worker pool for server accept loops.
+//
+// The GT4-style container model ("one worker per client channel") spawned a
+// thread per accepted connection, unbounded — a burst of clients meant a
+// burst of threads, and the thread vector grew for the server's lifetime.
+// This pool replaces that: the accept loop hands connections to a fixed
+// queue, workers are spawned lazily up to a configurable cap, and when the
+// queue is full the connection is rejected and counted instead of silently
+// consuming another thread.
+//
+// Observability: `ipa_server_accept_queue_depth{server=...}` gauges the
+// queued backlog and `ipa_server_overflow_total{server=...}` counts
+// rejected connections.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "obs/metrics.hpp"
+
+namespace ipa::net {
+
+/// Sizing knobs for a server's worker pool. The defaults are generous on
+/// purpose: worker RPC connections are long-lived (one per analysis engine,
+/// heartbeating continuously), so a 16-engine session alone pins 16 workers.
+struct ServerPoolOptions {
+  std::size_t max_workers = 64;    // concurrent connections served
+  std::size_t queue_capacity = 128;  // accepted, not yet picked up
+};
+
+/// Fixed-capacity worker pool: items (accepted connections) enter a bounded
+/// queue; workers are spawned on demand up to `max_workers` and live until
+/// stop(). Handlers are expected to watch their server's stopping flag so a
+/// stop() drains promptly.
+template <typename Item>
+class ServerWorkerPool {
+ public:
+  /// `server` labels the pool's metrics (e.g. "http", "rpc").
+  ServerWorkerPool(const std::string& server, ServerPoolOptions options,
+                   std::function<void(Item)> handler)
+      : options_(sanitize(options)),
+        handler_(std::move(handler)),
+        queue_(options_.queue_capacity),
+        depth_(obs::Registry::global().gauge(
+            "ipa_server_accept_queue_depth", {{"server", server}},
+            "Accepted connections waiting for a server worker, by server kind.")),
+        overflow_(obs::Registry::global().counter(
+            "ipa_server_overflow_total", {{"server", server}},
+            "Connections rejected because the server's accept queue was full.")) {}
+
+  ~ServerWorkerPool() { stop(); }
+
+  ServerWorkerPool(const ServerWorkerPool&) = delete;
+  ServerWorkerPool& operator=(const ServerWorkerPool&) = delete;
+
+  /// Hand one accepted connection to the pool. Returns false when the pool
+  /// is stopped or the queue is full — the overflow counter is bumped and
+  /// the caller must close the connection itself.
+  bool submit(Item item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return false;
+      // Grow lazily: only spawn another worker when every live one is busy
+      // and the cap allows it. Long-lived connections each occupy a worker,
+      // so this reaches max_workers under sustained load but stays small
+      // for a test server handling one client.
+      if (idle_ == 0 && workers_.size() < options_.max_workers) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+    }
+    if (!queue_.try_push(std::move(item))) {
+      overflow_.inc();
+      return false;
+    }
+    depth_.set(static_cast<double>(queue_.size()));
+    return true;
+  }
+
+  /// Close the queue and join every worker. Already-queued connections are
+  /// still handed to handlers (which observe the server's stopping flag and
+  /// exit quickly). Idempotent.
+  void stop() {
+    std::vector<std::jthread> to_join;
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+      to_join.swap(workers_);
+    }
+    queue_.close();
+    to_join.clear();  // joins
+    depth_.set(0);
+  }
+
+  std::size_t worker_count() const {
+    std::lock_guard lock(mutex_);
+    return workers_.size();
+  }
+
+  std::size_t max_workers() const { return options_.max_workers; }
+
+ private:
+  static ServerPoolOptions sanitize(ServerPoolOptions options) {
+    if (options.max_workers == 0) options.max_workers = 1;
+    if (options.queue_capacity == 0) options.queue_capacity = 1;
+    return options;
+  }
+
+  void worker_loop() {
+    while (true) {
+      {
+        std::lock_guard lock(mutex_);
+        ++idle_;
+      }
+      std::optional<Item> item = queue_.pop();
+      {
+        std::lock_guard lock(mutex_);
+        --idle_;
+      }
+      if (!item) return;  // queue closed and drained
+      depth_.set(static_cast<double>(queue_.size()));
+      handler_(std::move(*item));
+    }
+  }
+
+  const ServerPoolOptions options_;
+  const std::function<void(Item)> handler_;
+  MpmcQueue<Item> queue_;
+  obs::Gauge& depth_;
+  obs::Counter& overflow_;
+  mutable std::mutex mutex_;
+  std::vector<std::jthread> workers_;
+  std::size_t idle_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ipa::net

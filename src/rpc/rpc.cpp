@@ -77,7 +77,9 @@ Result<ser::Bytes> Service::dispatch(const CallContext& ctx, const ser::Bytes& p
   return it->second(ctx, payload);
 }
 
-RpcServer::RpcServer(Uri endpoint) : requested_(std::move(endpoint)) {}
+RpcServer::RpcServer(Uri endpoint, net::ServerPoolOptions pool)
+    : requested_(std::move(endpoint)),
+      pool_("rpc", pool, [this](net::ConnectionPtr conn) { serve_connection(std::move(conn)); }) {}
 
 RpcServer::~RpcServer() { stop(); }
 
@@ -89,7 +91,7 @@ void RpcServer::add_service(std::shared_ptr<Service> service) {
 Result<Uri> RpcServer::start() {
   IPA_ASSIGN_OR_RETURN(listener_, net::listen(requested_));
   bound_ = listener_->endpoint();
-  threads_.emplace_back([this] { accept_loop(); });
+  accept_thread_ = std::jthread([this] { accept_loop(); });
   IPA_LOG(debug) << "rpc server listening on " << bound_.to_string();
   return bound_;
 }
@@ -99,12 +101,8 @@ void RpcServer::stop() {
     return;
   }
   if (listener_) listener_->close();
-  std::vector<std::jthread> to_join;
-  {
-    std::lock_guard lock(mutex_);
-    to_join.swap(threads_);
-  }
-  to_join.clear();  // joins accept loop and all connection handlers
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.stop();  // workers see stopping_ and drop their connections
   listener_.reset();
 }
 
@@ -117,11 +115,10 @@ void RpcServer::accept_loop() {
       if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
       break;  // listener closed
     }
-    std::lock_guard lock(mutex_);
-    if (stopping_.load()) break;
-    threads_.emplace_back([this, raw = std::move(conn).value().release()] {
-      serve_connection(net::ConnectionPtr(raw));
-    });
+    // A full accept queue sheds the connection — the rejected ConnectionPtr
+    // closes as it leaves submit(), and the client sees a transport failure
+    // to retry — instead of spawning threads without bound.
+    (void)pool_.submit(std::move(conn).value());
   }
 }
 

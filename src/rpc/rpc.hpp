@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "net/transport.hpp"
+#include "net/worker_pool.hpp"
 #include "serialize/serialize.hpp"
 
 namespace ipa::rpc {
@@ -87,11 +88,14 @@ class Service {
 /// or an error. Installed once per server.
 using AuthFn = std::function<Result<std::string>(const std::string& token)>;
 
-/// Multi-threaded RPC server: an accept loop plus one handler thread per
-/// connection (the container model of GT4: one worker per client channel).
+/// Multi-threaded RPC server: an accept loop feeding a bounded worker pool
+/// (GT4's "one worker per client channel", but capped — connections beyond
+/// the accept-queue capacity are dropped and counted on
+/// `ipa_server_overflow_total{server="rpc"}`). Worker RPC connections are
+/// long-lived, so `pool.max_workers` bounds the concurrent engine count.
 class RpcServer {
  public:
-  explicit RpcServer(Uri endpoint);
+  explicit RpcServer(Uri endpoint, net::ServerPoolOptions pool = {});
   ~RpcServer();
 
   RpcServer(const RpcServer&) = delete;
@@ -121,7 +125,8 @@ class RpcServer {
   AuthFn auth_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Service>, std::less<>> services_;
-  std::vector<std::jthread> threads_;
+  net::ServerWorkerPool<net::ConnectionPtr> pool_;
+  std::jthread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_{0};
 };

@@ -153,12 +153,13 @@ Status ManagerNode::initialize() {
     rpc_endpoint.scheme = "inproc";
     rpc_endpoint.host = make_id("ipa-mgr-rpc");
   }
-  rpc_ = std::make_unique<rpc::RpcServer>(rpc_endpoint);
+  rpc_ = std::make_unique<rpc::RpcServer>(rpc_endpoint, config_.rpc_pool);
   register_rpc_services();
   IPA_ASSIGN_OR_RETURN(rpc_bound_, rpc_->start());
 
   // SOAP server ("web service" side).
-  soap_ = std::make_unique<soap::SoapServer>(config_.soap_host, config_.soap_port);
+  soap_ = std::make_unique<soap::SoapServer>(config_.soap_host, config_.soap_port,
+                                             "/ipa/services", config_.soap_pool);
   soap_->set_auth([this](const std::string& token) -> Result<std::string> {
     auto identity = authority_.verify(token);
     IPA_RETURN_IF_ERROR(identity.status());

@@ -89,6 +89,11 @@ struct ManagerConfig {
   /// Clock for phase timing and engine liveness (null = WallClock). Tests
   /// inject a ManualClock; must outlive the manager.
   const Clock* clock = nullptr;
+  /// Worker-pool bounds for the SOAP/HTTP server and the RPC server.
+  /// Engine RPC connections are long-lived (one per engine, heartbeating),
+  /// so rpc_pool.max_workers caps the site's concurrent engine count.
+  net::ServerPoolOptions soap_pool;
+  net::ServerPoolOptions rpc_pool;
 };
 
 class ManagerNode {

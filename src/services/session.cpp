@@ -1,10 +1,48 @@
 #include "services/session.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <future>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ipa::services {
+namespace {
+
+/// One snapshotted seat for a fan-out: the handle is pinned by shared_ptr
+/// so the RPC can run after the session lock is released.
+struct SeatCall {
+  std::size_t seat = 0;
+  std::string engine_id;
+  std::shared_ptr<EngineHandle> handle;
+};
+
+/// Issue `fn` against every snapshotted handle in parallel on the shared
+/// staging pool — the session lock must NOT be held. Every call runs to
+/// completion; the first error in seat order wins and is prefixed with the
+/// failing engine's id, so the aggregate result is deterministic no matter
+/// how the parallel calls interleave.
+Status fan_out(const std::vector<SeatCall>& calls,
+               const std::function<Status(const SeatCall&)>& fn) {
+  if (calls.empty()) return Status::ok();
+  if (calls.size() == 1) {
+    return fn(calls[0]).with_prefix("engine " + calls[0].engine_id);
+  }
+  std::vector<std::future<Status>> results;
+  results.reserve(calls.size());
+  for (const SeatCall& call : calls) {
+    results.push_back(staging_pool().submit([&call, &fn] { return fn(call); }));
+  }
+  Status first = Status::ok();
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    Status status = results[i].get().with_prefix("engine " + calls[i].engine_id);
+    if (first.is_ok() && !status.is_ok()) first = std::move(status);
+  }
+  return first;
+}
+
+}  // namespace
 
 std::string_view to_string(SessionState state) {
   switch (state) {
@@ -78,71 +116,92 @@ bool Session::all_ready() const {
 }
 
 Status Session::distribute_parts(const data::SplitResult& split) {
+  std::vector<SeatCall> calls;
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ == SessionState::kCreated) {
+      return failed_precondition("session: engines not started yet");
+    }
+    if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
+    if (split.parts.size() != seats_.size()) {
+      return internal_error("session: part count != engine count");
+    }
+    for (std::size_t i = 0; i < seats_.size(); ++i) {
+      seats_[i].part_path = split.parts[i].path;  // lost seats keep the assignment
+      if (!seats_[i].handle) continue;  // lost or mid-restart: degraded fan-out
+      calls.push_back({i, seat_ids_[i], seats_[i].handle});
+    }
+  }
+  // The per-seat RPCs run in parallel outside the lock: one slow engine no
+  // longer serializes the transfer, and poll/report paths stay responsive.
+  IPA_RETURN_IF_ERROR(fan_out(calls, [&split](const SeatCall& call) {
+    return call.handle->stage_dataset(split.parts[call.seat].path);
+  }));
   std::lock_guard lock(mutex_);
-  if (state_ == SessionState::kCreated) {
-    return failed_precondition("session: engines not started yet");
-  }
-  if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
-  if (split.parts.size() != seats_.size()) {
-    return internal_error("session: part count != engine count");
-  }
-  for (std::size_t i = 0; i < seats_.size(); ++i) {
-    seats_[i].part_path = split.parts[i].path;
-    if (!seats_[i].handle) continue;  // lost seat keeps the assignment only
-    IPA_RETURN_IF_ERROR(seats_[i]
-                            .handle->stage_dataset(split.parts[i].path)
-                            .with_prefix("engine " + seat_ids_[i]));
-  }
-  state_ = SessionState::kDatasetStaged;
+  if (state_ != SessionState::kClosed) state_ = SessionState::kDatasetStaged;
   return Status::ok();
 }
 
 Status Session::stage_code(const engine::CodeBundle& bundle) {
-  std::lock_guard lock(mutex_);
-  if (state_ == SessionState::kCreated) {
-    return failed_precondition("session: engines not started yet");
+  std::vector<SeatCall> calls;
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ == SessionState::kCreated) {
+      return failed_precondition("session: engines not started yet");
+    }
+    if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
+    staged_code_ = bundle;
+    for (std::size_t i = 0; i < seats_.size(); ++i) {
+      if (!seats_[i].handle) continue;  // lost or mid-restart: degraded fan-out
+      calls.push_back({i, seat_ids_[i], seats_[i].handle});
+    }
   }
-  if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
-  staged_code_ = bundle;
-  for (std::size_t i = 0; i < seats_.size(); ++i) {
-    if (!seats_[i].handle) continue;
-    IPA_RETURN_IF_ERROR(
-        seats_[i].handle->stage_code(bundle).with_prefix("engine " + seat_ids_[i]));
-  }
-  return Status::ok();
+  return fan_out(calls, [&bundle](const SeatCall& call) {
+    return call.handle->stage_code(bundle);
+  });
 }
 
 Status Session::control(ControlVerb verb, std::uint64_t records) {
-  std::lock_guard lock(mutex_);
-  if (state_ != SessionState::kDatasetStaged) {
-    return failed_precondition("session: dataset not staged");
+  std::vector<SeatCall> calls;
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ != SessionState::kDatasetStaged) {
+      return failed_precondition("session: dataset not staged");
+    }
+    last_verb_ = verb;
+    last_verb_records_ = records;
+    for (std::size_t i = 0; i < seats_.size(); ++i) {
+      if (!seats_[i].handle) continue;  // lost or mid-restart: degraded fan-out
+      calls.push_back({i, seat_ids_[i], seats_[i].handle});
+    }
   }
-  last_verb_ = verb;
-  last_verb_records_ = records;
-  for (std::size_t i = 0; i < seats_.size(); ++i) {
-    if (!seats_[i].handle) continue;  // lost or mid-restart: degraded fan-out
-    IPA_RETURN_IF_ERROR(
-        seats_[i].handle->control(verb, records).with_prefix("engine " + seat_ids_[i]));
-  }
-  return Status::ok();
+  return fan_out(calls, [verb, records](const SeatCall& call) {
+    return call.handle->control(verb, records);
+  });
 }
 
 std::vector<EngineReport> Session::reports() const {
-  std::lock_guard lock(mutex_);
+  // Snapshot the seats under the lock, then query the engines without it —
+  // report() may be a network round-trip on remote handles.
+  std::vector<std::shared_ptr<EngineHandle>> handles;
   std::vector<EngineReport> out;
-  out.reserve(seats_.size());
-  for (std::size_t i = 0; i < seats_.size(); ++i) {
-    if (seats_[i].handle) {
-      out.push_back(seats_[i].handle->report());
-      continue;
+  {
+    std::lock_guard lock(mutex_);
+    handles.reserve(seats_.size());
+    out.reserve(seats_.size());
+    for (std::size_t i = 0; i < seats_.size(); ++i) {
+      handles.push_back(seats_[i].handle);
+      // Lost (or mid-restart) seat: fabricate the degraded view.
+      EngineReport report;
+      report.engine_id = seat_ids_[i];
+      report.state = engine::EngineState::kFailed;
+      report.lost = true;
+      report.error = seats_[i].lost ? seats_[i].lost_reason : "engine restarting";
+      out.push_back(std::move(report));
     }
-    // Lost (or mid-restart) seat: fabricate the degraded view.
-    EngineReport report;
-    report.engine_id = seat_ids_[i];
-    report.state = engine::EngineState::kFailed;
-    report.lost = true;
-    report.error = seats_[i].lost ? seats_[i].lost_reason : "engine restarting";
-    out.push_back(std::move(report));
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i]) out[i] = handles[i]->report();
   }
   return out;
 }
@@ -170,16 +229,27 @@ void Session::note_run_started(double now_s) {
 }
 
 std::optional<Session::RunCompletion> Session::try_complete_run() {
-  std::lock_guard lock(mutex_);
-  if (!run_started_ || seats_.empty()) return std::nullopt;
-  for (std::size_t i = 0; i < seats_.size(); ++i) {
-    if (seats_[i].lost) continue;  // degraded seats cannot hold the run open
-    if (!seats_[i].handle) return std::nullopt;  // mid-restart: still running
-    const engine::EngineState state = seats_[i].handle->report().state;
+  // Snapshot under the lock, query the engines without it (report() may be
+  // a network call on remote handles), then re-check under the lock so the
+  // completion is still reported exactly once across racing push handlers.
+  std::vector<std::shared_ptr<EngineHandle>> handles;
+  {
+    std::lock_guard lock(mutex_);
+    if (!run_started_ || seats_.empty()) return std::nullopt;
+    for (std::size_t i = 0; i < seats_.size(); ++i) {
+      if (seats_[i].lost) continue;  // degraded seats cannot hold the run open
+      if (!seats_[i].handle) return std::nullopt;  // mid-restart: still running
+      handles.push_back(seats_[i].handle);
+    }
+  }
+  for (const auto& handle : handles) {
+    const engine::EngineState state = handle->report().state;
     if (state == engine::EngineState::kRunning || state == engine::EngineState::kIdle) {
       return std::nullopt;
     }
   }
+  std::lock_guard lock(mutex_);
+  if (!run_started_) return std::nullopt;  // a racing pusher reported it first
   run_started_ = false;  // completion is reported exactly once
   return RunCompletion{run_start_s_, run_parent_};
 }
@@ -264,7 +334,10 @@ std::vector<std::string> Session::lost_engines() const {
 Status Session::close() {
   std::lock_guard lock(mutex_);
   if (state_ == SessionState::kClosed) return Status::ok();
-  seats_.clear();  // destroys worker hosts, shutting engines down
+  // Drops the seats' owning references: worker hosts shut down as the last
+  // reference goes (an in-flight fan-out call finishes on its pinned handle
+  // first, then destruction runs on that thread).
+  seats_.clear();
   seat_ids_.clear();
   state_ = SessionState::kClosed;
   IPA_LOG(debug) << "session " << id_ << " closed";

@@ -58,8 +58,9 @@ class Session {
   Status stage_code(const engine::CodeBundle& bundle);
 
   /// Fan a control verb out to every live engine (lost seats are skipped —
-  /// that is the degraded mode). Fails fast on the first engine error but
-  /// reports which engine failed.
+  /// that is the degraded mode). The per-engine calls run in parallel on
+  /// the shared staging pool, outside the session lock; the first error in
+  /// seat order is returned, naming the engine that failed.
   Status control(ControlVerb verb, std::uint64_t records = 0);
 
   std::vector<EngineReport> reports() const;
@@ -128,9 +129,12 @@ class Session {
 
  private:
   /// One granted node: the engine handle plus what was staged on it, so a
-  /// replacement can be rebuilt after a failure.
+  /// replacement can be rebuilt after a failure. The handle is shared so
+  /// fan-out paths can snapshot it under the lock and issue the RPC outside
+  /// it; a seat torn down mid-call keeps the old handle alive until the
+  /// call returns.
   struct EngineSeat {
-    std::unique_ptr<EngineHandle> handle;
+    std::shared_ptr<EngineHandle> handle;
     std::string part_path;
     int restarts = 0;
     bool restarting = false;

@@ -122,8 +122,9 @@ Status fault_to_status(const xml::Node& fault) {
   return Status(code, message);
 }
 
-SoapServer::SoapServer(std::string host, std::uint16_t port, std::string path)
-    : http_(std::move(host), port), path_(std::move(path)) {}
+SoapServer::SoapServer(std::string host, std::uint16_t port, std::string path,
+                       net::ServerPoolOptions pool)
+    : http_(std::move(host), port, pool), path_(std::move(path)) {}
 
 void SoapServer::register_operation(const std::string& service, const std::string& operation,
                                     Operation fn, bool require_auth) {

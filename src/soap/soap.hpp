@@ -65,7 +65,9 @@ using AuthFn = std::function<Result<std::string>(const std::string& token)>;
 /// SOAP endpoint bound to one HTTP path on an embedded HTTP server.
 class SoapServer {
  public:
-  SoapServer(std::string host, std::uint16_t port, std::string path = "/ipa/services");
+  /// `pool` bounds the embedded HTTP server's connection workers.
+  SoapServer(std::string host, std::uint16_t port, std::string path = "/ipa/services",
+             net::ServerPoolOptions pool = {});
 
   /// Operations registered as "Service", "operation". Services marked
   /// authenticated reject calls whose token fails the auth hook.

@@ -292,11 +292,13 @@ TEST_F(FailureTest, EngineKilledWithRestartDisabledDegrades) {
   EXPECT_TRUE(last.degraded());
   EXPECT_FALSE(last.any_engine_failed());
   EXPECT_TRUE(session->degraded());
-  // The surviving engine's 500 records are all there; the dead engine
-  // contributes at most its last snapshot.
+  // The surviving engine's part is all there; the dead engine contributes
+  // at most its last snapshot. The byte-balanced split may hand the
+  // survivor slightly fewer than half of the 1000 records (frame sizes,
+  // not record counts, are equalized), hence the margin below 500.
   auto hist = last.merged.histogram1d("/n");
   ASSERT_TRUE(hist.is_ok());
-  EXPECT_GE((*hist)->entries(), 500u);
+  EXPECT_GE((*hist)->entries(), 450u);
   EXPECT_LT((*hist)->entries(), 1000u);
   EXPECT_TRUE(session->close().is_ok());
 }

@@ -149,6 +149,17 @@ TEST_F(ObsEndpointsTest, MetricsEndpointServesAllSixPhases) {
   EXPECT_NE(response.body.find("ipa_http_requests_total"), std::string::npos);
   EXPECT_NE(response.body.find("ipa_aida_merge_seconds"), std::string::npos);
   EXPECT_NE(response.body.find("ipa_log_lines_total"), std::string::npos);
+
+  // Bounded-server pool gauges exist per server kind even when nothing ever
+  // queued or overflowed (the series are created with the pool).
+  EXPECT_NE(response.body.find("ipa_server_accept_queue_depth{server=\"http\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("ipa_server_accept_queue_depth{server=\"rpc\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("ipa_server_overflow_total{server=\"http\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("ipa_server_overflow_total{server=\"rpc\"}"),
+            std::string::npos);
 }
 
 TEST_F(ObsEndpointsTest, StatusEndpointReportsPhaseBreakdown) {

@@ -2,6 +2,7 @@
 // record-at-a-time processing — same fills, same order, same arithmetic —
 // for both the native Higgs plugin and the PawScript path.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -17,7 +18,10 @@ namespace {
 class BatchGoldenTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "ipa-batch-golden-test";
+    // Per-process dir: ctest -j runs each TEST as its own process, and a
+    // shared path would race SetUp against another case's remove_all.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipa-batch-golden-test-" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
     path_ = (dir_ / "events.ipd").string();
     GeneratorConfig config;

@@ -1,0 +1,440 @@
+// Staging-pipeline suite: the single-pass parallel splitter must be
+// byte-identical to a sequential two-pass decode/re-encode split, the
+// session fan-out must not serialize on a slow seat (and must aggregate
+// errors deterministically), and the bounded server worker pool must cap
+// threads and count overflow instead of spawning without limit.
+//
+// Runs under -DIPA_SANITIZE=thread in the staging CI tier: every path here
+// crosses the staging pool, so data races surface loudly.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <semaphore>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/splitter.hpp"
+#include "net/worker_pool.hpp"
+#include "rpc/rpc.hpp"
+#include "serialize/serialize.hpp"
+#include "services/session.hpp"
+
+namespace ipa {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+class StagingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ipa-staging-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::vector<data::Record> make_records(std::size_t n, std::uint64_t seed = 42) {
+    Rng rng(seed);
+    std::vector<data::Record> records;
+    records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data::Record record(i);
+      record.set("energy", rng.uniform(0.0, 500.0));
+      record.set("ntrk", static_cast<std::int64_t>(rng.uniform_u64(0, 40)));
+      if (i % 3 == 0) record.set("tag", "signal");
+      // Variable-size payload: byte balancing must differ from count
+      // balancing for the golden test to mean anything.
+      data::Value::RealVec p4(2 + rng.uniform_u64(0, 6));
+      for (double& x : p4) x = rng.normal(0, 10);
+      record.set("p4", std::move(p4));
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
+
+  static std::vector<std::uint8_t> file_bytes(const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    EXPECT_TRUE(in.good()) << file;
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  std::filesystem::path dir_;
+};
+
+// --- golden byte identity --------------------------------------------------
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Sequential two-pass reference: decode every record, balance boundaries
+/// on framed-byte sizes with the splitter's rule, re-encode part by part.
+/// The streaming splitter's raw-copy output must match this byte for byte.
+Status reference_split(const std::string& source_path, const std::string& out_prefix,
+                       int num_parts) {
+  IPA_ASSIGN_OR_RETURN(data::DatasetReader reader, data::DatasetReader::open(source_path));
+  IPA_ASSIGN_OR_RETURN(const std::vector<data::Record> records, data::read_all(source_path));
+
+  std::vector<std::uint64_t> frame_sizes;
+  std::uint64_t payload_total = 0;
+  for (const data::Record& record : records) {
+    ser::Writer w;
+    record.encode(w);
+    const std::size_t body = std::move(w).take().size();
+    const std::uint64_t frame = varint_size(body) + body;
+    frame_sizes.push_back(frame);
+    payload_total += frame;
+  }
+
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(num_parts) + 1, records.size());
+  bounds[0] = 0;
+  {
+    std::uint64_t cumulative = 0;
+    int part = 1;
+    for (std::uint64_t i = 0; i < frame_sizes.size() && part < num_parts; ++i) {
+      cumulative += frame_sizes[i];
+      while (part < num_parts &&
+             cumulative >= payload_total * static_cast<std::uint64_t>(part) /
+                               static_cast<std::uint64_t>(num_parts)) {
+        bounds[static_cast<std::size_t>(part)] = i + 1;
+        ++part;
+      }
+    }
+  }
+
+  const data::DatasetInfo& info = reader.info();
+  for (int k = 0; k < num_parts; ++k) {
+    auto metadata = info.metadata;
+    metadata["part.index"] = std::to_string(k);
+    metadata["part.count"] = std::to_string(num_parts);
+    metadata["part.first"] = std::to_string(bounds[static_cast<std::size_t>(k)]);
+    metadata["part.parent"] = info.name;
+    IPA_ASSIGN_OR_RETURN(
+        data::DatasetWriter writer,
+        data::DatasetWriter::create(out_prefix + ".part" + std::to_string(k) + ".ipd",
+                                    info.name + "/part" + std::to_string(k),
+                                    std::move(metadata)));
+    for (std::uint64_t i = bounds[static_cast<std::size_t>(k)];
+         i < bounds[static_cast<std::size_t>(k) + 1]; ++i) {
+      IPA_RETURN_IF_ERROR(writer.append(records[static_cast<std::size_t>(i)]));
+    }
+    IPA_RETURN_IF_ERROR(writer.finish());
+  }
+  return Status::ok();
+}
+
+TEST_F(StagingTest, SplitIsByteIdenticalToTwoPassReference) {
+  ASSERT_TRUE(
+      data::write_dataset(path("src.ipd"), "golden-src", make_records(1000), {{"run", "7"}})
+          .is_ok());
+  for (const int parts : {1, 3, 8, 16}) {
+    const std::string tag = std::to_string(parts);
+    auto split = data::split_dataset(path("src.ipd"), path("fast" + tag), parts);
+    ASSERT_TRUE(split.is_ok()) << split.status().to_string();
+    ASSERT_TRUE(reference_split(path("src.ipd"), path("ref" + tag), parts).is_ok());
+    ASSERT_EQ(split->parts.size(), static_cast<std::size_t>(parts));
+    for (int k = 0; k < parts; ++k) {
+      const std::string ref = path("ref" + tag + ".part" + std::to_string(k) + ".ipd");
+      EXPECT_EQ(file_bytes(split->parts[static_cast<std::size_t>(k)].path), file_bytes(ref))
+          << "part " << k << " of " << parts << " differs from the two-pass reference";
+    }
+    EXPECT_TRUE(data::verify_split(path("src.ipd"), *split).is_ok());
+  }
+}
+
+TEST_F(StagingTest, ScanFrameOffsetsTilesTheRecordRegion) {
+  ASSERT_TRUE(data::write_dataset(path("scan.ipd"), "scan", make_records(257)).is_ok());
+  auto reader = data::DatasetReader::open(path("scan.ipd"));
+  ASSERT_TRUE(reader.is_ok());
+  // Move the cursor first: the scan must restore it.
+  ASSERT_TRUE(reader->seek(100).is_ok());
+  auto offsets = reader->scan_frame_offsets();
+  ASSERT_TRUE(offsets.is_ok()) << offsets.status().to_string();
+  ASSERT_EQ(offsets->size(), 258u);  // one per record + end sentinel
+  for (std::size_t i = 0; i + 1 < offsets->size(); ++i) {
+    EXPECT_LT((*offsets)[i], (*offsets)[i + 1]);
+  }
+  EXPECT_EQ(reader->position(), 100u);
+  auto record = reader->next();
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record->index(), 100u);
+}
+
+// --- edge cases ------------------------------------------------------------
+
+TEST_F(StagingTest, MorePartsThanRecordsCreatesEmptyTailParts) {
+  ASSERT_TRUE(data::write_dataset(path("tiny.ipd"), "tiny", make_records(5)).is_ok());
+  auto split = data::split_dataset(path("tiny.ipd"), path("tiny"), 16);
+  ASSERT_TRUE(split.is_ok()) << split.status().to_string();
+  ASSERT_EQ(split->parts.size(), 16u);
+  std::uint64_t total = 0;
+  for (const data::PartInfo& part : split->parts) {
+    auto reader = data::DatasetReader::open(part.path);
+    ASSERT_TRUE(reader.is_ok()) << part.path;  // every engine still gets a file
+    EXPECT_EQ(reader->size(), part.record_count);
+    total += part.record_count;
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_TRUE(data::verify_split(path("tiny.ipd"), *split).is_ok());
+}
+
+TEST_F(StagingTest, EmptyDatasetSplitsIntoEmptyParts) {
+  ASSERT_TRUE(data::write_dataset(path("empty.ipd"), "empty", {}).is_ok());
+  auto split = data::split_dataset(path("empty.ipd"), path("empty"), 4);
+  ASSERT_TRUE(split.is_ok()) << split.status().to_string();
+  ASSERT_EQ(split->parts.size(), 4u);
+  EXPECT_EQ(split->total_records, 0u);
+  for (const data::PartInfo& part : split->parts) {
+    auto reader = data::DatasetReader::open(part.path);
+    ASSERT_TRUE(reader.is_ok()) << part.path;
+    EXPECT_EQ(reader->size(), 0u);
+  }
+  EXPECT_TRUE(data::verify_split(path("empty.ipd"), *split).is_ok());
+}
+
+TEST_F(StagingTest, SingleRecordDataset) {
+  ASSERT_TRUE(data::write_dataset(path("one.ipd"), "one", make_records(1)).is_ok());
+  for (const int parts : {1, 3}) {
+    auto split = data::split_dataset(path("one.ipd"), path("one" + std::to_string(parts)), parts);
+    ASSERT_TRUE(split.is_ok()) << split.status().to_string();
+    ASSERT_EQ(split->parts.size(), static_cast<std::size_t>(parts));
+    EXPECT_EQ(split->parts[0].record_count, 1u);
+    EXPECT_TRUE(data::verify_split(path("one.ipd"), *split).is_ok());
+  }
+}
+
+// --- concurrent seat fan-out ----------------------------------------------
+
+/// EngineHandle whose every operation is one RPC through a chaos transport
+/// with a guaranteed delay fault — a "slow seat" by construction. Each
+/// handle owns its own connection so seat calls can genuinely overlap.
+class RpcDelayHandle final : public services::EngineHandle {
+ public:
+  RpcDelayHandle(std::string id, rpc::RpcClient client)
+      : id_(std::move(id)), client_(std::move(client)) {}
+
+  const std::string& engine_id() const override { return id_; }
+  Status stage_dataset(const std::string&) override { return call(); }
+  Status stage_code(const engine::CodeBundle&) override { return call(); }
+  Status control(services::ControlVerb, std::uint64_t) override { return call(); }
+  services::EngineReport report() const override {
+    services::EngineReport report;
+    report.engine_id = id_;
+    return report;
+  }
+
+ private:
+  Status call() { return client_.call("Engine", "op", {}, "", /*timeout_s=*/10.0).status(); }
+
+  std::string id_;
+  rpc::RpcClient client_;
+};
+
+constexpr int kDelayMs = 80;
+
+/// A session whose four seats each pay ~kDelayMs of injected network delay
+/// per call. Serial fan-out would cost >= 4 * kDelayMs.
+struct DelayedSession {
+  std::unique_ptr<rpc::RpcServer> server;
+  std::shared_ptr<services::Session> session;
+
+  static DelayedSession start(const std::string& tag, int seats) {
+    DelayedSession out;
+    Uri endpoint;
+    endpoint.scheme = "chaos+inproc";
+    endpoint.host = "staging-" + tag;
+    endpoint.query = {{"seed", "3"},
+                      {"delay_p", "1"},
+                      {"delay_ms", std::to_string(kDelayMs)}};
+    out.server = std::make_unique<rpc::RpcServer>(endpoint);
+    auto service = std::make_shared<rpc::Service>("Engine");
+    service->register_method(
+        "op", [](const rpc::CallContext&, const ser::Bytes&) -> Result<ser::Bytes> {
+          return ser::Bytes{};
+        });
+    out.server->add_service(std::move(service));
+    EXPECT_TRUE(out.server->start().is_ok());
+
+    out.session = std::make_shared<services::Session>("s-" + tag, "tester", seats, "interactive");
+    std::vector<std::unique_ptr<services::EngineHandle>> engines;
+    for (int i = 0; i < seats; ++i) {
+      const std::string id = "eng-" + std::to_string(i);
+      auto client = rpc::RpcClient::connect(endpoint);
+      EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+      out.session->mark_ready(id);
+      engines.push_back(std::make_unique<RpcDelayHandle>(id, std::move(*client)));
+    }
+    EXPECT_TRUE(out.session->attach_engines(std::move(engines)).is_ok());
+    return out;
+  }
+};
+
+data::SplitResult fake_split(int parts) {
+  data::SplitResult split;
+  for (int i = 0; i < parts; ++i) {
+    data::PartInfo part;
+    part.path = "/tmp/fake-part-" + std::to_string(i);
+    split.parts.push_back(std::move(part));
+  }
+  return split;
+}
+
+TEST_F(StagingTest, SlowSeatsDoNotSerializeTheFanOut) {
+  DelayedSession fixture = DelayedSession::start("parallel", 4);
+
+  // Each seat pays >= kDelayMs of injected delay per fan-out call; a serial
+  // fan-out would take >= 4 * kDelayMs per operation. The parallel fan-out
+  // should finish in roughly one seat's latency — 3x headroom for TSan and
+  // scheduling noise still cleanly rejects serial execution.
+  const auto started = Clock::now();
+  ASSERT_TRUE(fixture.session->distribute_parts(fake_split(4)).is_ok());
+  EXPECT_LT(seconds_since(started), 3 * kDelayMs / 1000.0)
+      << "distribute_parts looks serialized";
+
+  const auto control_started = Clock::now();
+  ASSERT_TRUE(fixture.session->control(services::ControlVerb::kRun).is_ok());
+  EXPECT_LT(seconds_since(control_started), 3 * kDelayMs / 1000.0)
+      << "control fan-out looks serialized";
+
+  ASSERT_TRUE(fixture.session->close().is_ok());
+  fixture.server->stop();
+}
+
+TEST_F(StagingTest, SessionStaysResponsiveDuringSlowFanOut) {
+  DelayedSession fixture = DelayedSession::start("responsive", 4);
+  ASSERT_TRUE(fixture.session->distribute_parts(fake_split(4)).is_ok());
+
+  // Fan a slow control verb out on a helper thread; the session lock must
+  // not be held across the delayed RPCs, so state queries return instantly.
+  std::thread slow([&] { EXPECT_TRUE(fixture.session->control(services::ControlVerb::kRun).is_ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(kDelayMs / 4));
+  const auto started = Clock::now();
+  EXPECT_EQ(fixture.session->state(), services::SessionState::kDatasetStaged);
+  (void)fixture.session->phase_timings();
+  (void)fixture.session->degraded();
+  EXPECT_LT(seconds_since(started), kDelayMs / 2 / 1000.0)
+      << "a state query blocked behind an in-flight fan-out RPC";
+  slow.join();
+
+  ASSERT_TRUE(fixture.session->close().is_ok());
+  fixture.server->stop();
+}
+
+/// Handle with scripted outcome: optional failure after an optional sleep.
+class ScriptedHandle final : public services::EngineHandle {
+ public:
+  ScriptedHandle(std::string id, Status result, int sleep_ms)
+      : id_(std::move(id)), result_(std::move(result)), sleep_ms_(sleep_ms) {}
+
+  const std::string& engine_id() const override { return id_; }
+  Status stage_dataset(const std::string&) override { return run(); }
+  Status stage_code(const engine::CodeBundle&) override { return run(); }
+  Status control(services::ControlVerb, std::uint64_t) override { return run(); }
+  services::EngineReport report() const override {
+    services::EngineReport report;
+    report.engine_id = id_;
+    return report;
+  }
+
+ private:
+  Status run() {
+    if (sleep_ms_ > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return result_;
+  }
+
+  std::string id_;
+  Status result_;
+  int sleep_ms_;
+};
+
+TEST_F(StagingTest, FirstErrorInSeatOrderWinsDeterministically) {
+  // Seat 3 fails instantly; seat 1 fails only after sleeping. Wall-clock
+  // order of failures is 3 then 1, but the aggregate must always report
+  // seat 1 — the first failing seat by index.
+  for (int round = 0; round < 3; ++round) {
+    services::Session session("s-det-" + std::to_string(round), "tester", 4, "interactive");
+    std::vector<std::unique_ptr<services::EngineHandle>> engines;
+    for (int i = 0; i < 4; ++i) session.mark_ready("eng-" + std::to_string(i));
+    engines.push_back(std::make_unique<ScriptedHandle>("eng-0", Status::ok(), 0));
+    engines.push_back(
+        std::make_unique<ScriptedHandle>("eng-1", internal_error("slow boom"), 30));
+    engines.push_back(std::make_unique<ScriptedHandle>("eng-2", Status::ok(), 0));
+    engines.push_back(
+        std::make_unique<ScriptedHandle>("eng-3", internal_error("fast boom"), 0));
+    ASSERT_TRUE(session.attach_engines(std::move(engines)).is_ok());
+
+    engine::CodeBundle bundle;
+    bundle.name = "det";
+    bundle.source = "func process(event, tree) {}";
+    const Status status = session.stage_code(bundle);
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_NE(status.message().find("engine eng-1"), std::string::npos) << status.to_string();
+    EXPECT_NE(status.message().find("slow boom"), std::string::npos) << status.to_string();
+    EXPECT_EQ(status.message().find("fast boom"), std::string::npos) << status.to_string();
+    ASSERT_TRUE(session.close().is_ok());
+  }
+}
+
+// --- bounded server worker pool -------------------------------------------
+
+TEST_F(StagingTest, ServerPoolCapsWorkersAndCountsOverflow) {
+  std::atomic<int> entered{0};
+  std::atomic<int> handled{0};
+  std::counting_semaphore<16> release(0);
+
+  net::ServerPoolOptions options;
+  options.max_workers = 2;
+  options.queue_capacity = 2;
+  net::ServerWorkerPool<int> pool("staging-test", options, [&](int) {
+    entered.fetch_add(1);
+    release.acquire();
+    handled.fetch_add(1);
+  });
+
+  // Two items occupy both workers.
+  EXPECT_TRUE(pool.submit(1));
+  EXPECT_TRUE(pool.submit(2));
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (entered.load() < 2 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(entered.load(), 2);
+  EXPECT_EQ(pool.worker_count(), 2u);
+
+  // Two more fill the queue; the fifth overflows instead of growing a thread.
+  EXPECT_TRUE(pool.submit(3));
+  EXPECT_TRUE(pool.submit(4));
+  EXPECT_FALSE(pool.submit(5));
+  EXPECT_EQ(pool.worker_count(), 2u);
+
+  release.release(4);
+  while (handled.load() < 4 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(handled.load(), 4);
+  pool.stop();
+  EXPECT_FALSE(pool.submit(6));  // stopped pools reject
+}
+
+}  // namespace
+}  // namespace ipa

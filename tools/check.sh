@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo verification: the tier-1 build-and-test pass, one sanitizer
 # configuration over the fault-sensitive suites (chaos, net, rpc, obs,
-# and the common log-sink races), and a
+# and the common log-sink races), a thread-sanitizer pass over the
+# parallel staging pipeline, and a
 # Release build + smoke run of the hot-path benchmarks (full regression
 # gating against BENCH_batch.json lives in tools/bench.sh).
 #
@@ -26,6 +27,13 @@ cmake --build "build-${san}" -j "$jobs" \
   ipa_test_common
 (cd "build-${san}" && \
   ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc|obs|common')
+
+echo "== tier staging: thread sanitizer over the staging pipeline =="
+# The parallel split + session fan-out + bounded server pool all cross the
+# shared staging pool; TSan is the tier that would catch a race there.
+cmake -B build-thread -S . -DIPA_SANITIZE=thread >/dev/null
+cmake --build build-thread -j "$jobs" --target ipa_test_staging
+(cd build-thread && ctest --output-on-failure -j "$jobs" -L staging)
 
 echo "== tier 3: Release bench build + smoke run =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
