@@ -25,6 +25,16 @@ using namespace ipa;
 
 namespace {
 
+/// Control verbs must not fail silently: a rewind or code reload that is
+/// dropped (RPC deadline under load, say) leaves the engines mid-dataset
+/// with mismatched code, and the eventual failure ("no object at ...") is
+/// far from its cause. Bail out at the verb that actually failed.
+bool check(const Status& status, const char* what) {
+  if (status.is_ok()) return true;
+  std::fprintf(stderr, "%s: %s\n", what, status.to_string().c_str());
+  return false;
+}
+
 /// Poll until every engine reaches `state` (or timeout).
 bool wait_all(client::GridSession& session, engine::EngineState state, double timeout_s) {
   const auto deadline =
@@ -70,8 +80,8 @@ int main(int argc, char** argv) {
   auto grid = client::GridClient::connect((*manager)->soap_endpoint(),
                                           *client::make_proxy((*manager)->authority(), token));
   auto session = grid->create_session(4);
-  (void)session->activate();
-  (void)session->select_dataset("ds-events");
+  if (!check(session->activate(), "activate")) return 1;
+  if (!check(session->select_dataset("ds-events").status(), "select")) return 1;
 
   // Version 1 of the analysis: too-wide binning, wrong variable — the kind
   // of first attempt an analyst immediately wants to revise.
@@ -82,11 +92,14 @@ func process(event, tree) {
   if (len(e) >= 2) { tree.fill("/m", e[0] + e[1]); }  // energy sum, not mass!
 }
 )ipa";
-  (void)session->stage_script("analysis-v1", kV1);
+  if (!check(session->stage_script("analysis-v1", kV1), "stage v1")) return 1;
 
   std::printf("\n-- run the first 2000 events per engine with v1 --\n");
-  (void)session->run_records(2000);
-  wait_all(*session, engine::EngineState::kPaused, 60.0);
+  if (!check(session->run_records(2000), "run_records")) return 1;
+  if (!wait_all(*session, engine::EngineState::kPaused, 60.0)) {
+    std::fprintf(stderr, "engines did not all pause within 60s\n");
+    return 1;
+  }
   auto peek = session->poll();
   if (peek.is_ok() && peek->changed) {
     auto hist = peek->merged.histogram1d("/m");
@@ -99,8 +112,10 @@ func process(event, tree) {
   // The analyst edits the script — proper invariant mass this time — and
   // reprocesses the same staged dataset from the beginning.
   std::printf("\n-- rewind, hot-reload v2, re-run everything --\n");
-  (void)session->rewind();
-  (void)session->stage_script("analysis-v2", physics::higgs_script());
+  if (!check(session->rewind(), "rewind")) return 1;
+  if (!check(session->stage_script("analysis-v2", physics::higgs_script()), "stage v2")) {
+    return 1;
+  }
   auto tree = session->run_to_completion(600.0, [](const client::PollUpdate& update) {
     std::printf("  %s\r",
                 viz::ascii_progress(update.total_processed(), update.total_records()).c_str());

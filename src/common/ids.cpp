@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string_view>
 
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "common/sync.hpp"
 
 namespace ipa {
 namespace {
@@ -14,10 +14,10 @@ namespace {
 std::atomic<std::uint64_t> g_sequence{0};
 
 std::uint64_t random_word() {
-  static std::mutex mutex;
+  static Mutex mutex{LockRank::kIds, "ids-rng"};
   static Rng rng(static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count()));
-  std::lock_guard lock(mutex);
+  LockGuard lock(mutex);
   return rng.next();
 }
 

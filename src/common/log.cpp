@@ -3,7 +3,8 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ipa::log {
 namespace {
@@ -11,12 +12,12 @@ namespace {
 std::atomic<Level> g_level{Level::kWarn};
 // shared_ptr so an emit in flight keeps the sink it grabbed alive even if
 // another thread swaps it mid-call.
-std::mutex g_sink_mutex;
-std::shared_ptr<const SinkFn> g_sink;  // guarded by g_sink_mutex
-std::mutex g_emit_mutex;
+Mutex g_sink_mutex{LockRank::kLog, "log-sink"};
+std::shared_ptr<const SinkFn> g_sink IPA_GUARDED_BY(g_sink_mutex);
+Mutex g_emit_mutex{LockRank::kLog, "log-emit"};
 
 std::shared_ptr<const SinkFn> current_sink() {
-  std::lock_guard lock(g_sink_mutex);
+  LockGuard lock(g_sink_mutex);
   return g_sink;
 }
 
@@ -39,9 +40,12 @@ void set_global_level(Level level) { g_level.store(level, std::memory_order_rela
 SinkFn set_sink(SinkFn sink) {
   auto next = sink ? std::make_shared<const SinkFn>(std::move(sink))
                    : std::shared_ptr<const SinkFn>();
-  std::lock_guard lock(g_sink_mutex);
-  std::shared_ptr<const SinkFn> prev = std::move(g_sink);
-  g_sink = std::move(next);
+  std::shared_ptr<const SinkFn> prev;
+  {
+    LockGuard lock(g_sink_mutex);
+    prev = std::move(g_sink);
+    g_sink = std::move(next);
+  }
   return prev ? *prev : SinkFn();
 }
 
@@ -60,7 +64,7 @@ LineBuilder::~LineBuilder() {
     (*sink)(level_, line);
     return;
   }
-  std::lock_guard lock(g_emit_mutex);
+  LockGuard lock(g_emit_mutex);
   std::fputs(line.c_str(), stderr);
   std::fputc('\n', stderr);
 }

@@ -6,11 +6,11 @@
 // remaining items before reporting closed.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.hpp"
 
 namespace ipa {
 
@@ -24,8 +24,10 @@ class MpmcQueue {
 
   /// Blocking push; returns false if the queue was closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    UniqueLock lock(mutex_);
+    not_full_.wait(lock, [&]() IPA_REQUIRES(mutex_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -36,7 +38,7 @@ class MpmcQueue {
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -46,8 +48,10 @@ class MpmcQueue {
 
   /// Blocking pop; nullopt when closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    UniqueLock lock(mutex_);
+    not_empty_.wait(lock, [&]() IPA_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -59,8 +63,10 @@ class MpmcQueue {
   /// Pop with timeout; nullopt on timeout or on closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); })) {
+    UniqueLock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout, [&]() IPA_REQUIRES(mutex_) {
+          return closed_ || !items_.empty();
+        })) {
       return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
@@ -73,7 +79,7 @@ class MpmcQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -85,7 +91,7 @@ class MpmcQueue {
   /// Close the queue: producers fail, consumers drain then see nullopt.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -93,12 +99,12 @@ class MpmcQueue {
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
@@ -106,11 +112,11 @@ class MpmcQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_{LockRank::kQueue, "mpmc-queue"};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ IPA_GUARDED_BY(mutex_);
+  bool closed_ IPA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ipa

@@ -1,0 +1,99 @@
+#include "common/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipa {
+
+const char* to_string(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked: return "unranked";
+    case LockRank::kIds: return "ids";
+    case LockRank::kLog: return "log";
+    case LockRank::kMetrics: return "metrics";
+    case LockRank::kTrace: return "trace";
+    case LockRank::kRegistry: return "registry";
+    case LockRank::kQueue: return "queue";
+    case LockRank::kTransport: return "transport";
+    case LockRank::kNetRegistry: return "net-registry";
+    case LockRank::kWorkerPool: return "worker-pool";
+    case LockRank::kServer: return "server";
+    case LockRank::kChannel: return "channel";
+    case LockRank::kEngineTree: return "engine-tree";
+    case LockRank::kEngine: return "engine";
+    case LockRank::kAida: return "aida";
+    case LockRank::kSession: return "session";
+    case LockRank::kResourceSet: return "resource-set";
+    case LockRank::kManager: return "manager";
+  }
+  return "?";
+}
+
+#if IPA_LOCK_CHECKS
+namespace sync_detail {
+namespace {
+
+struct Held {
+  LockRank rank;
+  const char* name;
+};
+
+// Plenty for any sane nesting; overflow aborts rather than corrupting.
+constexpr int kMaxHeld = 32;
+
+struct HeldStack {
+  Held entries[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+[[noreturn]] void rank_abort(const char* what, LockRank rank, const char* name) {
+  std::fprintf(stderr,
+               "ipa lock-rank violation: %s rank=%s (\"%s\") while holding:\n",
+               what, to_string(rank), name);
+  for (int i = t_held.depth - 1; i >= 0; --i) {
+    std::fprintf(stderr, "  [%d] rank=%s (\"%s\")\n", i,
+                 to_string(t_held.entries[i].rank), t_held.entries[i].name);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(LockRank rank, const char* name) {
+  if (t_held.depth >= kMaxHeld) rank_abort("lock stack overflow acquiring", rank, name);
+  if (rank != LockRank::kUnranked) {
+    for (int i = 0; i < t_held.depth; ++i) {
+      const Held& held = t_held.entries[i];
+      if (held.rank == LockRank::kUnranked) continue;
+      // Leaf -> root ordering: nested acquisitions must strictly descend.
+      // Equal ranks nesting would self-deadlock on a non-recursive mutex.
+      if (rank >= held.rank) rank_abort("out-of-order acquisition of", rank, name);
+    }
+  }
+  t_held.entries[t_held.depth++] = Held{rank, name};
+}
+
+void note_release(LockRank rank, const char* name) {
+  // Locks are usually released in LIFO order, but unique_lock allows
+  // arbitrary order; search from the top for the matching entry.
+  for (int i = t_held.depth - 1; i >= 0; --i) {
+    if (t_held.entries[i].rank == rank && t_held.entries[i].name == name) {
+      for (int j = i; j < t_held.depth - 1; ++j) {
+        t_held.entries[j] = t_held.entries[j + 1];
+      }
+      --t_held.depth;
+      return;
+    }
+  }
+  rank_abort("release of un-held", rank, name);
+}
+
+int held_depth() { return t_held.depth; }
+
+}  // namespace sync_detail
+#endif  // IPA_LOCK_CHECKS
+
+}  // namespace ipa

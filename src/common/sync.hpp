@@ -1,0 +1,329 @@
+// Concurrency contracts: annotated mutexes, lock guards and lock ranks.
+//
+// Every mutex in the framework goes through this header, which layers three
+// kinds of machine-checked discipline over std::mutex / std::shared_mutex:
+//
+//  1. Compile time (Clang only): the IPA_* thread-safety-analysis macros
+//     below expand to Clang's capability attributes, so a build with
+//     `-Wthread-safety -Werror` proves which fields each lock guards
+//     (IPA_GUARDED_BY) and which functions require a lock held
+//     (IPA_REQUIRES). Under GCC the macros expand to nothing.
+//
+//  2. Run time (Debug / IPA_LOCK_CHECKS builds): every ipa::Mutex carries a
+//     LockRank. Each thread keeps a stack of the ranks it holds; acquiring
+//     a lock whose rank is not strictly below every held rank aborts with
+//     both stacks' names. This turns a latent lock-order inversion — a
+//     deadlock that needs the unlucky interleaving to fire — into a
+//     deterministic abort on the *first* out-of-order acquisition.
+//
+//  3. Source level: tools/ipa_lint.py (check.sh tier 0) rejects raw
+//     std::mutex / std::lock_guard outside this header, so new code cannot
+//     silently bypass either check.
+//
+// The rank order is leaf -> root: a thread must acquire root-most locks
+// first and leaf-most locks last, so rank values *decrease* along any
+// nested acquisition. The full hierarchy diagram lives in
+// docs/static-analysis.md.
+#pragma once
+// ipa-lint: skip-file(raw-mutex) -- this is the one place raw std primitives live
+
+#include <mutex>
+#include <condition_variable>
+#include <shared_mutex>
+
+// --- Clang thread-safety-analysis attribute macros -------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define IPA_TSA_(x) __attribute__((x))
+#endif
+#endif
+#ifndef IPA_TSA_
+#define IPA_TSA_(x)  // no-op outside Clang
+#endif
+
+#define IPA_CAPABILITY(name) IPA_TSA_(capability(name))
+#define IPA_SCOPED_CAPABILITY IPA_TSA_(scoped_lockable)
+#define IPA_GUARDED_BY(x) IPA_TSA_(guarded_by(x))
+#define IPA_PT_GUARDED_BY(x) IPA_TSA_(pt_guarded_by(x))
+#define IPA_ACQUIRED_BEFORE(...) IPA_TSA_(acquired_before(__VA_ARGS__))
+#define IPA_ACQUIRED_AFTER(...) IPA_TSA_(acquired_after(__VA_ARGS__))
+#define IPA_REQUIRES(...) IPA_TSA_(requires_capability(__VA_ARGS__))
+#define IPA_REQUIRES_SHARED(...) IPA_TSA_(requires_shared_capability(__VA_ARGS__))
+#define IPA_ACQUIRE(...) IPA_TSA_(acquire_capability(__VA_ARGS__))
+#define IPA_ACQUIRE_SHARED(...) IPA_TSA_(acquire_shared_capability(__VA_ARGS__))
+#define IPA_RELEASE(...) IPA_TSA_(release_capability(__VA_ARGS__))
+#define IPA_RELEASE_SHARED(...) IPA_TSA_(release_shared_capability(__VA_ARGS__))
+#define IPA_TRY_ACQUIRE(...) IPA_TSA_(try_acquire_capability(__VA_ARGS__))
+#define IPA_EXCLUDES(...) IPA_TSA_(locks_excluded(__VA_ARGS__))
+#define IPA_ASSERT_CAPABILITY(x) IPA_TSA_(assert_capability(x))
+#define IPA_RETURN_CAPABILITY(x) IPA_TSA_(lock_returned(x))
+#define IPA_NO_THREAD_SAFETY_ANALYSIS IPA_TSA_(no_thread_safety_analysis)
+
+// --- Lock-rank debug checking ----------------------------------------------
+
+// Defined to 1 by CMake in Debug/RelWithDebInfo builds (IPA_LOCK_CHECKS
+// option); Release builds compile the rank bookkeeping out entirely.
+#ifndef IPA_LOCK_CHECKS
+#define IPA_LOCK_CHECKS 0
+#endif
+
+namespace ipa {
+
+/// The process lock hierarchy, ordered leaf -> root (ascending values).
+/// A thread may only acquire a mutex whose rank is STRICTLY LOWER than
+/// every rank it already holds; equal ranks never nest. kUnranked opts out
+/// of the ordering checks (test scaffolding only — production mutexes must
+/// name their place in the hierarchy).
+enum class LockRank : int {
+  kUnranked = 0,
+
+  // --- leaves: never hold anything else while these are held ----------
+  kIds = 10,          // common/ids random-word generator
+  kLog = 20,          // common/log sink + stderr emit locks
+  kMetrics = 30,      // obs::Registry family/series table
+  kTrace = 40,        // obs::SpanRing
+  kRegistry = 50,     // small process tables: MethodTraits, AnalyzerRegistry,
+                      //   Locator, fault dial ordinals
+
+  // --- message plumbing ------------------------------------------------
+  kQueue = 60,        // MpmcQueue internals (thread pools, inproc pipes)
+  kTransport = 70,    // tcp send serialization, fault streams
+  kNetRegistry = 80,  // inproc endpoint registry (holds kQueue via offer)
+  kWorkerPool = 90,   // net::ServerWorkerPool bookkeeping
+  kServer = 100,      // RpcServer service table, http::Server routes
+  kChannel = 110,     // RpcClient / http::Client per-channel call locks
+
+  // --- analysis state --------------------------------------------------
+  kEngineTree = 120,  // AnalysisEngine results tree (taken under kEngine)
+  kEngine = 130,      // AnalysisEngine control state
+  kAida = 140,        // AidaManager merge state (holds kQueue via pool)
+  kSession = 150,     // services::Session seats + phase timings
+  kResourceSet = 160, // rpc::ResourceSet instance maps (holds kIds)
+  kManager = 170,     // ManagerNode compute-element slot
+};
+
+/// Human-readable rank name for abort messages and tests.
+const char* to_string(LockRank rank);
+
+#if IPA_LOCK_CHECKS
+namespace sync_detail {
+/// Record an acquisition on the calling thread's rank stack; aborts with
+/// both the held stack and the offending mutex when the order is violated.
+void note_acquire(LockRank rank, const char* name);
+/// Remove the most recent matching acquisition from the rank stack.
+void note_release(LockRank rank, const char* name);
+/// Depth of the calling thread's held-rank stack (tests).
+int held_depth();
+}  // namespace sync_detail
+#endif
+
+/// std::mutex with a Clang capability annotation and a debug lock rank.
+class IPA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept = default;
+  explicit Mutex(LockRank rank, const char* name = "") noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IPA_ACQUIRE() {
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(rank_, name_);
+#endif
+    m_.lock();
+  }
+
+  void unlock() IPA_RELEASE() {
+    m_.unlock();
+#if IPA_LOCK_CHECKS
+    sync_detail::note_release(rank_, name_);
+#endif
+  }
+
+  bool try_lock() IPA_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(rank_, name_);
+#endif
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+  /// The wrapped mutex, for CondVar only (keeps std::condition_variable's
+  /// fast native wait path instead of condition_variable_any).
+  std::mutex& native() IPA_RETURN_CAPABILITY(this) { return m_; }
+
+ private:
+  std::mutex m_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+};
+
+/// std::shared_mutex counterpart for read-mostly tables.
+class IPA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() noexcept = default;
+  explicit SharedMutex(LockRank rank, const char* name = "") noexcept
+      : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() IPA_ACQUIRE() {
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(rank_, name_);
+#endif
+    m_.lock();
+  }
+  void unlock() IPA_RELEASE() {
+    m_.unlock();
+#if IPA_LOCK_CHECKS
+    sync_detail::note_release(rank_, name_);
+#endif
+  }
+  void lock_shared() IPA_ACQUIRE_SHARED() {
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(rank_, name_);
+#endif
+    m_.lock_shared();
+  }
+  void unlock_shared() IPA_RELEASE_SHARED() {
+    m_.unlock_shared();
+#if IPA_LOCK_CHECKS
+    sync_detail::note_release(rank_, name_);
+#endif
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex m_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+};
+
+/// Scoped exclusive lock — the std::lock_guard replacement.
+class IPA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) IPA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() IPA_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Scoped exclusive lock on a SharedMutex (writer side).
+class IPA_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) IPA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~WriterLock() IPA_RELEASE() { m_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Scoped shared lock on a SharedMutex (reader side).
+class IPA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) IPA_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~ReaderLock() IPA_RELEASE_SHARED() { m_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Relockable scoped lock — the std::unique_lock replacement, and the lock
+/// type CondVar waits on. Wraps a std::unique_lock on the Mutex's native
+/// handle so waits use the plain condition_variable fast path; the rank
+/// stack is maintained across explicit lock()/unlock() calls. A CondVar
+/// wait releases the native mutex but deliberately keeps the rank on the
+/// thread's stack: the waiting thread acquires nothing while parked, and
+/// the rank must be held again the moment the wait returns.
+class IPA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) IPA_ACQUIRE(m) : mutex_(&m) {
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(mutex_->rank(), mutex_->name());
+#endif
+    lock_ = std::unique_lock<std::mutex>(m.native());
+  }
+
+  ~UniqueLock() IPA_RELEASE() {
+    if (lock_.owns_lock()) {
+      lock_.unlock();
+#if IPA_LOCK_CHECKS
+      sync_detail::note_release(mutex_->rank(), mutex_->name());
+#endif
+    }
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() IPA_ACQUIRE() {
+#if IPA_LOCK_CHECKS
+    sync_detail::note_acquire(mutex_->rank(), mutex_->name());
+#endif
+    lock_.lock();
+  }
+
+  void unlock() IPA_RELEASE() {
+    lock_.unlock();
+#if IPA_LOCK_CHECKS
+    sync_detail::note_release(mutex_->rank(), mutex_->name());
+#endif
+  }
+
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+  Mutex* mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over ipa::Mutex via UniqueLock. Same semantics and
+/// cost as std::condition_variable (it is one underneath).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return cv_.wait_for(lock.lock_, timeout, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ipa

@@ -33,7 +33,7 @@ AnalyzerRegistry& AnalyzerRegistry::instance() {
 }
 
 Status AnalyzerRegistry::register_factory(const std::string& name, AnalyzerFactory factory) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (factories_.count(name) != 0) {
     return already_exists("analyzer '" + name + "' already registered");
   }
@@ -42,7 +42,7 @@ Status AnalyzerRegistry::register_factory(const std::string& name, AnalyzerFacto
 }
 
 Result<std::unique_ptr<Analyzer>> AnalyzerRegistry::create(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
     return not_found("analyzer '" + name + "' is not installed on this worker");
@@ -51,7 +51,7 @@ Result<std::unique_ptr<Analyzer>> AnalyzerRegistry::create(const std::string& na
 }
 
 std::vector<std::string> AnalyzerRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, _] : factories_) out.push_back(name);

@@ -9,12 +9,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "aida/tree.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "data/record.hpp"
 #include "data/record_batch.hpp"
 #include "engine/code_bundle.hpp"
@@ -56,8 +56,8 @@ class AnalyzerRegistry {
   std::vector<std::string> names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, AnalyzerFactory> factories_;
+  mutable Mutex mutex_{LockRank::kRegistry, "analyzer-registry"};
+  std::map<std::string, AnalyzerFactory> factories_ IPA_GUARDED_BY(mutex_);
 };
 
 /// PawScript-backed analyzer. The script must define

@@ -56,7 +56,7 @@ AnalysisEngine::AnalysisEngine(Config config) : config_(std::move(config)) {
 
 AnalysisEngine::~AnalysisEngine() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (state_ == EngineState::kRunning) state_ = EngineState::kStopped;
   }
   worker_.request_stop();
@@ -64,13 +64,13 @@ AnalysisEngine::~AnalysisEngine() {
 }
 
 Status AnalysisEngine::stage_dataset(const std::string& path) {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: cannot stage a dataset while running");
   }
   // The worker may still be finishing its current record after a pause or
   // stop; the reader must not be replaced under it.
-  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  cv_.wait(lock, [&]() IPA_REQUIRES(mutex_) { return !worker_in_loop_ || state_ == EngineState::kRunning; });
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: cannot stage a dataset while running");
   }
@@ -84,18 +84,18 @@ Status AnalysisEngine::stage_dataset(const std::string& path) {
   state_ = EngineState::kIdle;
   error_.clear();
   {
-    std::lock_guard tree_lock(tree_mutex_);
+    LockGuard tree_lock(tree_mutex_);
     tree_.clear();
   }
   return Status::ok();
 }
 
 Status AnalysisEngine::stage_code(const CodeBundle& bundle) {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: cannot reload code while running (pause first)");
   }
-  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  cv_.wait(lock, [&]() IPA_REQUIRES(mutex_) { return !worker_in_loop_ || state_ == EngineState::kRunning; });
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: cannot reload code while running (pause first)");
   }
@@ -113,12 +113,12 @@ Status AnalysisEngine::stage_code(const CodeBundle& bundle) {
 }
 
 void AnalysisEngine::set_snapshot_handler(SnapshotFn handler) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   snapshot_handler_ = std::move(handler);
 }
 
 Status AnalysisEngine::run() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ == EngineState::kRunning) return Status::ok();
   if (state_ == EngineState::kFinished) {
     return failed_precondition("engine: dataset finished; rewind to re-run");
@@ -137,7 +137,7 @@ Status AnalysisEngine::run() {
 
 Status AnalysisEngine::run_records(std::uint64_t n) {
   if (n == 0) return invalid_argument("engine: run_records needs n > 0");
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ == EngineState::kRunning) return failed_precondition("engine: already running");
   if (state_ == EngineState::kFinished || state_ == EngineState::kFailed) {
     return failed_precondition("engine: not runnable in state " +
@@ -153,7 +153,7 @@ Status AnalysisEngine::run_records(std::uint64_t n) {
 }
 
 Status AnalysisEngine::pause() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ != EngineState::kRunning) {
     return failed_precondition("engine: not running");
   }
@@ -164,7 +164,7 @@ Status AnalysisEngine::pause() {
 }
 
 Status AnalysisEngine::stop() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ != EngineState::kRunning && state_ != EngineState::kPaused) {
     return failed_precondition("engine: not running or paused");
   }
@@ -174,13 +174,13 @@ Status AnalysisEngine::stop() {
 }
 
 Status AnalysisEngine::rewind() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: pause or stop before rewinding");
   }
   // Wait for the worker to park: it may still be completing the record it
   // was on when the pause/stop landed, and seek() must not race next().
-  cv_.wait(lock, [&] { return !worker_in_loop_ || state_ == EngineState::kRunning; });
+  cv_.wait(lock, [&]() IPA_REQUIRES(mutex_) { return !worker_in_loop_ || state_ == EngineState::kRunning; });
   if (state_ == EngineState::kRunning) {
     return failed_precondition("engine: pause or stop before rewinding");
   }
@@ -188,7 +188,7 @@ Status AnalysisEngine::rewind() {
   IPA_RETURN_IF_ERROR(reader_->seek(0));
   processed_.store(0);
   {
-    std::lock_guard tree_lock(tree_mutex_);
+    LockGuard tree_lock(tree_mutex_);
     tree_.clear();
   }
   begin_pending_ = true;
@@ -198,8 +198,8 @@ Status AnalysisEngine::rewind() {
 }
 
 Progress AnalysisEngine::wait() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return state_ != EngineState::kRunning; });
+  UniqueLock lock(mutex_);
+  cv_.wait(lock, [&]() IPA_REQUIRES(mutex_) { return state_ != EngineState::kRunning; });
   Progress progress;
   progress.state = state_;
   progress.processed = processed_.load();
@@ -210,12 +210,12 @@ Progress AnalysisEngine::wait() {
 }
 
 EngineState AnalysisEngine::state() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return state_;
 }
 
 Progress AnalysisEngine::progress() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Progress progress;
   progress.state = state_;
   progress.processed = processed_.load();
@@ -226,28 +226,28 @@ Progress AnalysisEngine::progress() const {
 }
 
 aida::Tree AnalysisEngine::tree_copy() const {
-  std::lock_guard lock(tree_mutex_);
+  LockGuard lock(tree_mutex_);
   auto bytes = tree_.serialize();
   auto copy = aida::Tree::deserialize(bytes);
   return copy.is_ok() ? std::move(*copy) : aida::Tree();
 }
 
 ser::Bytes AnalysisEngine::snapshot() const {
-  std::lock_guard lock(tree_mutex_);
+  LockGuard lock(tree_mutex_);
   return tree_.serialize();
 }
 
 void AnalysisEngine::worker_loop(const std::stop_token& stop) {
   while (true) {
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stop.stop_requested() || state_ == EngineState::kRunning; });
+      UniqueLock lock(mutex_);
+      cv_.wait(lock, [&]() IPA_REQUIRES(mutex_) { return stop.stop_requested() || state_ == EngineState::kRunning; });
       if (stop.stop_requested()) return;
       worker_in_loop_ = true;
     }
     process_loop();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       worker_in_loop_ = false;
     }
     cv_.notify_all();
@@ -257,12 +257,12 @@ void AnalysisEngine::worker_loop(const std::stop_token& stop) {
 void AnalysisEngine::process_loop() {
   // begin() on a fresh run.
   {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     if (state_ != EngineState::kRunning) return;
     if (begin_pending_) {
       Status status;
       {
-        std::lock_guard tree_lock(tree_mutex_);
+        LockGuard tree_lock(tree_mutex_);
         status = analyzer_->begin(tree_);
       }
       if (!status.is_ok()) {
@@ -284,7 +284,7 @@ void AnalysisEngine::process_loop() {
     // record-at-a-time processing; control verbs act at batch boundaries.
     std::uint64_t cap;
     {
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       if (state_ != EngineState::kRunning) {
         lock.unlock();
         emit_snapshot_locked();  // results as of the pause/stop point
@@ -308,10 +308,10 @@ void AnalysisEngine::process_loop() {
       // Dataset exhausted: run end() and finish.
       Status status;
       {
-        std::lock_guard tree_lock(tree_mutex_);
+        LockGuard tree_lock(tree_mutex_);
         status = analyzer_->end(tree_);
       }
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       if (!status.is_ok()) {
         state_ = EngineState::kFailed;
         error_ = status.to_string();
@@ -326,7 +326,7 @@ void AnalysisEngine::process_loop() {
 
     Status status;
     {
-      std::lock_guard tree_lock(tree_mutex_);
+      LockGuard tree_lock(tree_mutex_);
       status = analyzer_->process_batch(*batch_, tree_);
     }
     if (!status.is_ok()) {
@@ -348,7 +348,7 @@ void AnalysisEngine::process_loop() {
     // Bounded runs ("run N events"); the cap above never lets a batch
     // overshoot the budget.
     {
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       if (run_budget_ > 0) {
         run_budget_ -= *appended;
         if (run_budget_ == 0) {
@@ -365,12 +365,14 @@ void AnalysisEngine::process_loop() {
 }
 
 void AnalysisEngine::fail(std::string message) {
+  // Log from the local copy: error_ is guarded by mutex_, and another
+  // control thread may already be clearing it (rewind) once we release.
+  IPA_LOG(warn) << "analysis engine failed: " << message;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     state_ = EngineState::kFailed;
     error_ = std::move(message);
   }
-  IPA_LOG(warn) << "analysis engine failed: " << error_;
   emit_snapshot_locked();
   cv_.notify_all();
 }
@@ -378,13 +380,13 @@ void AnalysisEngine::fail(std::string message) {
 void AnalysisEngine::emit_snapshot_locked() {
   SnapshotFn handler;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     handler = snapshot_handler_;
   }
   if (!handler) return;
   ser::Bytes bytes;
   {
-    std::lock_guard tree_lock(tree_mutex_);
+    LockGuard tree_lock(tree_mutex_);
     bytes = tree_.serialize();
   }
   ++snapshots_;

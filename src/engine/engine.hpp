@@ -13,15 +13,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "aida/tree.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "data/dataset.hpp"
 #include "engine/analyzer.hpp"
 
@@ -112,13 +111,13 @@ class AnalysisEngine {
 
   Config config_;
 
-  mutable std::mutex mutex_;             // guards everything below
-  std::condition_variable cv_;
-  EngineState state_ = EngineState::kIdle;
-  bool worker_in_loop_ = false;          // worker is inside process_loop()
-  std::uint64_t run_budget_ = 0;         // 0 = unlimited
-  std::string error_;
-  bool begin_pending_ = true;
+  mutable Mutex mutex_{LockRank::kEngine, "engine-control"};
+  CondVar cv_;
+  EngineState state_ IPA_GUARDED_BY(mutex_) = EngineState::kIdle;
+  bool worker_in_loop_ IPA_GUARDED_BY(mutex_) = false;  // inside process_loop()
+  std::uint64_t run_budget_ IPA_GUARDED_BY(mutex_) = 0;  // 0 = unlimited
+  std::string error_ IPA_GUARDED_BY(mutex_);
+  bool begin_pending_ IPA_GUARDED_BY(mutex_) = true;
 
   std::atomic<std::uint64_t> processed_{0};  // records since last rewind
   std::atomic<std::uint64_t> total_{0};      // records in the staged part
@@ -130,10 +129,10 @@ class AnalysisEngine {
   // resolutions stay valid because the schema is shared with the reader.
   std::unique_ptr<data::RecordBatch> batch_;
   std::unique_ptr<Analyzer> analyzer_;
-  SnapshotFn snapshot_handler_;
+  SnapshotFn snapshot_handler_ IPA_GUARDED_BY(mutex_);
 
-  mutable std::mutex tree_mutex_;        // guards tree_ for concurrent reads
-  aida::Tree tree_;
+  mutable Mutex tree_mutex_{LockRank::kEngineTree, "engine-tree"};
+  aida::Tree tree_ IPA_GUARDED_BY(tree_mutex_);
 
   std::jthread worker_;
 };

@@ -192,7 +192,7 @@ Server::Server(std::string host, std::uint16_t port, net::ServerPoolOptions pool
 Server::~Server() { stop(); }
 
 void Server::route(std::string pattern, Handler handler) {
-  std::lock_guard lock(mutex_);
+  WriterLock lock(mutex_);
   routes_.emplace_back(std::move(pattern), std::move(handler));
 }
 
@@ -223,7 +223,7 @@ void Server::stop() {
 }
 
 Handler Server::find_handler(const std::string& path) const {
-  std::lock_guard lock(mutex_);
+  ReaderLock lock(mutex_);
   const std::pair<std::string, Handler>* best = nullptr;
   for (const auto& route : routes_) {
     const std::string& pattern = route.first;
@@ -334,7 +334,7 @@ struct Client::State {
   net::Fd fd;
   std::string host_header;
   ResponseParser parser;
-  std::mutex mutex;
+  Mutex mutex{LockRank::kChannel, "http-client"};
 };
 
 Client::Client(int fd, std::string host_header) : state_(std::make_unique<State>()) {
@@ -355,7 +355,9 @@ Result<Client> Client::connect(const std::string& host, std::uint16_t port, doub
 Result<Response> Client::send(Request request, double timeout_s, bool* got_any_bytes) {
   if (got_any_bytes) *got_any_bytes = false;
   if (!state_) return unavailable("http client moved-from");
-  std::lock_guard lock(state_->mutex);
+  // ipa-lint: allow(blocking-under-lock) -- the channel lock serializes whole
+  // request/response exchanges on the persistent connection by design.
+  LockGuard lock(state_->mutex);
   if (!state_->fd.valid()) return unavailable("http client closed");
   if (request.headers.find("Host") == request.headers.end()) {
     request.headers["Host"] = state_->host_header;
@@ -396,7 +398,7 @@ Result<Response> Client::post(const std::string& target, std::string body,
 
 void Client::close() {
   if (!state_) return;
-  std::lock_guard lock(state_->mutex);
+  LockGuard lock(state_->mutex);
   state_->fd.reset();
 }
 

@@ -3,11 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "common/strings.hpp"
 #include "obs/metrics.hpp"
 
@@ -31,9 +31,9 @@ void count_fault(Fault fault, bool is_send) {
 /// Process-global dial counters: one ordinal sequence per endpoint name, so
 /// connection schedules are reproducible run to run.
 std::uint64_t next_ordinal(const std::string& key) {
-  static std::mutex mutex;
+  static Mutex mutex{LockRank::kRegistry, "fault-ordinals"};
   static std::map<std::string, std::uint64_t> counters;
-  std::lock_guard lock(mutex);
+  LockGuard lock(mutex);
   return counters[key]++;
 }
 
@@ -48,7 +48,7 @@ class FaultStream {
   /// deterministic fail_first / disconnect_after triggers, which count
   /// frames on the send side only.
   Fault next(bool is_send) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (is_send) {
       if (ordinal_ < static_cast<std::uint64_t>(policy_.fail_first_connections) &&
           sends_ == 0) {
@@ -64,7 +64,7 @@ class FaultStream {
   }
 
  private:
-  Fault draw_locked() {
+  Fault draw_locked() IPA_REQUIRES(mutex_) {
     const double u = rng_.uniform();
     double edge = policy_.disconnect_prob;
     if (u < edge) return Fault::kDisconnect;
@@ -79,9 +79,9 @@ class FaultStream {
 
   FaultPolicy policy_;
   std::uint64_t ordinal_;
-  std::mutex mutex_;
-  Rng rng_;
-  std::uint64_t sends_ = 0;
+  Mutex mutex_{LockRank::kTransport, "fault-stream"};
+  Rng rng_ IPA_GUARDED_BY(mutex_);
+  std::uint64_t sends_ IPA_GUARDED_BY(mutex_) = 0;
 };
 
 class FaultConnection final : public Connection {

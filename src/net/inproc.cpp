@@ -2,10 +2,10 @@
 // connections are paired bounded queues.
 #include <chrono>
 #include <map>
-#include <mutex>
 
 #include "common/ids.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/sync.hpp"
 #include "net/fault.hpp"
 #include "net/transport.hpp"
 
@@ -61,8 +61,8 @@ class InProcConnection final : public Connection {
 
 class InProcListener;
 
-/// name -> live listener. Guarded by g_registry_mutex.
-std::mutex g_registry_mutex;
+/// name -> live listener.
+Mutex g_registry_mutex{LockRank::kNetRegistry, "inproc-registry"};
 std::map<std::string, InProcListener*>& registry() {
   static std::map<std::string, InProcListener*> reg;
   return reg;
@@ -90,7 +90,7 @@ class InProcListener final : public Listener {
 
   void close() override {
     {
-      std::lock_guard lock(g_registry_mutex);
+      LockGuard lock(g_registry_mutex);
       auto& reg = registry();
       const auto it = reg.find(name_);
       if (it != reg.end() && it->second == this) reg.erase(it);
@@ -117,7 +117,7 @@ class InProcTransport final : public Transport {
  public:
   Result<ListenerPtr> listen(const Uri& endpoint) override {
     if (endpoint.host.empty()) return invalid_argument("inproc: empty endpoint name");
-    std::lock_guard lock(g_registry_mutex);
+    LockGuard lock(g_registry_mutex);
     auto& reg = registry();
     if (reg.count(endpoint.host) != 0) {
       return already_exists("inproc: endpoint '" + endpoint.host + "' in use");
@@ -130,7 +130,7 @@ class InProcTransport final : public Transport {
   Result<ConnectionPtr> connect(const Uri& endpoint, double /*timeout_s*/) override {
     std::shared_ptr<Pipe> pipe;
     {
-      std::lock_guard lock(g_registry_mutex);
+      LockGuard lock(g_registry_mutex);
       auto& reg = registry();
       const auto it = reg.find(endpoint.host);
       if (it == reg.end()) {

@@ -3,9 +3,8 @@
 // Wire format per frame: u32 little-endian payload length, then payload.
 #include <sys/socket.h>
 
-#include <mutex>
-
 #include "common/strings.hpp"
+#include "common/sync.hpp"
 #include "net/socket_io.hpp"
 #include "net/transport.hpp"
 
@@ -18,7 +17,9 @@ class TcpConnection final : public Connection {
 
   Status send(const ser::Bytes& frame) override {
     if (frame.size() > kMaxFrameBytes) return invalid_argument("tcp: frame too large");
-    std::lock_guard lock(send_mutex_);
+    // ipa-lint: allow(blocking-under-lock) -- the send lock exists precisely
+    // to serialize whole frames onto the socket; write_all under it is the point.
+    LockGuard lock(send_mutex_);
     if (!fd_.valid()) return unavailable("tcp: connection closed");
     std::uint8_t header[4];
     const auto len = static_cast<std::uint32_t>(frame.size());
@@ -48,7 +49,7 @@ class TcpConnection final : public Connection {
 
  private:
   Fd fd_;
-  std::mutex send_mutex_;
+  Mutex send_mutex_{LockRank::kTransport, "tcp-send"};
   std::string peer_;
 };
 

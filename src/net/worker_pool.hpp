@@ -14,13 +14,13 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/mpmc_queue.hpp"
+#include "common/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipa::net {
@@ -63,7 +63,7 @@ class ServerWorkerPool {
   /// the caller must close the connection itself.
   bool submit(Item item) {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (stopping_) return false;
       // Grow lazily: only spawn another worker when every live one is busy
       // and the cap allows it. Long-lived connections each occupy a worker,
@@ -87,7 +87,7 @@ class ServerWorkerPool {
   void stop() {
     std::vector<std::jthread> to_join;
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       stopping_ = true;
       to_join.swap(workers_);
     }
@@ -97,7 +97,7 @@ class ServerWorkerPool {
   }
 
   std::size_t worker_count() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return workers_.size();
   }
 
@@ -113,12 +113,12 @@ class ServerWorkerPool {
   void worker_loop() {
     while (true) {
       {
-        std::lock_guard lock(mutex_);
+        LockGuard lock(mutex_);
         ++idle_;
       }
       std::optional<Item> item = queue_.pop();
       {
-        std::lock_guard lock(mutex_);
+        LockGuard lock(mutex_);
         --idle_;
       }
       if (!item) return;  // queue closed and drained
@@ -132,10 +132,10 @@ class ServerWorkerPool {
   MpmcQueue<Item> queue_;
   obs::Gauge& depth_;
   obs::Counter& overflow_;
-  mutable std::mutex mutex_;
-  std::vector<std::jthread> workers_;
-  std::size_t idle_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_{LockRank::kWorkerPool, "server-worker-pool"};
+  std::vector<std::jthread> workers_ IPA_GUARDED_BY(mutex_);
+  std::size_t idle_ IPA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ IPA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ipa::net

@@ -148,7 +148,7 @@ Registry::Series& Registry::series_locked(Family& family, Labels&& labels) {
 }
 
 Counter& Registry::counter(std::string_view name, Labels labels, std::string_view help) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Family& family = family_locked(name, MetricKind::kCounter, help);
   Series& series = series_locked(family, std::move(labels));
   if (!series.counter) series.counter = std::make_unique<Counter>();
@@ -156,7 +156,7 @@ Counter& Registry::counter(std::string_view name, Labels labels, std::string_vie
 }
 
 Gauge& Registry::gauge(std::string_view name, Labels labels, std::string_view help) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Family& family = family_locked(name, MetricKind::kGauge, help);
   Series& series = series_locked(family, std::move(labels));
   if (!series.gauge) series.gauge = std::make_unique<Gauge>();
@@ -165,7 +165,7 @@ Gauge& Registry::gauge(std::string_view name, Labels labels, std::string_view he
 
 Histogram& Registry::histogram(std::string_view name, Labels labels,
                                std::vector<double> upper_bounds, std::string_view help) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Family& family = family_locked(name, MetricKind::kHistogram, help);
   if (family.upper_bounds.empty()) {
     family.upper_bounds =
@@ -181,7 +181,7 @@ Histogram& Registry::histogram(std::string_view name, Labels labels,
 }
 
 std::vector<FamilySnapshot> Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<FamilySnapshot> out;
   out.reserve(families_.size());
   for (const auto& [name, family] : families_) {

@@ -21,11 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace ipa::obs {
 
@@ -149,11 +150,12 @@ class Registry {
     std::map<std::string, Series> series;  // canonical label key -> series
   };
 
-  Family& family_locked(std::string_view name, MetricKind kind, std::string_view help);
-  Series& series_locked(Family& family, Labels&& labels);
+  Family& family_locked(std::string_view name, MetricKind kind, std::string_view help)
+      IPA_REQUIRES(mutex_);
+  Series& series_locked(Family& family, Labels&& labels) IPA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable Mutex mutex_{LockRank::kMetrics, "metrics-registry"};
+  std::map<std::string, Family, std::less<>> families_ IPA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ipa::obs

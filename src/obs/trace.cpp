@@ -34,7 +34,7 @@ SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacit
 }
 
 void SpanRing::record(SpanRecord span) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
@@ -45,7 +45,7 @@ void SpanRing::record(SpanRecord span) {
 }
 
 std::vector<SpanRecord> SpanRing::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   // Oldest first: [next_, end) then [0, next_) once the ring has wrapped.
@@ -65,7 +65,7 @@ std::vector<SpanRecord> SpanRing::snapshot_session(const std::string& session) c
 }
 
 std::uint64_t SpanRing::total_recorded() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return total_;
 }
 

@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 
 namespace ipa::obs {
 
@@ -70,10 +70,10 @@ class SpanRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  std::size_t next_ = 0;  // ring_ insertion cursor once full
-  std::uint64_t total_ = 0;
+  mutable Mutex mutex_{LockRank::kTrace, "span-ring"};
+  std::vector<SpanRecord> ring_ IPA_GUARDED_BY(mutex_);
+  std::size_t next_ IPA_GUARDED_BY(mutex_) = 0;  // ring_ insertion cursor once full
+  std::uint64_t total_ IPA_GUARDED_BY(mutex_) = 0;
 };
 
 /// Install a specific context (e.g. decoded from a wire header) as the

@@ -54,12 +54,12 @@ MethodTraits& MethodTraits::instance() {
 }
 
 void MethodTraits::mark_idempotent(std::string_view service, std::string_view method) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   idempotent_[std::string(service) + "#" + std::string(method)] = true;
 }
 
 bool MethodTraits::is_idempotent(std::string_view service, std::string_view method) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = idempotent_.find(std::string(service) + "#" + std::string(method));
   return it != idempotent_.end() && it->second;
 }
@@ -84,7 +84,7 @@ RpcServer::RpcServer(Uri endpoint, net::ServerPoolOptions pool)
 RpcServer::~RpcServer() { stop(); }
 
 void RpcServer::add_service(std::shared_ptr<Service> service) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   services_[service->name()] = std::move(service);
 }
 
@@ -181,7 +181,7 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
 
   std::shared_ptr<Service> service;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     const auto it = services_.find(ctx.service);
     if (it != services_.end()) service = it->second;
   }
@@ -221,14 +221,29 @@ Result<RpcClient> RpcClient::connect(const Uri& endpoint, double timeout_s,
   return RpcClient(std::move(conn), endpoint, policy);
 }
 
+void RpcClient::set_auth_token(std::string token) {
+  LockGuard lock(*call_mutex_);
+  auth_token_ = std::move(token);
+}
+
+std::string RpcClient::auth_token() const {
+  LockGuard lock(*call_mutex_);
+  return auth_token_;
+}
+
 void RpcClient::set_retry_policy(RetryPolicy policy) {
-  std::lock_guard lock(*call_mutex_);
+  LockGuard lock(*call_mutex_);
   policy_ = policy;
   backoff_rng_.reseed(policy.seed);
 }
 
+RetryPolicy RpcClient::retry_policy() const {
+  LockGuard lock(*call_mutex_);
+  return policy_;
+}
+
 RetryStats RpcClient::stats() const {
-  std::lock_guard lock(*call_mutex_);
+  LockGuard lock(*call_mutex_);
   return stats_;
 }
 
@@ -317,7 +332,10 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
     return status;
   };
 
-  std::lock_guard lock(*call_mutex_);
+  // ipa-lint: allow(blocking-under-lock) -- the channel lock serializes whole
+  // calls (send, receive, reconnect and backoff sleeps) on the single
+  // connection; that exclusivity is the client's documented contract.
+  LockGuard lock(*call_mutex_);
   if (closed_) return fail(unavailable("rpc client closed"));
 
   const bool idempotent = MethodTraits::instance().is_idempotent(service, method);
@@ -431,7 +449,7 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
 }
 
 void RpcClient::close() {
-  std::lock_guard lock(*call_mutex_);
+  LockGuard lock(*call_mutex_);
   closed_ = true;
   if (conn_) {
     conn_->close();
@@ -440,7 +458,7 @@ void RpcClient::close() {
 }
 
 void RpcClient::drop_connection() {
-  std::lock_guard lock(*call_mutex_);
+  LockGuard lock(*call_mutex_);
   if (conn_) {
     conn_->close();
     conn_.reset();

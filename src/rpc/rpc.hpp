@@ -19,7 +19,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "net/transport.hpp"
 #include "net/worker_pool.hpp"
 #include "serialize/serialize.hpp"
@@ -45,8 +45,9 @@ class MethodTraits {
   bool is_idempotent(std::string_view service, std::string_view method) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, bool, std::less<>> idempotent_;  // "Service#method"
+  mutable Mutex mutex_{LockRank::kRegistry, "method-traits"};
+  std::map<std::string, bool, std::less<>> idempotent_
+      IPA_GUARDED_BY(mutex_);  // "Service#method"
 };
 
 /// Per-call server-side context.
@@ -123,8 +124,9 @@ class RpcServer {
   Uri bound_;
   net::ListenerPtr listener_;
   AuthFn auth_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Service>, std::less<>> services_;
+  mutable Mutex mutex_{LockRank::kServer, "rpc-services"};
+  std::map<std::string, std::shared_ptr<Service>, std::less<>> services_
+      IPA_GUARDED_BY(mutex_);
   net::ServerWorkerPool<net::ConnectionPtr> pool_;
   std::jthread accept_thread_;
   std::atomic<bool> stopping_{false};
@@ -178,11 +180,11 @@ class RpcClient {
                           const ser::Bytes& payload, std::string_view resource = "",
                           double timeout_s = 30.0);
 
-  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
-  const std::string& auth_token() const { return auth_token_; }
+  void set_auth_token(std::string token);
+  std::string auth_token() const;
 
   void set_retry_policy(RetryPolicy policy);
-  const RetryPolicy& retry_policy() const { return policy_; }
+  RetryPolicy retry_policy() const;
   RetryStats stats() const;
 
   /// Permanently close: further calls fail with kUnavailable.
@@ -197,19 +199,21 @@ class RpcClient {
 
   struct CallState;  // per-call bookkeeping shared by the helpers below
 
-  Status reconnect_locked(double deadline);
+  Status reconnect_locked(double deadline) IPA_REQUIRES(*call_mutex_);
   Result<ser::Bytes> attempt_locked(CallState& state, const ser::Bytes& request,
-                                    bool* transport_failed);
+                                    bool* transport_failed) IPA_REQUIRES(*call_mutex_);
 
   Uri endpoint_;
-  RetryPolicy policy_;
-  net::ConnectionPtr conn_;
-  std::unique_ptr<std::mutex> call_mutex_ = std::make_unique<std::mutex>();
-  std::string auth_token_;
-  std::uint64_t next_call_id_ = 1;
-  Rng backoff_rng_{Rng::kDefaultSeed};
-  RetryStats stats_;
-  bool closed_ = false;
+  // In a unique_ptr (not inline) so the client stays movable.
+  std::unique_ptr<Mutex> call_mutex_ =
+      std::make_unique<Mutex>(LockRank::kChannel, "rpc-client");
+  RetryPolicy policy_ IPA_GUARDED_BY(*call_mutex_);
+  net::ConnectionPtr conn_ IPA_GUARDED_BY(*call_mutex_);
+  std::string auth_token_ IPA_GUARDED_BY(*call_mutex_);
+  std::uint64_t next_call_id_ IPA_GUARDED_BY(*call_mutex_) = 1;
+  Rng backoff_rng_ IPA_GUARDED_BY(*call_mutex_){Rng::kDefaultSeed};
+  RetryStats stats_ IPA_GUARDED_BY(*call_mutex_);
+  bool closed_ IPA_GUARDED_BY(*call_mutex_) = false;
 };
 
 /// WSRF-style resource set: stateful instances of a web service, addressed
@@ -220,7 +224,7 @@ class ResourceSet {
  public:
   /// Store a resource; returns its new id.
   std::string create(std::shared_ptr<T> resource, std::string_view prefix = "res") {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     std::string id = make_id(prefix);
     items_.emplace(id, std::move(resource));
     return id;
@@ -228,26 +232,26 @@ class ResourceSet {
 
   /// Store a resource under a caller-chosen id.
   Status insert(std::string id, std::shared_ptr<T> resource) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (items_.count(id) != 0) return already_exists("resource '" + id + "' exists");
     items_.emplace(std::move(id), std::move(resource));
     return Status::ok();
   }
 
   Result<std::shared_ptr<T>> find(const std::string& id) const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     const auto it = items_.find(id);
     if (it == items_.end()) return not_found("resource '" + id + "'");
     return it->second;
   }
 
   bool destroy(const std::string& id) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return items_.erase(id) > 0;
   }
 
   std::vector<std::string> ids() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(items_.size());
     for (const auto& [id, _] : items_) out.push_back(id);
@@ -255,13 +259,13 @@ class ResourceSet {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<T>> items_;
+  mutable Mutex mutex_{LockRank::kResourceSet, "resource-set"};
+  std::map<std::string, std::shared_ptr<T>> items_ IPA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ipa::rpc

@@ -11,7 +11,7 @@
 namespace ipa::services {
 
 Status AidaManager::open_session(const std::string& session_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (sessions_.count(session_id) != 0) {
     return already_exists("aida manager: session '" + session_id + "' already open");
   }
@@ -20,7 +20,7 @@ Status AidaManager::open_session(const std::string& session_id) {
 }
 
 Status AidaManager::close_session(const std::string& session_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (sessions_.erase(session_id) == 0) {
     return not_found("aida manager: no session '" + session_id + "'");
   }
@@ -28,7 +28,7 @@ Status AidaManager::close_session(const std::string& session_id) {
 }
 
 Status AidaManager::push(const PushRequest& request) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(request.session_id);
   if (it == sessions_.end()) {
     return not_found("aida manager: no session '" + request.session_id + "'");
@@ -46,7 +46,7 @@ Status AidaManager::push(const PushRequest& request) {
 }
 
 void AidaManager::heartbeat(const std::string& session_id, const std::string& engine_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   auto& health = it->second.health[engine_id];
@@ -56,7 +56,7 @@ void AidaManager::heartbeat(const std::string& session_id, const std::string& en
 
 std::vector<std::string> AidaManager::stale_engines(const std::string& session_id,
                                                     double timeout_s) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> stale;
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return stale;
@@ -77,7 +77,7 @@ std::vector<std::string> AidaManager::stale_engines(const std::string& session_i
 void AidaManager::mark_engine_lost(const std::string& session_id,
                                    const std::string& engine_id,
                                    const std::string& reason) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   it->second.health[engine_id].lost = true;
@@ -92,7 +92,7 @@ void AidaManager::mark_engine_lost(const std::string& session_id,
 
 void AidaManager::forget_engine(const std::string& session_id,
                                 const std::string& engine_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   it->second.health.erase(engine_id);
@@ -165,7 +165,7 @@ Result<ser::Bytes> AidaManager::merge_session(const SessionMerge& session) const
 
 Result<PollResponse> AidaManager::poll(const std::string& session_id,
                                        std::uint64_t since_version) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return not_found("aida manager: no session '" + session_id + "'");
@@ -208,13 +208,13 @@ Result<PollResponse> AidaManager::poll(const std::string& session_id,
 }
 
 double AidaManager::merge_seconds(const std::string& session_id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   return it == sessions_.end() ? 0.0 : it->second.merge_total_s;
 }
 
 Status AidaManager::reset_session(const std::string& session_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return not_found("aida manager: no session '" + session_id + "'");
@@ -226,7 +226,7 @@ Status AidaManager::reset_session(const std::string& session_id) {
 }
 
 std::size_t AidaManager::session_count() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return sessions_.size();
 }
 

@@ -16,12 +16,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "aida/tree.hpp"
 #include "common/clock.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "services/protocol.hpp"
 
@@ -94,12 +94,13 @@ class AidaManager {
     mutable double merge_total_s = 0;  // live "merge" phase accumulator
   };
 
-  Result<ser::Bytes> merge_session(const SessionMerge& session) const;
+  Result<ser::Bytes> merge_session(const SessionMerge& session) const
+      IPA_REQUIRES(mutex_);
 
   std::size_t merge_fan_in_;
   const Clock* clock_;
-  mutable std::mutex mutex_;
-  std::map<std::string, SessionMerge> sessions_;
+  mutable Mutex mutex_{LockRank::kAida, "aida-manager"};
+  std::map<std::string, SessionMerge> sessions_ IPA_GUARDED_BY(mutex_);
   // Sub-merge tasks run concurrently on the pool; atomic so their counting
   // doesn't race (the pool is created lazily on the first hierarchical
   // merge and bounds concurrency independent of the session's group count).

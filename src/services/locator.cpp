@@ -4,7 +4,7 @@ namespace ipa::services {
 
 Status Locator::register_dataset(const std::string& dataset_id, DatasetLocation location) {
   if (dataset_id.empty()) return invalid_argument("locator: empty dataset id");
-  std::lock_guard lock(mutex_);
+  WriterLock lock(mutex_);
   if (locations_.count(dataset_id) != 0) {
     return already_exists("locator: dataset '" + dataset_id + "' already registered");
   }
@@ -13,7 +13,7 @@ Status Locator::register_dataset(const std::string& dataset_id, DatasetLocation 
 }
 
 Status Locator::unregister_dataset(const std::string& dataset_id) {
-  std::lock_guard lock(mutex_);
+  WriterLock lock(mutex_);
   if (locations_.erase(dataset_id) == 0) {
     return not_found("locator: no dataset '" + dataset_id + "'");
   }
@@ -21,7 +21,7 @@ Status Locator::unregister_dataset(const std::string& dataset_id) {
 }
 
 Result<DatasetLocation> Locator::locate(const std::string& dataset_id) const {
-  std::lock_guard lock(mutex_);
+  ReaderLock lock(mutex_);
   const auto it = locations_.find(dataset_id);
   if (it == locations_.end()) {
     return not_found("locator: no location for dataset '" + dataset_id + "'");
@@ -30,7 +30,7 @@ Result<DatasetLocation> Locator::locate(const std::string& dataset_id) const {
 }
 
 std::size_t Locator::size() const {
-  std::lock_guard lock(mutex_);
+  ReaderLock lock(mutex_);
   return locations_.size();
 }
 

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "common/uri.hpp"
 
 namespace ipa::services {
@@ -26,8 +26,10 @@ class Locator {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, DatasetLocation> locations_;
+  // Read-mostly: every session activation resolves datasets, registration
+  // happens only at publish time, so readers share the lock.
+  mutable SharedMutex mutex_{LockRank::kRegistry, "locator"};
+  std::map<std::string, DatasetLocation> locations_ IPA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ipa::services

@@ -214,7 +214,7 @@ Status ManagerNode::publish_dataset(const std::string& catalog_path,
 }
 
 void ManagerNode::set_compute_element(std::unique_ptr<ComputeElement> element) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   compute_ = std::move(element);
 }
 
@@ -260,7 +260,7 @@ Status ManagerNode::restart_engine(const std::shared_ptr<Session>& session,
                                    const Session::RestartPlan& plan) {
   ComputeElement* compute;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     compute = compute_.get();
   }
   IPA_ASSIGN_OR_RETURN(std::unique_ptr<EngineHandle> handle,
@@ -531,7 +531,7 @@ Result<xml::Node> ManagerNode::op_activate(const soap::SoapContext& ctx, const x
   }
   ComputeElement* compute;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     compute = compute_.get();
   }
   auto engines = compute->start_engines(session->id(), session->granted_nodes(), rpc_bound_);

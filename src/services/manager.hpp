@@ -11,12 +11,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "catalog/catalog.hpp"
 #include "common/config.hpp"
+#include "common/sync.hpp"
 #include "rpc/rpc.hpp"
 #include "security/credentials.hpp"
 #include "services/aida_manager.hpp"
@@ -167,14 +167,16 @@ class ManagerNode {
   Locator locator_;
   SplitterService splitter_;
   AidaManager aida_;
-  std::unique_ptr<ComputeElement> compute_;
+  std::unique_ptr<ComputeElement> compute_ IPA_GUARDED_BY(mutex_);
 
   std::unique_ptr<soap::SoapServer> soap_;
   std::unique_ptr<rpc::RpcServer> rpc_;
   Uri rpc_bound_;
 
   rpc::ResourceSet<Session> sessions_;
-  mutable std::mutex mutex_;
+  // Guards compute_ only (swappable via set_compute_element); sessions_ has
+  // its own internal lock.
+  mutable Mutex mutex_{LockRank::kManager, "manager-compute"};
   std::jthread monitor_;
 };
 

@@ -61,7 +61,7 @@ Session::Session(std::string id, std::string owner, int granted_nodes, std::stri
       queue_(std::move(queue)) {}
 
 SessionState Session::state() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return state_;
 }
 
@@ -80,7 +80,7 @@ const Session::EngineSeat* Session::find_seat_locked(const std::string& engine_i
 }
 
 Status Session::attach_engines(std::vector<std::unique_ptr<EngineHandle>> engines) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ != SessionState::kCreated) {
     return failed_precondition("session: engines already attached");
   }
@@ -106,19 +106,29 @@ Status Session::attach_engines(std::vector<std::unique_ptr<EngineHandle>> engine
 }
 
 void Session::mark_ready(const std::string& engine_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ready_engines_.insert(engine_id);
 }
 
+std::string Session::dataset_id() const {
+  LockGuard lock(mutex_);
+  return dataset_id_;
+}
+
+void Session::set_dataset_id(std::string id) {
+  LockGuard lock(mutex_);
+  dataset_id_ = std::move(id);
+}
+
 bool Session::all_ready() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return static_cast<int>(ready_engines_.size()) >= granted_nodes_;
 }
 
 Status Session::distribute_parts(const data::SplitResult& split) {
   std::vector<SeatCall> calls;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (state_ == SessionState::kCreated) {
       return failed_precondition("session: engines not started yet");
     }
@@ -137,7 +147,7 @@ Status Session::distribute_parts(const data::SplitResult& split) {
   IPA_RETURN_IF_ERROR(fan_out(calls, [&split](const SeatCall& call) {
     return call.handle->stage_dataset(split.parts[call.seat].path);
   }));
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ != SessionState::kClosed) state_ = SessionState::kDatasetStaged;
   return Status::ok();
 }
@@ -145,7 +155,7 @@ Status Session::distribute_parts(const data::SplitResult& split) {
 Status Session::stage_code(const engine::CodeBundle& bundle) {
   std::vector<SeatCall> calls;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (state_ == SessionState::kCreated) {
       return failed_precondition("session: engines not started yet");
     }
@@ -164,7 +174,7 @@ Status Session::stage_code(const engine::CodeBundle& bundle) {
 Status Session::control(ControlVerb verb, std::uint64_t records) {
   std::vector<SeatCall> calls;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (state_ != SessionState::kDatasetStaged) {
       return failed_precondition("session: dataset not staged");
     }
@@ -186,7 +196,7 @@ std::vector<EngineReport> Session::reports() const {
   std::vector<std::shared_ptr<EngineHandle>> handles;
   std::vector<EngineReport> out;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     handles.reserve(seats_.size());
     out.reserve(seats_.size());
     for (std::size_t i = 0; i < seats_.size(); ++i) {
@@ -207,7 +217,7 @@ std::vector<EngineReport> Session::reports() const {
 }
 
 void Session::record_phase(std::string_view phase, double seconds) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (phase == "locate") phase_timings_.locate_s += seconds;
   else if (phase == "split") phase_timings_.split_s += seconds;
   else if (phase == "transfer") phase_timings_.transfer_s += seconds;
@@ -217,12 +227,12 @@ void Session::record_phase(std::string_view phase, double seconds) {
 }
 
 perf::ScenarioTimings Session::phase_timings() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return phase_timings_;
 }
 
 void Session::note_run_started(double now_s) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   run_started_ = true;
   run_start_s_ = now_s;
   run_parent_ = obs::current_trace();
@@ -234,7 +244,7 @@ std::optional<Session::RunCompletion> Session::try_complete_run() {
   // completion is still reported exactly once across racing push handlers.
   std::vector<std::shared_ptr<EngineHandle>> handles;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (!run_started_ || seats_.empty()) return std::nullopt;
     for (std::size_t i = 0; i < seats_.size(); ++i) {
       if (seats_[i].lost) continue;  // degraded seats cannot hold the run open
@@ -248,14 +258,14 @@ std::optional<Session::RunCompletion> Session::try_complete_run() {
       return std::nullopt;
     }
   }
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (!run_started_) return std::nullopt;  // a racing pusher reported it first
   run_started_ = false;  // completion is reported exactly once
   return RunCompletion{run_start_s_, run_parent_};
 }
 
 Status Session::kill_engine(const std::string& engine_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   EngineSeat* seat = find_seat_locked(engine_id);
   if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
   if (!seat->handle) return failed_precondition("session: engine already dead");
@@ -266,7 +276,7 @@ Status Session::kill_engine(const std::string& engine_id) {
 
 Result<Session::RestartPlan> Session::begin_restart(const std::string& engine_id,
                                                     int max_restarts) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ == SessionState::kClosed) return failed_precondition("session: closed");
   EngineSeat* seat = find_seat_locked(engine_id);
   if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
@@ -291,7 +301,7 @@ Result<Session::RestartPlan> Session::begin_restart(const std::string& engine_id
 
 Status Session::complete_restart(const std::string& engine_id,
                                  std::unique_ptr<EngineHandle> handle) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   EngineSeat* seat = find_seat_locked(engine_id);
   if (seat == nullptr) return not_found("session: no engine '" + engine_id + "'");
   if (!seat->restarting) return failed_precondition("session: no restart in flight");
@@ -306,7 +316,7 @@ Status Session::complete_restart(const std::string& engine_id,
 }
 
 void Session::mark_engine_lost(const std::string& engine_id, const std::string& reason) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   EngineSeat* seat = find_seat_locked(engine_id);
   if (seat == nullptr) return;
   seat->handle.reset();
@@ -317,13 +327,13 @@ void Session::mark_engine_lost(const std::string& engine_id, const std::string& 
 }
 
 bool Session::degraded() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return std::any_of(seats_.begin(), seats_.end(),
                      [](const EngineSeat& seat) { return seat.lost; });
 }
 
 std::vector<std::string> Session::lost_engines() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> out;
   for (std::size_t i = 0; i < seats_.size(); ++i) {
     if (seats_[i].lost) out.push_back(seat_ids_[i]);
@@ -332,7 +342,7 @@ std::vector<std::string> Session::lost_engines() const {
 }
 
 Status Session::close() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ == SessionState::kClosed) return Status::ok();
   // Drops the seats' owning references: worker hosts shut down as the last
   // reference goes (an in-flight fan-out call finishes on its pinned handle

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -16,6 +15,7 @@
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
+#include "common/sync.hpp"
 #include "data/splitter.hpp"
 #include "obs/trace.hpp"
 #include "perf/scenario.hpp"
@@ -65,9 +65,10 @@ class Session {
 
   std::vector<EngineReport> reports() const;
 
-  /// The staged dataset id ("" when none).
-  const std::string& dataset_id() const { return dataset_id_; }
-  void set_dataset_id(std::string id) { dataset_id_ = std::move(id); }
+  /// The staged dataset id ("" when none). By value: the field is guarded
+  /// and may be rewritten by a concurrent select_dataset.
+  std::string dataset_id() const;
+  void set_dataset_id(std::string id);
 
   // --- Phase timing (the live perf::ScenarioTimings column) -----------
 
@@ -142,28 +143,30 @@ class Session {
     std::string lost_reason;
   };
 
-  EngineSeat* find_seat_locked(const std::string& engine_id);
-  const EngineSeat* find_seat_locked(const std::string& engine_id) const;
+  EngineSeat* find_seat_locked(const std::string& engine_id) IPA_REQUIRES(mutex_);
+  const EngineSeat* find_seat_locked(const std::string& engine_id) const
+      IPA_REQUIRES(mutex_);
 
   std::string id_;
   std::string owner_;
   int granted_nodes_;
   std::string queue_;
 
-  mutable std::mutex mutex_;
-  SessionState state_ = SessionState::kCreated;
-  std::vector<EngineSeat> seats_;
-  std::vector<std::string> seat_ids_;  // engine id per seat, fixed at attach
-  std::set<std::string> ready_engines_;
-  std::string dataset_id_;
-  std::optional<engine::CodeBundle> staged_code_;
-  std::optional<ControlVerb> last_verb_;
-  std::uint64_t last_verb_records_ = 0;
+  mutable Mutex mutex_{LockRank::kSession, "session"};
+  SessionState state_ IPA_GUARDED_BY(mutex_) = SessionState::kCreated;
+  std::vector<EngineSeat> seats_ IPA_GUARDED_BY(mutex_);
+  // engine id per seat, fixed at attach
+  std::vector<std::string> seat_ids_ IPA_GUARDED_BY(mutex_);
+  std::set<std::string> ready_engines_ IPA_GUARDED_BY(mutex_);
+  std::string dataset_id_ IPA_GUARDED_BY(mutex_);
+  std::optional<engine::CodeBundle> staged_code_ IPA_GUARDED_BY(mutex_);
+  std::optional<ControlVerb> last_verb_ IPA_GUARDED_BY(mutex_);
+  std::uint64_t last_verb_records_ IPA_GUARDED_BY(mutex_) = 0;
 
-  perf::ScenarioTimings phase_timings_;
-  bool run_started_ = false;
-  double run_start_s_ = 0;
-  obs::TraceContext run_parent_;
+  perf::ScenarioTimings phase_timings_ IPA_GUARDED_BY(mutex_);
+  bool run_started_ IPA_GUARDED_BY(mutex_) = false;
+  double run_start_s_ IPA_GUARDED_BY(mutex_) = 0;
+  obs::TraceContext run_parent_ IPA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ipa::services

@@ -6,11 +6,11 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/uri.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -39,13 +39,13 @@ rpc::RetryPolicy fast_retry_policy() {
 }
 
 /// Echo service that records the trace context each execution ran under.
-std::shared_ptr<rpc::Service> make_tracing_echo(std::mutex* mutex,
+std::shared_ptr<rpc::Service> make_tracing_echo(ipa::Mutex* mutex,
                                                 std::vector<obs::TraceContext>* seen) {
   auto service = std::make_shared<rpc::Service>("Chaos");
   service->register_method(
       "echo",
       [mutex, seen](const rpc::CallContext&, const ser::Bytes& in) {
-        std::lock_guard lock(*mutex);
+        ipa::LockGuard lock(*mutex);
         seen->push_back(obs::current_trace());
         return Result<ser::Bytes>(in);
       },
@@ -67,7 +67,7 @@ std::uint64_t fault_injection_total() {
 TEST(ChaosTrace, ContextSurvivesDroppedFramesAndRetries) {
   rpc::RpcServer server(
       trace_chaos_endpoint("prop", {{"seed", "7"}, {"drop", "0.12"}}));
-  std::mutex mutex;
+  ipa::Mutex mutex;
   std::vector<obs::TraceContext> seen;
   server.add_service(make_tracing_echo(&mutex, &seen));
   ASSERT_TRUE(server.start().is_ok());
@@ -92,7 +92,7 @@ TEST(ChaosTrace, ContextSurvivesDroppedFramesAndRetries) {
 
   // Drops forced at least one retry, so some executions are replays.
   EXPECT_GE(client->stats().retries, 1u);
-  std::lock_guard lock(mutex);
+  ipa::LockGuard lock(mutex);
   EXPECT_GE(seen.size(), static_cast<std::size_t>(kCalls));
   for (const obs::TraceContext& context : seen) {
     EXPECT_TRUE(context.valid());
@@ -104,7 +104,7 @@ TEST(ChaosTrace, ContextSurvivesDroppedFramesAndRetries) {
 TEST(ChaosTrace, EveryAttemptIsItsOwnChildSpan) {
   rpc::RpcServer server(
       trace_chaos_endpoint("attempt", {{"seed", "19"}, {"drop", "0.15"}}));
-  std::mutex mutex;
+  ipa::Mutex mutex;
   std::vector<obs::TraceContext> seen;
   server.add_service(make_tracing_echo(&mutex, &seen));
   ASSERT_TRUE(server.start().is_ok());
@@ -162,7 +162,7 @@ TEST(ChaosTrace, InjectedFaultsAreCounted) {
   const std::uint64_t before = fault_injection_total();
   rpc::RpcServer server(trace_chaos_endpoint(
       "count", {{"seed", "23"}, {"drop", "0.2"}, {"delay_p", "0.2"}, {"delay_ms", "1"}}));
-  std::mutex mutex;
+  ipa::Mutex mutex;
   std::vector<obs::TraceContext> seen;
   server.add_service(make_tracing_echo(&mutex, &seen));
   ASSERT_TRUE(server.start().is_ok());

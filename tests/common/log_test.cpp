@@ -3,12 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/sync.hpp"
 
 namespace ipa::log {
 namespace {
@@ -21,7 +21,7 @@ class SinkCapture {
     prev_level_ = global_level();
     set_global_level(Level::kTrace);
     prev_ = set_sink([this](Level level, const std::string& line) {
-      std::lock_guard lock(mutex_);
+      ipa::LockGuard lock(mutex_);
       lines_.emplace_back(level, line);
     });
   }
@@ -31,12 +31,12 @@ class SinkCapture {
   }
 
   std::vector<std::pair<Level, std::string>> lines() const {
-    std::lock_guard lock(mutex_);
+    ipa::LockGuard lock(mutex_);
     return lines_;
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable ipa::Mutex mutex_;
   std::vector<std::pair<Level, std::string>> lines_;
   SinkFn prev_;
   Level prev_level_ = Level::kWarn;

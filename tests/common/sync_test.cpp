@@ -1,0 +1,188 @@
+// Concurrency-contract layer: lock-rank bookkeeping, ordering enforcement
+// (death tests) and the CondVar/UniqueLock wait path.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace ipa {
+namespace {
+
+TEST(LockRank, RankNamesAreStable) {
+  // Abort messages (and the death-test regexes below) print these names.
+  EXPECT_STREQ(to_string(LockRank::kLog), "log");
+  EXPECT_STREQ(to_string(LockRank::kQueue), "queue");
+  EXPECT_STREQ(to_string(LockRank::kSession), "session");
+  EXPECT_STREQ(to_string(LockRank::kUnranked), "unranked");
+}
+
+TEST(LockRank, DescendingAcquisitionIsAllowed) {
+  Mutex session(LockRank::kSession, "session");
+  Mutex queue(LockRank::kQueue, "queue");
+  Mutex log(LockRank::kLog, "log");
+  LockGuard a(session);
+  LockGuard b(queue);
+  LockGuard c(log);
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 3);
+#endif
+}
+
+TEST(LockRank, ReleaseUnwindsTheHeldStack) {
+  Mutex outer(LockRank::kSession, "outer");
+  Mutex inner(LockRank::kQueue, "inner");
+  {
+    LockGuard a(outer);
+    { LockGuard b(inner); }
+    { LockGuard b(inner); }  // re-acquire after release is fine
+  }
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 0);
+#endif
+}
+
+TEST(LockRank, UnrankedOptsOutOfOrdering) {
+  Mutex leaf(LockRank::kLog, "leaf");
+  Mutex unranked;  // test scaffolding default
+  {
+    LockGuard a(leaf);
+    LockGuard b(unranked);  // ascending past a held leaf, but unranked is exempt
+  }
+  // ...and holding one doesn't poison later ranked acquisitions.
+  Mutex root(LockRank::kSession, "root");
+  LockGuard c(unranked);
+  LockGuard d(root);
+  LockGuard e(leaf);
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 3);
+#endif
+}
+
+TEST(LockRank, RanksAreThreadLocal) {
+  // A thread holding a leaf must not block another thread's root lock.
+  Mutex leaf(LockRank::kLog, "leaf");
+  Mutex root(LockRank::kSession, "root");
+  LockGuard hold_leaf(leaf);
+  std::jthread other([&] {
+    LockGuard hold_root(root);  // would abort if the stack were shared
+  });
+}
+
+#if IPA_LOCK_CHECKS
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, InvertedAcquisitionAborts) {
+  // transport (70) is a leaf relative to session (150): taking the session
+  // lock while holding the transport lock is the classic inversion that
+  // deadlocks against the normal session -> transport path.
+  EXPECT_DEATH(
+      {
+        Mutex transport(LockRank::kTransport, "tcp-send");
+        Mutex session(LockRank::kSession, "session");
+        LockGuard a(transport);
+        LockGuard b(session);
+      },
+      "lock-rank violation.*session.*while holding");
+}
+
+TEST(LockRankDeathTest, SameRankNestingAborts) {
+  // Two distinct kLog mutexes may never nest — with one thread that is a
+  // self-deadlock risk; across threads it is an ABBA deadlock.
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kLog, "log-a");
+        Mutex b(LockRank::kLog, "log-b");
+        LockGuard la(a);
+        LockGuard lb(b);
+      },
+      "lock-rank violation.*log-b");
+}
+
+#else
+
+TEST(LockRankDeathTest, ChecksCompiledOut) {
+  // Release builds compile the rank bookkeeping out: an inversion that
+  // would abort in Debug must be a plain (if unwise) acquisition here.
+  Mutex transport(LockRank::kTransport, "tcp-send");
+  Mutex session(LockRank::kSession, "session");
+  LockGuard a(transport);
+  LockGuard b(session);
+  SUCCEED();
+}
+
+#endif  // IPA_LOCK_CHECKS
+
+TEST(CondVarTest, WaitReleasesAndReacquires) {
+  Mutex mutex(LockRank::kQueue, "cv-test");
+  CondVar cv;
+  bool ready = false;
+
+  std::jthread signaller([&] {
+    LockGuard lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+
+  UniqueLock lock(mutex);
+  cv.wait(lock, [&]() IPA_REQUIRES(mutex) { return ready; });
+  EXPECT_TRUE(ready);
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 1);  // rank restored after the wait
+#endif
+}
+
+TEST(CondVarTest, WaitForTimesOut) {
+  Mutex mutex(LockRank::kQueue, "cv-timeout");
+  CondVar cv;
+  UniqueLock lock(mutex);
+  const bool signalled = cv.wait_for(lock, std::chrono::milliseconds(10),
+                                     [] { return false; });
+  EXPECT_FALSE(signalled);
+}
+
+TEST(UniqueLockTest, ManualUnlockRelock) {
+  Mutex mutex(LockRank::kQueue, "relock");
+  UniqueLock lock(mutex);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 0);
+#endif
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(MutexTest, TryLockTracksRank) {
+  Mutex mutex(LockRank::kQueue, "try");
+  ASSERT_TRUE(mutex.try_lock());
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 1);
+#endif
+  mutex.unlock();
+#if IPA_LOCK_CHECKS
+  EXPECT_EQ(sync_detail::held_depth(), 0);
+#endif
+}
+
+TEST(SharedMutexTest, ConcurrentReadersExclusiveWriter) {
+  SharedMutex mutex(LockRank::kRegistry, "rw");
+  int value = 0;
+  {
+    WriterLock write(mutex);
+    value = 7;
+  }
+  std::vector<std::jthread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      ReaderLock read(mutex);
+      EXPECT_EQ(value, 7);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ipa

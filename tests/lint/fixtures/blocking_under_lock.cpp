@@ -1,0 +1,17 @@
+// Fixture: must trip exactly [blocking-under-lock] — a sleep inside a
+// LockGuard scope (the annotated guard, so raw-mutex stays quiet).
+#include <chrono>
+#include <thread>
+
+#include "common/sync.hpp"
+
+namespace fixture {
+
+ipa::Mutex g_mutex;
+
+void slow_critical_section() {
+  ipa::LockGuard lock(g_mutex);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: must trip exactly [detach] — a fire-and-forget thread.
+#include <thread>
+
+namespace fixture {
+
+void fire_and_forget() {
+  std::thread([] {}).detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: must trip exactly [include-guard] — a header with no #pragma once.
+
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: must trip exactly [raw-mutex] — a std::mutex outside sync.hpp.
+#include <mutex>
+
+namespace fixture {
+
+int locked_increment() {
+  static std::mutex mutex;
+  static int counter = 0;
+  mutex.lock();
+  const int value = ++counter;
+  mutex.unlock();
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: must trip exactly [wallclock] — system_clock outside clock.cpp.
+#include <chrono>
+
+namespace fixture {
+
+double seconds_since_epoch() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture

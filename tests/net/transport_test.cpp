@@ -162,14 +162,15 @@ TEST_P(TransportTest, ConcurrentConnections) {
   ASSERT_TRUE(listener.is_ok());
 
   constexpr int kClients = 8;
+  std::vector<std::jthread> echoers;
   std::jthread server([&] {
     for (int i = 0; i < kClients; ++i) {
       auto conn = (*listener)->accept(5.0);
       ASSERT_TRUE(conn.is_ok());
-      std::jthread([c = std::shared_ptr<Connection>(conn->release())] {
+      echoers.emplace_back([c = std::shared_ptr<Connection>(conn->release())] {
         auto frame = c->receive(5.0);
         if (frame.is_ok()) (void)c->send(*frame);
-      }).detach();
+      });
     }
   });
 

@@ -1,39 +1,80 @@
 #!/bin/sh
-# Repo verification: the tier-1 build-and-test pass, one sanitizer
-# configuration over the fault-sensitive suites (chaos, net, rpc, obs,
-# and the common log-sink races), a thread-sanitizer pass over the
-# parallel staging pipeline, and a
-# Release build + smoke run of the hot-path benchmarks (full regression
-# gating against BENCH_batch.json lives in tools/bench.sh).
+# Repo verification tiers:
+#   0  source-level lint (tools/ipa_lint.py + its self-test)
+#   1  warnings-as-errors build + full test suite
+#   2  sanitizer pass over the fault-sensitive suites (chaos, net, rpc,
+#      obs, common) — address and/or undefined
+#   2u UBSan over the value-heavy suites (data, serialize, xml)
+#   T  thread sanitizer over the staging pipeline and the common
+#      concurrency primitives (MpmcQueue, sync layer)
+#   C  Clang thread-safety-analysis build, when clang++ is installed —
+#      proves the IPA_GUARDED_BY/IPA_REQUIRES annotations
+#   3  Release bench build + smoke run (full regression gating against
+#      BENCH_batch.json lives in tools/bench.sh)
 #
-# Usage: tools/check.sh [address|thread|undefined]
-#   The optional argument picks the sanitizer for the second pass
-#   (default: address). Set IPA_CHECK_JOBS to override parallelism.
+# Usage: tools/check.sh [address|thread|undefined|all]
+#   The optional argument picks the sanitizer for tier 2 (default:
+#   address); `all` runs both address and undefined. Set IPA_CHECK_JOBS
+#   to override parallelism.
 set -eu
 
 cd "$(dirname "$0")/.."
 jobs="${IPA_CHECK_JOBS:-2}"
 san="${1:-address}"
+case "$san" in
+  all) sanitizers="address undefined" ;;
+  address|thread|undefined) sanitizers="$san" ;;
+  *) echo "usage: tools/check.sh [address|thread|undefined|all]" >&2; exit 2 ;;
+esac
 
-echo "== tier 1: build + full test suite =="
-cmake -B build -S . >/dev/null
+echo "== tier 0: ipa-lint (source-level concurrency contracts) =="
+python3 tools/ipa_lint.py
+python3 tools/ipa_lint.py --self-test
+
+echo "== tier 1: -Werror build + full test suite =="
+cmake -B build -S . -DIPA_WERROR=ON >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
-echo "== tier 2: ${san} sanitizer over chaos/net/rpc/obs/common =="
-cmake -B "build-${san}" -S . -DIPA_SANITIZE="${san}" >/dev/null
-cmake --build "build-${san}" -j "$jobs" \
-  --target ipa_test_chaos ipa_test_net ipa_test_rpc ipa_test_obs \
-  ipa_test_common
-(cd "build-${san}" && \
-  ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc|obs|common')
+for s in $sanitizers; do
+  echo "== tier 2: ${s} sanitizer over chaos/net/rpc/obs/common =="
+  cmake -B "build-${s}" -S . -DIPA_SANITIZE="${s}" >/dev/null
+  cmake --build "build-${s}" -j "$jobs" \
+    --target ipa_test_chaos ipa_test_net ipa_test_rpc ipa_test_obs \
+    ipa_test_common
+  (cd "build-${s}" && \
+    ctest --output-on-failure -j "$jobs" -L 'chaos|net|rpc|obs|common')
+done
 
-echo "== tier staging: thread sanitizer over the staging pipeline =="
+case " $sanitizers " in *" undefined "*)
+  echo "== tier 2u: UBSan over data/serialize/xml =="
+  # The value-heavy suites: integer narrowing, enum decoding and XML
+  # parsing are where undefined behaviour would hide.
+  cmake --build build-undefined -j "$jobs" \
+    --target ipa_test_data ipa_test_serialize ipa_test_xml
+  (cd build-undefined && \
+    ctest --output-on-failure -j "$jobs" -L 'data|serialize|xml')
+  ;;
+esac
+
+echo "== tier thread: TSan over staging pipeline + concurrency primitives =="
 # The parallel split + session fan-out + bounded server pool all cross the
-# shared staging pool; TSan is the tier that would catch a race there.
+# shared staging pool, and MpmcQueue/sync underpin every pool; TSan is the
+# tier that would catch a race there.
 cmake -B build-thread -S . -DIPA_SANITIZE=thread >/dev/null
-cmake --build build-thread -j "$jobs" --target ipa_test_staging
-(cd build-thread && ctest --output-on-failure -j "$jobs" -L staging)
+cmake --build build-thread -j "$jobs" --target ipa_test_staging ipa_test_common
+(cd build-thread && ctest --output-on-failure -j "$jobs" -L 'staging|common')
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== tier clang: thread-safety-analysis build =="
+  # -Wthread-safety only exists under Clang; IPA_WERROR turns it on and
+  # promotes it to an error, proving the sync.hpp annotations.
+  cmake -B build-clang -S . -DIPA_WERROR=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-clang -j "$jobs"
+else
+  echo "== tier clang: skipped (clang++ not installed) =="
+fi
 
 echo "== tier 3: Release bench build + smoke run =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

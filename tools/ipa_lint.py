@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""ipa-lint: source-level concurrency and hygiene checks for the IPA tree.
+
+The third layer of the concurrency-contract tooling (see
+docs/static-analysis.md): Clang thread-safety analysis proves lock/field
+relationships at compile time, the lock-rank runtime catches ordering
+inversions, and this linter enforces the invariants neither can see —
+that all locking goes *through* src/common/sync.hpp in the first place,
+and a few project hygiene rules.
+
+Rules (each suppressible, see below):
+
+  raw-mutex           std::mutex / std::shared_mutex / std::recursive_mutex /
+                      std::condition_variable[_any] / std::lock_guard /
+                      std::unique_lock / std::shared_lock / std::scoped_lock
+                      anywhere except src/common/sync.hpp|sync.cpp. Raw
+                      primitives bypass both the thread-safety annotations
+                      and the lock-rank checker.
+  detach              std::thread/jthread .detach() — detached threads
+                      outlive their state and race shutdown.
+  blocking-under-lock a blocking call (RPC invoke, send_all/write_all,
+                      ::connect, sleep_for, read_exact/read_some) lexically
+                      inside a LockGuard/UniqueLock scope. Holding a lock
+                      across the network turns one slow peer into a pile-up.
+  wallclock           std::chrono::system_clock::now() outside
+                      common/clock.cpp — all timing goes through ipa::Clock
+                      so gridsim/ManualClock tests stay deterministic.
+  include-guard       a .hpp file without #pragma once.
+
+Suppressions: a comment `// ipa-lint: allow(rule)` on the violating line or
+the line above suppresses one finding. For blocking-under-lock the comment
+may also sit on (or directly above) the lock declaration that opens the
+scope, blessing the whole critical section — that is the idiom for channel
+locks whose entire point is to serialize wire traffic.
+`// ipa-lint: skip-file(rule)` anywhere in a file suppresses the rule for
+the whole file; `skip-file(*)` skips the file entirely.
+
+Usage:
+  tools/ipa_lint.py [--root DIR]       lint src/ and tests/ (exit 1 on findings)
+  tools/ipa_lint.py --self-test        run each tests/lint/fixtures sample and
+                                       require exactly its named rule to fire
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = ("raw-mutex", "detach", "blocking-under-lock", "wallclock", "include-guard")
+
+# Files allowed to use raw std primitives: the wrapper itself.
+RAW_MUTEX_ALLOWED = {
+    os.path.join("src", "common", "sync.hpp"),
+    os.path.join("src", "common", "sync.cpp"),
+}
+# The one blessed wall-clock site.
+WALLCLOCK_ALLOWED = {os.path.join("src", "common", "clock.cpp")}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+DETACH_RE = re.compile(r"\.detach\s*\(")
+WALLCLOCK_RE = re.compile(r"system_clock\s*::\s*now")
+# Lock-scope openers for blocking-under-lock: the annotated guards plus the
+# raw std ones (so a file that also violates raw-mutex still gets scoped).
+LOCK_DECL_RE = re.compile(
+    r"\b(?:ipa::)?(?:LockGuard|UniqueLock|WriterLock|ReaderLock)\s+\w+\s*[({]"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock)\s*(?:<[^;]*>)?\s+\w+\s*[({]"
+)
+BLOCKING_RES = (
+    re.compile(r"\binvoke\s*\("),
+    re.compile(r"\bsend_all\s*\("),
+    re.compile(r"\bwrite_all\s*\("),
+    re.compile(r"\bread_exact\s*\("),
+    re.compile(r"\bread_some\s*\("),
+    re.compile(r"(?<![A-Za-z0-9_])::connect\s*\("),  # bare ::connect, not net::connect
+    re.compile(r"\bsleep_for\s*\("),
+)
+ALLOW_RE = re.compile(r"ipa-lint:\s*allow\(([a-z*-]+)\)")
+SKIP_FILE_RE = re.compile(r"ipa-lint:\s*skip-file\(([a-z*-]+)\)")
+
+SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    """Code portion of a line (string-literal '//' is rare enough to ignore)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed(lines, i, rule):
+    """True when line i (0-based) carries an allow() for `rule`, or one sits
+    in the contiguous comment block directly above it."""
+    m = ALLOW_RE.search(lines[i])
+    if m and m.group(1) in (rule, "*"):
+        return True
+    j = i - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        m = ALLOW_RE.search(lines[j])
+        if m and m.group(1) in (rule, "*"):
+            return True
+        j -= 1
+    return False
+
+
+def lint_file(path, rel, lines):
+    findings = []
+    skip = set()
+    for line in lines:
+        m = SKIP_FILE_RE.search(line)
+        if m:
+            skip.add(m.group(1))
+    if "*" in skip:
+        return findings
+
+    is_header = rel.endswith((".hpp", ".h"))
+    if (
+        is_header
+        and "include-guard" not in skip
+        and not any(line.lstrip().startswith("#pragma once") for line in lines)
+    ):
+        findings.append(Finding(rel, 1, "include-guard", "header missing '#pragma once'"))
+
+    # Brace-tracked lexical lock scopes: (depth_at_entry, scope_allowed).
+    lock_scopes = []
+    depth = 0
+    for i, raw in enumerate(lines):
+        line_no = i + 1
+        code = strip_comment(raw)
+
+        if (
+            "raw-mutex" not in skip
+            and rel not in RAW_MUTEX_ALLOWED
+            and RAW_MUTEX_RE.search(code)
+            and not allowed(lines, i, "raw-mutex")
+        ):
+            findings.append(
+                Finding(rel, line_no, "raw-mutex",
+                        "raw std sync primitive; use ipa::Mutex/LockGuard from "
+                        "common/sync.hpp (annotated + rank-checked)")
+            )
+
+        if "detach" not in skip and DETACH_RE.search(code) and not allowed(lines, i, "detach"):
+            findings.append(
+                Finding(rel, line_no, "detach",
+                        "detached thread; keep a jthread handle so shutdown can join")
+            )
+
+        if (
+            "wallclock" not in skip
+            and rel not in WALLCLOCK_ALLOWED
+            and WALLCLOCK_RE.search(code)
+            and not allowed(lines, i, "wallclock")
+        ):
+            findings.append(
+                Finding(rel, line_no, "wallclock",
+                        "system_clock::now outside common/clock.cpp; go through "
+                        "ipa::Clock so virtual-time tests stay deterministic")
+            )
+
+        if "blocking-under-lock" not in skip:
+            if LOCK_DECL_RE.search(code):
+                scope_allowed = allowed(lines, i, "blocking-under-lock")
+                lock_scopes.append((depth, scope_allowed))
+            elif lock_scopes and not lock_scopes[-1][1]:
+                for rx in BLOCKING_RES:
+                    if rx.search(code) and not allowed(lines, i, "blocking-under-lock"):
+                        findings.append(
+                            Finding(rel, line_no, "blocking-under-lock",
+                                    f"blocking call '{rx.pattern}' inside a lock "
+                                    "scope; move the I/O outside the critical "
+                                    "section or bless the scope explicitly")
+                        )
+                        break
+
+        # Track braces after the checks so a lock declared on this line sees
+        # the depth at its declaration point.
+        depth += code.count("{") - code.count("}")
+        while lock_scopes and depth < lock_scopes[-1][0]:
+            lock_scopes.pop()
+
+    return findings
+
+
+def walk(root, subdirs, exclude_prefixes):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if any(rel.startswith(p) for p in exclude_prefixes):
+                    continue
+                yield path, rel
+
+
+def lint_tree(root):
+    findings = []
+    fixture_prefix = os.path.join("tests", "lint", "fixtures")
+    for path, rel in walk(root, ("src", "tests"), (fixture_prefix,)):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        findings.extend(lint_file(path, rel, lines))
+    return findings
+
+
+def self_test(root):
+    """Each fixture file is named <rule>[_*].cpp/.hpp and must trigger exactly
+    that rule (and no other)."""
+    fixture_dir = os.path.join(root, "tests", "lint", "fixtures")
+    if not os.path.isdir(fixture_dir):
+        print(f"ipa-lint self-test: no fixture dir at {fixture_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    ran = 0
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        stem = name.rsplit(".", 1)[0]
+        rule = next((r for r in RULES if stem == r.replace("-", "_") or
+                     stem.startswith(r.replace("-", "_") + "_")), None)
+        if rule is None:
+            print(f"self-test: fixture '{name}' names no known rule", file=sys.stderr)
+            failures += 1
+            continue
+        ran += 1
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        # Lint fixtures as if they lived under src/ so path-based allowances
+        # (sync.hpp, clock.cpp) don't apply.
+        rel = os.path.join("src", "fixture", name)
+        got = {f.rule for f in lint_file(path, rel, lines)}
+        # Headers double as include-guard checks; a .cpp fixture can't trip it.
+        expected = {rule}
+        if got != expected:
+            print(f"self-test FAIL: {name}: expected {sorted(expected)}, got {sorted(got) or '{}'}",
+                  file=sys.stderr)
+            failures += 1
+    if ran == 0:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+    print(f"ipa-lint self-test: {ran} fixtures OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repo root (default: script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each tests/lint/fixtures sample trips exactly its rule")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return self_test(root)
+
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"ipa-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("ipa-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
