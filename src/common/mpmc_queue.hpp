@@ -35,12 +35,16 @@ class MpmcQueue {
     return true;
   }
 
-  /// Non-blocking push; returns false when full or closed.
-  bool try_push(T item) {
+  /// Non-blocking push; returns false when full or closed. The item is
+  /// consumed only on success: a rejected rvalue is left intact at the
+  /// caller, so move-only payloads (e.g. a connection to answer with a
+  /// saturation error) survive the rejection.
+  template <typename U>
+  bool try_push(U&& item) {
     {
       LockGuard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      items_.push_back(std::forward<U>(item));
     }
     not_empty_.notify_one();
     return true;

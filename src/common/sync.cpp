@@ -25,6 +25,8 @@ const char* to_string(LockRank rank) {
     case LockRank::kSession: return "session";
     case LockRank::kResourceSet: return "resource-set";
     case LockRank::kManager: return "manager";
+    case LockRank::kLoadStats: return "load-stats";
+    case LockRank::kLoadDriver: return "load-driver";
   }
   return "?";
 }

@@ -101,6 +101,10 @@ enum class LockRank : int {
   kSession = 150,     // services::Session seats + phase timings
   kResourceSet = 160, // rpc::ResourceSet instance maps (holds kIds)
   kManager = 170,     // ManagerNode compute-element slot
+
+  // --- load generation (drives clients; above every service lock) ------
+  kLoadStats = 180,   // loadgen::LatencySeries sample buffers
+  kLoadDriver = 190,  // loadgen::LoadDriver scheduling heap
 };
 
 /// Human-readable rank name for abort messages and tests.

@@ -249,10 +249,27 @@ void Server::accept_loop() {
       break;
     }
     // Transfer fd ownership into the pool (the serving worker closes it).
-    // A full queue sheds load here: close instead of spawning unboundedly.
+    // A full queue sheds load here instead of spawning unboundedly — but
+    // tells the client so: a best-effort 503 with a Retry-After hint beats
+    // the ambiguous silent close (which reads as a network fault and makes
+    // clients retry immediately, amplifying the overload).
     const int raw = client->release();
-    if (!pool_.submit(Accepted{raw, std::move(peer)})) {
-      ::close(raw);
+    switch (pool_.submit(Accepted{raw, std::move(peer)})) {
+      case net::Admission::kAdmitted:
+        break;
+      case net::Admission::kSaturated: {
+        Response busy = Response::make(503, "server saturated; retry later\n");
+        busy.headers["Retry-After"] = "1";
+        busy.headers["Connection"] = "close";
+        const std::string wire = busy.serialize();
+        (void)net::write_all(raw, reinterpret_cast<const std::uint8_t*>(wire.data()),
+                             wire.size());
+        ::close(raw);
+        break;
+      }
+      case net::Admission::kStopped:
+        ::close(raw);
+        break;
     }
   }
 }

@@ -1,0 +1,195 @@
+#include "loadgen/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ipa::loadgen {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> document() {
+    IPA_ASSIGN_OR_RETURN(Json value, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters after document");
+    return value;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Json value;
+        value.kind_ = Json::Kind::kString;
+        IPA_ASSIGN_OR_RETURN(value.string_, parse_string());
+        return value;
+      }
+      case 't':
+      case 'f': {
+        Json value;
+        value.kind_ = Json::Kind::kBool;
+        if (consume_word("true")) {
+          value.bool_ = true;
+          return value;
+        }
+        if (consume_word("false")) {
+          value.bool_ = false;
+          return value;
+        }
+        return error("bad literal");
+      }
+      case 'n':
+        if (consume_word("null")) return Json{};
+        return error("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<Json> parse_object() {
+    ++pos_;  // '{'
+    Json value;
+    value.kind_ = Json::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return value;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return error("expected member name");
+      IPA_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      IPA_ASSIGN_OR_RETURN(Json member, parse_value());
+      value.members_.emplace(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return error("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> parse_array() {
+    ++pos_;  // '['
+    Json value;
+    value.kind_ = Json::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return value;
+    for (;;) {
+      IPA_ASSIGN_OR_RETURN(Json item, parse_value());
+      value.items_.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          // Config files are ASCII; decode the BMP escape to a single byte
+          // when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return error("bad \\u escape");
+          out.push_back(code >= 0 && code < 128 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return error("bad escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Result<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return error("bad number '" + token + "'");
+    Json value;
+    value.kind_ = Json::Kind::kNumber;
+    value.number_ = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Json> Json::parse(std::string_view text) { return JsonParser(text).document(); }
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+double Json::number_at(const std::string& key, double fallback) const {
+  const Json* member = find(key);
+  return member ? member->number_or(fallback) : fallback;
+}
+
+}  // namespace ipa::loadgen

@@ -1,0 +1,59 @@
+// Minimal JSON reader for the load harness (bench/slo.json and load
+// reports). Deliberately small: objects, arrays, strings, numbers, bools
+// and null — no external dependency, no streaming, input sizes are a few
+// kilobytes of configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ipa::loadgen {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  /// Parse a complete document; trailing garbage is an error.
+  static Result<Json> parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  double number_or(double fallback) const { return is_number() ? number_ : fallback; }
+  bool bool_or(bool fallback) const { return is_bool() ? bool_ : fallback; }
+  const std::string& string_or(const std::string& fallback) const {
+    return is_string() ? string_ : fallback;
+  }
+
+  /// Object member, or nullptr when absent / not an object.
+  const Json* find(const std::string& key) const;
+  /// Convenience: find(key)->number_or(fallback) with absence folded in.
+  double number_at(const std::string& key, double fallback) const;
+
+  const std::vector<Json>& items() const { return items_; }
+  const std::map<std::string, Json>& members() const { return members_; }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> members_;
+};
+
+}  // namespace ipa::loadgen

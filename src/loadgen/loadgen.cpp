@@ -1,0 +1,136 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace ipa::loadgen {
+
+LoadDriver::LoadDriver(DriverOptions options,
+                       std::vector<std::unique_ptr<SimulatedUser>> users)
+    : options_(options), users_(std::move(users)) {}
+
+const Clock& LoadDriver::clock() const {
+  return options_.clock ? *options_.clock : WallClock::instance();
+}
+
+void LoadDriver::record(const StepResult& result) {
+  if (!result.measured) return;
+  LatencySeries& series = recorder_.series(result.op);
+  obs::Registry& registry = obs::Registry::global();
+  const char* outcome = "ok";
+  if (!result.status.is_ok()) {
+    outcome = result.status.code() == StatusCode::kResourceExhausted ? "reject" : "error";
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      series.record_reject();
+    } else {
+      series.record_error();
+    }
+  } else {
+    series.record(result.latency_s);
+    registry
+        .histogram("ipa_loadgen_op_seconds", {{"op", result.op}}, {},
+                   "Client-observed latency of load-scenario steps, by operation.")
+        .observe(result.latency_s);
+  }
+  registry
+      .counter("ipa_loadgen_steps_total", {{"op", result.op}, {"outcome", outcome}},
+               "Load-scenario steps executed, by operation and outcome.")
+      .inc();
+}
+
+LoadReport LoadDriver::run() {
+  const double start = clock().now();
+  {
+    LockGuard lock(mutex_);
+    deadline_ = start + options_.max_duration_s;
+    heap_.reserve(users_.size());
+    for (std::size_t i = 0; i < users_.size(); ++i) heap_.push_back({start, i});
+    // A vector of equal keys is already a valid min-heap; keep make_heap for
+    // clarity if ready times ever start staggered.
+    std::make_heap(heap_.begin(), heap_.end(),
+                   [](const Entry& a, const Entry& b) { return a.ready_at > b.ready_at; });
+  }
+  {
+    std::vector<std::jthread> workers;
+    const int n = std::max(1, options_.driver_threads);
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers.emplace_back([this] { worker_loop(); });
+  }  // joins
+
+  LoadReport report;
+  report.ops = recorder_.summarize();
+  report.users = static_cast<int>(users_.size());
+  report.wall_s = clock().now() - start;
+  {
+    LockGuard lock(mutex_);
+    report.steps_total = steps_total_;
+  }
+  for (const auto& user : users_) {
+    report.iterations_done += user->iterations_done();
+    report.sessions_run += user->sessions_run();
+    report.degraded_sessions += user->degraded_sessions();
+    if (user->failed()) {
+      ++report.failed_users;
+    } else if (user->done()) {
+      ++report.completed_users;
+    } else {
+      ++report.timed_out_users;
+    }
+  }
+  return report;
+}
+
+void LoadDriver::worker_loop() {
+  const auto earlier = [](const Entry& a, const Entry& b) { return a.ready_at > b.ready_at; };
+  UniqueLock lock(mutex_);
+  for (;;) {
+    const double now = clock().now();
+    if (now >= deadline_ && !stopping_) {
+      stopping_ = true;
+      ready_.notify_all();
+    }
+    if (stopping_) return;
+    if (heap_.empty()) {
+      if (in_flight_ == 0) return;  // every user retired
+      // A stepping user may requeue; wake on the push or poll shortly.
+      const std::uint64_t gen = generation_;
+      ready_.wait_for(lock, std::chrono::milliseconds(50),
+                      [&]() IPA_REQUIRES(mutex_) { return stopping_ || generation_ != gen; });
+      continue;
+    }
+    const Entry top = heap_.front();
+    if (top.ready_at > now) {
+      const double wait_s = std::min(top.ready_at - now, 0.1);
+      const std::uint64_t gen = generation_;
+      ready_.wait_for(lock, std::chrono::duration<double>(wait_s),
+                      [&]() IPA_REQUIRES(mutex_) { return stopping_ || generation_ != gen; });
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), earlier);
+    heap_.pop_back();
+    ++in_flight_;
+    lock.unlock();
+
+    SimulatedUser& user = *users_[top.user];
+    const StepResult result = user.step();
+    record(result);
+    const double requeue_at = clock().now() + result.think_s;
+
+    lock.lock();
+    ++steps_total_;
+    --in_flight_;
+    if (!result.done) {
+      heap_.push_back({requeue_at, top.user});
+      std::push_heap(heap_.begin(), heap_.end(), earlier);
+      ++generation_;
+      ready_.notify_one();
+    } else if (in_flight_ == 0 && heap_.empty()) {
+      ++generation_;
+      ready_.notify_all();  // release waiters so they can observe completion
+    }
+  }
+}
+
+}  // namespace ipa::loadgen

@@ -1,0 +1,72 @@
+// Closed-loop load driver: a min-heap of (ready-time, user) dispatched by a
+// small pool of driver threads. Each pop executes exactly one blocking
+// client operation and requeues the user at now + think-time, so thousands
+// of mostly-thinking users multiplex over a handful of OS threads — the
+// paper's "many analysts, one site" traffic shape without a thread per
+// analyst.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/sync.hpp"
+#include "loadgen/scenario.hpp"
+#include "loadgen/stats.hpp"
+
+namespace ipa::loadgen {
+
+struct DriverOptions {
+  int driver_threads = 8;
+  double max_duration_s = 300;  // hard wall; exceeding it aborts the run
+  const Clock* clock = nullptr;  // null = WallClock
+};
+
+/// Everything the SLO layer needs from the client side of a run.
+struct LoadReport {
+  std::map<std::string, Summary> ops;  // per scenario step
+  int users = 0;
+  int completed_users = 0;
+  int failed_users = 0;     // gave up after repeated errors
+  int timed_out_users = 0;  // still mid-scenario when the wall expired
+  int sessions_run = 0;
+  int degraded_sessions = 0;
+  long iterations_done = 0;
+  long steps_total = 0;
+  double wall_s = 0;
+};
+
+class LoadDriver {
+ public:
+  LoadDriver(DriverOptions options, std::vector<std::unique_ptr<SimulatedUser>> users);
+
+  /// Drive every user to completion (or the wall). Call once.
+  LoadReport run();
+
+ private:
+  struct Entry {
+    double ready_at = 0;  // clock seconds
+    std::size_t user = 0;
+  };
+
+  void worker_loop();
+  void record(const StepResult& result);
+  const Clock& clock() const;
+
+  const DriverOptions options_;
+  std::vector<std::unique_ptr<SimulatedUser>> users_;
+  StatsRecorder recorder_;
+
+  Mutex mutex_{LockRank::kLoadDriver, "loadgen-driver"};
+  CondVar ready_;
+  std::vector<Entry> heap_ IPA_GUARDED_BY(mutex_);  // min-heap by ready_at
+  std::size_t in_flight_ IPA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ IPA_GUARDED_BY(mutex_) = false;
+  double deadline_ IPA_GUARDED_BY(mutex_) = 0;
+  long steps_total_ IPA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ IPA_GUARDED_BY(mutex_) = 0;  // bumped per requeue
+};
+
+}  // namespace ipa::loadgen

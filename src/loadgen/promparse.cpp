@@ -1,0 +1,158 @@
+#include "loadgen/promparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace ipa::loadgen {
+namespace {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+  bool ok = false;
+};
+
+/// Parse one exposition line: `name{k="v",...} value` or `name value`.
+/// Returns ok=false for comments, blanks and malformed lines.
+Sample parse_line(std::string_view line) {
+  Sample out;
+  if (line.empty() || line[0] == '#') return out;
+  std::size_t pos = line.find_first_of("{ ");
+  if (pos == std::string_view::npos) return out;
+  out.name = std::string(line.substr(0, pos));
+
+  if (line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find('=', pos);
+      if (eq == std::string_view::npos || eq + 1 >= line.size() || line[eq + 1] != '"') {
+        return out;
+      }
+      const std::string key(line.substr(pos, eq - pos));
+      std::size_t vend = eq + 2;
+      std::string value;
+      while (vend < line.size() && line[vend] != '"') {
+        if (line[vend] == '\\' && vend + 1 < line.size()) ++vend;  // escaped char
+        value.push_back(line[vend]);
+        ++vend;
+      }
+      if (vend >= line.size()) return out;
+      out.labels.emplace(key, std::move(value));
+      pos = vend + 1;  // past closing quote
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size()) return out;
+    ++pos;  // '}'
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return out;
+  const std::string value_text(line.substr(pos));
+  char* end = nullptr;
+  out.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str()) return out;
+  out.ok = true;
+  return out;
+}
+
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    fn(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+}
+
+std::string series_key(const std::map<std::string, std::string>& labels,
+                       std::string_view label_key) {
+  const auto it = labels.find(std::string(label_key));
+  if (it != labels.end()) return it->second;
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (k == "le") continue;
+    key += k + "=" + v + ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+double HistogramSeries::quantile(double q) const {
+  // Strip the +Inf bound back off: quantile_from_buckets wants the finite
+  // bounds plus a trailing +Inf cumulative entry.
+  std::vector<double> finite(upper_bounds);
+  if (!finite.empty() && std::isinf(finite.back())) finite.pop_back();
+  return obs::quantile_from_buckets(finite, cumulative, q);
+}
+
+std::map<std::string, HistogramSeries> parse_histogram_family(
+    std::string_view exposition, std::string_view family, std::string_view label_key) {
+  const std::string bucket_name = std::string(family) + "_bucket";
+  const std::string sum_name = std::string(family) + "_sum";
+  const std::string count_name = std::string(family) + "_count";
+
+  struct Building {
+    std::vector<std::pair<double, std::uint64_t>> buckets;  // bound -> cumulative
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Building> building;
+
+  for_each_line(exposition, [&](std::string_view line) {
+    Sample sample = parse_line(line);
+    if (!sample.ok) return;
+    if (sample.name == bucket_name) {
+      const auto le = sample.labels.find("le");
+      if (le == sample.labels.end()) return;
+      const double bound = le->second == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le->second.c_str(), nullptr);
+      building[series_key(sample.labels, label_key)].buckets.emplace_back(
+          bound, static_cast<std::uint64_t>(sample.value));
+    } else if (sample.name == sum_name) {
+      building[series_key(sample.labels, label_key)].sum = sample.value;
+    } else if (sample.name == count_name) {
+      building[series_key(sample.labels, label_key)].count =
+          static_cast<std::uint64_t>(sample.value);
+    }
+  });
+
+  std::map<std::string, HistogramSeries> out;
+  for (auto& [key, partial] : building) {
+    std::sort(partial.buckets.begin(), partial.buckets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    HistogramSeries series;
+    series.sum = partial.sum;
+    series.count = partial.count;
+    for (const auto& [bound, cumulative] : partial.buckets) {
+      series.upper_bounds.push_back(bound);
+      series.cumulative.push_back(cumulative);
+    }
+    out.emplace(key, std::move(series));
+  }
+  return out;
+}
+
+double scalar_value(std::string_view exposition, std::string_view name,
+                    const std::map<std::string, std::string>& labels, double fallback) {
+  double value = fallback;
+  for_each_line(exposition, [&](std::string_view line) {
+    Sample sample = parse_line(line);
+    if (!sample.ok || sample.name != name) return;
+    for (const auto& [k, v] : labels) {
+      const auto it = sample.labels.find(k);
+      if (it == sample.labels.end() || it->second != v) return;
+    }
+    value = sample.value;
+  });
+  return value;
+}
+
+}  // namespace ipa::loadgen

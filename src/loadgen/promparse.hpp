@@ -1,0 +1,39 @@
+// Parse the Prometheus 0.0.4 text exposition (what GET /metrics renders)
+// back into histogram series, so the load harness can gate on the server's
+// six-phase latency distributions without any side channel: the SLO layer
+// sees exactly what an operator's dashboard would see.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipa::loadgen {
+
+/// One rendered histogram series: cumulative bucket counts per upper bound,
+/// with the +Inf bucket last (bounds entry = infinity).
+struct HistogramSeries {
+  std::vector<double> upper_bounds;        // ascending, +Inf last
+  std::vector<std::uint64_t> cumulative;   // same length as upper_bounds
+  double sum = 0;
+  std::uint64_t count = 0;
+
+  /// Interpolated quantile (obs::quantile_from_buckets over these buckets).
+  double quantile(double q) const;
+};
+
+/// All series of one histogram family, keyed by the value of `label_key`
+/// (e.g. family "ipa_session_phase_seconds", label "phase" -> one entry per
+/// phase). Series without that label are keyed by their whole label block.
+std::map<std::string, HistogramSeries> parse_histogram_family(
+    std::string_view exposition, std::string_view family, std::string_view label_key);
+
+/// Scalar sample lookup: value of `name{labels...}` (counter/gauge line).
+/// The labels given must all match (extra labels on the line are ignored).
+/// Returns `fallback` when absent.
+double scalar_value(std::string_view exposition, std::string_view name,
+                    const std::map<std::string, std::string>& labels, double fallback);
+
+}  // namespace ipa::loadgen

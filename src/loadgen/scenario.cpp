@@ -1,0 +1,220 @@
+#include "loadgen/scenario.hpp"
+
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace ipa::loadgen {
+
+SimulatedUser::SimulatedUser(int id, Uri soap_endpoint, std::string proxy_token,
+                             ScenarioOptions options, std::uint64_t seed)
+    : id_(id),
+      soap_endpoint_(std::move(soap_endpoint)),
+      proxy_token_(std::move(proxy_token)),
+      options_(std::move(options)),
+      rng_(seed) {}
+
+StepResult SimulatedUser::finish(const char* op, double latency_s, Status status,
+                                 State next) {
+  consecutive_failures_ = 0;
+  state_ = next;
+  StepResult result;
+  result.op = op;
+  result.latency_s = latency_s;
+  result.status = std::move(status);
+  result.think_s = state_ == State::kPoll ? poll_think() : think();
+  result.done = state_ == State::kDone;
+  return result;
+}
+
+StepResult SimulatedUser::fail(const char* op, double latency_s, Status status,
+                               State retry_state) {
+  ++consecutive_failures_;
+  StepResult result;
+  result.op = op;
+  result.latency_s = latency_s;
+  result.status = std::move(status);
+  if (consecutive_failures_ > options_.max_consecutive_failures) {
+    abandon_session();
+    failed_ = true;
+    state_ = State::kDone;
+    result.done = true;
+    return result;
+  }
+  state_ = retry_state;
+  // Linear client-side backoff on top of think time: a saturated site gets
+  // progressively gentler retries instead of a synchronized stampede.
+  result.think_s = think() * (1.0 + static_cast<double>(consecutive_failures_));
+  return result;
+}
+
+void SimulatedUser::abandon_session() {
+  if (session_) {
+    (void)session_->close();  // best effort; the site's monitor reaps leaks
+    session_.reset();
+  }
+}
+
+StepResult SimulatedUser::step() {
+  if (state_ == State::kDone) {
+    StepResult result;
+    result.op = "done";
+    result.measured = false;
+    result.done = true;
+    return result;
+  }
+  return do_step();
+}
+
+StepResult SimulatedUser::do_step() {
+  const Stopwatch watch;
+  switch (state_) {
+    case State::kConnect: {
+      auto client = client::GridClient::connect(soap_endpoint_, proxy_token_);
+      const double latency = watch.elapsed_s();
+      if (!client.is_ok()) return fail("connect", latency, client.status(), State::kConnect);
+      client_ = std::move(*client);
+      return finish("connect", latency, Status::ok(), State::kBrowse);
+    }
+
+    case State::kBrowse: {
+      auto listing = client_->browse(options_.catalog_path);
+      const double latency = watch.elapsed_s();
+      if (!listing.is_ok()) return fail("browse", latency, listing.status(), State::kBrowse);
+      return finish("browse", latency, Status::ok(), State::kCreateSession);
+    }
+
+    case State::kCreateSession: {
+      auto session = client_->create_session(options_.nodes_per_session);
+      const double latency = watch.elapsed_s();
+      if (!session.is_ok()) {
+        return fail("create_session", latency, session.status(), State::kCreateSession);
+      }
+      session_ = std::move(*session);
+      return finish("create_session", latency, Status::ok(), State::kActivate);
+    }
+
+    case State::kActivate: {
+      const Status status = session_->activate();
+      const double latency = watch.elapsed_s();
+      if (!status.is_ok()) return fail("activate", latency, status, State::kActivate);
+      return finish("activate", latency, Status::ok(), State::kSelectDataset);
+    }
+
+    case State::kSelectDataset: {
+      auto staged = session_->select_dataset(options_.dataset_id);
+      const double latency = watch.elapsed_s();
+      if (!staged.is_ok()) {
+        return fail("select_dataset", latency, staged.status(), State::kSelectDataset);
+      }
+      return finish("select_dataset", latency, Status::ok(), State::kStageScript);
+    }
+
+    case State::kStageScript: {
+      const Status status = session_->stage_script("load-v1", options_.script_v1);
+      const double latency = watch.elapsed_s();
+      if (!status.is_ok()) return fail("stage_script", latency, status, State::kStageScript);
+      return finish("stage_script", latency, Status::ok(), State::kRun);
+    }
+
+    case State::kRun: {
+      const Status status = session_->run();
+      const double latency = watch.elapsed_s();
+      if (!status.is_ok()) return fail("run", latency, status, State::kRun);
+      polls_this_run_ = 0;
+      engines_done_ = false;
+      return finish("run", latency, Status::ok(), State::kPoll);
+    }
+
+    case State::kPoll: {
+      auto update = session_->poll();
+      const double latency = watch.elapsed_s();
+      if (!update.is_ok()) return fail("poll", latency, update.status(), State::kPoll);
+      ++polls_this_run_;
+      engines_done_ = update->all_engines_done(
+          static_cast<std::size_t>(session_->info().granted_nodes));
+      if (engines_done_) {
+        if (!reloaded_ && rng_.bernoulli(options_.hot_reload_probability)) {
+          return finish("poll", latency, Status::ok(), State::kHotReload);
+        }
+        return finish("poll", latency, Status::ok(), State::kClose);
+      }
+      if (polls_this_run_ > options_.polls_max) {
+        // The run never converged inside the poll budget: fail the user's
+        // iteration rather than spinning forever.
+        return fail("poll", latency,
+                    deadline_exceeded("loadgen: poll budget exhausted"), State::kClose);
+      }
+      const bool probe_status = options_.status_poll_every > 0 &&
+                                polls_this_run_ % options_.status_poll_every == 0;
+      return finish("poll", latency, Status::ok(),
+                    probe_status ? State::kStatusHttp : State::kPoll);
+    }
+
+    case State::kStatusHttp: {
+      // The live "dashboard" probe: GET /status over a plain HTTP client,
+      // exactly what an operator's browser would hit.
+      if (!status_client_) {
+        auto connected = http::Client::connect(soap_endpoint_.host, soap_endpoint_.port,
+                                               options_.op_timeout_s);
+        if (!connected.is_ok()) {
+          return fail("status_http", watch.elapsed_s(), connected.status(), State::kPoll);
+        }
+        status_client_ = std::move(*connected);
+      }
+      auto response = status_client_->get(
+          "/status?session=" + session_->info().session_id, options_.op_timeout_s);
+      const double latency = watch.elapsed_s();
+      if (!response.is_ok() || response->status != 200) {
+        status_client_.reset();  // reconnect lazily on the next probe
+        const Status status = response.is_ok()
+                                  ? unavailable("loadgen: /status returned " +
+                                                std::to_string(response->status))
+                                  : response.status();
+        return fail("status_http", latency, status, State::kPoll);
+      }
+      return finish("status_http", latency, Status::ok(), State::kPoll);
+    }
+
+    case State::kHotReload: {
+      const Status status = session_->stage_script("load-v2", options_.script_v2);
+      const double latency = watch.elapsed_s();
+      if (!status.is_ok()) return fail("hot_reload", latency, status, State::kHotReload);
+      reloaded_ = true;
+      return finish("hot_reload", latency, Status::ok(), State::kRewind);
+    }
+
+    case State::kRewind: {
+      const Status status = session_->rewind();
+      const double latency = watch.elapsed_s();
+      if (!status.is_ok()) return fail("rewind", latency, status, State::kRewind);
+      return finish("rewind", latency, Status::ok(), State::kRun);
+    }
+
+    case State::kClose: {
+      const bool degraded = session_ && session_->degraded();
+      Status status = session_ ? session_->close() : Status::ok();
+      const double latency = watch.elapsed_s();
+      session_.reset();
+      ++sessions_run_;
+      if (degraded) ++degraded_sessions_;
+      ++iterations_done_;
+      reloaded_ = false;
+      // A failed close still ends the iteration (the session object is gone
+      // either way; the server-side leak test is the real gate there) — the
+      // driver counts the error from the carried status.
+      return finish("close", latency, std::move(status),
+                    iterations_done_ >= options_.iterations ? State::kDone : State::kBrowse);
+    }
+
+    case State::kDone:
+      break;
+  }
+  StepResult result;
+  result.op = "done";
+  result.measured = false;
+  result.done = true;
+  return result;
+}
+
+}  // namespace ipa::loadgen

@@ -1,0 +1,109 @@
+// One simulated analyst: a step machine over the real client API, walking
+// the paper's interactive flow (connect -> browse -> session -> stage ->
+// run -> live-poll -> hot-reload -> close) one blocking operation per
+// step() call, so a small pool of driver threads can interleave hundreds of
+// users closed-loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "client/grid_client.hpp"
+#include "common/rng.hpp"
+#include "common/uri.hpp"
+#include "http/http.hpp"
+
+namespace ipa::loadgen {
+
+/// Scenario mix knobs. All times are means; per-step jitter is drawn from
+/// the user's seeded Rng so two runs with one seed replay identically.
+struct ScenarioOptions {
+  std::string catalog_path;             // browse target, e.g. "lc/load"
+  std::string dataset_id = "ds-load";
+  int nodes_per_session = 1;
+  int iterations = 1;                   // full browse->close loops per user
+  double think_time_s = 0.05;           // between non-poll steps
+  double poll_interval_s = 0.02;        // between result polls
+  int status_poll_every = 3;            // HTTP /status probe every Nth poll
+  int polls_max = 2000;                 // per run-phase; exceeded = failed
+  double hot_reload_probability = 0.35; // chance to re-stage + rerun
+  int max_consecutive_failures = 10;    // then the user gives up (fatal)
+  double op_timeout_s = 30.0;
+  std::string script_v1;
+  std::string script_v2;
+};
+
+/// Outcome of one step() call, recorded by the driver.
+struct StepResult {
+  const char* op = "";       // stats series name
+  double latency_s = 0;      // the blocking operation only, not think time
+  Status status = Status::ok();
+  bool measured = true;      // false = bookkeeping step, don't record latency
+  double think_s = 0;        // how long the user thinks before the next step
+  bool done = false;         // scenario finished (successfully or fatally)
+};
+
+class SimulatedUser {
+ public:
+  SimulatedUser(int id, Uri soap_endpoint, std::string proxy_token,
+                ScenarioOptions options, std::uint64_t seed);
+
+  /// Execute the current step and advance the machine. Blocking: call from
+  /// a driver thread, never under a lock.
+  StepResult step();
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return failed_; }
+  int iterations_done() const { return iterations_done_; }
+  int sessions_run() const { return sessions_run_; }
+  int degraded_sessions() const { return degraded_sessions_; }
+  int id() const { return id_; }
+
+ private:
+  enum class State {
+    kConnect,
+    kBrowse,
+    kCreateSession,
+    kActivate,
+    kSelectDataset,
+    kStageScript,
+    kRun,
+    kPoll,
+    kStatusHttp,
+    kHotReload,
+    kRewind,
+    kClose,
+    kDone,
+  };
+
+  StepResult do_step();
+  StepResult finish(const char* op, double latency_s, Status status, State next);
+  /// Routes a failed op: retry the same state, or give up after too many
+  /// consecutive failures.
+  StepResult fail(const char* op, double latency_s, Status status, State retry_state);
+  double think() { return rng_.uniform(0.5, 1.5) * options_.think_time_s; }
+  double poll_think() { return rng_.uniform(0.5, 1.5) * options_.poll_interval_s; }
+  void abandon_session();
+
+  const int id_;
+  const Uri soap_endpoint_;
+  const std::string proxy_token_;
+  const ScenarioOptions options_;
+  Rng rng_;
+
+  State state_ = State::kConnect;
+  std::optional<client::GridClient> client_;
+  std::optional<client::GridSession> session_;
+  std::optional<http::Client> status_client_;
+  int polls_this_run_ = 0;
+  int consecutive_failures_ = 0;
+  bool reloaded_ = false;
+  bool engines_done_ = false;
+  int iterations_done_ = 0;
+  int sessions_run_ = 0;
+  int degraded_sessions_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ipa::loadgen

@@ -1,0 +1,85 @@
+// Declarative latency SLOs for the load harness. bench/slo.json holds named
+// profiles (interactive / smoke / soak / soak_smoke); each bounds client-side
+// step percentiles, server-side six-phase percentiles (scraped from
+// GET /metrics) and scenario-level rates. Soak profiles express graceful
+// degradation as looser allowances instead of skipped checks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "loadgen/json.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/promparse.hpp"
+
+namespace ipa::loadgen {
+
+/// Bounds for one client-observed scenario step. Unset bounds are +inf /
+/// 1.0 (never violated).
+struct StepSlo {
+  double p50_max_s;
+  double p95_max_s;
+  double p99_max_s;
+  double error_rate_max;   // errors / (samples + errors + rejects)
+  StepSlo();
+};
+
+/// Bounds for one server-side session phase (locate/split/transfer/
+/// code_stage/run/merge).
+struct PhaseSlo {
+  double p50_max_s;
+  double p95_max_s;
+  PhaseSlo();
+};
+
+/// Whole-run bounds.
+struct ScenarioSlo {
+  double failure_rate_max = 0;   // failed users / users
+  double timeout_rate_max = 0;   // timed-out users / users
+  double degraded_rate_max = 0;  // degraded sessions / sessions
+  double reject_rate_max;        // rejected steps / total steps
+  double min_iterations = 1;     // completed iterations across all users
+  ScenarioSlo();
+};
+
+struct SloProfile {
+  std::string name;
+  std::map<std::string, StepSlo> steps;
+  std::map<std::string, PhaseSlo> phases;
+  ScenarioSlo scenario;
+};
+
+/// One failed gate, with enough context for a one-line diff report.
+struct SloViolation {
+  std::string gate;  // e.g. "step.poll.p95_s" or "scenario.failure_rate"
+  double limit = 0;
+  double actual = 0;
+};
+
+struct SloResult {
+  std::vector<SloViolation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Parse profile `name` from a parsed slo.json document.
+Result<SloProfile> parse_profile(const Json& document, const std::string& name);
+
+/// Evaluate every gate of `profile` against a finished run. `phases` is the
+/// parsed ipa_session_phase_seconds family from the final /metrics scrape.
+SloResult evaluate(const SloProfile& profile, const LoadReport& report,
+                   const std::map<std::string, HistogramSeries>& phases);
+
+/// Human-readable run report: per-step percentile table, per-phase
+/// percentiles, scenario counters, then one line per violation.
+std::string render_report_text(const SloProfile& profile, const LoadReport& report,
+                               const std::map<std::string, HistogramSeries>& phases,
+                               const SloResult& result);
+
+/// Machine-readable report (consumed by tools/bench_diff.py --slo).
+std::string render_report_json(const SloProfile& profile, const LoadReport& report,
+                               const std::map<std::string, HistogramSeries>& phases,
+                               const SloResult& result);
+
+}  // namespace ipa::loadgen

@@ -1,0 +1,74 @@
+#include "loadgen/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipa::loadgen {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * fraction;
+}
+
+void LatencySeries::record(double seconds) {
+  LockGuard lock(mutex_);
+  samples_.push_back(seconds);
+}
+
+void LatencySeries::record_error() {
+  LockGuard lock(mutex_);
+  ++errors_;
+}
+
+void LatencySeries::record_reject() {
+  LockGuard lock(mutex_);
+  ++rejects_;
+}
+
+Summary LatencySeries::summarize() const {
+  std::vector<double> samples;
+  Summary out;
+  {
+    LockGuard lock(mutex_);
+    samples = samples_;
+    out.errors = errors_;
+    out.rejects = rejects_;
+  }
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  if (!samples.empty()) {
+    double total = 0;
+    for (const double s : samples) total += s;
+    out.mean_s = total / static_cast<double>(samples.size());
+    out.p50_s = percentile(samples, 0.50);
+    out.p95_s = percentile(samples, 0.95);
+    out.p99_s = percentile(samples, 0.99);
+    out.max_s = samples.back();
+  }
+  return out;
+}
+
+LatencySeries& StatsRecorder::series(const std::string& op) {
+  LockGuard lock(mutex_);
+  return series_[op];
+}
+
+std::map<std::string, Summary> StatsRecorder::summarize() const {
+  std::vector<std::pair<std::string, const LatencySeries*>> named;
+  {
+    LockGuard lock(mutex_);
+    named.reserve(series_.size());
+    for (const auto& [name, series] : series_) named.emplace_back(name, &series);
+  }
+  std::map<std::string, Summary> out;
+  for (const auto& [name, series] : named) out.emplace(name, series->summarize());
+  return out;
+}
+
+}  // namespace ipa::loadgen

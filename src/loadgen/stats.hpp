@@ -1,0 +1,65 @@
+// Client-side latency recording for the load harness: one LatencySeries per
+// scenario step, thread-safe sample accumulation, percentile summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace ipa::loadgen {
+
+/// Percentile summary of one step's latencies.
+struct Summary {
+  std::uint64_t count = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejects = 0;  // RESOURCE_EXHAUSTED shed by a saturated server
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+  double max_s = 0;
+};
+
+/// Exact percentile over a sorted sample vector (nearest-rank with linear
+/// interpolation). `sorted` must be ascending; q in [0,1].
+double percentile(const std::vector<double>& sorted, double q);
+
+/// Thread-safe latency accumulator for one operation. Load scales here are
+/// bounded (users x iterations x steps, tens of thousands of samples), so
+/// exact client-side percentiles are affordable — the server side uses
+/// histogram buckets instead.
+class LatencySeries {
+ public:
+  void record(double seconds);
+  void record_error();
+  void record_reject();
+
+  Summary summarize() const;
+
+ private:
+  mutable Mutex mutex_{LockRank::kLoadStats, "loadgen-series"};
+  std::vector<double> samples_ IPA_GUARDED_BY(mutex_);
+  std::uint64_t errors_ IPA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejects_ IPA_GUARDED_BY(mutex_) = 0;
+};
+
+/// Named series collection (step name -> series). Steps are registered up
+/// front by the driver, so lookups during the run are read-only.
+class StatsRecorder {
+ public:
+  /// Find-or-create the series for `op`.
+  LatencySeries& series(const std::string& op);
+
+  /// Summaries for every op, name-ordered.
+  std::map<std::string, Summary> summarize() const;
+
+ private:
+  mutable Mutex mutex_{LockRank::kLoadDriver, "loadgen-recorder"};
+  // Values are stable: node-based map, series are never erased.
+  std::map<std::string, LatencySeries> series_ IPA_GUARDED_BY(mutex_);
+};
+
+}  // namespace ipa::loadgen

@@ -33,6 +33,15 @@ struct ServerPoolOptions {
   std::size_t queue_capacity = 128;  // accepted, not yet picked up
 };
 
+/// Outcome of handing an accepted connection to the pool. Saturation and
+/// shutdown are distinct so servers can answer a saturated client with an
+/// explicit 503/RESOURCE_EXHAUSTED instead of a silent close.
+enum class Admission {
+  kAdmitted,   // queued; a worker will serve it
+  kSaturated,  // accept queue full — tell the client to back off and retry
+  kStopped,    // pool shutting down — just close
+};
+
 /// Fixed-capacity worker pool: items (accepted connections) enter a bounded
 /// queue; workers are spawned on demand up to `max_workers` and live until
 /// stop(). Handlers are expected to watch their server's stopping flag so a
@@ -58,13 +67,13 @@ class ServerWorkerPool {
   ServerWorkerPool(const ServerWorkerPool&) = delete;
   ServerWorkerPool& operator=(const ServerWorkerPool&) = delete;
 
-  /// Hand one accepted connection to the pool. Returns false when the pool
-  /// is stopped or the queue is full — the overflow counter is bumped and
-  /// the caller must close the connection itself.
-  bool submit(Item item) {
+  /// Hand one accepted connection to the pool. The item is consumed only on
+  /// kAdmitted; on kSaturated (overflow counter bumped) and kStopped the
+  /// caller still owns the connection and must answer/close it itself.
+  Admission submit(Item& item) {
     {
       LockGuard lock(mutex_);
-      if (stopping_) return false;
+      if (stopping_) return Admission::kStopped;
       // Grow lazily: only spawn another worker when every live one is busy
       // and the cap allows it. Long-lived connections each occupy a worker,
       // so this reaches max_workers under sustained load but stays small
@@ -75,11 +84,15 @@ class ServerWorkerPool {
     }
     if (!queue_.try_push(std::move(item))) {
       overflow_.inc();
-      return false;
+      return Admission::kSaturated;
     }
     depth_.set(static_cast<double>(queue_.size()));
-    return true;
+    return Admission::kAdmitted;
   }
+
+  /// Convenience for callers that don't need the item back on rejection
+  /// (tests, fire-and-forget payloads).
+  Admission submit(Item&& item) { return submit(item); }
 
   /// Close the queue and join every worker. Already-queued connections are
   /// still handed to handlers (which observe the server's stopping flag and

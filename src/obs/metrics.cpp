@@ -96,7 +96,12 @@ void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Release on the count RMW chain: a reader that loads count == C with
+  // acquire synchronizes with the Cth increment and therefore observes all
+  // C bucket increments. Snapshots read count first, so a rendered _count
+  // can never exceed the rendered +Inf cumulative bucket even while
+  // writers are mid-observe.
+  count_.fetch_add(1, std::memory_order_release);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
@@ -111,6 +116,27 @@ std::vector<double> exponential_bounds(double start, double factor, int count) {
     edge *= factor;
   }
   return bounds;
+}
+
+double quantile_from_buckets(const std::vector<double>& upper_bounds,
+                             const std::vector<std::uint64_t>& cumulative, double q) {
+  if (cumulative.empty() || cumulative.back() == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(cumulative.back());
+  std::size_t i = 0;
+  while (i < cumulative.size() && static_cast<double>(cumulative[i]) < rank) ++i;
+  if (i >= upper_bounds.size()) {
+    // +Inf bucket: no upper edge to interpolate against; clamp to the
+    // largest finite bound (matches histogram_quantile).
+    return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+  }
+  const double upper = upper_bounds[i];
+  const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+  const std::uint64_t below = i == 0 ? 0 : cumulative[i - 1];
+  const std::uint64_t in_bucket = cumulative[i] - below;
+  if (in_bucket == 0) return upper;
+  const double fraction = (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+  return lower + (upper - lower) * fraction;
 }
 
 std::vector<double> default_latency_bounds() {
@@ -203,12 +229,15 @@ std::vector<FamilySnapshot> Registry::snapshot() const {
         case MetricKind::kHistogram:
           if (series.histogram) {
             const Histogram& h = *series.histogram;
+            // Count first (acquire), buckets after: any in-flight observe
+            // beyond the loaded count can only ADD to the buckets, so the
+            // snapshot's invariant is count <= sum(buckets).
+            ss.count = h.count();
+            ss.sum = h.sum();
             ss.bucket_counts.reserve(h.upper_bounds().size() + 1);
             for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
               ss.bucket_counts.push_back(h.bucket_count(i));
             }
-            ss.count = h.count();
-            ss.sum = h.sum();
           }
           break;
       }

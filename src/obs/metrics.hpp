@@ -69,7 +69,9 @@ class Histogram {
   void observe(double v);
 
   const std::vector<double>& upper_bounds() const { return bounds_; }
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Acquire pairs with the release in observe(): reading count == C makes
+  // all C bucket increments visible (read count before buckets).
+  std::uint64_t count() const { return count_.load(std::memory_order_acquire); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
   std::uint64_t bucket_count(std::size_t i) const {
@@ -109,6 +111,14 @@ struct FamilySnapshot {
 std::vector<double> default_latency_bounds();
 /// Exponential ladder: start, start*factor, ... (count bounds).
 std::vector<double> exponential_bounds(double start, double factor, int count);
+
+/// Interpolated quantile from CUMULATIVE histogram buckets (the shape a
+/// rendered /metrics exposes): `cumulative` has one entry per bound plus a
+/// final +Inf entry. Linear interpolation inside the winning bucket, the
+/// Prometheus histogram_quantile convention; the +Inf bucket clamps to the
+/// largest finite bound. Returns 0 for an empty histogram.
+double quantile_from_buckets(const std::vector<double>& upper_bounds,
+                             const std::vector<std::uint64_t>& cumulative, double q);
 
 class Registry {
  public:

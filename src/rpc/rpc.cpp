@@ -115,10 +115,28 @@ void RpcServer::accept_loop() {
       if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
       break;  // listener closed
     }
-    // A full accept queue sheds the connection — the rejected ConnectionPtr
-    // closes as it leaves submit(), and the client sees a transport failure
-    // to retry — instead of spawning threads without bound.
-    (void)pool_.submit(std::move(conn).value());
+    // A full accept queue sheds the connection instead of spawning threads
+    // without bound — but answers first: a call_id-0 RESOURCE_EXHAUSTED
+    // frame tells the client no request was processed (safe to retry with
+    // backoff, even for non-idempotent methods), where a silent close would
+    // read as an ambiguous transport fault.
+    net::ConnectionPtr accepted = std::move(conn).value();
+    switch (pool_.submit(std::move(accepted))) {
+      case net::Admission::kAdmitted:
+        break;
+      case net::Admission::kSaturated:
+        // submit() only moves from its argument on admission, so the
+        // connection is still ours to answer on the saturated path.
+        if (accepted) {
+          (void)accepted->send(encode_error_response(
+              0, resource_exhausted("rpc: server saturated, retry after backoff")));
+          accepted->close();
+        }
+        break;
+      case net::Admission::kStopped:
+        if (accepted) accepted->close();
+        break;
+    }
   }
 }
 
@@ -250,6 +268,9 @@ RetryStats RpcClient::stats() const {
 struct RpcClient::CallState {
   std::uint64_t call_id = 0;
   double deadline = 0;  // WallClock seconds
+  // Set when the server answered with a call_id-0 saturation rejection:
+  // it read no request, so retrying is safe even for non-idempotent methods.
+  bool rejected = false;
 };
 
 Status RpcClient::reconnect_locked(double deadline) {
@@ -285,6 +306,23 @@ Result<ser::Bytes> RpcClient::attempt_locked(CallState& state, const ser::Bytes&
     IPA_ASSIGN_OR_RETURN(const std::uint8_t type, r.u8());
     if (type != 1 /* kResponse */) return data_loss("rpc: expected response frame");
     IPA_ASSIGN_OR_RETURN(const std::uint64_t reply_id, r.varint());
+    if (reply_id == 0) {
+      // Connection-level saturation rejection (call ids start at 1, so 0
+      // names no call): the server shed this connection before reading any
+      // request. Classified as a transport fault so the retry loop engages,
+      // but flagged rejected so even non-idempotent calls may replay.
+      state.rejected = true;
+      obs::Registry::global()
+          .counter("ipa_rpc_rejected_total", {},
+                   "Connection-level saturation rejections received by clients.")
+          .inc();
+      IPA_ASSIGN_OR_RETURN(const std::uint8_t rej_ok, r.u8());
+      (void)rej_ok;  // rejection frames always carry ok=0
+      IPA_ASSIGN_OR_RETURN(const std::uint8_t rej_code, r.u8());
+      IPA_ASSIGN_OR_RETURN(const std::string rej_message, r.string());
+      (void)rej_code;
+      return Status(StatusCode::kResourceExhausted, rej_message);
+    }
     if (reply_id < state.call_id) continue;  // stale response from an abandoned attempt
     if (reply_id > state.call_id) return data_loss("rpc: response id mismatch");
     IPA_ASSIGN_OR_RETURN(const std::uint8_t ok, r.u8());
@@ -358,6 +396,7 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
 
     if (conn_) {
       state.call_id = next_call_id_++;
+      state.rejected = false;  // each attempt earns its own retry blessing
       bool transport_failed = false;
       Result<ser::Bytes> result = unavailable("rpc: attempt not made");
       {
@@ -405,9 +444,10 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
       if (conn_) conn_->close();
       conn_.reset();
 
-      if (!idempotent) {
+      if (!idempotent && !state.rejected) {
         // Fail fast: the request may have reached the server, so replaying
-        // it is not safe. The next call will reconnect lazily.
+        // it is not safe. The next call will reconnect lazily. (A saturation
+        // rejection is exempt — the server read nothing, so replay is safe.)
         if (last_error.code() == StatusCode::kDeadlineExceeded) return fail(last_error);
         return fail(unavailable("rpc: " + std::string(service) + "." +
                                 std::string(method) +

@@ -242,6 +242,15 @@ Result<xml::Node> SoapClient::call(const std::string& service, const std::string
     call_span.set_status(response.status());
     return response.status();
   }
+  if (response->status == 503) {
+    // The server shed this connection at the accept queue (plain-text body,
+    // not an envelope): surface a typed saturation error with the server's
+    // pacing hint instead of an XML parse failure.
+    const Status saturated = resource_exhausted(
+        "soap: server saturated (Retry-After=" + response->header_or("Retry-After", "?") + "s)");
+    call_span.set_status(saturated);
+    return saturated;
+  }
   IPA_ASSIGN_OR_RETURN(const xml::Node doc, xml::parse(response->body));
   auto result = unwrap_envelope(doc);
   if (!result.is_ok()) call_span.set_status(result.status());

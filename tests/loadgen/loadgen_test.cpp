@@ -1,0 +1,244 @@
+// Unit coverage for the load-harness support layers: the vendored JSON
+// reader, percentile math, Prometheus exposition parsing, and SLO profile
+// parsing + gate evaluation. The end-to-end harness itself is exercised by
+// the `ctest -L load` smoke tier (bench/bench_load.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loadgen/json.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/promparse.hpp"
+#include "loadgen/slo.hpp"
+#include "loadgen/stats.hpp"
+
+namespace ipa::loadgen {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Json, ParsesNestedDocument) {
+  auto doc = Json::parse(R"({
+    "name": "smoke", "ok": true, "nothing": null,
+    "limits": {"p95_max_s": 1.5, "count": 3},
+    "list": [1, 2.5, "three", false]
+  })");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("name")->string_or(""), "smoke");
+  EXPECT_TRUE(doc->find("ok")->bool_or(false));
+  EXPECT_TRUE(doc->find("nothing")->is_null());
+  const Json* limits = doc->find("limits");
+  ASSERT_NE(limits, nullptr);
+  EXPECT_DOUBLE_EQ(limits->number_at("p95_max_s", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(limits->number_at("absent", 9.0), 9.0);
+  const Json* list = doc->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items().size(), 4u);
+  EXPECT_DOUBLE_EQ(list->items()[1].number_or(0.0), 2.5);
+  EXPECT_EQ(list->items()[2].string_or(""), "three");
+}
+
+TEST(Json, ParsesEscapesAndExponents) {
+  auto doc = Json::parse(R"({"s": "a\"b\\c\nd", "e": 2.5e-3, "neg": -17})");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->find("s")->string_or(""), "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(doc->find("e")->number_or(0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(doc->find("neg")->number_or(0.0), -17.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("{").is_ok());
+  EXPECT_FALSE(Json::parse(R"({"a": })").is_ok());
+  EXPECT_FALSE(Json::parse(R"({"a": 1} trailing)").is_ok());
+  EXPECT_FALSE(Json::parse(R"(["unterminated)").is_ok());
+  EXPECT_FALSE(Json::parse("").is_ok());
+}
+
+TEST(Stats, PercentileInterpolatesLinearly) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.99), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, SeriesSummarizesWithErrorsAndRejects) {
+  LatencySeries series;
+  for (int i = 1; i <= 100; ++i) series.record(i * 0.01);
+  series.record_error();
+  series.record_reject();
+  series.record_reject();
+  const Summary s = series.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.rejects, 2u);
+  EXPECT_NEAR(s.p50_s, 0.505, 1e-9);
+  EXPECT_NEAR(s.p99_s, 0.9901, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_s, 1.0);
+}
+
+TEST(PromParse, ExtractsHistogramFamilies) {
+  const std::string exposition =
+      "# HELP ipa_session_phase_seconds per-phase wall time\n"
+      "# TYPE ipa_session_phase_seconds histogram\n"
+      "ipa_session_phase_seconds_bucket{phase=\"run\",le=\"0.1\"} 4\n"
+      "ipa_session_phase_seconds_bucket{phase=\"run\",le=\"1\"} 9\n"
+      "ipa_session_phase_seconds_bucket{phase=\"run\",le=\"+Inf\"} 10\n"
+      "ipa_session_phase_seconds_sum{phase=\"run\"} 3.25\n"
+      "ipa_session_phase_seconds_count{phase=\"run\"} 10\n"
+      "ipa_session_phase_seconds_bucket{phase=\"merge\",le=\"0.1\"} 2\n"
+      "ipa_session_phase_seconds_bucket{phase=\"merge\",le=\"+Inf\"} 2\n"
+      "ipa_session_phase_seconds_count{phase=\"merge\"} 2\n"
+      "other_metric{phase=\"run\"} 99\n";
+  const auto families =
+      parse_histogram_family(exposition, "ipa_session_phase_seconds", "phase");
+  ASSERT_EQ(families.size(), 2u);
+
+  const HistogramSeries& run = families.at("run");
+  ASSERT_EQ(run.upper_bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(run.upper_bounds[0], 0.1);
+  EXPECT_TRUE(std::isinf(run.upper_bounds[2]));
+  EXPECT_EQ(run.cumulative[1], 9u);
+  EXPECT_EQ(run.count, 10u);
+  EXPECT_DOUBLE_EQ(run.sum, 3.25);
+  // Median falls in the (0.1, 1] bucket; interpolation stays inside it.
+  const double p50 = run.quantile(0.50);
+  EXPECT_GT(p50, 0.1);
+  EXPECT_LE(p50, 1.0);
+  // Everything beyond the last finite bound clamps to that bound.
+  EXPECT_DOUBLE_EQ(run.quantile(0.999), 1.0);
+
+  EXPECT_EQ(families.at("merge").count, 2u);
+}
+
+TEST(PromParse, ScalarLookup) {
+  const std::string exposition =
+      "ipa_server_overflow_total{server=\"http\"} 3\n"
+      "ipa_server_overflow_total{server=\"rpc\"} 0\n"
+      "ipa_up 1\n";
+  EXPECT_DOUBLE_EQ(scalar_value(exposition, "ipa_server_overflow_total",
+                                {{"server", "http"}}, -1.0),
+                   3.0);
+  EXPECT_DOUBLE_EQ(scalar_value(exposition, "ipa_up", {}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(scalar_value(exposition, "missing", {}, -1.0), -1.0);
+}
+
+Result<SloProfile> profile_from(const std::string& text, const std::string& name) {
+  auto doc = Json::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return parse_profile(*doc, name);
+}
+
+const char* kSloDoc = R"({
+  "profiles": {
+    "tight": {
+      "steps": {
+        "poll": {"p50_max_s": 0.1, "p95_max_s": 0.5, "error_rate_max": 0.01},
+        "close": {"p95_max_s": 1.0}
+      },
+      "phases": {"run": {"p95_max_s": 2.0}},
+      "scenario": {"failure_rate_max": 0.0, "degraded_rate_max": 0.0,
+                   "reject_rate_max": 0.1, "min_iterations": 4}
+    }
+  }
+})";
+
+LoadReport passing_report() {
+  LoadReport report;
+  report.users = 4;
+  report.completed_users = 4;
+  report.sessions_run = 4;
+  report.iterations_done = 4;
+  Summary poll;
+  poll.count = 100;
+  poll.p50_s = 0.05;
+  poll.p95_s = 0.2;
+  Summary close;
+  close.count = 4;
+  close.p95_s = 0.5;
+  report.ops.emplace("poll", poll);
+  report.ops.emplace("close", close);
+  return report;
+}
+
+std::map<std::string, HistogramSeries> passing_phases() {
+  HistogramSeries run;
+  run.upper_bounds = {0.5, 1.0, kInf};
+  run.cumulative = {8, 10, 10};
+  run.count = 10;
+  run.sum = 4.0;
+  return {{"run", run}};
+}
+
+TEST(Slo, ParseRejectsUnknownProfile) {
+  auto missing = profile_from(kSloDoc, "nope");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_NE(missing.status().message().find("tight"), std::string::npos)
+      << "error should list known profiles: " << missing.status().to_string();
+}
+
+TEST(Slo, CleanRunPasses) {
+  auto profile = profile_from(kSloDoc, "tight");
+  ASSERT_TRUE(profile.is_ok()) << profile.status().to_string();
+  const SloResult result = evaluate(*profile, passing_report(), passing_phases());
+  EXPECT_TRUE(result.ok()) << render_report_text(*profile, passing_report(),
+                                                 passing_phases(), result);
+}
+
+TEST(Slo, ViolationsCarryGateLimitAndActual) {
+  auto profile = profile_from(kSloDoc, "tight");
+  ASSERT_TRUE(profile.is_ok());
+
+  LoadReport report = passing_report();
+  report.ops["poll"].p95_s = 0.9;        // > 0.5
+  report.failed_users = 1;               // failure_rate 0.25 > 0
+  report.iterations_done = 2;            // < min 4
+  auto phases = passing_phases();
+  phases["run"].cumulative = {0, 1, 10};  // p95 lands in +Inf bucket -> 1.0...
+  phases["run"].count = 10;
+
+  const SloResult result = evaluate(*profile, report, phases);
+  ASSERT_FALSE(result.ok());
+  std::map<std::string, const SloViolation*> by_gate;
+  for (const SloViolation& v : result.violations) by_gate[v.gate] = &v;
+
+  ASSERT_TRUE(by_gate.count("step.poll.p95_s"));
+  EXPECT_DOUBLE_EQ(by_gate["step.poll.p95_s"]->limit, 0.5);
+  EXPECT_DOUBLE_EQ(by_gate["step.poll.p95_s"]->actual, 0.9);
+  ASSERT_TRUE(by_gate.count("scenario.failure_rate"));
+  EXPECT_DOUBLE_EQ(by_gate["scenario.failure_rate"]->actual, 0.25);
+  ASSERT_TRUE(by_gate.count("scenario.min_iterations"));
+  EXPECT_DOUBLE_EQ(by_gate["scenario.min_iterations"]->actual, 2.0);
+
+  // A gated step that never ran is itself a violation.
+  LoadReport empty;
+  empty.users = 4;
+  const SloResult missing = evaluate(*profile, empty, {});
+  bool step_count_gate = false;
+  bool phase_count_gate = false;
+  for (const SloViolation& v : missing.violations) {
+    step_count_gate |= v.gate == "step.poll.count";
+    phase_count_gate |= v.gate == "phase.run.count";
+  }
+  EXPECT_TRUE(step_count_gate);
+  EXPECT_TRUE(phase_count_gate);
+
+  // Reports render without crashing and carry the gate names.
+  const std::string text = render_report_text(*profile, report, phases, result);
+  EXPECT_NE(text.find("SLO gate FAILED"), std::string::npos);
+  EXPECT_NE(text.find("step.poll.p95_s"), std::string::npos);
+  const std::string json = render_report_json(*profile, report, phases, result);
+  auto parsed = Json::parse(json);
+  ASSERT_TRUE(parsed.is_ok()) << json;
+  EXPECT_FALSE(parsed->find("ok")->bool_or(true));
+  EXPECT_GE(parsed->find("violations")->items().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ipa::loadgen

@@ -4,13 +4,17 @@
 // with consistent parent/child span links.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "client/grid_client.hpp"
 #include "common/rng.hpp"
 #include "http/http.hpp"
+#include "loadgen/promparse.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "services/manager.hpp"
 
@@ -186,6 +190,70 @@ TEST_F(ObsEndpointsTest, StatusEndpointReportsPhaseBreakdown) {
 
 TEST_F(ObsEndpointsTest, StatusRejectsUnknownSession) {
   EXPECT_EQ(get("/status?session=sess-ghost").status, 404);
+}
+
+// Histogram exposition must stay internally consistent while writers are
+// mid-observe: cumulative buckets monotone, `_count` never ahead of the +Inf
+// cumulative, and both monotone across scrapes. This pins the acquire/release
+// ordering between bucket increments and the sample count.
+TEST_F(ObsEndpointsTest, MetricsStayConsistentUnderConcurrentWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  obs::Histogram& histogram = obs::Registry::global().histogram(
+      "ipa_test_scrape_consistency_seconds", {{"probe", "writers"}}, {},
+      "endpoint consistency probe");
+  const std::uint64_t before = histogram.count();
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      Rng rng(1000 + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < kPerWriter; ++i) histogram.observe(rng.uniform(0.0, 1.0));
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  std::uint64_t last_count = before;
+  std::uint64_t last_inf = before;
+  for (int scrape = 0; scrape < 12; ++scrape) {
+    const http::Response response = get("/metrics");
+    ASSERT_EQ(response.status, 200);
+    const auto family = loadgen::parse_histogram_family(
+        response.body, "ipa_test_scrape_consistency_seconds", "probe");
+    const auto it = family.find("writers");
+    ASSERT_NE(it, family.end());
+    const loadgen::HistogramSeries& series = it->second;
+    ASSERT_FALSE(series.cumulative.empty());
+    // Cumulative buckets are monotone within one scrape...
+    for (std::size_t b = 1; b < series.cumulative.size(); ++b) {
+      ASSERT_GE(series.cumulative[b], series.cumulative[b - 1])
+          << "bucket " << b << " at scrape " << scrape;
+    }
+    // ...the advertised count never runs ahead of the +Inf bucket...
+    const std::uint64_t inf = series.cumulative.back();
+    EXPECT_LE(series.count, inf) << "scrape " << scrape;
+    // ...values of known magnitude bound the sum...
+    EXPECT_GE(series.sum, 0.0);
+    EXPECT_LE(series.sum, static_cast<double>(inf) * 1.0 + 1e-9);
+    // ...and everything is monotone across scrapes.
+    EXPECT_GE(series.count, last_count) << "scrape " << scrape;
+    EXPECT_GE(inf, last_inf) << "scrape " << scrape;
+    last_count = series.count;
+    last_inf = inf;
+  }
+
+  for (auto& writer : writers) writer.join();
+  const http::Response final_scrape = get("/metrics");
+  const auto family = loadgen::parse_histogram_family(
+      final_scrape.body, "ipa_test_scrape_consistency_seconds", "probe");
+  const auto it = family.find("writers");
+  ASSERT_NE(it, family.end());
+  EXPECT_EQ(it->second.count,
+            before + static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(it->second.cumulative.back(), it->second.count);
 }
 
 TEST_F(ObsEndpointsTest, PhaseSpansFormConsistentTraces) {

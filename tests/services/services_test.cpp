@@ -1,8 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
 #include "aida/histogram1d.hpp"
+#include "client/grid_client.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "http/http.hpp"
 #include "services/aida_manager.hpp"
 #include "services/locator.hpp"
+#include "services/manager.hpp"
 #include "services/protocol.hpp"
 
 namespace ipa::services {
@@ -202,6 +212,84 @@ TEST(Protocol, VerbParsing) {
 TEST(Protocol, EngineStateParsing) {
   EXPECT_EQ(parse_engine_state("finished").value(), engine::EngineState::kFinished);
   EXPECT_FALSE(parse_engine_state("bogus").is_ok());
+}
+
+// Session bookkeeping under contention: several threads race full
+// open -> stage -> run -> poll -> close lifecycles against ONE manager. Every
+// lifecycle must finish, and afterwards no session may leak — neither in the
+// in-memory registry nor on the public GET /status listing.
+TEST(ManagerLifecycle, ConcurrentSessionsDrainCompletely) {
+  const char* kScript = R"(
+func begin(tree) { tree.book_h1("/mass", 20, 0, 200); }
+func process(event, tree) { tree.fill("/mass", event.num("mass")); }
+)";
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ipa-services-lifecycle-race";
+  std::filesystem::create_directories(dir);
+
+  Rng rng(7);
+  std::vector<data::Record> records;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    data::Record record(i);
+    record.set("mass", rng.uniform(0.0, 200.0));
+    records.push_back(std::move(record));
+  }
+  const std::string path = (dir / "race.ipd").string();
+  ASSERT_TRUE(data::write_dataset(path, "race", records).is_ok());
+
+  ManagerConfig config;
+  config.staging_dir = (dir / "staging").string();
+  config.engine_config.snapshot_every = 200;
+  config.heartbeat_timeout_s = 15.0;  // one-core CI box: tolerate scheduling gaps
+  auto manager = ManagerNode::start(std::move(config));
+  ASSERT_TRUE(manager.is_ok()) << manager.status().to_string();
+  ASSERT_TRUE(
+      (*manager)->publish_dataset("svc/race", "ds-race", {{"experiment", "SVC"}}, path)
+          .is_ok());
+  const std::string base = (*manager)->authority().issue("cn=race", {"analysis"}, 3600);
+  auto proxy = client::make_proxy((*manager)->authority(), base);
+  ASSERT_TRUE(proxy.is_ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kLifecyclesPerThread = 2;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kLifecyclesPerThread; ++round) {
+        auto grid = client::GridClient::connect((*manager)->soap_endpoint(), *proxy);
+        ASSERT_TRUE(grid.is_ok()) << "t" << t << " r" << round << ": "
+                                  << grid.status().to_string();
+        auto session = grid->create_session(1);
+        ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+        EXPECT_TRUE(session->activate().is_ok());
+        EXPECT_TRUE(session->select_dataset("ds-race").is_ok());
+        EXPECT_TRUE(session->stage_script("race", kScript).is_ok());
+        auto tree = session->run_to_completion(120.0);
+        EXPECT_TRUE(tree.is_ok()) << tree.status().to_string();
+        EXPECT_TRUE(session->close().is_ok());
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(completed.load(), kThreads * kLifecyclesPerThread);
+  EXPECT_EQ((*manager)->active_sessions(), 0u);
+
+  const Uri endpoint = (*manager)->soap_endpoint();
+  auto conn = http::Client::connect(endpoint.host, endpoint.port);
+  ASSERT_TRUE(conn.is_ok()) << conn.status().to_string();
+  auto status = conn->get("/status");
+  ASSERT_TRUE(status.is_ok()) << status.status().to_string();
+  EXPECT_EQ(status->status, 200);
+  EXPECT_NE(status->body.find("\"sessions\":[]"), std::string::npos)
+      << "leaked sessions: " << status->body;
+
+  (*manager)->stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -412,8 +412,8 @@ TEST_F(StagingTest, ServerPoolCapsWorkersAndCountsOverflow) {
   });
 
   // Two items occupy both workers.
-  EXPECT_TRUE(pool.submit(1));
-  EXPECT_TRUE(pool.submit(2));
+  EXPECT_EQ(pool.submit(1), net::Admission::kAdmitted);
+  EXPECT_EQ(pool.submit(2), net::Admission::kAdmitted);
   const auto deadline = Clock::now() + std::chrono::seconds(5);
   while (entered.load() < 2 && Clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -421,10 +421,13 @@ TEST_F(StagingTest, ServerPoolCapsWorkersAndCountsOverflow) {
   ASSERT_EQ(entered.load(), 2);
   EXPECT_EQ(pool.worker_count(), 2u);
 
-  // Two more fill the queue; the fifth overflows instead of growing a thread.
-  EXPECT_TRUE(pool.submit(3));
-  EXPECT_TRUE(pool.submit(4));
-  EXPECT_FALSE(pool.submit(5));
+  // Two more fill the queue; the fifth overflows instead of growing a
+  // thread — and a saturated rejection leaves the item with the caller.
+  EXPECT_EQ(pool.submit(3), net::Admission::kAdmitted);
+  EXPECT_EQ(pool.submit(4), net::Admission::kAdmitted);
+  int rejected = 5;
+  EXPECT_EQ(pool.submit(rejected), net::Admission::kSaturated);
+  EXPECT_EQ(rejected, 5);
   EXPECT_EQ(pool.worker_count(), 2u);
 
   release.release(4);
@@ -433,7 +436,7 @@ TEST_F(StagingTest, ServerPoolCapsWorkersAndCountsOverflow) {
   }
   EXPECT_EQ(handled.load(), 4);
   pool.stop();
-  EXPECT_FALSE(pool.submit(6));  // stopped pools reject
+  EXPECT_EQ(pool.submit(6), net::Admission::kStopped);  // stopped pools reject
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #      proves the IPA_GUARDED_BY/IPA_REQUIRES annotations
 #   3  Release bench build + smoke run (full regression gating against
 #      BENCH_batch.json lives in tools/bench.sh)
+#   L  load harness: SLO-gated multi-user smoke + chaos soak smoke
+#      (bench_load against bench/slo.json; see docs/load-testing.md)
 #
 # Usage: tools/check.sh [address|thread|undefined|all]
 #   The optional argument picks the sanitizer for tier 2 (default:
@@ -85,5 +87,20 @@ for bench in bench_engine bench_merge bench_hist; do
   # timed run (the older benchmark lib wants a plain double for min_time).
   "build-release/bench/$bench" --benchmark_min_time=0.01 >/dev/null
 done
+
+echo "== tier load: SLO-gated multi-user load smoke =="
+# Deterministic seeds, small user counts: this is the always-on tier. The
+# full 256-user interactive gate is a manual/nightly run:
+#   build-release/bench/bench_load --users 256 --profile interactive
+cmake --build build-release -j "$jobs" --target bench_load
+"build-release/bench/bench_load" --users 12 --iterations 1 --drivers 4 \
+  --records 600 --seed 2006 --profile smoke \
+  --report build-release/load_report_smoke.json
+"build-release/bench/bench_load" --users 8 --iterations 1 --drivers 4 \
+  --records 400 --seed 2006 --soak --profile soak_smoke \
+  --report build-release/load_report_soak.json
+# One-line-per-violation summary of both runs (diffable CI evidence).
+python3 tools/bench_diff.py --slo build-release/load_report_smoke.json \
+  build-release/load_report_soak.json
 
 echo "== all checks passed =="
