@@ -58,7 +58,8 @@ struct Flags {
   std::string slo_path = IPA_SLO_DEFAULT;
   std::string report_path;
   bool soak = false;
-  std::string chaos = "seed=7&drop=0.02&delay_p=0.05&delay_ms=5&disconnect=0.02";
+  std::string chaos =
+      "seed=7&drop=0.02&delay_p=0.05&delay_ms=5&disconnect=0.02&half_open=0.005";
 };
 
 void usage(const char* argv0) {
@@ -183,12 +184,14 @@ int main(int argc, char** argv) {
 
   services::ManagerConfig config;
   config.staging_dir = (dir / "staging").string();
-  // Keep-alive SOAP connections and long-lived engine RPC links each pin a
-  // pool worker, so the pools scale with the user count: per user one
-  // GridClient channel, one GridSession channel and one /status probe on
-  // the HTTP side; one RMI poll channel plus `nodes` engine links on RPC.
-  config.soap_pool.max_workers = static_cast<std::size_t>(flags.users) * 3 + 32;
-  config.soap_pool.queue_capacity = static_cast<std::size_t>(flags.users) + 64;
+  // The HTTP/SOAP side rides the epoll reactor: open keep-alive connections
+  // cost no worker, so the pool is a small fixed CPU-bound dispatch crew no
+  // matter how many users hold sockets. Only the queue still scales — a
+  // poll burst from every user at once must be absorbed, not 503'd.
+  config.soap_pool.max_workers = 16;
+  config.soap_pool.queue_capacity = static_cast<std::size_t>(flags.users) * 2 + 64;
+  // The engine RPC fabric is inproc (reader-thread path, one worker pinned
+  // per live channel), so that pool still scales with the user count.
   config.rpc_pool.max_workers =
       static_cast<std::size_t>(flags.users) * (static_cast<std::size_t>(flags.nodes) + 1) + 32;
   config.rpc_pool.queue_capacity = static_cast<std::size_t>(flags.users) + 64;

@@ -15,6 +15,8 @@ const char* to_string(LockRank rank) {
     case LockRank::kRegistry: return "registry";
     case LockRank::kQueue: return "queue";
     case LockRank::kTransport: return "transport";
+    case LockRank::kReactor: return "reactor";
+    case LockRank::kReactorStream: return "reactor-stream";
     case LockRank::kNetRegistry: return "net-registry";
     case LockRank::kWorkerPool: return "worker-pool";
     case LockRank::kServer: return "server";

@@ -89,6 +89,8 @@ enum class LockRank : int {
   // --- message plumbing ------------------------------------------------
   kQueue = 60,        // MpmcQueue internals (thread pools, inproc pipes)
   kTransport = 70,    // tcp send serialization, fault streams
+  kReactor = 72,      // net::Reactor fd table, timer wheel, posted-op queue
+  kReactorStream = 74,  // net::Stream write buffer (arms the reactor under it)
   kNetRegistry = 80,  // inproc endpoint registry (holds kQueue via offer)
   kWorkerPool = 90,   // net::ServerWorkerPool bookkeeping
   kServer = 100,      // RpcServer service table, http::Server routes

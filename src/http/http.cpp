@@ -1,8 +1,13 @@
 #include "http/http.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 
 #include <cctype>
+#include <cerrno>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -183,11 +188,36 @@ template class Parser<Response>;
 // Server
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Keep-alive peers that go silent are reaped after this long by default; a
+// throwaway analyst tab should not pin server memory forever, but polling
+// UIs with multi-second gaps must survive.
+constexpr double kDefaultHttpIdleTimeoutS = 75.0;
+
+obs::Gauge& open_conns_gauge() {
+  return obs::Registry::global().gauge(
+      "ipa_server_open_connections", {{"server", "http"}},
+      "Currently open client connections, idle keep-alive peers included.");
+}
+
+}  // namespace
+
+struct Server::Conn {
+  std::uint64_t id = 0;
+  std::shared_ptr<net::Stream> stream;
+  RequestParser parser;  // loop thread only
+  bool busy = false;     // loop thread only: a worker owns the next response
+  bool closing = false;  // loop thread only: stop feeding the parser
+};
+
 Server::Server(std::string host, std::uint16_t port, net::ServerPoolOptions pool)
     : host_(std::move(host)),
       port_(port),
-      pool_("http", pool,
-            [this](Accepted conn) { serve_connection(conn.fd, std::move(conn.peer)); }) {}
+      idle_timeout_s_(pool.idle_timeout_s == 0 ? kDefaultHttpIdleTimeoutS
+                                               : std::max(pool.idle_timeout_s, 0.0)),
+      reactor_({.name = "http"}),
+      pool_("http", pool, [this](Task task) { handle_task(std::move(task)); }) {}
 
 Server::~Server() { stop(); }
 
@@ -200,26 +230,47 @@ Result<Uri> Server::start() {
   std::uint16_t bound_port = 0;
   auto fd = net::tcp_listen_fd(host_, port_, bound_port);
   IPA_RETURN_IF_ERROR(fd.status());
-  listen_fd_ = fd->release();  // stop() owns closing it
+  listen_fd_ = std::move(*fd);
+  IPA_RETURN_IF_ERROR(net::set_nonblocking(listen_fd_.get()));
+  IPA_RETURN_IF_ERROR(reactor_.start());
+  auto token = reactor_.add_fd(listen_fd_.get(), EPOLLIN,
+                               [this](std::uint32_t) { on_accept_ready(); });
+  if (!token.is_ok()) {
+    reactor_.stop();
+    return token.status();
+  }
+  listen_token_ = *token;
   bound_.scheme = "http";
   bound_.host = host_.empty() ? "127.0.0.1" : host_;
   bound_.port = bound_port;
-  accept_thread_ = std::jthread([this] { accept_loop(); });
   IPA_LOG(debug) << "http server on " << bound_.to_string();
   return bound_;
 }
 
 void Server::stop() {
   if (stopping_.exchange(true)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listen_token_ != 0) reactor_.remove_fd(listen_token_);
+  pool_.stop();     // in-flight handlers finish; their response posts may
+                    // still reach the reactor, which is stopped after them
+  reactor_.stop();  // drops pending posts, clears fd/timer registrations
+  listen_fd_.reset();
+  // Surviving connections never saw on_close (the reactor is gone). Release
+  // their streams explicitly: the stream's read callback holds the Conn and
+  // the Conn holds the stream, so the stream must be dropped first.
+  std::map<std::uint64_t, std::shared_ptr<Conn>> survivors;
+  {
+    LockGuard lock(conns_mutex_);
+    survivors.swap(conns_);
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  pool_.stop();  // workers see stopping_ and drain their connections
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  for (auto& [id, conn] : survivors) {
+    conn->stream.reset();
+    open_conns_gauge().add(-1);
   }
+}
+
+std::size_t Server::open_connections() const {
+  LockGuard lock(conns_mutex_);
+  return conns_.size();
 }
 
 Handler Server::find_handler(const std::string& path) const {
@@ -240,107 +291,143 @@ Handler Server::find_handler(const std::string& path) const {
   return best ? best->second : Handler{};
 }
 
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    std::string peer;
-    auto client = net::tcp_accept_fd(listen_fd_, 0.25, peer);
-    if (!client.is_ok()) {
-      if (client.status().code() == StatusCode::kDeadlineExceeded) continue;
-      break;
+void Server::on_accept_ready() {
+  // Level-triggered: drain the backlog fully each readiness event.
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof addr;
+    const int raw = ::accept4(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr), &addr_len,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN (backlog drained) or a transient accept error
     }
-    // Transfer fd ownership into the pool (the serving worker closes it).
-    // A full queue sheds load here instead of spawning unboundedly — but
-    // tells the client so: a best-effort 503 with a Retry-After hint beats
-    // the ambiguous silent close (which reads as a network fault and makes
-    // clients retry immediately, amplifying the overload).
-    const int raw = client->release();
-    switch (pool_.submit(Accepted{raw, std::move(peer)})) {
+    int one = 1;
+    ::setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+    std::string peer = std::string("tcp:") + ip + ":" + std::to_string(ntohs(addr.sin_port));
+
+    auto conn = std::make_shared<Conn>();
+    net::StreamOptions stream_options;
+    stream_options.idle_timeout_s = idle_timeout_s_;
+    stream_options.max_input_bytes = kMaxHeaderBytes + kMaxBodyBytes;
+    auto stream = net::Stream::adopt(
+        reactor_, net::Fd(raw), std::move(peer), stream_options,
+        [this, conn](std::string& input) {
+          if (!conn->closing) {
+            conn->parser.feed(input);
+            input.clear();
+            pump(conn);
+          } else {
+            input.clear();
+          }
+          return Status::ok();
+        },
+        [this, conn] {
+          bool erased = false;
+          {
+            LockGuard lock(conns_mutex_);
+            erased = conns_.erase(conn->id) > 0;
+          }
+          if (erased) open_conns_gauge().add(-1);
+        });
+    if (!stream.is_ok()) continue;  // fd closed by the dropped net::Fd
+    conn->stream = *stream;
+    {
+      LockGuard lock(conns_mutex_);
+      conn->id = ++next_conn_id_;
+      conns_[conn->id] = conn;
+    }
+    open_conns_gauge().add(1);
+    obs::Registry::global()
+        .counter("ipa_server_connections_total", {{"server", "http"}},
+                 "Client connections accepted since process start.")
+        .inc();
+  }
+}
+
+// Advance one connection's parse → dispatch cycle. Only ever runs on the
+// loop thread; the `busy` flag keeps at most one request per connection in
+// flight so pipelined responses go out in request order.
+void Server::pump(const std::shared_ptr<Conn>& conn) {
+  while (!conn->busy && !conn->closing) {
+    Request request;
+    auto got = conn->parser.next(request);
+    if (!got.is_ok()) {
+      Response bad = Response::make(400, got.status().message());
+      bad.headers["Connection"] = "close";
+      conn->closing = true;
+      conn->stream->send(bad.serialize(), /*close_after=*/true);
+      return;
+    }
+    if (!*got) return;  // need more bytes; the reactor will call back
+
+    const bool keep_alive =
+        !strings::iequals(request.header_or("Connection", "keep-alive"), "close");
+    conn->busy = true;
+    Task task{conn, std::move(request), keep_alive};
+    // A full queue sheds load per request instead of queueing unboundedly —
+    // but tells the client so: a best-effort 503 with a Retry-After hint
+    // beats the ambiguous silent close (which reads as a network fault and
+    // makes clients retry immediately, amplifying the overload).
+    switch (pool_.submit(task)) {
       case net::Admission::kAdmitted:
-        break;
+        return;  // the worker's completion post resumes this pump
       case net::Admission::kSaturated: {
         Response busy = Response::make(503, "server saturated; retry later\n");
         busy.headers["Retry-After"] = "1";
         busy.headers["Connection"] = "close";
-        const std::string wire = busy.serialize();
-        (void)net::write_all(raw, reinterpret_cast<const std::uint8_t*>(wire.data()),
-                             wire.size());
-        ::close(raw);
-        break;
+        conn->busy = false;
+        conn->closing = true;
+        conn->stream->send(busy.serialize(), /*close_after=*/true);
+        return;
       }
       case net::Admission::kStopped:
-        ::close(raw);
-        break;
+        conn->busy = false;
+        conn->closing = true;
+        conn->stream->close();
+        return;
     }
   }
 }
 
-void Server::serve_connection(int fd, std::string peer) {
-  (void)peer;  // kept for diagnostics hooks
-  RequestParser parser;
-  std::uint8_t chunk[16 * 1024];
-  bool keep_alive = true;
-  while (keep_alive && !stopping_.load()) {
-    Request request;
-    // Pump bytes until a full request is parsed.
-    while (true) {
-      auto got = parser.next(request);
-      if (!got.is_ok()) {
-        const Response bad = Response::make(400, got.status().message());
-        const std::string wire = bad.serialize();
-        (void)net::write_all(fd, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size());
-        ::close(fd);
-        return;
-      }
-      if (*got) break;
-      auto n = net::read_some(fd, chunk, sizeof chunk, 0.25);
-      if (!n.is_ok()) {
-        if (n.status().code() == StatusCode::kDeadlineExceeded) {
-          if (stopping_.load()) {
-            ::close(fd);
-            return;
-          }
-          continue;
-        }
-        ::close(fd);  // peer closed or broken
-        return;
-      }
-      parser.feed(std::string_view(reinterpret_cast<const char*>(chunk), *n));
-    }
-
-    keep_alive = !strings::iequals(request.header_or("Connection", "keep-alive"), "close");
-
-    Handler handler = find_handler(request.target);
-    Response response;
-    if (handler) {
-      response = handler(request);
-    } else {
-      response = Response::make(404, "no route for " + request.target);
-    }
-    if (response.reason.empty()) response.reason = reason_phrase(response.status);
-    response.headers["Connection"] = keep_alive ? "keep-alive" : "close";
-    const std::string wire = response.serialize();
-    obs::Registry& registry = obs::Registry::global();
-    registry
-        .counter("ipa_http_requests_total",
-                 {{"method", request.method}, {"status", std::to_string(response.status)}},
-                 "HTTP requests served, by method and status code.")
-        .inc();
-    registry
-        .counter("ipa_http_request_bytes_total", {},
-                 "HTTP request body bytes received by servers in this process.")
-        .inc(request.body.size());
-    registry
-        .counter("ipa_http_response_bytes_total", {},
-                 "HTTP response bytes (headers included) written by servers.")
-        .inc(wire.size());
-    ++served_;  // counted before the write so it is visible once the
-                // client has the response in hand
-    if (!net::write_all(fd, reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size())
-             .is_ok()) {
-      break;
-    }
+void Server::handle_task(Task task) {
+  const Request& request = task.request;
+  Handler handler = find_handler(request.target);
+  Response response;
+  if (handler) {
+    response = handler(request);
+  } else {
+    response = Response::make(404, "no route for " + request.target);
   }
-  ::close(fd);
+  if (response.reason.empty()) response.reason = reason_phrase(response.status);
+  response.headers["Connection"] = task.keep_alive ? "keep-alive" : "close";
+  const std::string wire = response.serialize();
+  obs::Registry& registry = obs::Registry::global();
+  registry
+      .counter("ipa_http_requests_total",
+               {{"method", request.method}, {"status", std::to_string(response.status)}},
+               "HTTP requests served, by method and status code.")
+      .inc();
+  registry
+      .counter("ipa_http_request_bytes_total", {},
+               "HTTP request body bytes received by servers in this process.")
+      .inc(request.body.size());
+  registry
+      .counter("ipa_http_response_bytes_total", {},
+               "HTTP response bytes (headers included) written by servers.")
+      .inc(wire.size());
+  ++served_;  // counted before the write so it is visible once the
+              // client has the response in hand
+  task.conn->stream->send(wire, /*close_after=*/!task.keep_alive);
+  if (task.keep_alive) {
+    auto conn = task.conn;
+    reactor_.post([this, conn] {
+      conn->busy = false;
+      pump(conn);  // serve the next pipelined/keep-alive request, if parsed
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

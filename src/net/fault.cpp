@@ -59,6 +59,9 @@ class FaultStream {
       if (policy_.disconnect_after_frames != 0 && sends_ > policy_.disconnect_after_frames) {
         return Fault::kDisconnect;
       }
+      if (policy_.half_open_after_frames != 0 && sends_ > policy_.half_open_after_frames) {
+        return Fault::kHalfOpen;
+      }
     }
     return draw_locked();
   }
@@ -74,6 +77,8 @@ class FaultStream {
     if (u < edge) return Fault::kTruncate;
     edge += policy_.delay_prob;
     if (u < edge) return Fault::kDelay;
+    edge += policy_.half_open_prob;
+    if (u < edge) return Fault::kHalfOpen;
     return Fault::kNone;
   }
 
@@ -93,6 +98,7 @@ class FaultConnection final : public Connection {
 
   Status send(const ser::Bytes& frame) override {
     if (broken_.load()) return unavailable("chaos: injected disconnect");
+    if (half_open_.load()) return Status::ok();  // "sent", never delivered
     const Fault fault = stream_.next(/*is_send=*/true);
     count_fault(fault, /*is_send=*/true);
     switch (fault) {
@@ -107,6 +113,10 @@ class FaultConnection final : public Connection {
       case Fault::kDelay:
         std::this_thread::sleep_for(std::chrono::duration<double>(policy_.delay_s));
         return inner_->send(frame);
+      case Fault::kHalfOpen:
+        IPA_LOG(trace) << "chaos: connection to " << inner_->peer() << " went half-open";
+        half_open_.store(true);
+        return Status::ok();  // the local stack accepted it; nobody will
       case Fault::kNone:
         break;
     }
@@ -124,6 +134,14 @@ class FaultConnection final : public Connection {
                         .count();
         if (remaining <= 0) return deadline_exceeded("chaos: receive timeout");
       }
+      if (half_open_.load()) {
+        // Dead silence: nothing will ever arrive, but the socket looks
+        // open, so the caller just waits out its timeout.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(remaining < 0 ? 0.05 : remaining));
+        if (timeout_s < 0) continue;
+        return deadline_exceeded("chaos: receive timeout");
+      }
       IPA_ASSIGN_OR_RETURN(ser::Bytes frame, inner_->receive(remaining));
       const Fault fault = stream_.next(/*is_send=*/false);
       count_fault(fault, /*is_send=*/false);
@@ -139,6 +157,10 @@ class FaultConnection final : public Connection {
         case Fault::kDelay:
           std::this_thread::sleep_for(std::chrono::duration<double>(policy_.delay_s));
           return frame;
+        case Fault::kHalfOpen:
+          IPA_LOG(trace) << "chaos: connection to " << inner_->peer() << " went half-open";
+          half_open_.store(true);
+          continue;  // the frame it would have delivered is lost
         case Fault::kNone:
           break;
       }
@@ -164,6 +186,7 @@ class FaultConnection final : public Connection {
   FaultPolicy policy_;
   FaultStream stream_;
   std::atomic<bool> broken_{false};
+  std::atomic<bool> half_open_{false};
 };
 
 /// Listener that re-brands the bound endpoint as chaos so every dialer
@@ -220,6 +243,7 @@ std::string_view to_string(Fault fault) {
     case Fault::kDelay: return "delay";
     case Fault::kTruncate: return "truncate";
     case Fault::kDisconnect: return "disconnect";
+    case Fault::kHalfOpen: return "half-open";
   }
   return "?";
 }
@@ -234,8 +258,11 @@ Result<FaultPolicy> FaultPolicy::from_uri(const Uri& endpoint) {
   IPA_ASSIGN_OR_RETURN(policy.delay_prob, parse_prob(endpoint, "delay_p"));
   IPA_ASSIGN_OR_RETURN(const std::uint64_t delay_ms, parse_count(endpoint, "delay_ms"));
   if (delay_ms != 0) policy.delay_s = static_cast<double>(delay_ms) / 1000.0;
+  IPA_ASSIGN_OR_RETURN(policy.half_open_prob, parse_prob(endpoint, "half_open"));
   IPA_ASSIGN_OR_RETURN(policy.disconnect_after_frames,
                        parse_count(endpoint, "disconnect_after"));
+  IPA_ASSIGN_OR_RETURN(policy.half_open_after_frames,
+                       parse_count(endpoint, "half_open_after"));
   IPA_ASSIGN_OR_RETURN(const std::uint64_t fail_first, parse_count(endpoint, "fail_first"));
   policy.fail_first_connections = static_cast<int>(fail_first);
   return policy;

@@ -34,6 +34,10 @@ enum class Fault {
   kDelay,       // frame delivered after delay_s
   kTruncate,    // only a prefix of the frame is delivered
   kDisconnect,  // connection is torn down instead of delivering
+  kHalfOpen,    // sticky black hole: sends "succeed" but deliver nothing,
+                // receives block to timeout — a peer that vanished without
+                // FIN (dead NAT entry, yanked cable). Only the server's
+                // idle-timeout reaper gets rid of such a connection.
 };
 
 std::string_view to_string(Fault fault);
@@ -47,8 +51,14 @@ struct FaultPolicy {
   double truncate_prob = 0.0;
   double delay_prob = 0.0;
   double delay_s = 0.005;
+  /// Probability that an operation flips the connection into the sticky
+  /// half-open state (see Fault::kHalfOpen). Once drawn it never heals.
+  double half_open_prob = 0.0;
   /// Tear the connection down after this many successful sends (0 = never).
   std::uint64_t disconnect_after_frames = 0;
+  /// Go half-open after this many sends (0 = never) — the deterministic
+  /// variant for reaper tests.
+  std::uint64_t half_open_after_frames = 0;
   /// The first N connections dialed to the endpoint die on their first
   /// send, before the frame is delivered — a deterministic "link died
   /// mid-handshake" for retry tests.
@@ -56,7 +66,8 @@ struct FaultPolicy {
 
   /// Parse from a chaos endpoint's query string. Unknown keys are ignored;
   /// malformed values are an error. Keys: seed, disconnect, drop, truncate,
-  /// delay_p, delay_ms, disconnect_after, fail_first.
+  /// delay_p, delay_ms, half_open, disconnect_after, half_open_after,
+  /// fail_first.
   static Result<FaultPolicy> from_uri(const Uri& endpoint);
 };
 

@@ -140,7 +140,9 @@ Result<Fd> tcp_listen_fd(const std::string& host, std::uint16_t port, std::uint1
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     return errno_status("socket: bind");
   }
-  if (::listen(fd.get(), 64) != 0) return errno_status("socket: listen");
+  // Deep backlog: connection storms (bench_server opens thousands at once)
+  // must queue rather than drop SYNs while the reactor drains its accept loop.
+  if (::listen(fd.get(), 1024) != 0) return errno_status("socket: listen");
   sockaddr_in bound{};
   socklen_t bound_len = sizeof bound;
   if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {

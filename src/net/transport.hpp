@@ -25,9 +25,11 @@ namespace ipa::net {
 
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 
-/// A bidirectional, message-framed, thread-compatible duplex channel.
-/// One thread may send while another receives; concurrent senders must
-/// synchronize externally.
+/// A bidirectional, message-framed duplex channel. One thread may send
+/// while another receives, and concurrent senders serialize internally —
+/// whole frames never interleave on the wire (the multiplexed RpcClient
+/// relies on this to share one connection across caller threads).
+/// Concurrent *receivers* are not supported: exactly one thread drains.
 class Connection {
  public:
   virtual ~Connection() = default;

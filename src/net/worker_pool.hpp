@@ -29,8 +29,11 @@ namespace ipa::net {
 /// purpose: worker RPC connections are long-lived (one per analysis engine,
 /// heartbeating continuously), so a 16-engine session alone pins 16 workers.
 struct ServerPoolOptions {
-  std::size_t max_workers = 64;    // concurrent connections served
-  std::size_t queue_capacity = 128;  // accepted, not yet picked up
+  std::size_t max_workers = 64;    // concurrent handler executions
+  std::size_t queue_capacity = 128;  // parsed requests, not yet picked up
+  /// Reap connections idle for this long. 0 picks a server-specific default
+  /// (HTTP ~75s, RPC ~600s); negative disables reaping entirely.
+  double idle_timeout_s = 0;
 };
 
 /// Outcome of handing an accepted connection to the pool. Saturation and

@@ -1,11 +1,19 @@
 #include "rpc/rpc.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <thread>
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "net/socket_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +54,30 @@ ser::Bytes encode_ok_response(std::uint64_t call_id, const ser::Bytes& payload) 
   return std::move(w).take();
 }
 
+/// Render a frame in the tcp transport's wire form (u32 LE length prefix)
+/// for the reactor's byte-stream write path.
+std::string frame_wire(const ser::Bytes& frame) {
+  std::string out;
+  out.reserve(4 + frame.size());
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(len >> (8 * i)));
+  out.append(reinterpret_cast<const char*>(frame.data()), frame.size());
+  return out;
+}
+
+// Silent peers (a crashed engine, a half-open socket after a dead NAT
+// entry) are reaped after this long by default. Generous, because a client
+// that lost its connection simply re-dials on the next call — but a
+// non-idempotent first call after a reap fails fast, so the default must be
+// far beyond any real polling gap.
+constexpr double kDefaultRpcIdleTimeoutS = 600.0;
+
+obs::Gauge& rpc_open_conns_gauge() {
+  return obs::Registry::global().gauge(
+      "ipa_server_open_connections", {{"server", "rpc"}},
+      "Currently open client connections, idle keep-alive peers included.");
+}
+
 }  // namespace
 
 MethodTraits& MethodTraits::instance() {
@@ -77,9 +109,24 @@ Result<ser::Bytes> Service::dispatch(const CallContext& ctx, const ser::Bytes& p
   return it->second(ctx, payload);
 }
 
+struct RpcServer::MuxConn {
+  std::uint64_t id = 0;
+  std::shared_ptr<net::Stream> stream;
+  std::string peer;
+};
+
 RpcServer::RpcServer(Uri endpoint, net::ServerPoolOptions pool)
     : requested_(std::move(endpoint)),
-      pool_("rpc", pool, [this](net::ConnectionPtr conn) { serve_connection(std::move(conn)); }) {}
+      idle_timeout_s_(pool.idle_timeout_s == 0 ? kDefaultRpcIdleTimeoutS
+                                               : std::max(pool.idle_timeout_s, 0.0)),
+      reactor_({.name = "rpc"}),
+      pool_("rpc", pool, [this](Work work) {
+        if (work.conn) {
+          serve_connection(std::move(work.conn));
+        } else {
+          dispatch_mux_frame(work.mux, std::move(work.frame));
+        }
+      }) {}
 
 RpcServer::~RpcServer() { stop(); }
 
@@ -89,9 +136,30 @@ void RpcServer::add_service(std::shared_ptr<Service> service) {
 }
 
 Result<Uri> RpcServer::start() {
-  IPA_ASSIGN_OR_RETURN(listener_, net::listen(requested_));
-  bound_ = listener_->endpoint();
-  accept_thread_ = std::jthread([this] { accept_loop(); });
+  if (requested_.scheme == "tcp") {
+    // Reactor path: one loop thread owns every connection; capacity is
+    // bounded by fds, not pool threads.
+    std::uint16_t bound_port = 0;
+    auto fd = net::tcp_listen_fd(requested_.host, requested_.port, bound_port);
+    IPA_RETURN_IF_ERROR(fd.status());
+    listen_fd_ = std::move(*fd);
+    IPA_RETURN_IF_ERROR(net::set_nonblocking(listen_fd_.get()));
+    IPA_RETURN_IF_ERROR(reactor_.start());
+    auto token = reactor_.add_fd(listen_fd_.get(), EPOLLIN,
+                                 [this](std::uint32_t) { on_accept_ready(); });
+    if (!token.is_ok()) {
+      reactor_.stop();
+      return token.status();
+    }
+    listen_token_ = *token;
+    bound_ = requested_;
+    bound_.port = bound_port;
+    if (bound_.host.empty()) bound_.host = "127.0.0.1";
+  } else {
+    IPA_ASSIGN_OR_RETURN(listener_, net::listen(requested_));
+    bound_ = listener_->endpoint();
+    accept_thread_ = std::jthread([this] { accept_loop(); });
+  }
   IPA_LOG(debug) << "rpc server listening on " << bound_.to_string();
   return bound_;
 }
@@ -102,11 +170,131 @@ void RpcServer::stop() {
   }
   if (listener_) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  pool_.stop();  // workers see stopping_ and drop their connections
+  if (listen_token_ != 0) reactor_.remove_fd(listen_token_);
+  pool_.stop();     // workers see stopping_ and drop their connections
+  reactor_.stop();  // after the pool: late response sends/posts still land
+  listen_fd_.reset();
   listener_.reset();
+  // Reactor-path survivors never saw on_close; break the stream<->conn
+  // reference cycle and settle the books explicitly.
+  std::map<std::uint64_t, std::shared_ptr<MuxConn>> survivors;
+  {
+    LockGuard lock(conns_mutex_);
+    survivors.swap(conns_);
+  }
+  for (auto& [id, conn] : survivors) {
+    conn->stream.reset();
+    rpc_open_conns_gauge().add(-1);
+    --active_;
+  }
 }
 
 std::size_t RpcServer::active_connections() const { return active_.load(); }
+
+void RpcServer::on_accept_ready() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof addr;
+    const int raw = ::accept4(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr), &addr_len,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN (backlog drained) or a transient accept error
+    }
+    int one = 1;
+    ::setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    char ip[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+
+    auto conn = std::make_shared<MuxConn>();
+    conn->peer = std::string("tcp:") + ip + ":" + std::to_string(ntohs(addr.sin_port));
+    net::StreamOptions stream_options;
+    stream_options.idle_timeout_s = idle_timeout_s_;
+    stream_options.max_input_bytes = net::kMaxFrameBytes + 4;
+    auto stream = net::Stream::adopt(
+        reactor_, net::Fd(raw), conn->peer, stream_options,
+        [this, conn](std::string& input) { return on_mux_data(conn, input); },
+        [this, conn] {
+          bool erased = false;
+          {
+            LockGuard lock(conns_mutex_);
+            erased = conns_.erase(conn->id) > 0;
+          }
+          if (erased) {
+            rpc_open_conns_gauge().add(-1);
+            --active_;
+          }
+        });
+    if (!stream.is_ok()) continue;  // fd closed by the dropped net::Fd
+    conn->stream = *stream;
+    {
+      LockGuard lock(conns_mutex_);
+      conn->id = ++next_conn_id_;
+      conns_[conn->id] = conn;
+    }
+    ++active_;
+    rpc_open_conns_gauge().add(1);
+    obs::Registry::global()
+        .counter("ipa_server_connections_total", {{"server", "rpc"}},
+                 "Client connections accepted since process start.")
+        .inc();
+  }
+}
+
+// Incremental u32-length-prefix framing on the loop thread. Complete frames
+// go to the dispatch pool; responses come back through the stream's write
+// queue in completion order — that interleaving is the multiplexing.
+Status RpcServer::on_mux_data(const std::shared_ptr<MuxConn>& conn, std::string& input) {
+  while (input.size() >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(input[i])) << (8 * i);
+    }
+    if (len > net::kMaxFrameBytes) return data_loss("rpc: oversized frame announced");
+    if (input.size() < 4u + len) break;  // wait for the rest of the frame
+    ser::Bytes frame(reinterpret_cast<const std::uint8_t*>(input.data()) + 4,
+                     reinterpret_cast<const std::uint8_t*>(input.data()) + 4 + len);
+    input.erase(0, 4u + len);
+
+    Work work;
+    work.mux = conn;
+    work.frame = std::move(frame);
+    switch (pool_.submit(work)) {
+      case net::Admission::kAdmitted:
+        break;
+      case net::Admission::kSaturated: {
+        // Shed this call, keep the connection: the response is tagged with
+        // the call id so the other in-flight calls on the stream are
+        // untouched. (Frame-tagged, not call-id-0: the request WAS read, so
+        // blind replay is not safe for non-idempotent methods.)
+        ser::Reader r(work.frame);
+        const auto type = r.u8();
+        const auto id = r.varint();
+        if (!type.is_ok() || *type != kRequest || !id.is_ok()) {
+          return data_loss("rpc: undecodable frame on saturated dispatch");
+        }
+        conn->stream->send(frame_wire(encode_error_response(
+            *id, resource_exhausted("rpc: server saturated, retry after backoff"))));
+        break;
+      }
+      case net::Admission::kStopped:
+        return cancelled("rpc: server stopping");
+    }
+  }
+  return Status::ok();
+}
+
+void RpcServer::dispatch_mux_frame(const std::shared_ptr<MuxConn>& conn, ser::Bytes frame) {
+  const ser::Bytes reply = handle_frame(frame, conn->peer);
+  // An undecodable frame means the stream's integrity is gone (e.g. a
+  // truncated request): drop the connection instead of answering, so the
+  // client classifies it as a transport failure.
+  if (reply.empty()) {
+    conn->stream->close();
+    return;
+  }
+  conn->stream->send(frame_wire(reply));
+}
 
 void RpcServer::accept_loop() {
   while (!stopping_.load()) {
@@ -120,21 +308,22 @@ void RpcServer::accept_loop() {
     // frame tells the client no request was processed (safe to retry with
     // backoff, even for non-idempotent methods), where a silent close would
     // read as an ambiguous transport fault.
-    net::ConnectionPtr accepted = std::move(conn).value();
-    switch (pool_.submit(std::move(accepted))) {
+    Work accepted;
+    accepted.conn = std::move(conn).value();
+    switch (pool_.submit(accepted)) {
       case net::Admission::kAdmitted:
         break;
       case net::Admission::kSaturated:
         // submit() only moves from its argument on admission, so the
         // connection is still ours to answer on the saturated path.
-        if (accepted) {
-          (void)accepted->send(encode_error_response(
+        if (accepted.conn) {
+          (void)accepted.conn->send(encode_error_response(
               0, resource_exhausted("rpc: server saturated, retry after backoff")));
-          accepted->close();
+          accepted.conn->close();
         }
         break;
       case net::Admission::kStopped:
-        if (accepted) accepted->close();
+        if (accepted.conn) accepted.conn->close();
         break;
     }
   }
@@ -143,12 +332,27 @@ void RpcServer::accept_loop() {
 void RpcServer::serve_connection(net::ConnectionPtr conn) {
   if (!conn) return;
   ++active_;
+  rpc_open_conns_gauge().add(1);
+  double last_activity = WallClock::instance().now();
   while (!stopping_.load()) {
     auto frame = conn->receive(0.25);
     if (!frame.is_ok()) {
-      if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        // Same idle reap as the reactor path: a silent peer (half-open
+        // socket, crashed engine) frees its reader thread on schedule.
+        if (idle_timeout_s_ > 0 &&
+            WallClock::instance().now() - last_activity > idle_timeout_s_) {
+          obs::Registry::global()
+              .counter("ipa_server_idle_reaped_total", {{"server", "rpc"}},
+                       "Connections closed by the idle-timeout reaper.")
+              .inc();
+          break;
+        }
+        continue;
+      }
       break;  // closed or broken
     }
+    last_activity = WallClock::instance().now();
     const ser::Bytes reply = handle_frame(*frame, conn->peer());
     // An undecodable frame means the stream's integrity is gone (e.g. a
     // truncated request): drop the connection instead of answering, so the
@@ -157,6 +361,7 @@ void RpcServer::serve_connection(net::ConnectionPtr conn) {
     if (!conn->send(reply).is_ok()) break;
   }
   conn->close();
+  rpc_open_conns_gauge().add(-1);
   --active_;
 }
 
@@ -265,20 +470,13 @@ RetryStats RpcClient::stats() const {
   return stats_;
 }
 
-struct RpcClient::CallState {
-  std::uint64_t call_id = 0;
-  double deadline = 0;  // WallClock seconds
-  // Set when the server answered with a call_id-0 saturation rejection:
-  // it read no request, so retrying is safe even for non-idempotent methods.
-  bool rejected = false;
-};
-
 Status RpcClient::reconnect_locked(double deadline) {
   const double remaining = deadline - WallClock::instance().now();
   if (remaining <= 0) return deadline_exceeded("rpc: deadline exhausted before reconnect");
   auto conn = net::connect(endpoint_, std::min(remaining, policy_.connect_timeout_s));
   IPA_RETURN_IF_ERROR(conn.status().with_prefix("rpc: reconnect"));
   conn_ = std::move(*conn);
+  ++conn_gen_;
   ++stats_.reconnects;
   obs::Registry::global()
       .counter("ipa_rpc_reconnects_total", {}, "Successful client re-dials after link loss.")
@@ -287,58 +485,100 @@ Status RpcClient::reconnect_locked(double deadline) {
   return Status::ok();
 }
 
-/// One wire round-trip. Sets *transport_failed when the failure came from
-/// the connection (dead link, lost/corrupt frame, attempt timeout) rather
-/// than from the remote method.
-Result<ser::Bytes> RpcClient::attempt_locked(CallState& state, const ser::Bytes& request,
-                                             bool* transport_failed) {
-  *transport_failed = true;  // every early exit below is a transport fault
-  const Status sent = conn_->send(request);
-  if (!sent.is_ok()) return sent;
-
-  for (;;) {
-    double wait = state.deadline - WallClock::instance().now();
-    if (policy_.attempt_timeout_s > 0) wait = std::min(wait, policy_.attempt_timeout_s);
-    if (wait <= 0) return deadline_exceeded("rpc: timed out awaiting response");
-    IPA_ASSIGN_OR_RETURN(const ser::Bytes frame, conn_->receive(wait));
-
-    ser::Reader r(frame);
-    IPA_ASSIGN_OR_RETURN(const std::uint8_t type, r.u8());
-    if (type != 1 /* kResponse */) return data_loss("rpc: expected response frame");
-    IPA_ASSIGN_OR_RETURN(const std::uint64_t reply_id, r.varint());
-    if (reply_id == 0) {
-      // Connection-level saturation rejection (call ids start at 1, so 0
-      // names no call): the server shed this connection before reading any
-      // request. Classified as a transport fault so the retry loop engages,
-      // but flagged rejected so even non-idempotent calls may replay.
-      state.rejected = true;
-      obs::Registry::global()
-          .counter("ipa_rpc_rejected_total", {},
-                   "Connection-level saturation rejections received by clients.")
-          .inc();
-      IPA_ASSIGN_OR_RETURN(const std::uint8_t rej_ok, r.u8());
-      (void)rej_ok;  // rejection frames always carry ok=0
-      IPA_ASSIGN_OR_RETURN(const std::uint8_t rej_code, r.u8());
-      IPA_ASSIGN_OR_RETURN(const std::string rej_message, r.string());
-      (void)rej_code;
-      return Status(StatusCode::kResourceExhausted, rej_message);
-    }
-    if (reply_id < state.call_id) continue;  // stale response from an abandoned attempt
-    if (reply_id > state.call_id) return data_loss("rpc: response id mismatch");
-    IPA_ASSIGN_OR_RETURN(const std::uint8_t ok, r.u8());
-    if (ok == 1) {
-      IPA_ASSIGN_OR_RETURN(ser::Bytes body, r.bytes());
-      *transport_failed = false;
-      return body;
-    }
-    IPA_ASSIGN_OR_RETURN(const std::uint8_t code, r.u8());
-    IPA_ASSIGN_OR_RETURN(const std::string message, r.string());
-    *transport_failed = false;  // a well-formed remote error is not a link fault
-    if (code == 0 || code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
-      return internal_error("rpc: remote error with invalid code: " + message);
-    }
-    return Status(static_cast<StatusCode>(code), message);
+void RpcClient::kill_connection_locked(std::uint64_t gen, const Status& status) {
+  if (gen != conn_gen_) return;  // that connection is already gone
+  ++conn_gen_;
+  if (conn_) conn_->close();
+  conn_.reset();
+  // Every in-flight call on the dead link fails as a transport fault; each
+  // caller then applies its own idempotency/retry decision.
+  for (auto& [id, slot] : pending_) {
+    slot->done = true;
+    slot->transport = true;
+    slot->status = status;
   }
+  pending_.clear();
+  call_cv_->notify_all();
+}
+
+void RpcClient::demux_frame_locked(std::uint64_t gen, const ser::Bytes& frame) {
+  ser::Reader r(frame);
+  const auto type = r.u8();
+  if (!type.is_ok() || *type != 1 /* kResponse */) {
+    kill_connection_locked(gen, data_loss("rpc: expected response frame"));
+    return;
+  }
+  const auto reply_id = r.varint();
+  if (!reply_id.is_ok()) {
+    kill_connection_locked(gen, data_loss("rpc: unreadable response id"));
+    return;
+  }
+  if (*reply_id == 0) {
+    // Connection-level saturation rejection (call ids start at 1, so 0
+    // names no call): the server shed this connection before reading any
+    // request. Every pending call is flagged rejected so even
+    // non-idempotent ones may replay — nothing was read server-side.
+    obs::Registry::global()
+        .counter("ipa_rpc_rejected_total", {},
+                 "Connection-level saturation rejections received by clients.")
+        .inc();
+    std::string message = "rpc: connection rejected";
+    const auto rej_ok = r.u8();  // rejection frames always carry ok=0
+    const auto rej_code = r.u8();
+    const auto rej_message = r.string();
+    if (rej_ok.is_ok() && rej_code.is_ok() && rej_message.is_ok()) message = *rej_message;
+    const Status status(StatusCode::kResourceExhausted, message);
+    for (auto& [id, slot] : pending_) {
+      slot->done = true;
+      slot->transport = true;
+      slot->rejected = true;
+      slot->status = status;
+    }
+    pending_.clear();
+    // Mark-then-drop rather than kill_connection_locked: the kill helper
+    // would overwrite the rejected flags the retry gate depends on.
+    if (gen == conn_gen_) {
+      ++conn_gen_;
+      if (conn_) conn_->close();
+      conn_.reset();
+    }
+    call_cv_->notify_all();
+    return;
+  }
+
+  const auto it = pending_.find(*reply_id);
+  if (it == pending_.end()) return;  // stale reply from an abandoned attempt
+  PendingCall* slot = it->second;
+  const auto ok_flag = r.u8();
+  if (!ok_flag.is_ok()) {
+    kill_connection_locked(gen, data_loss("rpc: truncated response"));
+    return;
+  }
+  if (*ok_flag == 1) {
+    auto body = r.bytes();
+    if (!body.is_ok()) {
+      kill_connection_locked(gen, data_loss("rpc: truncated response body"));
+      return;
+    }
+    slot->transport = false;
+    slot->body = std::move(*body);
+  } else {
+    const auto code = r.u8();
+    const auto message = r.string();
+    if (!code.is_ok() || !message.is_ok()) {
+      kill_connection_locked(gen, data_loss("rpc: truncated error response"));
+      return;
+    }
+    slot->transport = false;  // a well-formed remote error is not a link fault
+    if (*code == 0 || *code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
+      slot->status = internal_error("rpc: remote error with invalid code: " + *message);
+    } else {
+      slot->status = Status(static_cast<StatusCode>(*code), *message);
+    }
+  }
+  slot->done = true;
+  pending_.erase(it);
+  call_cv_->notify_all();
 }
 
 Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view method,
@@ -370,24 +610,25 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
     return status;
   };
 
-  // ipa-lint: allow(blocking-under-lock) -- the channel lock serializes whole
-  // calls (send, receive, reconnect and backoff sleeps) on the single
-  // connection; that exclusivity is the client's documented contract.
-  LockGuard lock(*call_mutex_);
+  // How long one receive() slice holds the receiver baton: short enough
+  // that a caller whose response another thread demuxed exits promptly.
+  constexpr double kReceiveSliceS = 0.05;
+
+  UniqueLock lock(*call_mutex_);
   if (closed_) return fail(unavailable("rpc client closed"));
 
   const bool idempotent = MethodTraits::instance().is_idempotent(service, method);
-  CallState state;
-  state.deadline = WallClock::instance().now() + timeout_s;
+  const double deadline = WallClock::instance().now() + timeout_s;
   double backoff = policy_.initial_backoff_s;
   Status last_error = Status::ok();
 
   for (int attempt = 1;; ++attempt) {
+    if (closed_) return fail(unavailable("rpc client closed"));
     // (Re)establish the link first; this is safe for any method because no
     // request has been sent on the fresh connection yet.
     if (!conn_) {
       const Status reconnected =
-          policy_.reconnect ? reconnect_locked(state.deadline)
+          policy_.reconnect ? reconnect_locked(deadline)
                             : unavailable("rpc: connection lost and reconnect disabled");
       if (!reconnected.is_ok()) {
         last_error = reconnected;
@@ -395,56 +636,114 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
     }
 
     if (conn_) {
-      state.call_id = next_call_id_++;
-      state.rejected = false;  // each attempt earns its own retry blessing
-      bool transport_failed = false;
-      Result<ser::Bytes> result = unavailable("rpc: attempt not made");
-      {
-        // Each wire attempt is its own child span, so a retried call shows
-        // one call span fanning into N attempt spans.
-        obs::ScopedSpan attempt_span("rpc.attempt");
-        attempt_span.set_session(std::string(resource));
+      const std::uint64_t call_id = next_call_id_++;
+      PendingCall slot;
+      pending_[call_id] = &slot;
+      std::shared_ptr<net::Connection> conn = conn_;
+      const std::uint64_t gen = conn_gen_;
 
-        ser::Writer w;
-        w.u8(0 /* kRequest */);
-        w.varint(state.call_id);
-        w.string(service);
-        w.string(method);
-        w.string(resource);
-        w.string(auth_token_);
-        w.bytes(payload);
-        // Trailing trace context: the attempt span rides after the payload
-        // so the server's dispatch span parents to this exact attempt. Old
-        // servers never read past the payload, so the frame stays
-        // backward-compatible.
-        const obs::TraceContext trace = obs::current_trace();
-        if (trace.valid()) {
-          w.varint(trace.trace_id);
-          w.varint(trace.span_id);
-        }
+      // Each wire attempt is its own child span, so a retried call shows
+      // one call span fanning into N attempt spans.
+      obs::ScopedSpan attempt_span("rpc.attempt");
+      attempt_span.set_session(std::string(resource));
 
-        ++stats_.attempts;
-        attempts_counter.inc();
-        if (attempt > 1) {
-          ++stats_.retries;
-          retries_counter.inc();
-        }
-        result = attempt_locked(state, std::move(w).take(), &transport_failed);
-        if (!result.is_ok()) attempt_span.set_status(result.status());
+      ser::Writer w;
+      w.u8(0 /* kRequest */);
+      w.varint(call_id);
+      w.string(service);
+      w.string(method);
+      w.string(resource);
+      w.string(auth_token_);
+      w.bytes(payload);
+      // Trailing trace context: the attempt span rides after the payload
+      // so the server's dispatch span parents to this exact attempt. Old
+      // servers never read past the payload, so the frame stays
+      // backward-compatible.
+      const obs::TraceContext trace = obs::current_trace();
+      if (trace.valid()) {
+        w.varint(trace.trace_id);
+        w.varint(trace.span_id);
       }
-      if (!transport_failed) {
+      const ser::Bytes request = std::move(w).take();
+
+      ++stats_.attempts;
+      attempts_counter.inc();
+      if (attempt > 1) {
+        ++stats_.retries;
+        retries_counter.inc();
+      }
+
+      // Send with the lock released: concurrent calls multiplex onto the
+      // shared connection (it serializes whole frames internally), and a
+      // slow socket never stalls other callers' bookkeeping.
+      lock.unlock();
+      const Status sent = conn->send(request);
+      lock.lock();
+      if (!sent.is_ok()) kill_connection_locked(gen, sent);
+
+      // This attempt's receive window; attempt_timeout_s caps it so a lost
+      // response costs one attempt, not the whole deadline.
+      double attempt_deadline = deadline;
+      if (policy_.attempt_timeout_s > 0) {
+        attempt_deadline =
+            std::min(deadline, WallClock::instance().now() + policy_.attempt_timeout_s);
+      }
+
+      // Receive phase: one caller at a time takes the receiver baton and
+      // demuxes whatever frame arrives — its own or another call's; the
+      // rest park on the condvar until their slot fills.
+      while (!slot.done) {
+        const double now = WallClock::instance().now();
+        if (now >= attempt_deadline) {
+          // The connection itself may be healthy (the response could be
+          // merely slow or shed): abandon only this call. If the reply ever
+          // arrives, its id no longer matches anything and is dropped.
+          pending_.erase(call_id);
+          slot.done = true;
+          slot.transport = true;
+          slot.status = deadline_exceeded("rpc: timed out awaiting response");
+          // With nobody else in flight there is no evidence the link is
+          // alive at all (a half-open peer absorbs sends silently forever):
+          // drop it so the next attempt re-dials instead of wedging.
+          if (pending_.empty()) kill_connection_locked(gen, slot.status);
+          break;
+        }
+        const double wait = std::min(attempt_deadline - now, kReceiveSliceS);
+        if (!receiver_active_ && conn_ && conn_gen_ == gen) {
+          receiver_active_ = true;
+          const std::shared_ptr<net::Connection> rconn = conn_;
+          lock.unlock();
+          auto frame = rconn->receive(wait);
+          lock.lock();
+          receiver_active_ = false;
+          call_cv_->notify_all();
+          if (frame.is_ok()) {
+            demux_frame_locked(gen, *frame);
+          } else if (frame.status().code() != StatusCode::kDeadlineExceeded) {
+            kill_connection_locked(gen, frame.status());
+          }
+        } else {
+          call_cv_->wait_for(lock, std::chrono::duration<double>(wait),
+                             [&]() IPA_REQUIRES(*call_mutex_) {
+                               return slot.done || !receiver_active_;
+                             });
+        }
+      }
+
+      if (!slot.transport) {
         // Success or a genuine remote error.
-        if (!result.is_ok()) call_span.set_status(result.status());
-        return result;
+        if (!slot.status.is_ok()) {
+          attempt_span.set_status(slot.status);
+          call_span.set_status(slot.status);
+          return slot.status;
+        }
+        return std::move(slot.body);
       }
 
-      last_error = result.status();
-      // The link is suspect: drop it so no stale response can ever be
-      // matched to a future call id.
-      if (conn_) conn_->close();
-      conn_.reset();
+      last_error = slot.status;
+      attempt_span.set_status(slot.status);
 
-      if (!idempotent && !state.rejected) {
+      if (!idempotent && !slot.rejected) {
         // Fail fast: the request may have reached the server, so replaying
         // it is not safe. The next call will reconnect lazily. (A saturation
         // rejection is exempt — the server read nothing, so replay is safe.)
@@ -462,7 +761,7 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
                                          " attempts"));
     }
     const double now = WallClock::instance().now();
-    if (now >= state.deadline) {
+    if (now >= deadline) {
       ++stats_.giveups;
       giveups_counter.inc();
       return fail(deadline_exceeded("rpc: deadline exceeded after " +
@@ -473,36 +772,36 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
     const double jitter = 1.0 + policy_.jitter * (2.0 * backoff_rng_.uniform() - 1.0);
     double sleep_s = std::min(backoff * jitter, policy_.max_backoff_s);
     backoff *= policy_.backoff_multiplier;
-    if (now + sleep_s >= state.deadline) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(state.deadline - now));
-      stats_.backoff_total_s += state.deadline - now;
-      backoff_hist.observe(state.deadline - now);
+    const bool expires = now + sleep_s >= deadline;
+    if (expires) sleep_s = deadline - now;
+    stats_.backoff_total_s += sleep_s;
+    backoff_hist.observe(sleep_s);
+    // The lock is released across the sleep so concurrent calls keep
+    // flowing on the shared connection while this one backs off.
+    lock.unlock();
+    // ipa-lint: allow(blocking-under-lock) -- lock released just above
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    lock.lock();
+    if (expires) {
       ++stats_.giveups;
       giveups_counter.inc();
       return fail(deadline_exceeded("rpc: deadline expired during backoff: " +
                                     last_error.message()));
     }
-    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
-    stats_.backoff_total_s += sleep_s;
-    backoff_hist.observe(sleep_s);
   }
 }
 
 void RpcClient::close() {
   LockGuard lock(*call_mutex_);
   closed_ = true;
-  if (conn_) {
-    conn_->close();
-    conn_.reset();
-  }
+  // Fails every in-flight call and wakes its waiter; the closed socket also
+  // unblocks whoever holds the receiver baton.
+  kill_connection_locked(conn_gen_, unavailable("rpc client closed"));
 }
 
 void RpcClient::drop_connection() {
   LockGuard lock(*call_mutex_);
-  if (conn_) {
-    conn_->close();
-    conn_.reset();
-  }
+  kill_connection_locked(conn_gen_, unavailable("rpc: connection dropped"));
 }
 
 }  // namespace ipa::rpc

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/sync.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 #include "net/worker_pool.hpp"
 #include "serialize/serialize.hpp"
@@ -89,11 +90,18 @@ class Service {
 /// or an error. Installed once per server.
 using AuthFn = std::function<Result<std::string>(const std::string& token)>;
 
-/// Multi-threaded RPC server: an accept loop feeding a bounded worker pool
-/// (GT4's "one worker per client channel", but capped — connections beyond
-/// the accept-queue capacity are dropped and counted on
-/// `ipa_server_overflow_total{server="rpc"}`). Worker RPC connections are
-/// long-lived, so `pool.max_workers` bounds the concurrent engine count.
+/// Event-driven RPC server with connection multiplexing. On `tcp://`
+/// endpoints an epoll reactor thread owns every connection: it decodes the
+/// u32-length-prefixed frames incrementally, feeds each complete request to
+/// the bounded worker pool, and interleaves frame-tagged responses back
+/// onto the shared stream out of order — many logical calls in flight per
+/// connection, with idle peers reaped after `pool.idle_timeout_s`. Other
+/// transports (inproc, chaos+*) keep a blocking reader per connection
+/// (bounded by `pool.max_workers`) with the same idle reap. Dispatch
+/// saturation answers the offending call with a frame-tagged
+/// RESOURCE_EXHAUSTED (counted on `ipa_server_overflow_total{server="rpc"}`);
+/// accept-queue saturation on the reader path keeps the byte-compatible
+/// call-id-0 rejection frame meaning "nothing was read, safe to retry".
 class RpcServer {
  public:
   explicit RpcServer(Uri endpoint, net::ServerPoolOptions pool = {});
@@ -114,23 +122,44 @@ class RpcServer {
   std::size_t active_connections() const;
 
  private:
+  /// Reactor-path connection state (tcp endpoints).
+  struct MuxConn;
+  /// One unit of pool work: a whole connection to read (blocking reader
+  /// path) or a single decoded frame to dispatch (reactor path).
+  struct Work {
+    net::ConnectionPtr conn;
+    std::shared_ptr<MuxConn> mux;
+    ser::Bytes frame;
+  };
+
   void accept_loop();
   void serve_connection(net::ConnectionPtr conn);
+  void on_accept_ready();  // loop thread
+  Status on_mux_data(const std::shared_ptr<MuxConn>& conn,
+                     std::string& input);  // loop thread
+  void dispatch_mux_frame(const std::shared_ptr<MuxConn>& conn, ser::Bytes frame);
   /// Decode + dispatch one request frame. An empty result means the frame
   /// was undecodable and the connection must be dropped.
   ser::Bytes handle_frame(const ser::Bytes& frame, const std::string& peer);
 
   Uri requested_;
   Uri bound_;
-  net::ListenerPtr listener_;
+  double idle_timeout_s_ = 0;
+  net::ListenerPtr listener_;    // reader path (non-tcp transports)
+  net::Fd listen_fd_;            // reactor path (tcp)
+  std::uint64_t listen_token_ = 0;
+  net::Reactor reactor_;
   AuthFn auth_;
   mutable Mutex mutex_{LockRank::kServer, "rpc-services"};
   std::map<std::string, std::shared_ptr<Service>, std::less<>> services_
       IPA_GUARDED_BY(mutex_);
-  net::ServerWorkerPool<net::ConnectionPtr> pool_;
+  net::ServerWorkerPool<Work> pool_;
   std::jthread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_{0};
+  mutable Mutex conns_mutex_{LockRank::kServer, "rpc-conns"};
+  std::uint64_t next_conn_id_ IPA_GUARDED_BY(conns_mutex_) = 0;
+  std::map<std::uint64_t, std::shared_ptr<MuxConn>> conns_ IPA_GUARDED_BY(conns_mutex_);
 };
 
 /// Client-side retry behaviour. Retries apply only to methods declared
@@ -161,8 +190,11 @@ struct RetryStats {
   double backoff_total_s = 0.0;  // time spent sleeping between attempts
 };
 
-/// Synchronous RPC client. Thread-safe: calls are serialized on the single
-/// underlying connection. On transport failure the client reconnects and,
+/// Synchronous RPC client with connection multiplexing. Thread-safe:
+/// concurrent calls share the single underlying connection, each tagged
+/// with its own call id — one caller at a time plays receiver, demuxing
+/// response frames to whichever call they belong to, so slow calls never
+/// serialize fast ones. On transport failure the client reconnects and,
 /// for idempotent methods, retries with exponential backoff and jitter;
 /// the per-call deadline spans all attempts, reconnects and backoff.
 class RpcClient {
@@ -197,18 +229,39 @@ class RpcClient {
  private:
   RpcClient(net::ConnectionPtr conn, Uri endpoint, RetryPolicy policy);
 
-  struct CallState;  // per-call bookkeeping shared by the helpers below
+  /// One in-flight call's completion slot. Lives on the calling thread's
+  /// stack; registered in `pending_` by call id until the receiver (any
+  /// caller thread holding the receive baton) fills it.
+  struct PendingCall {
+    bool done = false;
+    bool transport = false;  // failure came from the link, not the method
+    bool rejected = false;   // call-id-0 connection-level rejection
+    Status status = Status::ok();
+    ser::Bytes body;
+  };
 
   Status reconnect_locked(double deadline) IPA_REQUIRES(*call_mutex_);
-  Result<ser::Bytes> attempt_locked(CallState& state, const ser::Bytes& request,
-                                    bool* transport_failed) IPA_REQUIRES(*call_mutex_);
+  /// Fail every pending call and drop the connection; no-ops when `gen` is
+  /// stale (someone else already killed this connection).
+  void kill_connection_locked(std::uint64_t gen, const Status& status)
+      IPA_REQUIRES(*call_mutex_);
+  /// Route one received response frame to its pending call (unknown ids are
+  /// stale replies from abandoned attempts and are dropped).
+  void demux_frame_locked(std::uint64_t gen, const ser::Bytes& frame)
+      IPA_REQUIRES(*call_mutex_);
 
   Uri endpoint_;
   // In a unique_ptr (not inline) so the client stays movable.
   std::unique_ptr<Mutex> call_mutex_ =
       std::make_unique<Mutex>(LockRank::kChannel, "rpc-client");
+  std::unique_ptr<CondVar> call_cv_ = std::make_unique<CondVar>();
   RetryPolicy policy_ IPA_GUARDED_BY(*call_mutex_);
-  net::ConnectionPtr conn_ IPA_GUARDED_BY(*call_mutex_);
+  // Shared so a sender/receiver can use the connection with the lock
+  // released while another thread swaps it out.
+  std::shared_ptr<net::Connection> conn_ IPA_GUARDED_BY(*call_mutex_);
+  std::uint64_t conn_gen_ IPA_GUARDED_BY(*call_mutex_) = 1;
+  bool receiver_active_ IPA_GUARDED_BY(*call_mutex_) = false;
+  std::map<std::uint64_t, PendingCall*> pending_ IPA_GUARDED_BY(*call_mutex_);
   std::string auth_token_ IPA_GUARDED_BY(*call_mutex_);
   std::uint64_t next_call_id_ IPA_GUARDED_BY(*call_mutex_) = 1;
   Rng backoff_rng_ IPA_GUARDED_BY(*call_mutex_){Rng::kDefaultSeed};

@@ -44,6 +44,19 @@ TEST(LockRank, ReleaseUnwindsTheHeldStack) {
 }
 
 TEST(LockRank, UnrankedOptsOutOfOrdering) {
+#if defined(__SANITIZE_THREAD__)
+#define IPA_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IPA_TEST_UNDER_TSAN 1
+#endif
+#endif
+#ifdef IPA_TEST_UNDER_TSAN
+  // The out-of-order acquisition below is the point of the test (unranked
+  // mutexes are exempt from the rank checker), but TSan's own deadlock
+  // detector reports the same pattern as a lock-order inversion.
+  GTEST_SKIP() << "intentional lock-order inversion trips TSan";
+#endif
   Mutex leaf(LockRank::kLog, "leaf");
   Mutex unranked;  // test scaffolding default
   {

@@ -1,0 +1,259 @@
+// Server-level tests for the event-driven HTTP stack: raw sockets drive the
+// wire directly so the cases can pipeline requests, fragment header bytes
+// across many writes, and overflow the header cap — behaviours the blocking
+// Client wrapper would hide.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/http.hpp"
+#include "net/worker_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace ipa::http {
+namespace {
+
+template <typename Pred>
+bool wait_until(Pred pred, double timeout_s = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+/// Blocking TCP connect to the test server; returns the raw fd (-1 on error).
+int raw_connect(const Uri& bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(bound.port);
+  if (::inet_pton(AF_INET, bound.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read until `n` complete HTTP responses have been parsed or the deadline
+/// passes; returns the parsed responses (possibly fewer than `n`).
+std::vector<Response> read_responses(int fd, std::size_t n, double timeout_s = 5.0) {
+  ResponseParser parser;
+  std::vector<Response> out;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (out.size() < n) {
+    Response resp;
+    auto got = parser.next(resp);
+    if (!got.is_ok()) break;
+    if (*got) {
+      out.push_back(std::move(resp));
+      continue;
+    }
+    const auto remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now());
+    const int wait_ms = std::max(0, static_cast<int>(remaining.count() * 1000));
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, wait_ms) <= 0) break;
+    char buf[8192];
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r <= 0) break;
+    parser.feed(std::string_view(buf, static_cast<std::size_t>(r)));
+  }
+  return out;
+}
+
+bool reads_eof(int fd, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) > 0) {
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+    if (std::chrono::steady_clock::now() > deadline) return false;
+  }
+}
+
+Request simple_get(const std::string& target) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  req.headers["Host"] = "test";
+  return req;
+}
+
+TEST(HttpAsyncServer, PipelinedRequestsAnswerInOrder) {
+  Server server("127.0.0.1", 0);
+  server.route("/a", [](const Request&) { return Response::make(200, "alpha"); });
+  server.route("/b", [](const Request&) { return Response::make(200, "beta"); });
+  server.route("/c", [](const Request&) { return Response::make(200, "gamma"); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  // All three requests land in one write; responses must come back complete
+  // and in request order even though handlers run on pool workers.
+  ASSERT_TRUE(write_all(fd, simple_get("/a").serialize() + simple_get("/b").serialize() +
+                                simple_get("/c").serialize()));
+  const auto responses = read_responses(fd, 3);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].body, "alpha");
+  EXPECT_EQ(responses[1].body, "beta");
+  EXPECT_EQ(responses[2].body, "gamma");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpAsyncServer, RequestFragmentedAcrossWritesIsParsed) {
+  Server server("127.0.0.1", 0);
+  server.route("/echo", [](const Request& req) { return Response::make(200, req.body); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+
+  Request req;
+  req.method = "POST";
+  req.target = "/echo";
+  req.headers["Host"] = "test";
+  req.body = "fragmented body";
+  const std::string wire = req.serialize();
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  // Drip the request in small slices; the incremental parser must reassemble
+  // across reads that split the start line, header block and body.
+  for (std::size_t off = 0; off < wire.size(); off += 7) {
+    ASSERT_TRUE(write_all(fd, std::string_view(wire).substr(off, 7)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto responses = read_responses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].body, "fragmented body");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpAsyncServer, OversizedHeaderBlockGets400AndClose) {
+  Server server("127.0.0.1", 0);
+  server.route("/x", [](const Request&) { return Response::make(200, "ok"); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  std::string junk = "GET /x HTTP/1.1\r\nHost: test\r\n";
+  while (junk.size() <= kMaxHeaderBytes) {
+    junk += "X-Padding: " + std::string(512, 'p') + "\r\n";
+  }
+  ASSERT_TRUE(write_all(fd, junk));  // never terminates the header block
+  const auto responses = read_responses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 400);
+  EXPECT_TRUE(reads_eof(fd, 5.0));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpAsyncServer, KeepAliveConnectionsTrackedOnGauge) {
+  auto& gauge = obs::Registry::global().gauge("ipa_server_open_connections",
+                                              {{"server", "http"}});
+  const double baseline = gauge.value();
+
+  Server server("127.0.0.1", 0);
+  server.route("/k", [](const Request&) { return Response::make(200, "ok"); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+  EXPECT_EQ(server.open_connections(), 0u);
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  // Many requests over one keep-alive connection: the gauge counts sockets,
+  // not requests.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(write_all(fd, simple_get("/k").serialize()));
+    ASSERT_EQ(read_responses(fd, 1).size(), 1u);
+  }
+  EXPECT_EQ(server.open_connections(), 1u);
+  EXPECT_EQ(gauge.value(), baseline + 1.0);
+  EXPECT_EQ(server.requests_served(), 10u);
+
+  const int fd2 = raw_connect(*bound);
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(write_all(fd2, simple_get("/k").serialize()));
+  ASSERT_EQ(read_responses(fd2, 1).size(), 1u);
+  EXPECT_EQ(server.open_connections(), 2u);
+
+  ::close(fd);
+  ::close(fd2);
+  // Client-side close reaches the reactor as EOF; the gauge must drain.
+  EXPECT_TRUE(wait_until([&] { return server.open_connections() == 0; }));
+  EXPECT_EQ(gauge.value(), baseline);
+  server.stop();
+}
+
+TEST(HttpAsyncServer, ConnectionCloseHeaderIsHonored) {
+  Server server("127.0.0.1", 0);
+  server.route("/bye", [](const Request&) { return Response::make(200, "done"); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  Request req = simple_get("/bye");
+  req.headers["Connection"] = "close";
+  ASSERT_TRUE(write_all(fd, req.serialize()));
+  const auto responses = read_responses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].header_or("connection"), "close");
+  EXPECT_TRUE(reads_eof(fd, 5.0));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpAsyncServer, StopWithOpenConnectionsIsClean) {
+  Server server("127.0.0.1", 0);
+  server.route("/s", [](const Request&) { return Response::make(200, "ok"); });
+  auto bound = server.start();
+  ASSERT_TRUE(bound.is_ok());
+
+  const int fd = raw_connect(*bound);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(write_all(fd, simple_get("/s").serialize()));
+  ASSERT_EQ(read_responses(fd, 1).size(), 1u);
+  server.stop();  // with a live keep-alive connection parked
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_TRUE(reads_eof(fd, 5.0));
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace ipa::http

@@ -1,0 +1,361 @@
+// Reactor and Stream unit tests: the epoll loop, timer wheel, cross-thread
+// posting, and the buffered non-blocking byte stream that every server
+// connection rides on. Peers are emulated with socketpair(2) so each case
+// controls both ends of the wire.
+#include "net/reactor.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ipa::net {
+namespace {
+
+/// Spin until `pred` holds or `timeout_s` elapses; the suite runs on a
+/// single-core container, so polling beats fixed sleeps for flake immunity.
+template <typename Pred>
+bool wait_until(Pred pred, double timeout_s = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+struct SocketPair {
+  Fd a;  // typically adopted by a Stream
+  Fd b;  // the test's raw end
+};
+
+SocketPair make_socket_pair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+/// Read whatever arrives on `fd` within `timeout_s` (possibly nothing).
+std::string read_available(int fd, double timeout_s) {
+  std::string out;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const auto remaining = std::chrono::duration<double>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait_ms = std::max(0, static_cast<int>(remaining.count() * 1000));
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready <= 0) return out;
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return out;  // EOF or error: give back what we have
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// True when the peer has closed: poll reports readable and recv returns 0.
+bool reads_eof(int fd, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) > 0) {
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+      // data before EOF: keep draining
+    }
+    if (std::chrono::steady_clock::now() > deadline) return false;
+  }
+}
+
+TEST(Reactor, StartStopIsIdempotent) {
+  Reactor reactor({.name = "t-startstop"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  EXPECT_TRUE(reactor.running());
+  reactor.stop();
+  EXPECT_FALSE(reactor.running());
+  reactor.stop();  // second stop is a no-op
+}
+
+TEST(Reactor, PostedFunctionsRunInOrderOnLoopThread) {
+  Reactor reactor({.name = "t-post"});
+  ASSERT_TRUE(reactor.start().is_ok());
+
+  Mutex mutex{LockRank::kLoadStats, "t-post"};
+  std::vector<int> order;
+  std::atomic<bool> all_on_loop{true};
+  for (int i = 0; i < 100; ++i) {
+    reactor.post([&, i] {
+      if (!reactor.on_loop_thread()) all_on_loop = false;
+      LockGuard lock(mutex);
+      order.push_back(i);
+    });
+  }
+  ASSERT_TRUE(wait_until([&] {
+    LockGuard lock(mutex);
+    return order.size() == 100;
+  }));
+  EXPECT_TRUE(all_on_loop.load());
+  LockGuard lock(mutex);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  reactor.stop();
+}
+
+TEST(Reactor, TimerFiresOnceAfterDelay) {
+  Reactor reactor({.name = "t-timer"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  std::atomic<int> fired{0};
+  const auto start = std::chrono::steady_clock::now();
+  reactor.add_timer(0.05, [&] { ++fired; });
+  ASSERT_TRUE(wait_until([&] { return fired.load() == 1; }));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.03);  // not early (allow one coarse tick of slack)
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fired.load(), 1);  // one-shot
+  reactor.stop();
+}
+
+TEST(Reactor, CancelledTimerNeverFires) {
+  Reactor reactor({.name = "t-cancel"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  std::atomic<int> fired{0};
+  const std::uint64_t id = reactor.add_timer(0.1, [&] { ++fired; });
+  reactor.cancel_timer(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(fired.load(), 0);
+  reactor.stop();
+}
+
+TEST(Reactor, LongDelayTimerSurvivesWheelRevolutions) {
+  // Deadline beyond one wheel revolution (slots * tick) must park, not fire
+  // on the first pass over its slot.
+  Reactor reactor({.name = "t-wheel", .tick_s = 0.005, .wheel_slots = 8});
+  ASSERT_TRUE(reactor.start().is_ok());
+  std::atomic<int> fired{0};
+  const auto start = std::chrono::steady_clock::now();
+  reactor.add_timer(0.2, [&] { ++fired; });  // 5 revolutions of an 8*5ms wheel
+  ASSERT_TRUE(wait_until([&] { return fired.load() == 1; }));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.15);
+  reactor.stop();
+}
+
+TEST(Reactor, AddFdDispatchesReadableEvents) {
+  Reactor reactor({.name = "t-fd"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  std::atomic<int> readable{0};
+  const int raw = pair.a.get();
+  auto token = reactor.add_fd(raw, EPOLLIN, [&, raw](std::uint32_t) {
+    char buf[64];
+    while (::recv(raw, buf, sizeof buf, 0) > 0) {
+    }
+    ++readable;
+  });
+  ASSERT_TRUE(token.is_ok());
+
+  ASSERT_EQ(::send(pair.b.get(), "x", 1, 0), 1);
+  ASSERT_TRUE(wait_until([&] { return readable.load() >= 1; }));
+
+  reactor.remove_fd(*token);
+  reactor.stop();
+}
+
+TEST(Stream, EchoRoundTripAndThreadSafeSend) {
+  Reactor reactor({.name = "t-echo"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  auto stream = Stream::adopt(reactor, std::move(pair.a), "test-peer", {},
+                              [](std::string&) { return Status::ok(); }, [] {});
+  ASSERT_TRUE(stream.is_ok());
+
+  // Concurrent senders: frames must come out whole, never interleaved.
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 50; ++i) {
+          (*stream)->send(std::string(64, static_cast<char>('a' + t)));
+        }
+      });
+    }
+  }
+  std::string got;
+  ASSERT_TRUE(wait_until([&] {
+    got += read_available(pair.b.get(), 0.05);
+    return got.size() == 4u * 50u * 64u;
+  }));
+  // Whole-frame atomicity: every aligned 64-byte block is one letter.
+  for (std::size_t off = 0; off < got.size(); off += 64) {
+    const char c = got[off];
+    EXPECT_EQ(got.substr(off, 64), std::string(64, c)) << "interleaved at " << off;
+  }
+  (*stream)->close();
+  reactor.stop();
+}
+
+TEST(Stream, OnDataConsumesInPlace) {
+  Reactor reactor({.name = "t-ondata"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  Mutex mutex{LockRank::kLoadStats, "t-ondata"};
+  std::string seen;
+  auto stream = Stream::adopt(
+      reactor, std::move(pair.a), "test-peer", {},
+      [&](std::string& input) {
+        LockGuard lock(mutex);
+        seen += input;
+        input.clear();
+        return Status::ok();
+      },
+      [] {});
+  ASSERT_TRUE(stream.is_ok());
+
+  const std::string payload = "hello, reactor";
+  ASSERT_EQ(::send(pair.b.get(), payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  ASSERT_TRUE(wait_until([&] {
+    LockGuard lock(mutex);
+    return seen == payload;
+  }));
+  (*stream)->close();
+  reactor.stop();
+}
+
+TEST(Stream, CloseAfterFlushDeliversEverythingThenEof) {
+  Reactor reactor({.name = "t-flush"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  auto stream = Stream::adopt(reactor, std::move(pair.a), "test-peer", {},
+                              [](std::string&) { return Status::ok(); }, [] {});
+  ASSERT_TRUE(stream.is_ok());
+
+  const std::string big(1 << 20, 'q');  // larger than any socket buffer
+  (*stream)->send(big, /*close_after=*/true);
+
+  std::string got;
+  ASSERT_TRUE(wait_until([&] {
+    got += read_available(pair.b.get(), 0.05);
+    return got.size() == big.size();
+  }));
+  EXPECT_EQ(got, big);
+  EXPECT_TRUE(reads_eof(pair.b.get(), 5.0));
+  reactor.stop();
+}
+
+TEST(Stream, DataErrorClosesConnection) {
+  Reactor reactor({.name = "t-dataerr"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  std::atomic<bool> closed{false};
+  auto stream = Stream::adopt(
+      reactor, std::move(pair.a), "test-peer", {},
+      [](std::string& input) {
+        input.clear();
+        return data_loss("bad bytes");
+      },
+      [&] { closed = true; });
+  ASSERT_TRUE(stream.is_ok());
+
+  ASSERT_EQ(::send(pair.b.get(), "garbage", 7, 0), 7);
+  ASSERT_TRUE(wait_until([&] { return closed.load(); }));
+  EXPECT_TRUE((*stream)->closed());
+  EXPECT_TRUE(reads_eof(pair.b.get(), 5.0));
+  reactor.stop();
+}
+
+TEST(Stream, InputOverflowClosesConnection) {
+  Reactor reactor({.name = "t-overflow"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  std::atomic<bool> closed{false};
+  StreamOptions options;
+  options.max_input_bytes = 1024;  // parser that never consumes + tiny cap
+  auto stream = Stream::adopt(reactor, std::move(pair.a), "test-peer", options,
+                              [](std::string&) { return Status::ok(); },
+                              [&] { closed = true; });
+  ASSERT_TRUE(stream.is_ok());
+
+  const std::string flood(8192, 'z');
+  (void)::send(pair.b.get(), flood.data(), flood.size(), 0);
+  ASSERT_TRUE(wait_until([&] { return closed.load(); }));
+  reactor.stop();
+}
+
+TEST(Stream, IdleTimeoutReapsSilentPeer) {
+  Reactor reactor({.name = "t-idle"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+
+  auto& reaped = obs::Registry::global().counter("ipa_reactor_idle_reaped_total",
+                                                 {{"reactor", "t-idle"}});
+  const double before = reaped.value();
+
+  std::atomic<bool> closed{false};
+  StreamOptions options;
+  options.idle_timeout_s = 0.2;
+  auto stream = Stream::adopt(reactor, std::move(pair.a), "test-peer", options,
+                              [](std::string& input) {
+                                input.clear();
+                                return Status::ok();
+                              },
+                              [&] { closed = true; });
+  ASSERT_TRUE(stream.is_ok());
+
+  // Activity inside the window must push the deadline out...
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_EQ(::send(pair.b.get(), "k", 1, 0), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(closed.load()) << "reaped despite recent activity";
+
+  // ...and silence past the window must reap.
+  ASSERT_TRUE(wait_until([&] { return closed.load(); }));
+  EXPECT_TRUE(reads_eof(pair.b.get(), 5.0));
+  EXPECT_GE(reaped.value(), before + 1.0);
+  reactor.stop();
+}
+
+TEST(Stream, SurvivesReactorStopWithoutCallbacks) {
+  // Stopping the reactor with live streams must not deadlock or fire
+  // callbacks afterwards; owners drop their streams later.
+  Reactor reactor({.name = "t-stop"});
+  ASSERT_TRUE(reactor.start().is_ok());
+  SocketPair pair = make_socket_pair();
+  ASSERT_TRUE(set_nonblocking(pair.a.get()).is_ok());
+  auto stream = Stream::adopt(reactor, std::move(pair.a), "test-peer", {},
+                              [](std::string&) { return Status::ok(); }, [] {});
+  ASSERT_TRUE(stream.is_ok());
+  reactor.stop();
+  stream->reset();  // RAII teardown after stop must be clean
+}
+
+}  // namespace
+}  // namespace ipa::net

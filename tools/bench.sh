@@ -23,7 +23,7 @@ fi
 echo "== build benches (Release) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" \
-  --target bench_engine bench_merge bench_hist bench_staging
+  --target bench_engine bench_merge bench_hist bench_staging bench_server
 
 echo "== run benches =="
 for bench in bench_engine bench_merge bench_hist bench_staging; do
@@ -32,6 +32,9 @@ for bench in bench_engine bench_merge bench_hist bench_staging; do
     --benchmark_out_format=json \
     --benchmark_min_time=0.2
 done
+# Custom harness (not google-benchmark): enforces its own >=10x-capacity and
+# flat-p99 gates, and emits compatible JSON for the absolute floors below.
+"build-release/bench/bench_server" --out "$out_dir/bench_server.json"
 
 if [ -n "$update_out" ]; then
   cp "$out_dir"/bench_*.json "$update_out/"
@@ -41,4 +44,4 @@ fi
 echo "== diff against BENCH_batch.json =="
 python3 tools/bench_diff.py BENCH_batch.json \
   "$out_dir/bench_engine.json" "$out_dir/bench_merge.json" "$out_dir/bench_hist.json" \
-  "$out_dir/bench_staging.json"
+  "$out_dir/bench_staging.json" "$out_dir/bench_server.json"

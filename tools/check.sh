@@ -5,8 +5,8 @@
 #   2  sanitizer pass over the fault-sensitive suites (chaos, net, rpc,
 #      obs, common) — address and/or undefined
 #   2u UBSan over the value-heavy suites (data, serialize, xml)
-#   T  thread sanitizer over the staging pipeline and the common
-#      concurrency primitives (MpmcQueue, sync layer)
+#   T  thread sanitizer over the reactor-backed net/rpc/http suites, the
+#      staging pipeline and the common concurrency primitives
 #   C  Clang thread-safety-analysis build, when clang++ is installed —
 #      proves the IPA_GUARDED_BY/IPA_REQUIRES annotations
 #   3  Release bench build + smoke run (full regression gating against
@@ -59,13 +59,17 @@ case " $sanitizers " in *" undefined "*)
   ;;
 esac
 
-echo "== tier thread: TSan over staging pipeline + concurrency primitives =="
-# The parallel split + session fan-out + bounded server pool all cross the
-# shared staging pool, and MpmcQueue/sync underpin every pool; TSan is the
-# tier that would catch a race there.
+echo "== tier thread: TSan over reactor/servers + staging + primitives =="
+# The epoll reactor hands streams between the loop thread, pool workers and
+# caller threads; the mux RpcClient shares one connection across callers;
+# the parallel split + session fan-out cross the shared staging pool; and
+# MpmcQueue/sync underpin every pool. TSan is the tier that would catch a
+# race in any of those hand-offs.
 cmake -B build-thread -S . -DIPA_SANITIZE=thread >/dev/null
-cmake --build build-thread -j "$jobs" --target ipa_test_staging ipa_test_common
-(cd build-thread && ctest --output-on-failure -j "$jobs" -L 'staging|common')
+cmake --build build-thread -j "$jobs" --target ipa_test_staging ipa_test_common \
+  ipa_test_net ipa_test_rpc ipa_test_http
+(cd build-thread && \
+  ctest --output-on-failure -j "$jobs" -L 'staging|common|net|rpc|http')
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "== tier clang: thread-safety-analysis build =="
@@ -81,19 +85,23 @@ fi
 echo "== tier 3: Release bench build + smoke run =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$jobs" \
-  --target bench_engine bench_merge bench_hist
+  --target bench_engine bench_merge bench_hist bench_server
 for bench in bench_engine bench_merge bench_hist; do
   # One rep per benchmark: catches crashes/asserts without the multi-minute
   # timed run (the older benchmark lib wants a plain double for min_time).
   "build-release/bench/$bench" --benchmark_min_time=0.01 >/dev/null
 done
+# Server-core capacity gate: the binary enforces its own >=10x-connections
+# and flat-p99 invariants and exits non-zero on violation (absolute floors
+# live in BENCH_batch.json, enforced by tools/bench.sh).
+"build-release/bench/bench_server" --conns 2048 --requests 500 >/dev/null
 
 echo "== tier load: SLO-gated multi-user load smoke =="
 # Deterministic seeds, small user counts: this is the always-on tier. The
 # full 256-user interactive gate is a manual/nightly run:
 #   build-release/bench/bench_load --users 256 --profile interactive
 cmake --build build-release -j "$jobs" --target bench_load
-"build-release/bench/bench_load" --users 12 --iterations 1 --drivers 4 \
+"build-release/bench/bench_load" --users 24 --iterations 1 --drivers 4 \
   --records 600 --seed 2006 --profile smoke \
   --report build-release/load_report_smoke.json
 "build-release/bench/bench_load" --users 8 --iterations 1 --drivers 4 \
