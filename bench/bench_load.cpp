@@ -261,15 +261,15 @@ int main(int argc, char** argv) {
               flags.soak ? " [soak: chaos rpc fabric]" : "");
   const loadgen::LoadReport report = driver.run();
 
-  // Final /metrics scrape: the server-side half of the SLO evidence.
-  std::map<std::string, loadgen::HistogramSeries> phases;
+  // Final /metrics scrape: the server-side half of the SLO evidence, plus
+  // the contention diagnostics (queue delay, lock waits) for the report.
+  loadgen::ServerScrape scrape;
   const Uri soap = (*manager)->soap_endpoint();
   auto scraper = http::Client::connect(soap.host, soap.port, 10.0);
   if (scraper.is_ok()) {
     auto metrics = scraper->get("/metrics", 30.0);
     if (metrics.is_ok() && metrics->status == 200) {
-      phases = loadgen::parse_histogram_family(metrics->body, "ipa_session_phase_seconds",
-                                               "phase");
+      scrape = loadgen::parse_server_scrape(metrics->body);
     } else {
       std::fprintf(stderr, "bench_load: /metrics scrape failed%s\n",
                    metrics.is_ok() ? (" (status " + std::to_string(metrics->status) + ")").c_str()
@@ -277,12 +277,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const loadgen::SloResult verdict = loadgen::evaluate(*profile, report, phases);
-  std::fputs(loadgen::render_report_text(*profile, report, phases, verdict).c_str(), stdout);
+  const loadgen::SloResult verdict = loadgen::evaluate(*profile, report, scrape);
+  std::fputs(loadgen::render_report_text(*profile, report, scrape, verdict).c_str(), stdout);
 
   if (!flags.report_path.empty()) {
     std::ofstream out(flags.report_path, std::ios::binary);
-    out << loadgen::render_report_json(*profile, report, phases, verdict);
+    out << loadgen::render_report_json(*profile, report, scrape, verdict);
     if (!out) {
       std::fprintf(stderr, "bench_load: cannot write %s\n", flags.report_path.c_str());
     }

@@ -1,7 +1,10 @@
 #include "common/sync.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/clock.hpp"
 
 namespace ipa {
 
@@ -10,7 +13,9 @@ const char* to_string(LockRank rank) {
     case LockRank::kUnranked: return "unranked";
     case LockRank::kIds: return "ids";
     case LockRank::kLog: return "log";
+    case LockRank::kFlight: return "flight";
     case LockRank::kMetrics: return "metrics";
+    case LockRank::kSlowOps: return "slow-ops";
     case LockRank::kTrace: return "trace";
     case LockRank::kRegistry: return "registry";
     case LockRank::kQueue: return "queue";
@@ -31,6 +36,63 @@ const char* to_string(LockRank rank) {
     case LockRank::kLoadDriver: return "load-driver";
   }
   return "?";
+}
+
+// --- Per-rank contention accounting ----------------------------------------
+//
+// One fixed table of relaxed atomics indexed by rank value: the contended
+// path already paid a futex wait, so two fetch_adds are noise, and the
+// uncontended path never gets here at all. Always compiled in (unlike the
+// rank checker) so Release bench/load runs report real contention.
+
+namespace sync_detail {
+namespace {
+
+// LockRank values are multiples of 5 in [0, 190]; one slot each.
+constexpr int kRankSlots = 40;
+
+struct RankStat {
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> wait_ns{0};
+};
+
+RankStat g_contention[kRankSlots];
+
+int rank_slot(LockRank rank) {
+  const int slot = static_cast<int>(rank) / 5;
+  return (slot < 0 || slot >= kRankSlots) ? 0 : slot;
+}
+
+}  // namespace
+
+double contention_now_s() { return WallClock::instance().now(); }
+
+void note_contended(LockRank rank, double wait_s) {
+  if (wait_s < 0) wait_s = 0;
+  RankStat& stat = g_contention[rank_slot(rank)];
+  stat.contended.fetch_add(1, std::memory_order_relaxed);
+  stat.wait_ns.fetch_add(static_cast<std::uint64_t>(wait_s * 1e9),
+                         std::memory_order_relaxed);
+}
+
+}  // namespace sync_detail
+
+std::vector<LockContention> lock_contention_snapshot() {
+  std::vector<LockContention> out;
+  for (int slot = 0; slot < sync_detail::kRankSlots; ++slot) {
+    const std::uint64_t contended =
+        sync_detail::g_contention[slot].contended.load(std::memory_order_relaxed);
+    if (contended == 0) continue;
+    LockContention entry;
+    entry.rank = static_cast<LockRank>(slot * 5);
+    entry.contended = contended;
+    entry.wait_s =
+        static_cast<double>(
+            sync_detail::g_contention[slot].wait_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(entry);
+  }
+  return out;
 }
 
 #if IPA_LOCK_CHECKS

@@ -27,9 +27,11 @@
 #pragma once
 // ipa-lint: skip-file(raw-mutex) -- this is the one place raw std primitives live
 
+#include <cstdint>
 #include <mutex>
 #include <condition_variable>
 #include <shared_mutex>
+#include <vector>
 
 // --- Clang thread-safety-analysis attribute macros -------------------------
 
@@ -81,7 +83,11 @@ enum class LockRank : int {
   // --- leaves: never hold anything else while these are held ----------
   kIds = 10,          // common/ids random-word generator
   kLog = 20,          // common/log sink + stderr emit locks
+  kFlight = 25,       // obs::FlightRecorder journal table (cold: registration
+                      //   and snapshots only; the event write path is lock-free)
   kMetrics = 30,      // obs::Registry family/series table
+  kSlowOps = 35,      // obs::SlowOpStore retained-span deque (taken under
+                      //   kTrace when a span crosses its threshold)
   kTrace = 40,        // obs::SpanRing
   kRegistry = 50,     // small process tables: MethodTraits, AnalyzerRegistry,
                       //   Locator, fault dial ordinals
@@ -112,6 +118,27 @@ enum class LockRank : int {
 /// Human-readable rank name for abort messages and tests.
 const char* to_string(LockRank rank);
 
+/// Contention totals for one lock rank since process start. Every
+/// ipa::Mutex / SharedMutex counts acquisitions that found the lock held
+/// (try-lock fast path missed) and the time spent blocked, aggregated per
+/// rank — cheap enough to stay on in Release, which is what makes the
+/// numbers meaningful under real load.
+struct LockContention {
+  LockRank rank = LockRank::kUnranked;
+  std::uint64_t contended = 0;  // acquisitions that had to block
+  double wait_s = 0;            // total time spent blocked
+};
+
+/// Per-rank contention totals, ranks with zero contention omitted.
+std::vector<LockContention> lock_contention_snapshot();
+
+namespace sync_detail {
+/// Monotonic seconds for contention wait timing (WallClock underneath).
+double contention_now_s();
+/// Account one contended acquisition of `rank` that blocked for `wait_s`.
+void note_contended(LockRank rank, double wait_s);
+}  // namespace sync_detail
+
 #if IPA_LOCK_CHECKS
 namespace sync_detail {
 /// Record an acquisition on the calling thread's rank stack; aborts with
@@ -138,7 +165,12 @@ class IPA_CAPABILITY("mutex") Mutex {
 #if IPA_LOCK_CHECKS
     sync_detail::note_acquire(rank_, name_);
 #endif
+    // Uncontended fast path: one try_lock. A miss means the lock was held,
+    // which is exactly a contended acquisition — time the blocking wait.
+    if (m_.try_lock()) return;
+    const double t0 = sync_detail::contention_now_s();
     m_.lock();
+    sync_detail::note_contended(rank_, sync_detail::contention_now_s() - t0);
   }
 
   void unlock() IPA_RELEASE() {
@@ -183,7 +215,10 @@ class IPA_CAPABILITY("shared_mutex") SharedMutex {
 #if IPA_LOCK_CHECKS
     sync_detail::note_acquire(rank_, name_);
 #endif
+    if (m_.try_lock()) return;
+    const double t0 = sync_detail::contention_now_s();
     m_.lock();
+    sync_detail::note_contended(rank_, sync_detail::contention_now_s() - t0);
   }
   void unlock() IPA_RELEASE() {
     m_.unlock();
@@ -195,7 +230,10 @@ class IPA_CAPABILITY("shared_mutex") SharedMutex {
 #if IPA_LOCK_CHECKS
     sync_detail::note_acquire(rank_, name_);
 #endif
+    if (m_.try_lock_shared()) return;
+    const double t0 = sync_detail::contention_now_s();
     m_.lock_shared();
+    sync_detail::note_contended(rank_, sync_detail::contention_now_s() - t0);
   }
   void unlock_shared() IPA_RELEASE_SHARED() {
     m_.unlock_shared();
@@ -267,7 +305,8 @@ class IPA_SCOPED_CAPABILITY UniqueLock {
 #if IPA_LOCK_CHECKS
     sync_detail::note_acquire(mutex_->rank(), mutex_->name());
 #endif
-    lock_ = std::unique_lock<std::mutex>(m.native());
+    lock_ = std::unique_lock<std::mutex>(m.native(), std::defer_lock);
+    acquire_timed();
   }
 
   ~UniqueLock() IPA_RELEASE() {
@@ -286,7 +325,7 @@ class IPA_SCOPED_CAPABILITY UniqueLock {
 #if IPA_LOCK_CHECKS
     sync_detail::note_acquire(mutex_->rank(), mutex_->name());
 #endif
-    lock_.lock();
+    acquire_timed();
   }
 
   void unlock() IPA_RELEASE() {
@@ -300,6 +339,18 @@ class IPA_SCOPED_CAPABILITY UniqueLock {
 
  private:
   friend class CondVar;
+
+  /// UniqueLock goes through the native handle (so CondVar keeps the plain
+  /// condition_variable wait path), which bypasses Mutex::lock — contention
+  /// accounting is repeated here. CondVar wakeup re-acquisition inside
+  /// std::condition_variable::wait is the one path not counted.
+  void acquire_timed() IPA_NO_THREAD_SAFETY_ANALYSIS {
+    if (lock_.try_lock()) return;
+    const double t0 = sync_detail::contention_now_s();
+    lock_.lock();
+    sync_detail::note_contended(mutex_->rank(), sync_detail::contention_now_s() - t0);
+  }
+
   Mutex* mutex_;
   std::unique_lock<std::mutex> lock_;
 };

@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
+#include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipa::engine {
@@ -12,6 +14,7 @@ struct EngineMetrics {
   obs::Counter& records;
   obs::Counter& batches;
   obs::Histogram& batch_records;
+  obs::Histogram& batch_pull;
   obs::Counter& pauses;
   obs::Counter& snapshots;
 
@@ -24,6 +27,9 @@ struct EngineMetrics {
           r.counter("ipa_engine_batches_total", {}, "Record batches processed."),
           r.histogram("ipa_engine_batch_records", {}, obs::exponential_bounds(1, 4, 10),
                       "Records per processed batch."),
+          r.histogram("ipa_engine_batch_pull_seconds", {}, obs::default_latency_bounds(),
+                      "Time the engine loop stalled pulling the next record batch "
+                      "from its dataset reader."),
           r.counter("ipa_engine_pauses_total", {},
                     "Engine pauses (control verb or run budget exhausted)."),
           r.counter("ipa_engine_snapshots_total", {},
@@ -33,6 +39,11 @@ struct EngineMetrics {
     return *m;
   }
 };
+
+/// Flight-journal a state transition; called on the thread that made it.
+void note_state(EngineState state) {
+  obs::flight(obs::FlightKind::kState, "engine.state", to_string(state));
+}
 
 }  // namespace
 
@@ -130,6 +141,7 @@ Status AnalysisEngine::run() {
   if (!analyzer_) return failed_precondition("engine: no analysis code staged");
   run_budget_ = 0;
   state_ = EngineState::kRunning;
+  note_state(state_);
   lock.unlock();
   cv_.notify_all();
   return Status::ok();
@@ -147,6 +159,7 @@ Status AnalysisEngine::run_records(std::uint64_t n) {
   if (!analyzer_) return failed_precondition("engine: no analysis code staged");
   run_budget_ = n;
   state_ = EngineState::kRunning;
+  note_state(state_);
   lock.unlock();
   cv_.notify_all();
   return Status::ok();
@@ -158,6 +171,7 @@ Status AnalysisEngine::pause() {
     return failed_precondition("engine: not running");
   }
   state_ = EngineState::kPaused;
+  note_state(state_);
   EngineMetrics::instance().pauses.inc();
   cv_.notify_all();
   return Status::ok();
@@ -169,6 +183,7 @@ Status AnalysisEngine::stop() {
     return failed_precondition("engine: not running or paused");
   }
   state_ = EngineState::kStopped;
+  note_state(state_);
   cv_.notify_all();
   return Status::ok();
 }
@@ -194,6 +209,7 @@ Status AnalysisEngine::rewind() {
   begin_pending_ = true;
   error_.clear();
   state_ = EngineState::kIdle;
+  note_state(state_);
   return Status::ok();
 }
 
@@ -299,7 +315,9 @@ void AnalysisEngine::process_loop() {
     }
 
     batch_->clear();
+    const double pull_t0 = WallClock::instance().now();
     const auto appended = reader_->read_batch(*batch_, cap);
+    EngineMetrics::instance().batch_pull.observe(WallClock::instance().now() - pull_t0);
     if (!appended.is_ok()) {
       fail("dataset read: " + appended.status().to_string());
       return;
@@ -315,9 +333,11 @@ void AnalysisEngine::process_loop() {
       if (!status.is_ok()) {
         state_ = EngineState::kFailed;
         error_ = status.to_string();
+        obs::flight(obs::FlightKind::kError, "engine.fail", error_);
       } else {
         state_ = EngineState::kFinished;
       }
+      note_state(state_);
       lock.unlock();
       emit_snapshot_locked();
       cv_.notify_all();
@@ -353,6 +373,7 @@ void AnalysisEngine::process_loop() {
         run_budget_ -= *appended;
         if (run_budget_ == 0) {
           state_ = EngineState::kPaused;
+          note_state(state_);
           EngineMetrics::instance().pauses.inc();
           lock.unlock();
           emit_snapshot_locked();
@@ -368,11 +389,13 @@ void AnalysisEngine::fail(std::string message) {
   // Log from the local copy: error_ is guarded by mutex_, and another
   // control thread may already be clearing it (rewind) once we release.
   IPA_LOG(warn) << "analysis engine failed: " << message;
+  obs::flight(obs::FlightKind::kError, "engine.fail", message);
   {
     LockGuard lock(mutex_);
     state_ = EngineState::kFailed;
     error_ = std::move(message);
   }
+  note_state(EngineState::kFailed);
   emit_snapshot_locked();
   cv_.notify_all();
 }

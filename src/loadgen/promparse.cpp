@@ -140,6 +140,18 @@ std::map<std::string, HistogramSeries> parse_histogram_family(
   return out;
 }
 
+std::map<std::string, double> parse_scalar_family(std::string_view exposition,
+                                                  std::string_view family,
+                                                  std::string_view label_key) {
+  std::map<std::string, double> out;
+  for_each_line(exposition, [&](std::string_view line) {
+    Sample sample = parse_line(line);
+    if (!sample.ok || sample.name != family) return;
+    out[series_key(sample.labels, label_key)] = sample.value;
+  });
+  return out;
+}
+
 double scalar_value(std::string_view exposition, std::string_view name,
                     const std::map<std::string, std::string>& labels, double fallback) {
   double value = fallback;

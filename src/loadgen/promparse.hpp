@@ -36,4 +36,12 @@ std::map<std::string, HistogramSeries> parse_histogram_family(
 double scalar_value(std::string_view exposition, std::string_view name,
                     const std::map<std::string, std::string>& labels, double fallback);
 
+/// All samples of one scalar (counter/gauge) family, keyed by the value of
+/// `label_key` (e.g. family "ipa_lock_contended_total", label "rank" -> one
+/// entry per rank). Samples without that label are keyed by their whole
+/// label block, like parse_histogram_family.
+std::map<std::string, double> parse_scalar_family(std::string_view exposition,
+                                                  std::string_view family,
+                                                  std::string_view label_key);
+
 }  // namespace ipa::loadgen

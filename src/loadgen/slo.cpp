@@ -95,8 +95,19 @@ Result<SloProfile> parse_profile(const Json& document, const std::string& name) 
   return out;
 }
 
+ServerScrape parse_server_scrape(std::string_view exposition) {
+  ServerScrape out;
+  out.phases = parse_histogram_family(exposition, "ipa_session_phase_seconds", "phase");
+  out.queue_delay =
+      parse_histogram_family(exposition, "ipa_server_queue_delay_seconds", "server");
+  out.lock_contended = parse_scalar_family(exposition, "ipa_lock_contended_total", "rank");
+  out.lock_wait_s = parse_scalar_family(exposition, "ipa_lock_wait_seconds", "rank");
+  return out;
+}
+
 SloResult evaluate(const SloProfile& profile, const LoadReport& report,
-                   const std::map<std::string, HistogramSeries>& phases) {
+                   const ServerScrape& scrape) {
+  const std::map<std::string, HistogramSeries>& phases = scrape.phases;
   SloResult out;
 
   for (const auto& [step, slo] : profile.steps) {
@@ -152,8 +163,8 @@ SloResult evaluate(const SloProfile& profile, const LoadReport& report,
 }
 
 std::string render_report_text(const SloProfile& profile, const LoadReport& report,
-                               const std::map<std::string, HistogramSeries>& phases,
-                               const SloResult& result) {
+                               const ServerScrape& scrape, const SloResult& result) {
+  const std::map<std::string, HistogramSeries>& phases = scrape.phases;
   std::string out;
   out += "== load report (profile: " + profile.name + ") ==\n";
   char line[256];
@@ -191,6 +202,32 @@ std::string render_report_text(const SloProfile& profile, const LoadReport& repo
     }
   }
 
+  if (!scrape.queue_delay.empty()) {
+    out += "\nworker-pool queue delay (ms, from /metrics):\n";
+    std::snprintf(line, sizeof line, "%-16s %8s %8s %8s\n", "server", "count", "p50", "p95");
+    out += line;
+    for (const auto& [server, series] : scrape.queue_delay) {
+      std::snprintf(line, sizeof line, "%-16s %8llu %s %s\n", server.c_str(),
+                    static_cast<unsigned long long>(series.count),
+                    fmt_ms(series.quantile(0.50)).c_str(),
+                    fmt_ms(series.quantile(0.95)).c_str());
+      out += line;
+    }
+  }
+
+  if (!scrape.lock_contended.empty()) {
+    out += "\nlock contention (from /metrics):\n";
+    std::snprintf(line, sizeof line, "%-16s %10s %10s\n", "rank", "contended", "wait-ms");
+    out += line;
+    for (const auto& [rank, contended] : scrape.lock_contended) {
+      const auto wait = scrape.lock_wait_s.find(rank);
+      const double wait_s = wait == scrape.lock_wait_s.end() ? 0.0 : wait->second;
+      std::snprintf(line, sizeof line, "%-16s %10llu %s\n", rank.c_str(),
+                    static_cast<unsigned long long>(contended), fmt_ms(wait_s).c_str());
+      out += line;
+    }
+  }
+
   out += "\n";
   if (result.ok()) {
     out += "SLO gate passed (" + profile.name + ")\n";
@@ -211,8 +248,8 @@ std::string render_report_text(const SloProfile& profile, const LoadReport& repo
 }
 
 std::string render_report_json(const SloProfile& profile, const LoadReport& report,
-                               const std::map<std::string, HistogramSeries>& phases,
-                               const SloResult& result) {
+                               const ServerScrape& scrape, const SloResult& result) {
+  const std::map<std::string, HistogramSeries>& phases = scrape.phases;
   std::string out = "{\n";
   out += "  \"profile\": \"" + json_escape(profile.name) + "\",\n";
   out += std::string("  \"ok\": ") + (result.ok() ? "true" : "false") + ",\n";
@@ -257,6 +294,34 @@ std::string render_report_json(const SloProfile& profile, const LoadReport& repo
     out += ", \"sum_s\": " + json_number(series.sum);
     out += ", \"p50_s\": " + json_number(series.quantile(0.50));
     out += ", \"p95_s\": " + json_number(series.quantile(0.95));
+    out += "}";
+  }
+  out += "},\n";
+
+  out += "  \"queue_delay\": {";
+  first = true;
+  for (const auto& [server, series] : scrape.queue_delay) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(server) + "\": {";
+    out += "\"count\": " + std::to_string(series.count);
+    out += ", \"sum_s\": " + json_number(series.sum);
+    out += ", \"p50_s\": " + json_number(series.quantile(0.50));
+    out += ", \"p95_s\": " + json_number(series.quantile(0.95));
+    out += "}";
+  }
+  out += "},\n";
+
+  out += "  \"locks\": {";
+  first = true;
+  for (const auto& [rank, contended] : scrape.lock_contended) {
+    if (!first) out += ", ";
+    first = false;
+    const auto wait = scrape.lock_wait_s.find(rank);
+    out += "\"" + json_escape(rank) + "\": {";
+    out += "\"contended\": " + json_number(contended);
+    out += ", \"wait_s\": " +
+           json_number(wait == scrape.lock_wait_s.end() ? 0.0 : wait->second);
     out += "}";
   }
   out += "},\n";

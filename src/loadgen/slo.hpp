@@ -66,20 +66,32 @@ struct SloResult {
 /// Parse profile `name` from a parsed slo.json document.
 Result<SloProfile> parse_profile(const Json& document, const std::string& name);
 
-/// Evaluate every gate of `profile` against a finished run. `phases` is the
-/// parsed ipa_session_phase_seconds family from the final /metrics scrape.
+/// Server-side telemetry pulled from the final GET /metrics scrape: the
+/// six-phase histograms the SLO gates run against, plus the contention
+/// diagnostics (worker-pool queue delay per server kind, lock contention
+/// per rank) that annotate the report when a gate trips.
+struct ServerScrape {
+  std::map<std::string, HistogramSeries> phases;       // ipa_session_phase_seconds
+  std::map<std::string, HistogramSeries> queue_delay;  // ipa_server_queue_delay_seconds
+  std::map<std::string, double> lock_contended;        // ipa_lock_contended_total
+  std::map<std::string, double> lock_wait_s;           // ipa_lock_wait_seconds
+};
+
+/// Parse every family the harness consumes out of one exposition body.
+ServerScrape parse_server_scrape(std::string_view exposition);
+
+/// Evaluate every gate of `profile` against a finished run.
 SloResult evaluate(const SloProfile& profile, const LoadReport& report,
-                   const std::map<std::string, HistogramSeries>& phases);
+                   const ServerScrape& scrape);
 
 /// Human-readable run report: per-step percentile table, per-phase
-/// percentiles, scenario counters, then one line per violation.
+/// percentiles, queue-delay and lock-contention tables, scenario counters,
+/// then one line per violation.
 std::string render_report_text(const SloProfile& profile, const LoadReport& report,
-                               const std::map<std::string, HistogramSeries>& phases,
-                               const SloResult& result);
+                               const ServerScrape& scrape, const SloResult& result);
 
 /// Machine-readable report (consumed by tools/bench_diff.py --slo).
 std::string render_report_json(const SloProfile& profile, const LoadReport& report,
-                               const std::map<std::string, HistogramSeries>& phases,
-                               const SloResult& result);
+                               const ServerScrape& scrape, const SloResult& result);
 
 }  // namespace ipa::loadgen

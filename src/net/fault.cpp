@@ -22,8 +22,8 @@ void count_fault(Fault fault, bool is_send) {
   if (fault == Fault::kNone) return;
   obs::Registry::global()
       .counter("ipa_fault_injected_total",
-               {{"kind", std::string(to_string(fault))},
-                {"dir", is_send ? "send" : "receive"}},
+               {{"dir", is_send ? "send" : "receive"},
+                {"kind", std::string(to_string(fault))}},
                "Chaos faults injected by the fault transport, by kind and direction.")
       .inc();
 }

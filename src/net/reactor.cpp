@@ -13,6 +13,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipa::net {
@@ -75,6 +76,17 @@ Status Reactor::start() {
       "ipa_reactor_loop_seconds", {{"reactor", options_.name}},
       obs::default_latency_bounds(),
       "Reactor loop dispatch latency per busy iteration (events + timers + posted ops).");
+  loop_lag_gauge_ = &obs::Registry::global().gauge(
+      "ipa_reactor_loop_lag_seconds", {{"reactor", options_.name}},
+      "Dispatch time of the most recent busy loop iteration — how long ready "
+      "events waited on earlier callbacks this pass.");
+  timer_lag_hist_ = &obs::Registry::global().histogram(
+      "ipa_reactor_timer_lag_seconds", {{"reactor", options_.name}},
+      obs::default_latency_bounds(),
+      "How late timers fired past their deadline (wheel granularity + loop stalls).");
+  write_queue_gauge_ = &obs::Registry::global().gauge(
+      "ipa_reactor_write_queue_bytes", {{"reactor", options_.name}},
+      "Unflushed bytes across all stream write queues on this reactor.");
   running_.store(true, std::memory_order_release);
   thread_ = std::jthread([this] { loop(); });
   return Status::ok();
@@ -258,7 +270,12 @@ void Reactor::fire_due_timers(double now) {
     }
     last_tick_ = now_tick;
   }
-  for (auto& timer : due) timer.fn();
+  for (auto& timer : due) {
+    if (timer_lag_hist_ != nullptr && now > timer.deadline) {
+      timer_lag_hist_->observe(now - timer.deadline);
+    }
+    timer.fn();
+  }
 }
 
 void Reactor::loop() {
@@ -302,7 +319,11 @@ void Reactor::loop() {
     run_posted();
     fire_due_timers(WallClock::instance().now());
     if (busy && loop_hist_ != nullptr) {
-      loop_hist_->observe(WallClock::instance().now() - t0);
+      const double dispatch_s = WallClock::instance().now() - t0;
+      loop_hist_->observe(dispatch_s);
+      // Gauge, not histogram: "is the loop lagging right now" is the
+      // operator question; the distribution already lives in loop_seconds.
+      if (loop_lag_gauge_ != nullptr) loop_lag_gauge_->set(dispatch_s);
     }
     if (n == static_cast<int>(events.size()) && events.size() < 4096) {
       events.resize(events.size() * 2);
@@ -340,6 +361,7 @@ Result<std::shared_ptr<Stream>> Stream::adopt(Reactor& reactor, Fd fd, std::stri
                               [stream](std::uint32_t events) { stream->handle_events(events); });
   IPA_RETURN_IF_ERROR(token.status());
   stream->token_ = *token;
+  obs::flight(obs::FlightKind::kConn, "conn.open", stream->peer_);
   if (options.idle_timeout_s > 0) {
     // Armed from the adopting thread; the callback itself runs on the loop
     // thread, which owns all further re-arms.
@@ -365,8 +387,10 @@ void Stream::send(std::string bytes, bool close_after) {
       return;
     }
     if (close_after) close_after_flush_ = true;
+    const std::size_t before = output_.size();
     output_ += bytes;
     fatal = !flush_locked();
+    note_queue_delta(before, output_.size());
     if (!fatal) {
       if (output_.empty()) {
         flushed_close = close_after_flush_;
@@ -378,6 +402,14 @@ void Stream::send(std::string bytes, bool close_after) {
     }
   }
   if (fatal || flushed_close) request_close();
+}
+
+void Stream::note_queue_delta(std::size_t before, std::size_t after) {
+  if (before == after) return;
+  obs::Gauge* gauge = reactor_.write_queue_gauge();
+  if (gauge != nullptr) {
+    gauge->add(static_cast<double>(after) - static_cast<double>(before));
+  }
 }
 
 bool Stream::flush_locked() {
@@ -403,7 +435,9 @@ void Stream::handle_events(std::uint32_t events) {
     {
       UniqueLock lock(mutex_);
       if (!fd_.valid()) return;
+      const std::size_t before = output_.size();
       fatal = !flush_locked();
+      note_queue_delta(before, output_.size());
       if (!fatal && output_.empty()) {
         flushed_close = close_after_flush_;
         if (want_write_) {
@@ -479,6 +513,7 @@ void Stream::arm_idle_timer() {
                  "Connections closed by the reactor idle timeout (slow-loris / "
                  "half-open defence).")
         .inc();
+    obs::flight(obs::FlightKind::kConn, "conn.idle_reap", peer_);
     IPA_LOG(debug) << "stream " << peer_ << ": idle " << idle << "s, reaping";
     close_on_loop();
     return;
@@ -515,10 +550,13 @@ void Stream::close_on_loop() {
     LockGuard lock(mutex_);
     // Best-effort final flush (non-blocking): lets a 400/503 with
     // Connection: close reach the peer before the FIN.
+    const std::size_t before = output_.size();
     (void)flush_locked();
     fd_.reset();
     output_.clear();
+    note_queue_delta(before, 0);
   }
+  obs::flight(obs::FlightKind::kConn, "conn.close", peer_);
   CloseFn on_close;
   on_close.swap(on_close_);
   on_data_ = nullptr;  // break capture cycles through the fd entry

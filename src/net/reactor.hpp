@@ -37,6 +37,7 @@
 
 namespace ipa::obs {
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace ipa::obs
 
@@ -94,6 +95,11 @@ class Reactor {
 
   const ReactorOptions& options() const { return options_; }
 
+  /// Aggregate unflushed write-queue bytes across this reactor's streams
+  /// (`ipa_reactor_write_queue_bytes{reactor=...}`). Streams add/subtract
+  /// as their buffers grow and drain. Null until start().
+  obs::Gauge* write_queue_gauge() const { return write_queue_gauge_; }
+
  private:
   struct FdEntry {
     int fd = -1;
@@ -121,6 +127,9 @@ class Reactor {
   std::atomic<bool> stopping_{false};
   std::atomic<const void*> loop_thread_id_{nullptr};
   obs::Histogram* loop_hist_ = nullptr;  // dispatch latency per busy iteration
+  obs::Gauge* loop_lag_gauge_ = nullptr;     // latest busy-iteration dispatch time
+  obs::Histogram* timer_lag_hist_ = nullptr; // fire time minus deadline per timer
+  obs::Gauge* write_queue_gauge_ = nullptr;  // sum of stream output buffers
 
   mutable Mutex mutex_{LockRank::kReactor, "reactor"};
   std::uint64_t next_token_ IPA_GUARDED_BY(mutex_) = 1;
@@ -186,6 +195,8 @@ class Stream : public std::enable_shared_from_this<Stream> {
   void handle_events(std::uint32_t events);  // loop thread
   void handle_readable();                    // loop thread
   bool flush_locked() IPA_REQUIRES(mutex_);  // returns false on fatal error
+  /// Account an output_ size change on the reactor's write-queue gauge.
+  void note_queue_delta(std::size_t before, std::size_t after);
   void arm_idle_timer();                     // loop thread
   void close_on_loop();                      // loop thread
   void request_close();                      // any thread

@@ -9,8 +9,10 @@
 // consuming another thread.
 //
 // Observability: `ipa_server_accept_queue_depth{server=...}` gauges the
-// queued backlog and `ipa_server_overflow_total{server=...}` counts
-// rejected connections.
+// queued backlog, `ipa_server_overflow_total{server=...}` counts rejected
+// connections, and `ipa_server_queue_delay_seconds{server=...}` is the
+// enqueue->dispatch histogram — time an admitted item sat in the queue
+// before a worker picked it up, the direct measure of pool saturation.
 #pragma once
 
 #include <functional>
@@ -19,8 +21,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/sync.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace ipa::net {
@@ -55,7 +59,8 @@ class ServerWorkerPool {
   /// `server` labels the pool's metrics (e.g. "http", "rpc").
   ServerWorkerPool(const std::string& server, ServerPoolOptions options,
                    std::function<void(Item)> handler)
-      : options_(sanitize(options)),
+      : name_(server),
+        options_(sanitize(options)),
         handler_(std::move(handler)),
         queue_(options_.queue_capacity),
         depth_(obs::Registry::global().gauge(
@@ -63,7 +68,12 @@ class ServerWorkerPool {
             "Accepted connections waiting for a server worker, by server kind.")),
         overflow_(obs::Registry::global().counter(
             "ipa_server_overflow_total", {{"server", server}},
-            "Connections rejected because the server's accept queue was full.")) {}
+            "Connections rejected because the server's accept queue was full.")),
+        queue_delay_(obs::Registry::global().histogram(
+            "ipa_server_queue_delay_seconds", {{"server", server}},
+            obs::default_latency_bounds(),
+            "Time admitted items spent queued before a worker picked them up, "
+            "by server kind.")) {}
 
   ~ServerWorkerPool() { stop(); }
 
@@ -85,8 +95,11 @@ class ServerWorkerPool {
         workers_.emplace_back([this] { worker_loop(); });
       }
     }
-    if (!queue_.try_push(std::move(item))) {
+    Timed entry{WallClock::instance().now(), std::move(item)};
+    if (!queue_.try_push(std::move(entry))) {
+      item = std::move(entry.item);  // rejection hands the item back
       overflow_.inc();
+      obs::flight(obs::FlightKind::kConn, "pool.saturated", name_);
       return Admission::kSaturated;
     }
     depth_.set(static_cast<double>(queue_.size()));
@@ -126,28 +139,38 @@ class ServerWorkerPool {
     return options;
   }
 
+  /// Queue entry: the item plus its admission time, so the pop side can
+  /// histogram the enqueue->dispatch delay.
+  struct Timed {
+    double enqueued_s = 0;  // WallClock seconds
+    Item item;
+  };
+
   void worker_loop() {
     while (true) {
       {
         LockGuard lock(mutex_);
         ++idle_;
       }
-      std::optional<Item> item = queue_.pop();
+      std::optional<Timed> entry = queue_.pop();
       {
         LockGuard lock(mutex_);
         --idle_;
       }
-      if (!item) return;  // queue closed and drained
+      if (!entry) return;  // queue closed and drained
+      queue_delay_.observe(WallClock::instance().now() - entry->enqueued_s);
       depth_.set(static_cast<double>(queue_.size()));
-      handler_(std::move(*item));
+      handler_(std::move(entry->item));
     }
   }
 
+  const std::string name_;
   const ServerPoolOptions options_;
   const std::function<void(Item)> handler_;
-  MpmcQueue<Item> queue_;
+  MpmcQueue<Timed> queue_;
   obs::Gauge& depth_;
   obs::Counter& overflow_;
+  obs::Histogram& queue_delay_;
   mutable Mutex mutex_{LockRank::kWorkerPool, "server-worker-pool"};
   std::vector<std::jthread> workers_ IPA_GUARDED_BY(mutex_);
   std::size_t idle_ IPA_GUARDED_BY(mutex_) = 0;

@@ -1,0 +1,30 @@
+#include "obs/build_info.hpp"
+
+// The definitions come from the obs module's target_compile_definitions
+// (see CMakeLists.txt); fall back so non-CMake consumers still build.
+#ifndef IPA_VERSION
+#define IPA_VERSION "unknown"
+#endif
+#ifndef IPA_GIT_SHA
+#define IPA_GIT_SHA "unknown"
+#endif
+#ifndef IPA_BUILD_TYPE
+#define IPA_BUILD_TYPE "unknown"
+#endif
+
+namespace ipa::obs {
+
+BuildInfo build_info() { return {IPA_VERSION, IPA_GIT_SHA, IPA_BUILD_TYPE}; }
+
+void install_build_info(Registry& registry) {
+  const BuildInfo info = build_info();
+  registry
+      .gauge("ipa_build_info",
+             {{"build_type", info.build_type},
+              {"git_sha", info.git_sha},
+              {"version", info.version}},
+             "Build identity of this binary; always 1, the labels are the data.")
+      .set(1);
+}
+
+}  // namespace ipa::obs

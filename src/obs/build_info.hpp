@@ -1,0 +1,25 @@
+// Build identity: version / git sha / build type, exposed as the standard
+// always-1 `ipa_build_info` gauge so dashboards and bug reports can say
+// exactly which binary produced a scrape.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ipa::obs {
+
+struct BuildInfo {
+  const char* version;     // project version (CMake), "unknown" if unset
+  const char* git_sha;     // short commit sha at configure time
+  const char* build_type;  // CMAKE_BUILD_TYPE
+};
+
+/// Compile-time build identity of this binary.
+BuildInfo build_info();
+
+/// Register `ipa_build_info{build_type=...,git_sha=...,version=...} 1`.
+/// Idempotent per registry (same labels -> same series).
+void install_build_info(Registry& registry = Registry::global());
+
+}  // namespace ipa::obs

@@ -1,0 +1,61 @@
+#include "obs/lock_stats.hpp"
+
+#include <atomic>
+#include <map>
+
+#include "common/strings.hpp"
+#include "common/sync.hpp"
+
+namespace ipa::obs {
+namespace {
+
+// Counters only move forward, so the exporter tracks what it has already
+// pushed per rank and adds the delta. Indexed like the sync.cpp table:
+// rank value / 5.
+constexpr int kRankSlots = 40;
+std::atomic<std::uint64_t> g_exported[kRankSlots];
+
+}  // namespace
+
+void export_lock_metrics(Registry& registry) {
+  for (const LockContention& entry : lock_contention_snapshot()) {
+    const char* rank = to_string(entry.rank);
+    const int slot = static_cast<int>(entry.rank) / 5;
+    std::uint64_t seen = g_exported[slot].load(std::memory_order_relaxed);
+    // One exporter usually runs at a time (the /metrics handler), but a
+    // concurrent /debug/locks must not double-count the same delta.
+    while (entry.contended > seen &&
+           !g_exported[slot].compare_exchange_weak(seen, entry.contended,
+                                                   std::memory_order_relaxed)) {
+    }
+    if (entry.contended > seen) {
+      registry
+          .counter("ipa_lock_contended_total", {{"rank", rank}},
+                   "Mutex acquisitions that found the lock held, by lock rank.")
+          .inc(entry.contended - seen);
+    }
+    registry
+        .gauge("ipa_lock_wait_seconds", {{"rank", rank}},
+               "Total time threads have spent blocked on locks, by lock rank.")
+        .set(entry.wait_s);
+  }
+}
+
+std::string render_locks_json() {
+  export_lock_metrics();
+  std::string body = "{\"ranks\":[";
+  bool first = true;
+  for (const LockContention& entry : lock_contention_snapshot()) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"rank\":\"" + std::string(to_string(entry.rank)) + "\"";
+    body += ",\"value\":" + std::to_string(static_cast<int>(entry.rank));
+    body += ",\"contended\":" + std::to_string(entry.contended);
+    body += ",\"wait_s\":" + strings::format("%.9f", entry.wait_s);
+    body += '}';
+  }
+  body += "]}";
+  return body;
+}
+
+}  // namespace ipa::obs

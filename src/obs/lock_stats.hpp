@@ -1,0 +1,21 @@
+// Lock-contention export: bridges the per-rank contention totals that
+// src/common/sync accumulates (plain atomics — common cannot depend on obs)
+// into Prometheus series and the GET /debug/locks JSON document.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ipa::obs {
+
+/// Sync the per-rank contention totals into `registry`:
+///   ipa_lock_contended_total{rank=...}  counter (exported by delta)
+///   ipa_lock_wait_seconds{rank=...}     gauge, cumulative blocked time
+/// Call before rendering /metrics; cheap (a handful of ranks ever contend).
+void export_lock_metrics(Registry& registry = Registry::global());
+
+/// JSON document for GET /debug/locks, newest totals at call time.
+std::string render_locks_json();
+
+}  // namespace ipa::obs

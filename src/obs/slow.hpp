@@ -1,0 +1,75 @@
+// Slow-op tail retention: spans that cross a per-op threshold are kept,
+// together with their child spans from the same trace, in a bounded store.
+//
+// The SpanRing keeps the most recent few thousand spans of *everything*,
+// which means an interesting 800ms outlier is evicted minutes later by
+// healthy 2ms traffic. The SlowOpStore inverts that: only threshold
+// crossings get in, newest evicting oldest, so GET /debug/slow answers
+// "what were the worst recent operations and where inside them did the time
+// go" long after the ring has moved on.
+//
+// Wiring: SpanRing::record consults the attached store's threshold on every
+// completed span and offers the span plus its same-trace children when it
+// qualifies. The store's mutex ranks below kTrace (kSlowOps) because the
+// offer happens under the ring lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "obs/trace.hpp"
+
+namespace ipa::obs {
+
+/// One retained slow operation: the threshold-crossing span and whatever
+/// spans of the same trace were still in the ring when it completed.
+struct SlowOp {
+  SpanRecord root;
+  std::vector<SpanRecord> children;  // same trace_id, ring order
+};
+
+/// Bounded newest-first store of slow operations.
+class SlowOpStore {
+ public:
+  explicit SlowOpStore(std::size_t capacity = 64);
+
+  SlowOpStore(const SlowOpStore&) = delete;
+  SlowOpStore& operator=(const SlowOpStore&) = delete;
+
+  /// Spans at/above this duration are retained unless a per-op override
+  /// says otherwise. <= 0 retains everything (tests).
+  void set_default_threshold(double seconds);
+  /// Override the threshold for ops whose name starts with `op_prefix`
+  /// (longest matching prefix wins).
+  void set_threshold(std::string op_prefix, double seconds);
+  double threshold_for(std::string_view name) const;
+
+  /// Retain `root` with its child tree. Called by SpanRing under kTrace.
+  void offer(SpanRecord root, std::vector<SpanRecord> children);
+
+  /// Retained ops, newest first, at most `max_ops` (0 = all).
+  std::vector<SlowOp> snapshot(std::size_t max_ops = 0) const;
+  /// Slow ops ever retained (including since-evicted ones).
+  std::uint64_t total_retained() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// JSON document for GET /debug/slow.
+  std::string render_json(std::size_t max_ops = 32) const;
+
+  static SlowOpStore& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_{LockRank::kSlowOps, "slow-op-store"};
+  double default_threshold_s_ IPA_GUARDED_BY(mutex_) = 0.25;
+  std::map<std::string, double> overrides_ IPA_GUARDED_BY(mutex_);
+  std::deque<SlowOp> ops_ IPA_GUARDED_BY(mutex_);  // newest at front
+  std::uint64_t total_ IPA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ipa::obs

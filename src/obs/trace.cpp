@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/slow.hpp"
+
 namespace ipa::obs {
 namespace {
 
@@ -34,14 +36,33 @@ SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacit
 }
 
 void SpanRing::record(SpanRecord span) {
+  // Threshold check outside the ring lock: threshold_for takes the store's
+  // own (lower-ranked) mutex and most spans are fast, so the common path
+  // adds one relaxed pointer load.
+  SlowOpStore* store = slow_store_.load(std::memory_order_acquire);
+  const bool slow =
+      store != nullptr && span.duration_s() >= store->threshold_for(span.name);
+
   LockGuard lock(mutex_);
   ++total_;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(span));
-    return;
+  std::vector<SpanRecord> children;
+  if (slow) {
+    // The completing span's children (same trace) finished before it and
+    // are still in the ring unless traffic already evicted them.
+    for (const SpanRecord& other : ring_) {
+      if (other.trace_id == span.trace_id && other.span_id != span.span_id) {
+        children.push_back(other);
+      }
+    }
   }
-  ring_[next_] = std::move(span);
-  next_ = (next_ + 1) % capacity_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+  // kSlowOps (35) nests under kTrace (40): rank-ordered by design.
+  if (slow) store->offer(std::move(span), std::move(children));
 }
 
 std::vector<SpanRecord> SpanRing::snapshot() const {
@@ -70,7 +91,11 @@ std::uint64_t SpanRing::total_recorded() const {
 }
 
 SpanRing& SpanRing::global() {
-  static SpanRing* ring = new SpanRing(4096);  // leaked: outlives all users
+  static SpanRing* ring = [] {
+    auto* r = new SpanRing(4096);  // leaked: outlives all users
+    r->attach_slow_store(&SlowOpStore::global());
+    return r;
+  }();
   return *ring;
 }
 

@@ -14,6 +14,7 @@
 // runs (or ManualClock tests) produce spans with the same machinery.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,6 +53,8 @@ struct SpanRecord {
   double duration_s() const { return end_s - start_s; }
 };
 
+class SlowOpStore;
+
 /// Bounded ring of completed spans, newest evicting oldest. The site keeps
 /// one global ring and serves it at GET /status; tests construct their own.
 class SpanRing {
@@ -66,10 +69,18 @@ class SpanRing {
   std::size_t capacity() const { return capacity_; }
   std::uint64_t total_recorded() const;
 
+  /// Route threshold-crossing spans (plus their same-trace children still
+  /// in the ring) into `store` from now on; nullptr detaches. The global
+  /// ring is attached to SlowOpStore::global() at construction.
+  void attach_slow_store(SlowOpStore* store) {
+    slow_store_.store(store, std::memory_order_release);
+  }
+
   static SpanRing& global();
 
  private:
   const std::size_t capacity_;
+  std::atomic<SlowOpStore*> slow_store_{nullptr};
   mutable Mutex mutex_{LockRank::kTrace, "span-ring"};
   std::vector<SpanRecord> ring_ IPA_GUARDED_BY(mutex_);
   std::size_t next_ IPA_GUARDED_BY(mutex_) = 0;  // ring_ insertion cursor once full

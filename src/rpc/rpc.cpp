@@ -398,7 +398,7 @@ ser::Bytes RpcServer::handle_frame(const ser::Bytes& frame, const std::string& p
   dispatch_span.set_session(ctx.resource);
   obs::Registry::global()
       .counter("ipa_rpc_server_requests_total",
-               {{"service", ctx.service}, {"method", ctx.method}},
+               {{"method", ctx.method}, {"service", ctx.service}},
                "RPC requests dispatched by the server, by service and method.")
       .inc();
 
@@ -589,8 +589,8 @@ Result<ser::Bytes> RpcClient::call(std::string_view service, std::string_view me
   // children even across retries.
   obs::ScopedSpan call_span("rpc.call." + std::string(service) + "." + std::string(method));
   call_span.set_session(std::string(resource));
-  const obs::Labels rpc_labels = {{"service", std::string(service)},
-                                  {"method", std::string(method)}};
+  const obs::Labels rpc_labels = {{"method", std::string(method)},
+                                  {"service", std::string(service)}};
   obs::Registry& registry = obs::Registry::global();
   obs::Counter& attempts_counter = registry.counter(
       "ipa_rpc_attempts_total", rpc_labels, "Call attempts that reached the wire.");

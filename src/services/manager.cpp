@@ -1,12 +1,17 @@
 #include "services/manager.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "common/ids.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight.hpp"
+#include "obs/lock_stats.hpp"
 #include "obs/log_metrics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slow.hpp"
 #include "obs/trace.hpp"
 
 namespace ipa::services {
@@ -301,23 +306,59 @@ void ManagerNode::handle_dead_engine(const std::shared_ptr<Session>& session,
   // merge keeps the dead engine's last snapshot, flagged partial.
   session->mark_engine_lost(engine_id, reason);
   aida_.mark_engine_lost(session->id(), engine_id, reason);
+  obs::flight(obs::FlightKind::kError, "engine.lost", engine_id);
 }
 
 // ---------------------------------------------------------------------------
 // Observability endpoints (served by the SOAP server's HTTP listener)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Positive integer query parameter, or `fallback` when absent/garbage.
+std::size_t query_limit(const http::Request& request, const char* key,
+                        std::size_t fallback) {
+  const std::string raw = query_param(request.target, key);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || value == 0) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 void ManagerNode::register_observability_routes() {
   // The log layer's first metrics consumer: per-level line counters.
   obs::install_log_metrics();
+  obs::install_build_info();
+  obs::SlowOpStore::global().set_default_threshold(config_.slow_op_threshold_s);
   // Prefix patterns: route matching sees the full request target, so exact
   // routes would miss "/status?session=...".
   soap_->http().route("/metrics*", [](const http::Request&) {
+    // Lock-contention counters accumulate in the sync layer's atomics; fold
+    // the latest deltas into the registry before rendering.
+    obs::export_lock_metrics();
     return http::Response::make(200, obs::Registry::global().render_prometheus(),
                                 "text/plain; version=0.0.4; charset=utf-8");
   });
   soap_->http().route("/status*",
                       [this](const http::Request& req) { return handle_status(req); });
+  // Debug introspection: flight-recorder journals, lock contention by rank,
+  // retained slow operations. All JSON, all bounded, all ?limit=N-capped.
+  soap_->http().route("/debug/journal*", [](const http::Request& req) {
+    const std::size_t limit = query_limit(req, "limit", 128);
+    return http::Response::make(200, obs::FlightRecorder::global().render_json(limit),
+                                "application/json");
+  });
+  soap_->http().route("/debug/locks*", [](const http::Request&) {
+    return http::Response::make(200, obs::render_locks_json(), "application/json");
+  });
+  soap_->http().route("/debug/slow*", [](const http::Request& req) {
+    const std::size_t limit = query_limit(req, "limit", 32);
+    return http::Response::make(200, obs::SlowOpStore::global().render_json(limit),
+                                "application/json");
+  });
 }
 
 http::Response ManagerNode::handle_status(const http::Request& request) {
@@ -359,9 +400,19 @@ http::Response ManagerNode::handle_status(const http::Request& request) {
               "\":" + strings::format("%.6f", values[i]);
     }
     body += "},\"total\":" + strings::format("%.6f", timings.total_s());
+    // Bounded span dump: the ring holds thousands of spans per session and
+    // a status page must not balloon with them. Newest spans win; the full
+    // count is reported so a capped response is recognisable.
+    const std::size_t span_limit =
+        query_limit(request, "spans", config_.status_span_limit);
+    const std::vector<obs::SpanRecord> spans = obs::SpanRing::global().snapshot_session(id);
+    body += ",\"spans_total\":" + std::to_string(spans.size());
     body += ",\"spans\":[";
     bool first_span = true;
-    for (const obs::SpanRecord& span : obs::SpanRing::global().snapshot_session(id)) {
+    std::size_t emitted = 0;
+    for (auto it = spans.rbegin(); it != spans.rend() && emitted < span_limit;
+         ++it, ++emitted) {
+      const obs::SpanRecord& span = *it;
       if (!first_span) body += ',';
       first_span = false;
       body += "{\"name\":\"" + json_escape(span.name) + "\"";
@@ -515,6 +566,8 @@ Result<xml::Node> ManagerNode::op_create_session(const soap::SoapContext& ctx,
   auto session = std::make_shared<Session>(id, ctx.principal, granted, queue);
   IPA_RETURN_IF_ERROR(sessions_.insert(id, session));
   IPA_RETURN_IF_ERROR(aida_.open_session(id).with_prefix("createSession"));
+  obs::flight(obs::FlightKind::kOp, "session.create", id,
+              static_cast<std::uint64_t>(granted));
 
   xml::Node reply("ipa:createSessionResponse");
   reply.add_child(text_element("sessionId", id));
@@ -668,6 +721,7 @@ Result<xml::Node> ManagerNode::op_close(const soap::SoapContext& ctx, const xml:
   (void)aida_.close_session(session->id());
   (void)splitter_.cleanup(session->id());
   sessions_.destroy(session->id());
+  obs::flight(obs::FlightKind::kOp, "session.close", session->id());
   xml::Node reply("ipa:closeResponse");
   return reply;
 }

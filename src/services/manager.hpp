@@ -94,6 +94,12 @@ struct ManagerConfig {
   /// so rpc_pool.max_workers caps the site's concurrent engine count.
   net::ServerPoolOptions soap_pool;
   net::ServerPoolOptions rpc_pool;
+  /// Default cap on spans returned by GET /status?session=... (override per
+  /// request with ?spans=N). Newest spans win when the cap bites.
+  std::size_t status_span_limit = 128;
+  /// Spans at least this long are retained with their child tree and served
+  /// at GET /debug/slow. <= 0 retains every completed span (tests).
+  double slow_op_threshold_s = 0.25;
 };
 
 class ManagerNode {

@@ -2,6 +2,7 @@
 // (death tests) and the CondVar/UniqueLock wait path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -195,6 +196,78 @@ TEST(SharedMutexTest, ConcurrentReadersExclusiveWriter) {
       EXPECT_EQ(value, 7);
     });
   }
+}
+
+// Contention profiling is compiled in unconditionally (unlike the rank
+// checks), so a provably-contended acquisition must surface in
+// lock_contention_snapshot() with a non-zero count and accumulated wait.
+//
+// Free-running thread fights are useless here: on a single-core runner each
+// thread's whole loop fits in one scheduler quantum and nothing ever
+// collides. Instead a holder thread takes the lock, signals, and keeps it
+// for 10ms while this thread blocks — a guaranteed contended acquisition.
+// The retry loop only matters if this thread gets descheduled for the whole
+// hold window between the signal and its lock() call.
+template <typename LockType>
+void force_contended_acquisition(Mutex& mutex, LockRank rank,
+                                 std::uint64_t before) {
+  const auto contended_for = [](LockRank want) {
+    std::uint64_t out = 0;
+    for (const LockContention& entry : lock_contention_snapshot()) {
+      if (entry.rank == want) out = entry.contended;
+    }
+    return out;
+  };
+  for (int round = 0; round < 50 && contended_for(rank) == before; ++round) {
+    std::atomic<bool> held{false};
+    std::jthread holder([&] {
+      LockGuard lock(mutex);
+      held.store(true, std::memory_order_release);
+      // Holding across the sleep is the point. ipa-lint: allow(blocking-under-lock)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+    LockType lock(mutex);  // blocks behind the sleeping holder
+  }
+}
+
+TEST(LockContention, ContendedAcquisitionsAreCountedPerRank) {
+  const auto stat_for = [](LockRank rank) {
+    LockContention out;
+    for (const LockContention& entry : lock_contention_snapshot()) {
+      if (entry.rank == rank) out = entry;
+    }
+    return out;
+  };
+  const LockContention before = stat_for(LockRank::kLoadStats);
+
+  Mutex mutex(LockRank::kLoadStats, "contended");
+  force_contended_acquisition<LockGuard>(mutex, LockRank::kLoadStats,
+                                         before.contended);
+
+  const LockContention after = stat_for(LockRank::kLoadStats);
+  EXPECT_GT(after.contended, before.contended)
+      << "blocking behind a sleeping holder was never counted";
+  EXPECT_GT(after.wait_s, before.wait_s);
+}
+
+// UniqueLock bypasses Mutex::lock (it drives the native handle for CondVar),
+// so its contention must be counted by its own timed-acquire path.
+TEST(LockContention, UniqueLockContentionIsCounted) {
+  const auto contended_for = [](LockRank rank) {
+    std::uint64_t out = 0;
+    for (const LockContention& entry : lock_contention_snapshot()) {
+      if (entry.rank == rank) out = entry.contended;
+    }
+    return out;
+  };
+  const std::uint64_t before = contended_for(LockRank::kLoadDriver);
+
+  Mutex mutex(LockRank::kLoadDriver, "uniquelock-contended");
+  force_contended_acquisition<UniqueLock>(mutex, LockRank::kLoadDriver,
+                                          before);
+
+  EXPECT_GT(contended_for(LockRank::kLoadDriver), before);
 }
 
 }  // namespace

@@ -1,0 +1,10 @@
+// Fixture: must trip exactly [metric-name] — a counter without _total.
+#include "obs/metrics.hpp"
+
+namespace fixture {
+
+void register_bad_counter() {
+  ipa::obs::Registry::global().counter("ipa_requests", {}, "Requests served.");
+}
+
+}  // namespace fixture

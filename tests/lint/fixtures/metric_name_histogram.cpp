@@ -1,0 +1,12 @@
+// Fixture: must trip exactly [metric-name] — a histogram without a unit
+// suffix (_seconds/_records/_bytes).
+#include "obs/metrics.hpp"
+
+namespace fixture {
+
+void register_bad_histogram() {
+  ipa::obs::Registry::global().histogram("ipa_request_latency", {}, {},
+                                         "Request latency.");
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: must trip exactly [metric-name] — label literals out of key
+// order ("service" sorts after "method"; the registry renders them sorted,
+// so the source literal and the exposition disagree).
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fixture {
+
+void register_unsorted_labels(const std::string& service, const std::string& method) {
+  ipa::obs::Registry::global().counter("ipa_rpc_calls_total",
+                                       {{"service", service}, {"method", method}},
+                                       "RPC calls by service and method.");
+}
+
+}  // namespace fixture

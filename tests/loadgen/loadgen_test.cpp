@@ -129,6 +129,63 @@ TEST(PromParse, ScalarLookup) {
   EXPECT_DOUBLE_EQ(scalar_value(exposition, "missing", {}, -1.0), -1.0);
 }
 
+// A scraper must tolerate everything a conforming (or future) exposition
+// can contain: unknown families, timestamps, exemplar-style suffixes,
+// stray blank lines and outright garbage. Skip, never fail.
+TEST(PromParse, SkipsUnknownAndMalformedLines) {
+  const std::string exposition =
+      "# HELP ipa_lock_contended_total contended acquisitions\n"
+      "# TYPE ipa_lock_contended_total counter\n"
+      "\n"
+      "ipa_lock_contended_total{rank=\"trace\"} 12\n"
+      "ipa_lock_contended_total{rank=\"metrics\"} 12 1712345678901\n"  // timestamp
+      "ipa_lock_contended_total{rank=\"queue\"} 7 # {trace_id=\"abc\"} 0.5\n"  // exemplar
+      "totally_unknown_family{x=\"y\",z=\"w\"} 1\n"
+      "malformed line without a value or braces\n"
+      "ipa_lock_contended_total{rank=\"broken\"\n"  // unterminated label block
+      "ipa_lock_contended_total{rank=\"novalue\"}\n"
+      "weird{}=3\n";
+  const auto family =
+      parse_scalar_family(exposition, "ipa_lock_contended_total", "rank");
+  ASSERT_EQ(family.size(), 3u);
+  EXPECT_DOUBLE_EQ(family.at("trace"), 12.0);
+  EXPECT_DOUBLE_EQ(family.at("metrics"), 12.0);  // timestamp tolerated
+  EXPECT_DOUBLE_EQ(family.at("queue"), 7.0);     // exemplar tolerated
+  EXPECT_EQ(family.count("broken"), 0u);
+  EXPECT_EQ(family.count("novalue"), 0u);
+}
+
+TEST(PromParse, HistogramParserSkipsForeignNoise) {
+  const std::string exposition =
+      "ipa_server_queue_delay_seconds_bucket{le=\"0.01\",server=\"http\"} 5 1712345678\n"
+      "ipa_server_queue_delay_seconds_bucket{le=\"+Inf\",server=\"http\"} 6\n"
+      "ipa_server_queue_delay_seconds_sum{server=\"http\"} 0.25\n"
+      "ipa_server_queue_delay_seconds_count{server=\"http\"} 6\n"
+      "ipa_server_queue_delay_seconds_extra{server=\"http\"} 99\n"  // unknown suffix
+      "# a comment mid-family\n"
+      "not_even_close\n";
+  const auto families = parse_histogram_family(
+      exposition, "ipa_server_queue_delay_seconds", "server");
+  ASSERT_EQ(families.size(), 1u);
+  const HistogramSeries& http = families.at("http");
+  ASSERT_EQ(http.upper_bounds.size(), 2u);
+  EXPECT_EQ(http.cumulative[0], 5u);
+  EXPECT_EQ(http.count, 6u);
+  EXPECT_DOUBLE_EQ(http.sum, 0.25);
+}
+
+TEST(PromParse, ScalarFamilyKeysByLabelOrWholeBlock) {
+  const std::string exposition =
+      "ipa_lock_wait_seconds{rank=\"trace\"} 0.125\n"
+      "ipa_lock_wait_seconds{other=\"x\"} 0.5\n"
+      "ipa_lock_wait_seconds 1.5\n";
+  const auto family = parse_scalar_family(exposition, "ipa_lock_wait_seconds", "rank");
+  ASSERT_EQ(family.size(), 3u);
+  EXPECT_DOUBLE_EQ(family.at("trace"), 0.125);
+  EXPECT_DOUBLE_EQ(family.at("other=x,"), 0.5);  // no rank label: whole block
+  EXPECT_DOUBLE_EQ(family.at(""), 1.5);          // bare sample: empty key
+}
+
 Result<SloProfile> profile_from(const std::string& text, const std::string& name) {
   auto doc = Json::parse(text);
   if (!doc.is_ok()) return doc.status();
@@ -167,13 +224,15 @@ LoadReport passing_report() {
   return report;
 }
 
-std::map<std::string, HistogramSeries> passing_phases() {
+ServerScrape passing_scrape() {
   HistogramSeries run;
   run.upper_bounds = {0.5, 1.0, kInf};
   run.cumulative = {8, 10, 10};
   run.count = 10;
   run.sum = 4.0;
-  return {{"run", run}};
+  ServerScrape scrape;
+  scrape.phases.emplace("run", std::move(run));
+  return scrape;
 }
 
 TEST(Slo, ParseRejectsUnknownProfile) {
@@ -186,9 +245,9 @@ TEST(Slo, ParseRejectsUnknownProfile) {
 TEST(Slo, CleanRunPasses) {
   auto profile = profile_from(kSloDoc, "tight");
   ASSERT_TRUE(profile.is_ok()) << profile.status().to_string();
-  const SloResult result = evaluate(*profile, passing_report(), passing_phases());
+  const SloResult result = evaluate(*profile, passing_report(), passing_scrape());
   EXPECT_TRUE(result.ok()) << render_report_text(*profile, passing_report(),
-                                                 passing_phases(), result);
+                                                 passing_scrape(), result);
 }
 
 TEST(Slo, ViolationsCarryGateLimitAndActual) {
@@ -199,11 +258,11 @@ TEST(Slo, ViolationsCarryGateLimitAndActual) {
   report.ops["poll"].p95_s = 0.9;        // > 0.5
   report.failed_users = 1;               // failure_rate 0.25 > 0
   report.iterations_done = 2;            // < min 4
-  auto phases = passing_phases();
-  phases["run"].cumulative = {0, 1, 10};  // p95 lands in +Inf bucket -> 1.0...
-  phases["run"].count = 10;
+  auto scrape = passing_scrape();
+  scrape.phases["run"].cumulative = {0, 1, 10};  // p95 lands in +Inf bucket -> 1.0...
+  scrape.phases["run"].count = 10;
 
-  const SloResult result = evaluate(*profile, report, phases);
+  const SloResult result = evaluate(*profile, report, scrape);
   ASSERT_FALSE(result.ok());
   std::map<std::string, const SloViolation*> by_gate;
   for (const SloViolation& v : result.violations) by_gate[v.gate] = &v;
@@ -230,10 +289,10 @@ TEST(Slo, ViolationsCarryGateLimitAndActual) {
   EXPECT_TRUE(phase_count_gate);
 
   // Reports render without crashing and carry the gate names.
-  const std::string text = render_report_text(*profile, report, phases, result);
+  const std::string text = render_report_text(*profile, report, scrape, result);
   EXPECT_NE(text.find("SLO gate FAILED"), std::string::npos);
   EXPECT_NE(text.find("step.poll.p95_s"), std::string::npos);
-  const std::string json = render_report_json(*profile, report, phases, result);
+  const std::string json = render_report_json(*profile, report, scrape, result);
   auto parsed = Json::parse(json);
   ASSERT_TRUE(parsed.is_ok()) << json;
   EXPECT_FALSE(parsed->find("ok")->bool_or(true));

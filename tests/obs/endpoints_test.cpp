@@ -12,6 +12,7 @@
 
 #include "client/grid_client.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "http/http.hpp"
 #include "loadgen/promparse.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +56,9 @@ class ObsEndpointsTest : public ::testing::Test {
     services::ManagerConfig config;
     config.staging_dir = (dir_ / "staging").string();
     config.engine_config.snapshot_every = 200;
+    // Retain every completed span as a "slow op" so GET /debug/slow is
+    // deterministically non-empty.
+    config.slow_op_threshold_s = 0;
     auto manager = services::ManagerNode::start(std::move(config));
     ASSERT_TRUE(manager.is_ok()) << manager.status().to_string();
     manager_ = std::move(*manager);
@@ -121,12 +125,45 @@ class ObsEndpointsTest : public ::testing::Test {
   std::string proxy_;
 };
 
+/// Provably contend one ranked mutex: a holder thread takes it, signals and
+/// keeps it for 10ms while this thread blocks on lock(). Thread fights don't
+/// work on a single-core runner (each loop fits in one scheduler quantum),
+/// this does. Retries cover the one hole — this thread descheduled for the
+/// whole hold window.
+void force_lock_contention(LockRank rank, const char* name) {
+  const auto contended_for = [rank] {
+    std::uint64_t out = 0;
+    for (const LockContention& entry : lock_contention_snapshot()) {
+      if (entry.rank == rank) out = entry.contended;
+    }
+    return out;
+  };
+  const std::uint64_t before = contended_for();
+  Mutex mutex(rank, name);
+  for (int round = 0; round < 50 && contended_for() == before; ++round) {
+    std::atomic<bool> held{false};
+    std::thread holder([&] {
+      LockGuard lock(mutex);
+      held.store(true, std::memory_order_release);
+      // Holding across the sleep is the point. ipa-lint: allow(blocking-under-lock)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+    { LockGuard lock(mutex); }  // blocks behind the sleeping holder
+    holder.join();
+  }
+  ASSERT_GT(contended_for(), before) << "never managed to contend " << name;
+}
+
 constexpr const char* kPhases[6] = {"locate", "split",
                                     "transfer", "code_stage",
                                     "run", "merge"};
 
 TEST_F(ObsEndpointsTest, MetricsEndpointServesAllSixPhases) {
   run_full_session();
+  // Deterministic lock contention so the exporter has something to fold in
+  // (a session races plenty, but not provably on a fast machine).
+  force_lock_contention(LockRank::kLoadStats, "metrics-probe");
   const http::Response response = get("/metrics");
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.header_or("content-type").find("version=0.0.4"), std::string::npos);
@@ -164,6 +201,26 @@ TEST_F(ObsEndpointsTest, MetricsEndpointServesAllSixPhases) {
             std::string::npos);
   EXPECT_NE(response.body.find("ipa_server_overflow_total{server=\"rpc\"}"),
             std::string::npos);
+  // Queue-delay histograms record every dispatched item.
+  EXPECT_NE(response.body.find("ipa_server_queue_delay_seconds_count{server=\"http\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("ipa_server_queue_delay_seconds_count{server=\"rpc\"}"),
+            std::string::npos);
+
+  // Build identity: one series, value 1, all three labels (values vary by
+  // build, the label set must not).
+  const std::size_t build_at = response.body.find("ipa_build_info{");
+  ASSERT_NE(build_at, std::string::npos);
+  const std::string build_line =
+      response.body.substr(build_at, response.body.find('\n', build_at) - build_at);
+  EXPECT_NE(build_line.find("build_type=\""), std::string::npos);
+  EXPECT_NE(build_line.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(build_line.find("version=\""), std::string::npos);
+  EXPECT_NE(build_line.find("} 1"), std::string::npos) << build_line;
+
+  // The contention exporter folded lock stats in during this scrape (a full
+  // session contends at least something; the families must exist).
+  EXPECT_NE(response.body.find("ipa_lock_wait_seconds"), std::string::npos);
 }
 
 TEST_F(ObsEndpointsTest, StatusEndpointReportsPhaseBreakdown) {
@@ -190,6 +247,82 @@ TEST_F(ObsEndpointsTest, StatusEndpointReportsPhaseBreakdown) {
 
 TEST_F(ObsEndpointsTest, StatusRejectsUnknownSession) {
   EXPECT_EQ(get("/status?session=sess-ghost").status, 404);
+}
+
+/// First `"name"` value inside the "spans" array of a /status body.
+std::string first_span_name(const std::string& body) {
+  const std::size_t spans = body.find("\"spans\":[");
+  if (spans == std::string::npos) return "";
+  const std::string needle = "\"name\":\"";
+  const std::size_t at = body.find(needle, spans);
+  if (at == std::string::npos) return "";
+  const std::size_t end = body.find('"', at + needle.size());
+  return body.substr(at + needle.size(), end - at - needle.size());
+}
+
+std::size_t count_occurrences(const std::string& body, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = body.find(needle); at != std::string::npos;
+       at = body.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(ObsEndpointsTest, StatusSpanDumpIsBoundedNewestFirst) {
+  const std::string id = run_full_session();
+  const http::Response full = get("/status?session=" + id);
+  ASSERT_EQ(full.status, 200);
+  const double total = json_number(full.body, "spans_total");
+  ASSERT_GT(total, 2.0) << "session produced too few spans to exercise the cap";
+
+  const http::Response capped = get("/status?session=" + id + "&spans=2");
+  ASSERT_EQ(capped.status, 200);
+  // Exactly two spans in the dump; the advertised total still counts all.
+  EXPECT_EQ(count_occurrences(capped.body, "\"trace\":"), 2u);
+  EXPECT_DOUBLE_EQ(json_number(capped.body, "spans_total"), total);
+  // Both dumps are newest-first, so the capped dump is a prefix of the full
+  // one: their first entries agree.
+  EXPECT_EQ(first_span_name(capped.body), first_span_name(full.body));
+  EXPECT_LT(count_occurrences(full.body, "\"trace\":"), static_cast<std::size_t>(total) + 1);
+}
+
+TEST_F(ObsEndpointsTest, DebugEndpointsServeJournalLocksAndSlowOps) {
+  const std::string id = run_full_session();
+
+  // /debug/journal: per-thread flight journals. The in-process engines and
+  // the manager both journaled (state transitions, session lifecycle).
+  const http::Response journal = get("/debug/journal");
+  EXPECT_EQ(journal.status, 200);
+  EXPECT_NE(journal.header_or("content-type").find("application/json"), std::string::npos);
+  EXPECT_NE(journal.body.find("\"threads\":["), std::string::npos);
+  EXPECT_NE(journal.body.find("\"what\":\"engine.state\""), std::string::npos);
+  EXPECT_NE(journal.body.find("\"what\":\"session.create\""), std::string::npos);
+  EXPECT_NE(journal.body.find(id), std::string::npos) << "session id not journaled";
+
+  // ?limit=1 keeps at most one event per thread.
+  const http::Response capped = get("/debug/journal?limit=1");
+  EXPECT_EQ(capped.status, 200);
+  const std::size_t threads = count_occurrences(capped.body, "\"thread\":\"");
+  EXPECT_EQ(count_occurrences(capped.body, "\"what\":\""), threads);
+
+  // /debug/locks: rank-indexed contention counters (contend one explicitly
+  // so at least one row is guaranteed).
+  force_lock_contention(LockRank::kLoadStats, "debug-locks-probe");
+  const http::Response locks = get("/debug/locks");
+  EXPECT_EQ(locks.status, 200);
+  EXPECT_NE(locks.body.find("\"ranks\":["), std::string::npos);
+  EXPECT_NE(locks.body.find("\"contended\":"), std::string::npos);
+  EXPECT_NE(locks.body.find("\"wait_s\":"), std::string::npos);
+
+  // /debug/slow: with threshold 0 every completed span is retained, so the
+  // session's phase spans are all present with their child trees.
+  const http::Response slow = get("/debug/slow");
+  EXPECT_EQ(slow.status, 200);
+  EXPECT_NE(slow.body.find("\"default_threshold_s\":"), std::string::npos);
+  EXPECT_NE(slow.body.find("\"ops\":["), std::string::npos);
+  EXPECT_NE(slow.body.find("\"root\":{"), std::string::npos) << "no slow ops retained";
+  EXPECT_EQ(json_number(slow.body, "default_threshold_s"), 0.0);
 }
 
 // Histogram exposition must stay internally consistent while writers are

@@ -1,0 +1,130 @@
+// Slow-op tail retention: threshold-crossing spans are kept with their
+// same-trace children in a bounded newest-first store, long after the span
+// ring itself has moved on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slow.hpp"
+#include "obs/trace.hpp"
+
+namespace ipa::obs {
+namespace {
+
+SpanRecord make_span(const char* name, double start_s, double end_s,
+                     std::uint64_t trace = 1, std::uint64_t span = 0,
+                     std::uint64_t parent = 0) {
+  SpanRecord record;
+  record.name = name;
+  record.trace_id = trace;
+  record.span_id = span != 0 ? span : new_trace_id();
+  record.parent_id = parent;
+  record.start_s = start_s;
+  record.end_s = end_s;
+  record.session = "sess-slow";
+  return record;
+}
+
+TEST(SlowOpStore, ThresholdGatesRetention) {
+  SpanRing ring(64);
+  SlowOpStore store(8);
+  store.set_default_threshold(0.5);
+  ring.attach_slow_store(&store);
+
+  ring.record(make_span("fast", 0.0, 0.1));
+  EXPECT_EQ(store.snapshot().size(), 0u);
+  ring.record(make_span("slow", 0.0, 0.8));
+  const auto ops = store.snapshot();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].root.name, "slow");
+  EXPECT_EQ(store.total_retained(), 1u);
+}
+
+TEST(SlowOpStore, RetainsSameTraceChildren) {
+  SpanRing ring(64);
+  SlowOpStore store(8);
+  store.set_default_threshold(0.5);
+  ring.attach_slow_store(&store);
+
+  // Children of trace 7 complete first (inner scopes end before outer).
+  ring.record(make_span("child-a", 0.0, 0.1, 7, 71, 70));
+  ring.record(make_span("child-b", 0.1, 0.2, 7, 72, 70));
+  ring.record(make_span("unrelated", 0.0, 0.1, 8, 81));
+  ring.record(make_span("root", 0.0, 0.9, 7, 70));
+
+  const auto ops = store.snapshot();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].root.span_id, 70u);
+  ASSERT_EQ(ops[0].children.size(), 2u);
+  EXPECT_EQ(ops[0].children[0].span_id, 71u);
+  EXPECT_EQ(ops[0].children[1].span_id, 72u);
+}
+
+TEST(SlowOpStore, PerOpOverridesLongestPrefixWins) {
+  SlowOpStore store(8);
+  store.set_default_threshold(0.5);
+  store.set_threshold("rpc.", 0.1);
+  store.set_threshold("rpc.call.heartbeat", 10.0);
+
+  EXPECT_DOUBLE_EQ(store.threshold_for("merge"), 0.5);
+  EXPECT_DOUBLE_EQ(store.threshold_for("rpc.call.control"), 0.1);
+  EXPECT_DOUBLE_EQ(store.threshold_for("rpc.call.heartbeat.push"), 10.0);
+}
+
+TEST(SlowOpStore, ZeroThresholdRetainsEverything) {
+  SpanRing ring(64);
+  SlowOpStore store(8);
+  store.set_default_threshold(0);
+  ring.attach_slow_store(&store);
+  ring.record(make_span("instant", 1.0, 1.0));
+  EXPECT_EQ(store.snapshot().size(), 1u);
+}
+
+TEST(SlowOpStore, EvictsOldestAndSnapshotsNewestFirst) {
+  SlowOpStore store(3);
+  store.set_default_threshold(0);
+  for (int i = 0; i < 5; ++i) {
+    store.offer(make_span(("op" + std::to_string(i)).c_str(), 0.0, 1.0), {});
+  }
+  const auto ops = store.snapshot();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].root.name, "op4");
+  EXPECT_EQ(ops[1].root.name, "op3");
+  EXPECT_EQ(ops[2].root.name, "op2");
+  EXPECT_EQ(store.total_retained(), 5u);
+
+  const auto capped = store.snapshot(1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].root.name, "op4");
+}
+
+TEST(SlowOpStore, RenderJsonCarriesTreeAndTotals) {
+  SpanRing ring(64);
+  SlowOpStore store(8);
+  store.set_default_threshold(0.25);
+  ring.attach_slow_store(&store);
+  ring.record(make_span("child", 0.0, 0.05, 9, 91, 90));
+  ring.record(make_span("merge", 0.0, 0.4, 9, 90));
+
+  const std::string json = store.render_json();
+  EXPECT_NE(json.find("\"default_threshold_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"total_retained\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"merge\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"child\""), std::string::npos);
+  EXPECT_NE(json.find("\"session\":\"sess-slow\""), std::string::npos);
+}
+
+TEST(SlowOpStore, GlobalRingIsAttachedToGlobalStore) {
+  // The global wiring is what GET /debug/slow depends on: a span recorded
+  // into the global ring above the default threshold must show up in the
+  // global store (threshold 0.25 default; use a comfortably slow span).
+  const std::uint64_t before = SlowOpStore::global().total_retained();
+  SpanRecord span = make_span("global-slow-probe", 0.0, 100.0, 0, 0, 0);
+  span.trace_id = new_trace_id();
+  SpanRing::global().record(std::move(span));
+  EXPECT_GE(SlowOpStore::global().total_retained(), before + 1);
+}
+
+}  // namespace
+}  // namespace ipa::obs

@@ -2,6 +2,8 @@
 # Repo verification tiers:
 #   0  source-level lint (tools/ipa_lint.py + its self-test)
 #   1  warnings-as-errors build + full test suite
+#   1d /debug endpoint smoke: boot build/tools/ipa_site, curl /metrics,
+#      /status and every /debug/* endpoint (tools/debug_smoke.py)
 #   2  sanitizer pass over the fault-sensitive suites (chaos, net, rpc,
 #      obs, common) — address and/or undefined
 #   2u UBSan over the value-heavy suites (data, serialize, xml)
@@ -37,6 +39,11 @@ echo "== tier 1: -Werror build + full test suite =="
 cmake -B build -S . -DIPA_WERROR=ON >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== tier 1d: /debug endpoint smoke against a live site =="
+# Boots build/tools/ipa_site on ephemeral ports and curls /metrics, /status
+# and every /debug/* endpoint (see tools/debug_smoke.py).
+python3 tools/debug_smoke.py --site build/tools/ipa_site
 
 for s in $sanitizers; do
   echo "== tier 2: ${s} sanitizer over chaos/net/rpc/obs/common =="

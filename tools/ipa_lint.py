@@ -26,6 +26,14 @@ Rules (each suppressible, see below):
                       common/clock.cpp — all timing goes through ipa::Clock
                       so gridsim/ManualClock tests stay deterministic.
   include-guard       a .hpp file without #pragma once.
+  metric-name         a Registry counter()/gauge()/histogram() registration
+                      whose literal name breaks the conventions: counters
+                      end in _total; histograms end in a unit suffix
+                      (_seconds/_records/_bytes); gauges never end in _total;
+                      nothing ends in the reserved exposition suffixes
+                      _bucket/_sum/_count; label literals sorted by key
+                      (the registry sorts at render time — unsorted literals
+                      make grep and the rendered output disagree).
 
 Suppressions: a comment `// ipa-lint: allow(rule)` on the violating line or
 the line above suppresses one finding. For blocking-under-lock the comment
@@ -46,7 +54,8 @@ import os
 import re
 import sys
 
-RULES = ("raw-mutex", "detach", "blocking-under-lock", "wallclock", "include-guard")
+RULES = ("raw-mutex", "detach", "blocking-under-lock", "wallclock", "include-guard",
+         "metric-name")
 
 # Files allowed to use raw std primitives: the wrapper itself.
 RAW_MUTEX_ALLOWED = {
@@ -77,6 +86,12 @@ BLOCKING_RES = (
     re.compile(r"(?<![A-Za-z0-9_])::connect\s*\("),  # bare ::connect, not net::connect
     re.compile(r"\bsleep_for\s*\("),
 )
+# Metric registrations: kind + literal name, labels scanned in a small
+# window after the call (registrations put labels right after the name).
+METRIC_CALL_RE = re.compile(r"\b(counter|gauge|histogram)\s*\(\s*\"(ipa_[A-Za-z0-9_]*)\"")
+METRIC_LABEL_RE = re.compile(r"\{\s*\"([A-Za-z_][A-Za-z0-9_]*)\"\s*,")
+HISTOGRAM_SUFFIXES = ("_seconds", "_records", "_bytes")
+RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
 ALLOW_RE = re.compile(r"ipa-lint:\s*allow\(([a-z*-]+)\)")
 SKIP_FILE_RE = re.compile(r"ipa-lint:\s*skip-file\(([a-z*-]+)\)")
 
@@ -169,6 +184,41 @@ def lint_file(path, rel, lines):
                         "system_clock::now outside common/clock.cpp; go through "
                         "ipa::Clock so virtual-time tests stay deterministic")
             )
+
+        if "metric-name" not in skip:
+            # A registration may wrap (name on this line, labels on the
+            # next); scan a 3-line window but only report matches that
+            # start on this line, so wrapped calls aren't double-counted.
+            window = " ".join(strip_comment(l) for l in lines[i:i + 3])
+            for m in METRIC_CALL_RE.finditer(window):
+                if m.start() >= len(code):
+                    break
+                if allowed(lines, i, "metric-name"):
+                    break
+                kind, name = m.group(1), m.group(2)
+                problem = None
+                if name.endswith(RESERVED_SUFFIXES):
+                    problem = (f"'{name}' ends in a reserved exposition suffix "
+                               "(_bucket/_sum/_count are generated at render time)")
+                elif kind == "counter" and not name.endswith("_total"):
+                    problem = f"counter '{name}' must end in _total"
+                elif kind == "histogram" and not name.endswith(HISTOGRAM_SUFFIXES):
+                    problem = (f"histogram '{name}' needs a unit suffix "
+                               "(_seconds, _records or _bytes)")
+                elif kind == "gauge" and name.endswith("_total"):
+                    problem = f"gauge '{name}' must not end in _total (counters do)"
+                if problem is None:
+                    rest = window[m.end():]
+                    block = re.match(r"\s*,\s*\{\{", rest)
+                    if block:
+                        end = rest.find("}}")
+                        if end >= 0:
+                            keys = METRIC_LABEL_RE.findall(rest[block.start():end])
+                            if keys != sorted(keys):
+                                problem = (f"'{name}' label literals {keys} not "
+                                           "sorted by key (registry renders sorted)")
+                if problem:
+                    findings.append(Finding(rel, line_no, "metric-name", problem))
 
         if "blocking-under-lock" not in skip:
             if LOCK_DECL_RE.search(code):

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "physics/event_gen.hpp"
 #include "services/manager.hpp"
 #include "workloads/workloads.hpp"
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
   // immediately when the daemon is detached.
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   log::set_global_level(log::Level::kInfo);
+  // A crashing daemon dumps its flight journals to stderr before dying, so
+  // the last seconds of activity survive in the log.
+  obs::FlightRecorder::install_crash_handler();
 
   std::uint16_t soap_port = 8443;
   std::uint16_t rpc_port = 8444;
